@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the protocol units: GETM validation-unit
+//! access throughput (the Fig. 6 flowchart over the metadata tables) and
+//! WarpTM value-based validation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use getm::vu::GetmConfig;
+use getm::{AccessKind, AccessRequest, ValidationUnit};
+use gpu_mem::{Addr, Geometry, Granule};
+use gpu_simt::GlobalWarpId;
+use sim_core::DetRng;
+use warptm::{LaneEntry, ValidationJob, WarptmValidator};
+
+fn bench_getm_vu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("getm_vu");
+
+    g.bench_function("eager_check_load", |b| {
+        let mut rng = DetRng::seeded(11);
+        let mut vu = ValidationUnit::new(GetmConfig::default(), &mut rng);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let req = AccessRequest {
+                granule: Granule(i % 2048),
+                addr: Addr((i % 2048) * 32),
+                wid: GlobalWarpId((i % 64) as u32),
+                warpts: i,
+                kind: AccessKind::Load,
+                token: i,
+            };
+            std::hint::black_box(vu.access(req, || 0).cycles)
+        });
+    });
+
+    g.bench_function("reserve_and_release", |b| {
+        let mut rng = DetRng::seeded(12);
+        let mut vu = ValidationUnit::new(GetmConfig::default(), &mut rng);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let gsel = Granule(i % 512);
+            let req = AccessRequest {
+                granule: gsel,
+                addr: Addr(gsel.raw() * 32),
+                wid: GlobalWarpId((i % 64) as u32),
+                warpts: i * 2,
+                kind: AccessKind::Store,
+                token: i,
+            };
+            let out = vu.access(req, || 0);
+            if out
+                .reply
+                .is_some_and(|r| r.kind == getm::ReplyKind::Success)
+            {
+                std::hint::black_box(vu.release(gsel, 1, |_| 0).1);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_warptm_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warptm");
+    g.bench_function("validate_32_entry_job", |b| {
+        let geom = Geometry::paper_default();
+        let mut v = WarptmValidator::new(geom);
+        let mut token = 0u64;
+        b.iter(|| {
+            token += 1;
+            let job = ValidationJob {
+                wid: GlobalWarpId(1),
+                token,
+                reads: (0..16)
+                    .map(|l| LaneEntry {
+                        lane: l,
+                        addr: Addr((token * 64 + l as u64) * 32),
+                        value: 0,
+                    })
+                    .collect(),
+                writes: (0..16)
+                    .map(|l| LaneEntry {
+                        lane: l,
+                        addr: Addr((token * 64 + 32 + l as u64) * 32),
+                        value: 1,
+                    })
+                    .collect(),
+            };
+            let verdict = v.validate(job, |_| 0);
+            v.commit(token, verdict.failed_lanes);
+            std::hint::black_box(verdict.cycles)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_getm_vu, bench_warptm_validate
+}
+criterion_main!(benches);

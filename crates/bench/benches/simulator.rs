@@ -1,0 +1,38 @@
+//! Criterion end-to-end benchmark: wall-clock throughput of the full
+//! cycle-level simulator on a small hashtable kernel under each TM system
+//! (simulated cycles are reported by the figure binaries; this measures
+//! the *simulator's* speed, which gates how large a sweep is practical).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::runner::run_workload;
+use workloads::hashtable::HashTable;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let mut cfg = GpuConfig::fermi_15core();
+    cfg.cores = 4;
+    cfg.warps_per_core = 8;
+    cfg.warp_width = 16;
+    cfg.partitions = 3;
+
+    for system in [TmSystem::FgLock, TmSystem::WarpTmLL, TmSystem::Getm] {
+        g.bench_with_input(
+            BenchmarkId::new("ht_insert_512", system.label()),
+            &system,
+            |b, &system| {
+                b.iter(|| {
+                    let w = HashTable::new("HT-B", 512, 512, 17);
+                    let m = run_workload(&w, system, &cfg).expect("run");
+                    m.assert_correct();
+                    std::hint::black_box(m.cycles)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

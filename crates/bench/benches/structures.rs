@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the hardware-inspired data structures:
+//! throughput of the cuckoo metadata table, the recency Bloom filter, and
+//! the stall buffer, at paper-like occupancies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use getm::TxMetadata;
+use sim_core::DetRng;
+use tm_structs::{CuckooConfig, CuckooTable, RecencyBloom, StallBuffer, StallConfig};
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuckoo");
+
+    g.bench_function("lookup_hit_full_table", |b| {
+        let mut rng = DetRng::seeded(1);
+        let mut t: CuckooTable<TxMetadata> =
+            CuckooTable::new(CuckooConfig::default(), &mut rng);
+        for k in 0..4096u64 {
+            t.insert(k, TxMetadata::from_approx(k, k));
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 4096;
+            std::hint::black_box(t.lookup(k).0.copied())
+        });
+    });
+
+    g.bench_function("insert_with_eviction_pressure", |b| {
+        let mut rng = DetRng::seeded(2);
+        b.iter_batched(
+            || {
+                let mut t: CuckooTable<TxMetadata> =
+                    CuckooTable::new(CuckooConfig::default(), &mut rng.fork(7));
+                for k in 0..4096u64 {
+                    t.insert(k, TxMetadata::from_approx(1, 1));
+                }
+                t
+            },
+            |mut t| {
+                for k in 5000..5256u64 {
+                    std::hint::black_box(t.insert(k, TxMetadata::from_approx(2, 2)));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recency_bloom");
+    let mut rng = DetRng::seeded(3);
+    let mut f = RecencyBloom::new(4, 256, &mut rng);
+    for k in 0..100_000u64 {
+        f.insert(k, k % 997, k % 991);
+    }
+    let mut k = 0u64;
+    g.bench_function("lookup", |b| {
+        b.iter(|| {
+            k += 1;
+            std::hint::black_box(f.lookup(k))
+        })
+    });
+    g.bench_function("insert", |b| {
+        b.iter(|| {
+            k += 1;
+            f.insert(k, k, k);
+        })
+    });
+    g.finish();
+}
+
+fn bench_stall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stall_buffer");
+    g.bench_function("enqueue_wake_cycle", |b| {
+        let mut sb: StallBuffer<u64> = StallBuffer::new(StallConfig::default());
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            let _ = sb.enqueue(ts % 4, ts, ts);
+            std::hint::black_box(sb.wake_one(ts % 4));
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cuckoo, bench_bloom, bench_stall
+}
+criterion_main!(benches);

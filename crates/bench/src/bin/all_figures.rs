@@ -1,0 +1,31 @@
+//! Runs every figure and table reproduction in one process, sharing the
+//! simulation cache across experiments (Figs. 10-12 and 15-16 reuse the
+//! same runs, so this is much faster than invoking each binary).
+//!
+//! ```text
+//! cargo run -p bench --release --bin all_figures [--paper-scale]
+//! ```
+
+use std::process::Command;
+
+const BINS: [&str; 13] = [
+    "fig3", "fig4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "table4", "table5", "ablation",
+];
+
+fn main() {
+    let pass_scale: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in BINS {
+        println!("\n############ {bin} ############");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&pass_scale)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,57 @@
+//! Diagnostic: detailed metric dump for one benchmark under every system.
+//!
+//! ```text
+//! cargo run -p bench --release --bin diag [BENCH] [--paper-scale]
+//! ```
+
+use bench::{scale_from_args, RunCache};
+use gputm::config::{GpuConfig, TmSystem};
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "HT-H".to_owned());
+    let scale = scale_from_args();
+    let cache = RunCache::new();
+    let cfg = GpuConfig::fermi_15core();
+
+    println!("benchmark {bench} ({scale:?})");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
+        "system", "cycles", "commits", "aborts", "silent",
+        "tx_exec", "tx_wait", "xbarKB", "mdacc", "stallmx", "l2hit"
+    );
+    for system in TmSystem::ALL {
+        let m = cache.run_optimal(&bench, system, scale, &cfg);
+        println!(
+            "{:<10} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7.2} {:>7} {:>6.2}",
+            system.label(),
+            m.cycles,
+            m.commits,
+            m.aborts,
+            m.silent_commits,
+            m.tx_exec_cycles,
+            m.tx_wait_cycles,
+            m.xbar_bytes / 1024,
+            m.mean_metadata_access_cycles,
+            m.max_stall_occupancy,
+            m.llc_hit_rate,
+        );
+        for (k, v) in &m.xbar_by_category {
+            print!("    {k}={v} ");
+        }
+        println!();
+        println!(
+            "    access_rt={:.1} rounds/region={:.2} queued={} overflow_peak={} vu_qdelay={:.1} data_lat={:.1}",
+            m.mean_access_rt, m.mean_rounds_per_region, m.stall_queued, m.metadata_overflow_peak,
+            m.mean_vu_queue_delay, m.mean_data_latency
+        );
+        if m.getm_aborts_load + m.getm_aborts_store > 0 {
+            println!(
+                "    getm aborts: load={} store={} approx={} max_cause={}",
+                m.getm_aborts_load, m.getm_aborts_store, m.getm_aborts_approx, m.getm_max_cause_ts
+            );
+        }
+    }
+}

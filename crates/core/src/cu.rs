@@ -1,0 +1,132 @@
+//! The commit unit: off-critical-path commit and abort processing.
+//!
+//! Because GETM detects conflicts eagerly, a transaction that reaches its
+//! commit point is guaranteed to commit. The SIMT core therefore serializes
+//! the warp's write logs, ships them to the commit units at the relevant
+//! partitions, and *moves on* — no validation, no acknowledgement. Each
+//! commit unit coalesces the entries per granule, writes the data to the
+//! LLC, and releases the write reservations via the co-located validation
+//! unit. Abort logs follow the same path minus the data.
+//!
+//! The commit unit runs at half the validation-unit clock (Table II), which
+//! the engine models as two core cycles per drained region.
+
+use crate::msg::CommitEntry;
+use tm_structs::{CoalescedWrite, CoalescingBuffer};
+
+/// Counters exposed by a commit unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuStats {
+    /// Commit-log entries received (with data).
+    pub commit_entries: u64,
+    /// Abort-cleanup entries received (no data).
+    pub abort_entries: u64,
+    /// Coalesced regions written to the LLC.
+    pub regions_written: u64,
+}
+
+/// One partition's commit unit.
+#[derive(Debug, Default)]
+pub struct CommitUnit {
+    buffer: CoalescingBuffer,
+    stats: CuStats,
+}
+
+impl CommitUnit {
+    /// Creates an idle commit unit.
+    pub fn new() -> Self {
+        CommitUnit::default()
+    }
+
+    /// Accepts a batch of commit/abort log entries from one warp.
+    pub fn receive(&mut self, entries: &[CommitEntry]) {
+        for e in entries {
+            if e.data.is_some() {
+                self.stats.commit_entries += 1;
+            } else {
+                self.stats.abort_entries += 1;
+            }
+            self.buffer.push(e.granule.raw(), e.data, e.writes);
+        }
+    }
+
+    /// Drains every coalesced region, ready to be applied to the LLC and
+    /// released at the validation unit. Each drained region costs the
+    /// commit-unit service time (two core cycles at the half-rate clock,
+    /// charged by the engine).
+    pub fn drain(&mut self) -> Vec<CoalescedWrite> {
+        let regions = self.buffer.drain();
+        self.stats.regions_written += regions.len() as u64;
+        regions
+    }
+
+    /// Whether work is pending.
+    pub fn has_pending(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> CuStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_mem::{Addr, Granule};
+
+    fn commit(g: u64, v: u64, w: u32) -> CommitEntry {
+        CommitEntry {
+            granule: Granule(g),
+            addr: Addr(g * 32),
+            data: Some(v),
+            writes: w,
+        }
+    }
+
+    fn cleanup(g: u64, w: u32) -> CommitEntry {
+        CommitEntry {
+            granule: Granule(g),
+            addr: Addr(g * 32),
+            data: None,
+            writes: w,
+        }
+    }
+
+    #[test]
+    fn coalesces_commit_entries() {
+        let mut cu = CommitUnit::new();
+        cu.receive(&[commit(1, 10, 1), commit(1, 20, 2), commit(2, 30, 1)]);
+        assert!(cu.has_pending());
+        let out = cu.drain();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].granule, 1);
+        assert_eq!(out[0].data, Some(20));
+        assert_eq!(out[0].writes, 3);
+        assert_eq!(out[1].granule, 2);
+        assert!(!cu.has_pending());
+    }
+
+    #[test]
+    fn abort_cleanup_has_no_data() {
+        let mut cu = CommitUnit::new();
+        cu.receive(&[cleanup(5, 2)]);
+        let out = cu.drain();
+        assert_eq!(out[0].data, None);
+        assert_eq!(out[0].writes, 2);
+        assert_eq!(cu.stats().abort_entries, 1);
+        assert_eq!(cu.stats().commit_entries, 0);
+    }
+
+    #[test]
+    fn stats_count_regions() {
+        let mut cu = CommitUnit::new();
+        cu.receive(&[commit(1, 1, 1), commit(2, 2, 1), cleanup(3, 1)]);
+        cu.drain();
+        let s = cu.stats();
+        assert_eq!(s.commit_entries, 2);
+        assert_eq!(s.abort_entries, 1);
+        assert_eq!(s.regions_written, 3);
+    }
+}

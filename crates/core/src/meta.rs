@@ -1,0 +1,86 @@
+//! Per-granule transaction metadata (paper Table I).
+//!
+//! Each metadata granule tracked by a validation unit carries:
+//!
+//! * `wts` — one more than the logical time of the last write attempt,
+//! * `rts` — the logical time of the last read,
+//! * `writes` — the outstanding write count; non-zero means the granule is
+//!   locked by an in-flight transaction,
+//! * `owner` — the global warp ID holding the reservation (meaningful only
+//!   while `writes > 0`).
+
+use gpu_simt::GlobalWarpId;
+use tm_structs::LockState;
+
+/// The metadata record for one granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxMetadata {
+    /// One more than the logical time of the last write attempt.
+    pub wts: u64,
+    /// Logical time of the last read.
+    pub rts: u64,
+    /// Outstanding write count; non-zero locks the granule.
+    pub writes: u32,
+    /// Reservation owner while `writes > 0`.
+    pub owner: GlobalWarpId,
+}
+
+impl TxMetadata {
+    /// A fresh record seeded from approximate timestamps (what a precise-
+    /// table miss reconstructs from the recency Bloom filter).
+    pub fn from_approx(wts: u64, rts: u64) -> Self {
+        TxMetadata {
+            wts,
+            rts,
+            writes: 0,
+            owner: GlobalWarpId(0),
+        }
+    }
+
+    /// Whether `wid` currently owns this granule's write reservation.
+    pub fn owned_by(&self, wid: GlobalWarpId) -> bool {
+        self.writes > 0 && self.owner == wid
+    }
+
+    /// Whether the granule is locked by some transaction.
+    pub fn is_reserved(&self) -> bool {
+        self.writes > 0
+    }
+}
+
+impl LockState for TxMetadata {
+    fn is_locked(&self) -> bool {
+        self.writes > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_approx_is_unlocked() {
+        let m = TxMetadata::from_approx(10, 20);
+        assert_eq!(m.wts, 10);
+        assert_eq!(m.rts, 20);
+        assert!(!m.is_reserved());
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn ownership() {
+        let mut m = TxMetadata::default();
+        let w1 = GlobalWarpId(5);
+        let w2 = GlobalWarpId(9);
+        assert!(!m.owned_by(w1));
+        m.writes = 1;
+        m.owner = w1;
+        assert!(m.owned_by(w1));
+        assert!(!m.owned_by(w2));
+        assert!(m.is_reserved());
+        assert!(m.is_locked());
+        // writes == 0 means nobody owns it, even with a stale owner field.
+        m.writes = 0;
+        assert!(!m.owned_by(w1));
+    }
+}

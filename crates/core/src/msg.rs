@@ -1,0 +1,125 @@
+//! The message vocabulary between SIMT cores and GETM's partition units.
+//!
+//! These are the payloads the `gputm` engine moves across the crossbar:
+//! per-access eager conflict checks travel core -> validation unit, replies
+//! travel back, and commit/abort logs travel core -> commit unit with no
+//! reply (commits are off the critical path).
+
+use gpu_mem::{Addr, Granule};
+use gpu_simt::GlobalWarpId;
+
+/// Whether a transactional access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A transactional load.
+    Load,
+    /// A transactional store.
+    Store,
+}
+
+/// An eager conflict-check request for one granule.
+///
+/// `token` is an opaque correlation id the engine uses to route the reply
+/// back to the issuing warp instruction; the protocol never interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRequest {
+    /// The granule under check.
+    pub granule: Granule,
+    /// A representative word address inside the granule (for value fetch).
+    pub addr: Addr,
+    /// The requesting warp (GETM's transaction identifier).
+    pub wid: GlobalWarpId,
+    /// The warp's logical timestamp.
+    pub warpts: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Engine correlation token.
+    pub token: u64,
+}
+
+/// Approximate wire size of an access request: address + timestamps +
+/// control. Matches the header-plus-word flit the paper assumes.
+pub const ACCESS_REQUEST_BYTES: u64 = 16;
+/// Wire size of a reply (status + timestamp + loaded word).
+pub const ACCESS_REPLY_BYTES: u64 = 16;
+/// Wire size of one commit/abort log entry (address, data, count).
+pub const COMMIT_ENTRY_BYTES: u64 = 16;
+
+/// The decision for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyKind {
+    /// The access passed eager conflict detection.
+    Success,
+    /// The transaction must abort; `cause_ts` is the newest conflicting
+    /// timestamp observed, so the core can restart at `cause_ts + 1`.
+    Abort {
+        /// Newest conflicting logical timestamp.
+        cause_ts: u64,
+    },
+}
+
+/// A reply to an [`AccessRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessReply {
+    /// The decision.
+    pub kind: ReplyKind,
+    /// The granule's `wts` as observed by this access (feeds the commit-time
+    /// `warpts` advance).
+    pub observed_wts: u64,
+    /// The granule's `rts` as observed by this access.
+    pub observed_rts: u64,
+    /// Correlation token copied from the request.
+    pub token: u64,
+    /// The current committed value of the requested word (loads only).
+    pub value: u64,
+}
+
+/// One entry of a commit or abort log sent to a commit unit.
+///
+/// Committing threads send address, data, and write count; aborting threads
+/// send only address and count so reservations can be unwound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// The written granule.
+    pub granule: Granule,
+    /// Word address of the write (meaningful when `data` is `Some`).
+    pub addr: Addr,
+    /// New value for committing threads; `None` for abort cleanup.
+    pub data: Option<u64>,
+    /// Number of coalesced writes this entry represents.
+    pub writes: u32,
+}
+
+impl CommitEntry {
+    /// Wire bytes for a batch of entries.
+    pub fn batch_bytes(entries: &[CommitEntry]) -> u64 {
+        entries.len() as u64 * COMMIT_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_bytes() {
+        let e = CommitEntry {
+            granule: Granule(1),
+            addr: Addr(32),
+            data: Some(7),
+            writes: 2,
+        };
+        assert_eq!(CommitEntry::batch_bytes(&[]), 0);
+        assert_eq!(CommitEntry::batch_bytes(&[e, e, e]), 48);
+    }
+
+    #[test]
+    fn reply_kinds() {
+        let r = ReplyKind::Abort { cause_ts: 9 };
+        assert_ne!(r, ReplyKind::Success);
+        match r {
+            ReplyKind::Abort { cause_ts } => assert_eq!(cause_ts, 9),
+            ReplyKind::Success => unreachable!(),
+        }
+    }
+}

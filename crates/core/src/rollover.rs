@@ -1,0 +1,182 @@
+//! Logical-timestamp rollover (paper Sec. V-B1, "Timestamp rollover").
+//!
+//! Logical timestamps advance only on aborts and commits, so even narrow
+//! counters roll over rarely (the paper measures one increment per
+//! 1,265-15,836 cycles, i.e. 32-bit timestamps last over an hour of GPU
+//! time). When a validation unit does detect an imminent rollover, the
+//! system must atomically reset every VU and every core's `warpts`:
+//!
+//! 1. The detecting VU circulates a *stall* message around the single-wire
+//!    ring connecting all VUs (VU-id tie-break if two detect at once); when
+//!    it returns, every VU has stopped accepting requests.
+//! 2. Cores are asked to quiesce; once all acks arrive there are no
+//!    requests in flight.
+//! 3. Every VU flushes its metadata tables and stall buffer, a *resume*
+//!    message circulates, and execution continues from logical time zero.
+//!
+//! [`RolloverCoordinator`] models the ring protocol and accounts its
+//! latency; the engine invokes it and performs the actual flush/abort work.
+
+/// Phases of an in-progress rollover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloverPhase {
+    /// No rollover in progress.
+    Idle,
+    /// Stall message circulating the VU ring.
+    Stalling,
+    /// Waiting for core quiesce acks.
+    WaitingForCores,
+    /// Flush done, resume message circulating.
+    Resuming,
+}
+
+/// Coordinates a GPU-wide timestamp rollover.
+#[derive(Debug, Clone)]
+pub struct RolloverCoordinator {
+    /// Timestamp value that triggers a rollover when reached.
+    limit: u64,
+    num_vus: u32,
+    num_cores: u32,
+    /// Per-hop latency of the single-wire VU ring, in cycles.
+    ring_hop_cycles: u64,
+    phase: RolloverPhase,
+    pending_core_acks: u32,
+    rollovers: u64,
+}
+
+impl RolloverCoordinator {
+    /// Creates a coordinator that triggers when any timestamp reaches
+    /// `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero or there are no VUs/cores.
+    pub fn new(limit: u64, num_vus: u32, num_cores: u32, ring_hop_cycles: u64) -> Self {
+        assert!(limit > 0 && num_vus > 0 && num_cores > 0);
+        RolloverCoordinator {
+            limit,
+            num_vus,
+            num_cores,
+            ring_hop_cycles,
+            phase: RolloverPhase::Idle,
+            pending_core_acks: 0,
+            rollovers: 0,
+        }
+    }
+
+    /// A coordinator for 48-bit timestamps (effectively never fires; the
+    /// paper notes 48-bit counters roll over less than once in 11 years).
+    pub fn for_48bit(num_vus: u32, num_cores: u32) -> Self {
+        RolloverCoordinator::new(1 << 48, num_vus, num_cores, 1)
+    }
+
+    /// Whether `ts` has reached the rollover threshold.
+    pub fn needs_rollover(&self, ts: u64) -> bool {
+        ts >= self.limit
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> RolloverPhase {
+        self.phase
+    }
+
+    /// Rollovers completed so far.
+    pub fn completed(&self) -> u64 {
+        self.rollovers
+    }
+
+    /// Begins a rollover, returning the cycles the stall message needs to
+    /// circulate the VU ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rollover is already in progress.
+    pub fn begin(&mut self) -> u64 {
+        assert_eq!(self.phase, RolloverPhase::Idle, "rollover already running");
+        self.phase = RolloverPhase::Stalling;
+        self.num_vus as u64 * self.ring_hop_cycles
+    }
+
+    /// The stall message returned; now wait for every core to ack quiesce.
+    pub fn stall_complete(&mut self) {
+        assert_eq!(self.phase, RolloverPhase::Stalling);
+        self.phase = RolloverPhase::WaitingForCores;
+        self.pending_core_acks = self.num_cores;
+    }
+
+    /// Records one core's quiesce ack; returns `true` when all cores have
+    /// acked and the flush can proceed.
+    pub fn core_ack(&mut self) -> bool {
+        assert_eq!(self.phase, RolloverPhase::WaitingForCores);
+        assert!(self.pending_core_acks > 0);
+        self.pending_core_acks -= 1;
+        if self.pending_core_acks == 0 {
+            self.phase = RolloverPhase::Resuming;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes the rollover after the flush, returning the resume-message
+    /// ring latency. Timestamps restart from zero.
+    pub fn finish(&mut self) -> u64 {
+        assert_eq!(self.phase, RolloverPhase::Resuming);
+        self.phase = RolloverPhase::Idle;
+        self.rollovers += 1;
+        self.num_vus as u64 * self.ring_hop_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_threshold() {
+        let rc = RolloverCoordinator::new(100, 6, 15, 1);
+        assert!(!rc.needs_rollover(99));
+        assert!(rc.needs_rollover(100));
+        assert!(rc.needs_rollover(u64::MAX));
+        assert_eq!(rc.limit(), 100);
+    }
+
+    #[test]
+    fn full_protocol_sequence() {
+        let mut rc = RolloverCoordinator::new(100, 6, 3, 2);
+        assert_eq!(rc.phase(), RolloverPhase::Idle);
+        let stall_cycles = rc.begin();
+        assert_eq!(stall_cycles, 12); // 6 VUs x 2 cycles
+        assert_eq!(rc.phase(), RolloverPhase::Stalling);
+        rc.stall_complete();
+        assert_eq!(rc.phase(), RolloverPhase::WaitingForCores);
+        assert!(!rc.core_ack());
+        assert!(!rc.core_ack());
+        assert!(rc.core_ack()); // third core completes the quiesce
+        assert_eq!(rc.phase(), RolloverPhase::Resuming);
+        let resume_cycles = rc.finish();
+        assert_eq!(resume_cycles, 12);
+        assert_eq!(rc.phase(), RolloverPhase::Idle);
+        assert_eq!(rc.completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already running")]
+    fn double_begin_panics() {
+        let mut rc = RolloverCoordinator::new(100, 6, 15, 1);
+        rc.begin();
+        rc.begin();
+    }
+
+    #[test]
+    fn for_48bit_never_fires_in_practice() {
+        let rc = RolloverCoordinator::for_48bit(6, 15);
+        // Even billions of increments stay far from the limit.
+        assert!(!rc.needs_rollover(10_000_000_000));
+    }
+}

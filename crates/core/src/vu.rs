@@ -1,0 +1,733 @@
+//! The validation unit: eager conflict detection at the LLC partition.
+//!
+//! One validation unit sits next to each LLC bank and owns the metadata for
+//! that partition's address range. Every transactional load and store is
+//! checked here *at encounter time* against the logical-timestamp rules of
+//! the paper's Fig. 6:
+//!
+//! * **Owner check** — a granule locked by the requesting warp itself
+//!   succeeds immediately (stores bump `#writes`, loads bump `rts`).
+//! * **Timestamp check** — a load older than the granule's `wts`, or a
+//!   store older than `max(wts, rts)`, conflicts with a logically later
+//!   transaction and must abort; the reply carries the newest conflicting
+//!   timestamp so the warp restarts after it.
+//! * **Lock check** — an access that passes the timestamp check but finds
+//!   the granule reserved by another warp is *logically younger* than the
+//!   owner, so it queues in the stall buffer instead of aborting; a full
+//!   buffer aborts it.
+//! * Otherwise the access succeeds, eagerly updating `rts` (loads) or
+//!   taking the write reservation (`owner`, `#writes`, `wts`) for stores.
+//!
+//! Timestamps are updated eagerly and never rolled back on abort: stale
+//! inflation can only cause extra aborts, never inconsistency.
+
+use crate::meta::TxMetadata;
+use crate::msg::{AccessKind, AccessReply, AccessRequest, ReplyKind};
+use gpu_mem::Granule;
+use sim_core::DetRng;
+use tm_structs::{
+    CuckooConfig, CuckooTable, RecencyBloom, StallBuffer, StallConfig,
+};
+
+/// How evicted metadata is approximated (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproxMode {
+    /// The paper's design: a recency Bloom filter (min across H3-indexed
+    /// ways of per-way maxima).
+    #[default]
+    RecencyBloom,
+    /// The paper's *rejected* first attempt: a single pair of registers
+    /// holding the maximum evicted `wts`/`rts`. The paper reports this
+    /// made "version numbers increase very quickly and caused many
+    /// aborts"; the `ablation` bench reproduces that finding.
+    MaxRegisters,
+}
+
+/// Configuration for one validation unit.
+#[derive(Debug, Clone, Copy)]
+pub struct GetmConfig {
+    /// Precise metadata table geometry (per partition).
+    pub cuckoo: CuckooConfig,
+    /// Approximate-table entries per way (per partition).
+    pub bloom_entries_per_way: usize,
+    /// Approximate-table ways.
+    pub bloom_ways: usize,
+    /// Stall buffer geometry.
+    pub stall: StallConfig,
+    /// How evicted metadata is approximated.
+    pub approx_mode: ApproxMode,
+    /// Ablation: disable the stall buffer entirely — accesses that find a
+    /// foreign reservation abort instead of queueing.
+    pub disable_stall_buffer: bool,
+}
+
+impl GetmConfig {
+    /// The paper's per-partition defaults for a 6-partition GPU: 4K precise
+    /// entries GPU-wide (~683 per partition, rounded to 680 divisible by 4),
+    /// 1K approximate entries GPU-wide, 4x4 stall buffer.
+    pub fn paper_default_per_partition(partitions: u32) -> Self {
+        let per_part = (4096 / partitions as usize / 4).max(1) * 4;
+        let bloom_per_way = (1024 / partitions as usize / 4).max(1);
+        GetmConfig {
+            cuckoo: CuckooConfig {
+                total_entries: per_part,
+                ..CuckooConfig::default()
+            },
+            bloom_entries_per_way: bloom_per_way,
+            bloom_ways: 4,
+            stall: StallConfig::default(),
+            approx_mode: ApproxMode::RecencyBloom,
+            disable_stall_buffer: false,
+        }
+    }
+}
+
+impl Default for GetmConfig {
+    fn default() -> Self {
+        GetmConfig::paper_default_per_partition(6)
+    }
+}
+
+/// Counters the evaluation reads out of a validation unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VuStats {
+    /// Successful access checks.
+    pub successes: u64,
+    /// Aborts issued.
+    pub aborts: u64,
+    /// Aborts of loads (WAR: line written by a logically later tx).
+    pub aborts_load: u64,
+    /// Aborts of stores (WAW/RAW: line written or read by a later tx).
+    pub aborts_store: u64,
+    /// Aborts where the granule metadata came from the approximate table
+    /// (possible false conflict from Bloom overestimation).
+    pub aborts_approx: u64,
+    /// Largest conflicting timestamp ever reported.
+    pub max_cause_ts: u64,
+    /// Requests parked in the stall buffer.
+    pub queued: u64,
+    /// Aborts caused by a full stall buffer.
+    pub stall_full_aborts: u64,
+    /// Lock releases processed.
+    pub releases: u64,
+}
+
+/// A queued request woken by a lock release, with its fresh reply.
+#[derive(Debug, Clone, Copy)]
+pub struct WokenReply {
+    /// The original request.
+    pub request: AccessRequest,
+    /// Its (re-)evaluation result.
+    pub reply: AccessReply,
+    /// Validation-unit cycles consumed re-processing it.
+    pub cycles: u32,
+}
+
+/// Outcome of submitting an access to the validation unit.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessOutcome {
+    /// The reply to send back, or `None` if the request was queued in the
+    /// stall buffer (a reply will surface later from a release).
+    pub reply: Option<AccessReply>,
+    /// Validation-unit cycles consumed.
+    pub cycles: u32,
+}
+
+/// One partition's validation unit.
+pub struct ValidationUnit {
+    precise: CuckooTable<TxMetadata>,
+    approx: RecencyBloom,
+    /// Max-register fallback (ablation): maxima of evicted `wts`/`rts`.
+    max_regs: (u64, u64),
+    stall: StallBuffer<AccessRequest>,
+    approx_mode: ApproxMode,
+    disable_stall: bool,
+    stats: VuStats,
+}
+
+impl std::fmt::Debug for ValidationUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValidationUnit")
+            .field("precise_entries", &self.precise.len())
+            .field("stalled", &self.stall.total_occupancy())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ValidationUnit {
+    /// Creates a validation unit with deterministic hash functions drawn
+    /// from `rng`.
+    pub fn new(cfg: GetmConfig, rng: &mut DetRng) -> Self {
+        let mut cuckoo_rng = rng.fork(0xC0C0);
+        let mut bloom_rng = rng.fork(0xB100);
+        ValidationUnit {
+            precise: CuckooTable::new(cfg.cuckoo, &mut cuckoo_rng),
+            approx: RecencyBloom::new(cfg.bloom_ways, cfg.bloom_entries_per_way, &mut bloom_rng),
+            max_regs: (0, 0),
+            stall: StallBuffer::new(cfg.stall),
+            approx_mode: cfg.approx_mode,
+            disable_stall: cfg.disable_stall_buffer,
+            stats: VuStats::default(),
+        }
+    }
+
+    /// Submits one transactional access (the Fig. 6 flowchart).
+    ///
+    /// `value_of` supplies the current committed value of the requested
+    /// word, read from the LLC on a successful load.
+    pub fn access(
+        &mut self,
+        req: AccessRequest,
+        value_of: impl FnOnce() -> u64,
+    ) -> AccessOutcome {
+        let (meta, mut cycles) = self.fetch_meta(req.granule);
+        let mut meta = meta;
+
+        // Owner check: the requesting warp already holds the reservation.
+        if meta.owned_by(req.wid) {
+            match req.kind {
+                AccessKind::Load => {
+                    meta.rts = meta.rts.max(req.warpts);
+                }
+                AccessKind::Store => {
+                    meta.writes += 1;
+                }
+            }
+            cycles += self.store_meta(req.granule, meta);
+            self.stats.successes += 1;
+            return AccessOutcome {
+                reply: Some(AccessReply {
+                    kind: ReplyKind::Success,
+                    observed_wts: meta.wts,
+                    observed_rts: meta.rts,
+                    token: req.token,
+                    value: value_of(),
+                }),
+                cycles,
+            };
+        }
+
+        // Timestamp check.
+        let from_approx = self.precise.get(req.granule.raw()).is_none();
+        let conflict_ts = match req.kind {
+            AccessKind::Load => (req.warpts < meta.wts).then_some(meta.wts),
+            AccessKind::Store => {
+                let newest = meta.wts.max(meta.rts);
+                (req.warpts < newest).then_some(newest)
+            }
+        };
+        if let Some(cause_ts) = conflict_ts {
+            self.stats.aborts += 1;
+            match req.kind {
+                AccessKind::Load => self.stats.aborts_load += 1,
+                AccessKind::Store => self.stats.aborts_store += 1,
+            }
+            if from_approx {
+                self.stats.aborts_approx += 1;
+            }
+            self.stats.max_cause_ts = self.stats.max_cause_ts.max(cause_ts);
+            return AccessOutcome {
+                reply: Some(AccessReply {
+                    kind: ReplyKind::Abort { cause_ts },
+                    observed_wts: meta.wts,
+                    observed_rts: meta.rts,
+                    token: req.token,
+                    value: 0,
+                }),
+                cycles,
+            };
+        }
+
+        // Lock check: reserved by a logically earlier transaction.
+        if meta.is_reserved() {
+            if self.disable_stall {
+                // Ablation: no stall buffer — abort as if it were full.
+                self.stats.aborts += 1;
+                self.stats.stall_full_aborts += 1;
+                let cause_ts = meta.wts.max(meta.rts).max(req.warpts);
+                return AccessOutcome {
+                    reply: Some(AccessReply {
+                        kind: ReplyKind::Abort { cause_ts },
+                        observed_wts: meta.wts,
+                        observed_rts: meta.rts,
+                        token: req.token,
+                        value: 0,
+                    }),
+                    cycles,
+                };
+            }
+            match self.stall.enqueue(req.granule.raw(), req.warpts, req) {
+                Ok(()) => {
+                    self.stats.queued += 1;
+                    return AccessOutcome {
+                        reply: None,
+                        cycles,
+                    };
+                }
+                Err(_) => {
+                    // Full buffer: abort, reporting the newest timestamp so
+                    // the retry lands after the current owner.
+                    self.stats.aborts += 1;
+                    self.stats.stall_full_aborts += 1;
+                    let cause_ts = meta.wts.max(meta.rts).max(req.warpts);
+                    return AccessOutcome {
+                        reply: Some(AccessReply {
+                            kind: ReplyKind::Abort { cause_ts },
+                            observed_wts: meta.wts,
+                            observed_rts: meta.rts,
+                            token: req.token,
+                            value: 0,
+                        }),
+                        cycles,
+                    };
+                }
+            }
+        }
+
+        // Unreserved success path.
+        match req.kind {
+            AccessKind::Load => {
+                meta.rts = meta.rts.max(req.warpts);
+            }
+            AccessKind::Store => {
+                meta.wts = req.warpts + 1;
+                meta.owner = req.wid;
+                meta.writes = 1;
+            }
+        }
+        cycles += self.store_meta(req.granule, meta);
+        self.stats.successes += 1;
+        AccessOutcome {
+            reply: Some(AccessReply {
+                kind: ReplyKind::Success,
+                observed_wts: meta.wts,
+                observed_rts: meta.rts,
+                token: req.token,
+                value: if req.kind == AccessKind::Load {
+                    value_of()
+                } else {
+                    0
+                },
+            }),
+            cycles,
+        }
+    }
+
+    /// Releases `count` writes on `granule` (one commit/abort log entry
+    /// processed by the commit unit). When the count reaches zero, queued
+    /// requests are woken oldest-first and re-evaluated until one of them
+    /// re-locks the granule or none remain.
+    ///
+    /// Returns the replies for woken requests plus the cycles consumed.
+    pub fn release(
+        &mut self,
+        granule: Granule,
+        count: u32,
+        value_of: impl Fn(AccessRequest) -> u64,
+    ) -> (Vec<WokenReply>, u32) {
+        self.stats.releases += 1;
+        let (meta, mut cycles) = self.fetch_meta(granule);
+        let mut meta = meta;
+        debug_assert!(
+            meta.writes >= count,
+            "releasing more writes than reserved on {granule}"
+        );
+        meta.writes = meta.writes.saturating_sub(count);
+        cycles += self.store_meta(granule, meta);
+
+        let mut woken = Vec::new();
+        // Wake waiters only once the granule is fully unlocked.
+        while self.meta_unlocked(granule) {
+            let Some(req) = self.stall.wake_one(granule.raw()) else {
+                break;
+            };
+            let out = self.access(req, || value_of(req));
+            match out.reply {
+                Some(reply) => woken.push(WokenReply {
+                    request: req,
+                    reply,
+                    cycles: out.cycles,
+                }),
+                // Re-queued (can happen if an earlier woken store re-locked
+                // between wakes; the loop condition prevents this, but a
+                // re-queue is also simply benign).
+                None => break,
+            }
+        }
+        (woken, cycles)
+    }
+
+    fn meta_unlocked(&self, granule: Granule) -> bool {
+        self.precise
+            .get(granule.raw())
+            .map(|m| !m.is_reserved())
+            .unwrap_or(true)
+    }
+
+    /// Reads (or reconstructs from the approximate table) the metadata for
+    /// `granule`, charging lookup cycles.
+    fn fetch_meta(&mut self, granule: Granule) -> (TxMetadata, u32) {
+        let (hit, cycles) = self.precise.lookup(granule.raw());
+        if let Some(m) = hit {
+            return (*m, cycles);
+        }
+        match self.approx_mode {
+            ApproxMode::RecencyBloom => {
+                let approx = self.approx.lookup(granule.raw());
+                (TxMetadata::from_approx(approx.wts, approx.rts), cycles)
+            }
+            ApproxMode::MaxRegisters => {
+                (TxMetadata::from_approx(self.max_regs.0, self.max_regs.1), cycles)
+            }
+        }
+    }
+
+    /// Writes metadata back into the precise table, folding any evicted
+    /// entry into the approximate table. Returns the insertion cycles.
+    fn store_meta(&mut self, granule: Granule, meta: TxMetadata) -> u32 {
+        let out = self.precise.insert(granule.raw(), meta);
+        if let Some((key, evicted)) = out.evicted {
+            debug_assert!(!evicted.is_reserved(), "locked entries must not evict");
+            match self.approx_mode {
+                ApproxMode::RecencyBloom => {
+                    self.approx.insert(key, evicted.wts, evicted.rts);
+                }
+                ApproxMode::MaxRegisters => {
+                    self.max_regs.0 = self.max_regs.0.max(evicted.wts);
+                    self.max_regs.1 = self.max_regs.1.max(evicted.rts);
+                }
+            }
+        }
+        out.cycles
+    }
+
+    /// Current metadata view of a granule (reconstructed if approximate) —
+    /// for tests and debugging; charges no cycles.
+    pub fn peek(&self, granule: Granule) -> TxMetadata {
+        match self.precise.get(granule.raw()) {
+            Some(m) => *m,
+            None => match self.approx_mode {
+                ApproxMode::RecencyBloom => {
+                    let a = self.approx.lookup(granule.raw());
+                    TxMetadata::from_approx(a.wts, a.rts)
+                }
+                ApproxMode::MaxRegisters => {
+                    TxMetadata::from_approx(self.max_regs.0, self.max_regs.1)
+                }
+            },
+        }
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> VuStats {
+        self.stats
+    }
+
+    /// Mean metadata-access latency in cycles (Fig. 13).
+    pub fn mean_access_cycles(&self) -> f64 {
+        self.precise.mean_access_cycles()
+    }
+
+    /// Current stall-buffer occupancy.
+    pub fn stalled_requests(&self) -> usize {
+        self.stall.total_occupancy()
+    }
+
+    /// Stall-buffer high-water mark (Fig. 15).
+    pub fn max_stalled(&self) -> u64 {
+        self.stall.max_occupancy()
+    }
+
+    /// Mean concurrent waiters per stalled address (Fig. 16).
+    pub fn mean_waiters_per_addr(&self) -> f64 {
+        self.stall.mean_waiters_per_addr()
+    }
+
+    /// Precise-table occupancy.
+    pub fn precise_len(&self) -> usize {
+        self.precise.len()
+    }
+
+    /// Overflow-region high-water mark (the paper reports it was never hit).
+    pub fn max_overflow(&self) -> usize {
+        self.precise.max_overflow()
+    }
+
+    /// Flushes all metadata and aborts all stalled requests (rollover).
+    /// Returns the drained stalled requests so the engine can abort them.
+    pub fn flush(&mut self) -> Vec<AccessRequest> {
+        self.precise.drain_filter(|_, _| true);
+        self.approx.clear();
+        self.max_regs = (0, 0);
+        self.stall.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_mem::Addr;
+    use gpu_simt::GlobalWarpId;
+
+    fn vu() -> ValidationUnit {
+        let mut rng = DetRng::seeded(42);
+        ValidationUnit::new(GetmConfig::default(), &mut rng)
+    }
+
+    fn load(wid: u32, warpts: u64, g: u64) -> AccessRequest {
+        AccessRequest {
+            granule: Granule(g),
+            addr: Addr(g * 32),
+            wid: GlobalWarpId(wid),
+            warpts,
+            kind: AccessKind::Load,
+            token: 0,
+        }
+    }
+
+    fn store(wid: u32, warpts: u64, g: u64) -> AccessRequest {
+        AccessRequest {
+            kind: AccessKind::Store,
+            ..load(wid, warpts, g)
+        }
+    }
+
+    fn assert_success(out: &AccessOutcome) -> AccessReply {
+        let r = out.reply.expect("expected a reply");
+        assert_eq!(r.kind, ReplyKind::Success, "expected success, got {r:?}");
+        r
+    }
+
+    fn assert_abort(out: &AccessOutcome) -> u64 {
+        match out.reply.expect("expected a reply").kind {
+            ReplyKind::Abort { cause_ts } => cause_ts,
+            ReplyKind::Success => panic!("expected abort"),
+        }
+    }
+
+    #[test]
+    fn fresh_load_succeeds_and_sets_rts() {
+        let mut v = vu();
+        let out = v.access(load(1, 20, 7), || 99);
+        let r = assert_success(&out);
+        assert_eq!(r.value, 99);
+        assert_eq!(v.peek(Granule(7)).rts, 20);
+        assert_eq!(v.peek(Granule(7)).wts, 0);
+    }
+
+    #[test]
+    fn fresh_store_reserves_and_bumps_wts() {
+        let mut v = vu();
+        let out = v.access(store(1, 20, 7), || 0);
+        assert_success(&out);
+        let m = v.peek(Granule(7));
+        assert_eq!(m.wts, 21);
+        assert_eq!(m.writes, 1);
+        assert!(m.owned_by(GlobalWarpId(1)));
+    }
+
+    #[test]
+    fn load_older_than_wts_aborts_with_wts_cause() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 20, 7), || 0)); // wts = 21
+        let cause = assert_abort(&v.access(load(2, 10, 7), || 0));
+        assert_eq!(cause, 21);
+        assert_eq!(v.stats().aborts, 1);
+    }
+
+    #[test]
+    fn store_older_than_rts_aborts() {
+        let mut v = vu();
+        assert_success(&v.access(load(1, 30, 7), || 0)); // rts = 30
+        let cause = assert_abort(&v.access(store(2, 10, 7), || 0));
+        assert_eq!(cause, 30);
+    }
+
+    #[test]
+    fn younger_access_to_reserved_granule_queues() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 10, 7), || 0)); // wts=11, locked by w1
+        // w2 at warpts 22 passes the timestamp check but finds the lock.
+        let out = v.access(load(2, 22, 7), || 0);
+        assert!(out.reply.is_none(), "younger access should queue");
+        assert_eq!(v.stats().queued, 1);
+        assert_eq!(v.stalled_requests(), 1);
+    }
+
+    #[test]
+    fn release_wakes_queued_load() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 10, 7), || 0));
+        assert!(v.access(load(2, 22, 7), || 0).reply.is_none());
+        let (woken, _) = v.release(Granule(7), 1, |_| 123);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].reply.kind, ReplyKind::Success);
+        assert_eq!(woken[0].reply.value, 123);
+        assert_eq!(v.stalled_requests(), 0);
+        // rts advanced to the woken load's warpts.
+        assert_eq!(v.peek(Granule(7)).rts, 22);
+    }
+
+    #[test]
+    fn release_wakes_oldest_first_and_store_relocks() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 10, 7), || 0));
+        // Two younger stores queue behind the lock.
+        assert!(v.access(store(2, 30, 7), || 0).reply.is_none());
+        assert!(v.access(store(3, 20, 7), || 0).reply.is_none());
+        let (woken, _) = v.release(Granule(7), 1, |_| 0);
+        // Oldest (warpts 20, wid 3) wakes and re-locks; the other stays.
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].request.wid, GlobalWarpId(3));
+        assert_eq!(woken[0].reply.kind, ReplyKind::Success);
+        assert!(v.peek(Granule(7)).owned_by(GlobalWarpId(3)));
+        assert_eq!(v.stalled_requests(), 1);
+    }
+
+    #[test]
+    fn owner_reaccess_bypasses_timestamp_checks() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 10, 7), || 0)); // wts=11
+        // The owner's own load succeeds even though warpts < wts.
+        let r = assert_success(&v.access(load(1, 10, 7), || 5));
+        assert_eq!(r.value, 5);
+        // Repeated store increments #writes without touching wts.
+        assert_success(&v.access(store(1, 10, 7), || 0));
+        let m = v.peek(Granule(7));
+        assert_eq!(m.writes, 2);
+        assert_eq!(m.wts, 11);
+    }
+
+    #[test]
+    fn multi_write_release_requires_full_count() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 10, 7), || 0));
+        assert_success(&v.access(store(1, 10, 7), || 0)); // writes = 2
+        assert!(v.access(load(2, 30, 7), || 0).reply.is_none());
+        // Partial release leaves the lock held.
+        let (woken, _) = v.release(Granule(7), 1, |_| 0);
+        assert!(woken.is_empty());
+        let (woken, _) = v.release(Granule(7), 1, |_| 7);
+        assert_eq!(woken.len(), 1);
+    }
+
+    #[test]
+    fn full_stall_buffer_aborts() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 0, 7), || 0));
+        // Fill the 4-entry line for granule 7.
+        for wid in 2..6 {
+            assert!(v.access(load(wid, 50, 7), || 0).reply.is_none());
+        }
+        let cause = assert_abort(&v.access(load(9, 60, 7), || 0));
+        assert!(cause >= 1);
+        assert_eq!(v.stats().stall_full_aborts, 1);
+    }
+
+    #[test]
+    fn timestamps_not_rolled_back_after_abort() {
+        let mut v = vu();
+        assert_success(&v.access(load(1, 40, 7), || 0)); // rts = 40
+        // A store at warpts 10 aborts, but rts stays 40.
+        assert_abort(&v.access(store(2, 10, 7), || 0));
+        assert_eq!(v.peek(Granule(7)).rts, 40);
+    }
+
+    #[test]
+    fn eviction_overestimates_dont_lose_recency() {
+        // Saturate a tiny precise table with unlocked read entries, then
+        // confirm timestamp checks still abort stale writers via the
+        // approximate table.
+        let mut rng = DetRng::seeded(9);
+        let cfg = GetmConfig {
+            cuckoo: CuckooConfig {
+                total_entries: 16,
+                ..CuckooConfig::default()
+            },
+            bloom_entries_per_way: 16,
+            bloom_ways: 4,
+            stall: StallConfig::default(),
+            ..GetmConfig::default()
+        };
+        let mut v = ValidationUnit::new(cfg, &mut rng);
+        for g in 0..200u64 {
+            assert_success(&v.access(load(1, 50, g), || 0));
+        }
+        // Every granule's rts bound must still be >= 50, so old stores abort.
+        for g in 0..200u64 {
+            let out = v.access(store(2, 10, g), || 0);
+            assert_abort(&out);
+        }
+    }
+
+    #[test]
+    fn max_register_mode_inflates_reconstructions() {
+        // The paper's rejected design: after ONE hot eviction, every miss
+        // reconstructs with the global maximum, so even untouched
+        // granules look recently accessed.
+        let mut rng = DetRng::seeded(9);
+        let cfg = GetmConfig {
+            cuckoo: CuckooConfig {
+                total_entries: 16,
+                ..CuckooConfig::default()
+            },
+            bloom_entries_per_way: 16,
+            bloom_ways: 4,
+            approx_mode: crate::vu::ApproxMode::MaxRegisters,
+            ..GetmConfig::default()
+        };
+        let mut v = ValidationUnit::new(cfg, &mut rng);
+        // One granule read at a very high timestamp, then enough traffic
+        // to force its eviction.
+        assert_success(&v.access(load(1, 1_000_000, 999), || 0));
+        for g in 0..64u64 {
+            assert_success(&v.access(load(1, 1_000_000, g), || 0));
+        }
+        // A fresh granule's store at a modest timestamp now aborts off the
+        // inflated global registers.
+        let out = v.access(store(2, 10, 5_000), || 0);
+        let cause = assert_abort(&out);
+        assert!(cause >= 1_000_000);
+    }
+
+    #[test]
+    fn disabled_stall_buffer_aborts_instead_of_queueing() {
+        let mut rng = DetRng::seeded(10);
+        let cfg = GetmConfig {
+            disable_stall_buffer: true,
+            ..GetmConfig::default()
+        };
+        let mut v = ValidationUnit::new(cfg, &mut rng);
+        assert_success(&v.access(store(1, 10, 7), || 0));
+        // A younger access that would normally queue must abort.
+        let out = v.access(load(2, 22, 7), || 0);
+        assert_abort(&out);
+        assert_eq!(v.stalled_requests(), 0);
+        assert_eq!(v.stats().queued, 0);
+        assert_eq!(v.stats().stall_full_aborts, 1);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 10, 7), || 0));
+        assert!(v.access(load(2, 30, 7), || 0).reply.is_none());
+        let stalled = v.flush();
+        assert_eq!(stalled.len(), 1);
+        assert_eq!(v.precise_len(), 0);
+        assert_eq!(v.peek(Granule(7)), TxMetadata::default());
+    }
+
+    #[test]
+    fn stats_and_gauges() {
+        let mut v = vu();
+        assert_success(&v.access(load(1, 1, 1), || 0));
+        assert_abort(&v.access(store(2, 0, 1), || 0));
+        assert_eq!(v.stats().successes, 1);
+        assert_eq!(v.stats().aborts, 1);
+        assert!(v.mean_access_cycles() >= 1.0);
+        assert_eq!(v.max_overflow(), 0);
+        assert_eq!(v.precise_len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's Fig. 7 walkthrough, reproduced step by step.
+//!
+//! Two conflicting bank-transfer transactions: tx1 (warpts = 20) moves
+//! funds from account A to B, tx2 (warpts = 10) moves funds from B to A.
+//! The interleaving below follows the figure exactly and checks the
+//! metadata tables against the paper's snapshots (1), (2) and (3).
+
+use getm::{AccessKind, AccessReply, AccessRequest, CommitEntry, CommitUnit, ReplyKind, ValidationUnit};
+use getm::vu::GetmConfig;
+use gpu_mem::{Addr, Granule};
+use gpu_simt::GlobalWarpId;
+use sim_core::DetRng;
+
+const A: Granule = Granule(100);
+const B: Granule = Granule(200);
+const TX1: GlobalWarpId = GlobalWarpId(1);
+const TX2: GlobalWarpId = GlobalWarpId(2);
+
+fn req(wid: GlobalWarpId, warpts: u64, g: Granule, kind: AccessKind) -> AccessRequest {
+    AccessRequest {
+        granule: g,
+        addr: Addr(g.raw() * 32),
+        wid,
+        warpts,
+        kind,
+        token: 0,
+    }
+}
+
+fn reply(vu: &mut ValidationUnit, r: AccessRequest) -> Option<AccessReply> {
+    vu.access(r, || 0).reply
+}
+
+#[test]
+fn figure7_walkthrough() {
+    let mut rng = DetRng::seeded(0xF16_7);
+    let mut vu = ValidationUnit::new(GetmConfig::default(), &mut rng);
+    let mut cu = CommitUnit::new();
+
+    // tx1: LD A @ 20, ST A @ 20.
+    let r = reply(&mut vu, req(TX1, 20, A, AccessKind::Load)).unwrap();
+    assert_eq!(r.kind, ReplyKind::Success);
+    let r = reply(&mut vu, req(TX1, 20, A, AccessKind::Store)).unwrap();
+    assert_eq!(r.kind, ReplyKind::Success);
+
+    // tx2: LD B @ 10, ST B @ 10.
+    let r = reply(&mut vu, req(TX2, 10, B, AccessKind::Load)).unwrap();
+    assert_eq!(r.kind, ReplyKind::Success);
+    let r = reply(&mut vu, req(TX2, 10, B, AccessKind::Store)).unwrap();
+    assert_eq!(r.kind, ReplyKind::Success);
+
+    // Snapshot (1): A owned by tx1 with wts 21 / rts 20; B owned by tx2
+    // with wts 11 / rts 10.
+    let ma = vu.peek(A);
+    assert_eq!((ma.wts, ma.rts, ma.writes), (21, 20, 1));
+    assert!(ma.owned_by(TX1));
+    let mb = vu.peek(B);
+    assert_eq!((mb.wts, mb.rts, mb.writes), (11, 10, 1));
+    assert!(mb.owned_by(TX2));
+
+    // tx2 attempts LD A @ 10: A.wts (21) > 10, so tx2 aborts and the next
+    // warpts must be later than 21.
+    match reply(&mut vu, req(TX2, 10, A, AccessKind::Load)).unwrap().kind {
+        ReplyKind::Abort { cause_ts } => assert_eq!(cause_ts, 21),
+        ReplyKind::Success => panic!("tx2's stale load must abort"),
+    }
+
+    // tx2's abort log releases its reservation on B.
+    cu.receive(&[CommitEntry {
+        granule: B,
+        addr: Addr(B.raw() * 32),
+        data: None,
+        writes: 1,
+    }]);
+    for region in cu.drain() {
+        let (woken, _) = vu.release(Granule(region.granule), region.writes, |_| 0);
+        assert!(woken.is_empty());
+    }
+
+    // tx1 now loads and stores B; both succeed since tx2 was older and its
+    // lock is gone.
+    let r = reply(&mut vu, req(TX1, 20, B, AccessKind::Load)).unwrap();
+    assert_eq!(r.kind, ReplyKind::Success);
+    let r = reply(&mut vu, req(TX1, 20, B, AccessKind::Store)).unwrap();
+    assert_eq!(r.kind, ReplyKind::Success);
+
+    // Snapshot (2): B now owned by tx1, wts 21, rts 20; A unchanged.
+    let mb = vu.peek(B);
+    assert_eq!((mb.wts, mb.rts, mb.writes), (21, 20, 1));
+    assert!(mb.owned_by(TX1));
+    assert_eq!(vu.peek(A).writes, 1);
+
+    // tx2 restarts at warpts 22; its load of B passes the version check but
+    // finds B reserved, so it queues in the stall buffer.
+    assert!(reply(&mut vu, req(TX2, 22, B, AccessKind::Load)).is_none());
+    assert_eq!(vu.stalled_requests(), 1);
+
+    // tx1 commits: guaranteed to succeed, write log streamed to the CU.
+    cu.receive(&[
+        CommitEntry { granule: A, addr: Addr(A.raw() * 32), data: Some(77), writes: 1 },
+        CommitEntry { granule: B, addr: Addr(B.raw() * 32), data: Some(33), writes: 1 },
+    ]);
+    let mut woken_replies = Vec::new();
+    for region in cu.drain() {
+        let (woken, _) = vu.release(Granule(region.granule), region.writes, |_| 33);
+        woken_replies.extend(woken);
+    }
+
+    // Snapshot (3): both reservations released...
+    assert_eq!(vu.peek(A).writes, 0);
+    assert_eq!(vu.peek(B).writes, 0);
+    // ...and tx2's stalled load of B was woken and succeeded, observing the
+    // committed value.
+    assert_eq!(woken_replies.len(), 1);
+    assert_eq!(woken_replies[0].request.wid, TX2);
+    assert_eq!(woken_replies[0].reply.kind, ReplyKind::Success);
+    assert_eq!(woken_replies[0].reply.value, 33);
+    assert_eq!(vu.stalled_requests(), 0);
+
+    // tx2 can now complete: store B, load+store A, all at warpts 22.
+    for (g, kind) in [
+        (B, AccessKind::Store),
+        (A, AccessKind::Load),
+        (A, AccessKind::Store),
+    ] {
+        let r = reply(&mut vu, req(TX2, 22, g, kind)).unwrap();
+        assert_eq!(r.kind, ReplyKind::Success, "tx2 retry must succeed on {g:?}");
+    }
+    assert!(vu.peek(A).owned_by(TX2));
+    assert!(vu.peek(B).owned_by(TX2));
+}

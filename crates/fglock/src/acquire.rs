@@ -1,0 +1,429 @@
+//! The per-thread lock acquire/release state machine.
+//!
+//! Implements the deadlock-free, SIMT-safe acquisition discipline of the
+//! paper's Fig. 1, generalized from two locks to any number:
+//!
+//! * locks are acquired in ascending address order (a global order prevents
+//!   deadlock between threads),
+//! * a failed `atomicCAS` on lock *k* releases the `k` locks already held
+//!   and restarts the whole sequence (the two-lock case reduces exactly to
+//!   "release outer, retry"),
+//! * the loop is driven by a done-flag, not divergent control flow.
+
+use gpu_mem::Addr;
+use gpu_simt::{Op, OpResult};
+
+/// Phase of the acquisition state machine, as seen by the embedding
+/// program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPhase {
+    /// The returned op must be issued; feed its result to the next `step`.
+    Issue(Op),
+    /// All locks are held; the critical section may run.
+    Acquired,
+    /// All locks have been released; the sequence is complete.
+    Released,
+}
+
+/// The lock value a holder writes.
+pub const LOCKED: u64 = 1;
+/// The lock value when free.
+pub const UNLOCKED: u64 = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Spinning back off before retrying the first lock.
+    Backoff,
+    /// Trying to take lock `next`; `issued` is true once its CAS is out.
+    Acquiring { next: usize, issued: bool },
+    /// A CAS failed while holding `held` locks; locks `held-remaining..held`
+    /// still need releasing (we release from the top down), then retry.
+    Backout { remaining: usize },
+    /// Critical section in progress.
+    Held,
+    /// Releasing after the critical section; `released` locks done so far.
+    Releasing { released: usize },
+    /// Fully released.
+    Done,
+}
+
+/// The acquire/release state machine over a sorted, deduplicated lock set.
+///
+/// ```
+/// use fglock::{LockAcquirer, LockPhase};
+/// use gpu_mem::Addr;
+/// use gpu_simt::{Op, OpResult};
+///
+/// let mut la = LockAcquirer::new(vec![Addr(16), Addr(8), Addr(16)]);
+/// // First op: CAS on the lowest lock address (8).
+/// let LockPhase::Issue(Op::AtomicCas { addr, .. }) = la.step(OpResult::None) else { panic!() };
+/// assert_eq!(addr, Addr(8));
+/// // CAS returned 0 (old value) => acquired; next lock is 16.
+/// let LockPhase::Issue(Op::AtomicCas { addr, .. }) = la.step(OpResult::Value(0)) else { panic!() };
+/// assert_eq!(addr, Addr(16));
+/// assert_eq!(la.step(OpResult::Value(0)), LockPhase::Acquired);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockAcquirer {
+    locks: Vec<Addr>,
+    state: State,
+    attempts: u64,
+    /// Per-thread salt decorrelating contenders' backoff delays.
+    salt: u64,
+    /// Consecutive failed acquisition attempts (reset on success).
+    fails: u32,
+}
+
+impl LockAcquirer {
+    /// Creates an acquirer for the given lock addresses. Addresses are
+    /// sorted and deduplicated (the global acquisition order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no lock addresses are supplied.
+    pub fn new(mut lock_addrs: Vec<Addr>) -> Self {
+        assert!(!lock_addrs.is_empty(), "need at least one lock");
+        lock_addrs.sort_unstable();
+        lock_addrs.dedup();
+        LockAcquirer {
+            locks: lock_addrs,
+            state: State::Acquiring { next: 0, issued: false },
+            attempts: 0,
+            salt: 0,
+            fails: 0,
+        }
+    }
+
+    /// Like [`LockAcquirer::new`] with a per-thread salt that decorrelates
+    /// the exponential backoff between contenders — hand-optimized GPU
+    /// lock code always backs off, or spinners crush the atomic unit.
+    pub fn new_salted(lock_addrs: Vec<Addr>, salt: u64) -> Self {
+        let mut la = LockAcquirer::new(lock_addrs);
+        la.salt = salt;
+        la
+    }
+
+    /// Deterministic jittered backoff delay for the current retry.
+    fn backoff_delay(&self) -> u32 {
+        let window = 16u64 << self.fails.min(6);
+        let mut z = self
+            .salt
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.attempts);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        ((z ^ (z >> 27)) % window) as u32 + 1
+    }
+
+    /// Advances the machine with the result of the previously issued op.
+    ///
+    /// Call once with [`OpResult::None`] to get the first op; thereafter
+    /// feed each op's result until [`LockPhase::Acquired`]. After the
+    /// critical section, call [`LockAcquirer::begin_release`] and keep
+    /// stepping until [`LockPhase::Released`].
+    pub fn step(&mut self, prev: OpResult) -> LockPhase {
+        match self.state {
+            State::Backoff => {
+                self.state = State::Acquiring { next: 0, issued: false };
+                LockPhase::Issue(Op::Compute(self.backoff_delay()))
+            }
+            State::Acquiring { next, issued } => {
+                if !issued {
+                    if next == 0 {
+                        self.attempts += 1;
+                    }
+                    self.state = State::Acquiring { next, issued: true };
+                    return LockPhase::Issue(Op::AtomicCas {
+                        addr: self.locks[next],
+                        expect: UNLOCKED,
+                        new: LOCKED,
+                    });
+                }
+                if prev.value() == UNLOCKED {
+                    // Acquired lock `next`.
+                    if next + 1 == self.locks.len() {
+                        self.state = State::Held;
+                        self.fails = 0;
+                        return LockPhase::Acquired;
+                    }
+                    self.state = State::Acquiring { next: next + 1, issued: false };
+                    self.step(OpResult::None)
+                } else if next == 0 {
+                    // Nothing held yet: back off, then retry the first lock.
+                    self.fails = self.fails.saturating_add(1);
+                    self.state = State::Backoff;
+                    self.step(OpResult::None)
+                } else {
+                    // Holding `next` locks: release them all, then retry.
+                    self.fails = self.fails.saturating_add(1);
+                    self.state = State::Backout { remaining: next };
+                    self.step(OpResult::None)
+                }
+            }
+            State::Backout { remaining } => {
+                if remaining > 0 {
+                    // Release from the highest-held lock downward.
+                    let addr = self.locks[remaining - 1];
+                    self.state = State::Backout { remaining: remaining - 1 };
+                    LockPhase::Issue(Op::Store(addr, UNLOCKED))
+                } else {
+                    self.state = State::Backoff;
+                    self.step(OpResult::None)
+                }
+            }
+            State::Held => LockPhase::Acquired,
+            State::Releasing { released } => {
+                if released < self.locks.len() {
+                    // Release inner-to-outer (reverse acquisition order),
+                    // matching Fig. 1's `locks[inner] = 0; locks[outer] = 0`.
+                    let idx = self.locks.len() - 1 - released;
+                    self.state = State::Releasing { released: released + 1 };
+                    LockPhase::Issue(Op::Store(self.locks[idx], UNLOCKED))
+                } else {
+                    self.state = State::Done;
+                    LockPhase::Released
+                }
+            }
+            State::Done => LockPhase::Released,
+        }
+    }
+
+    /// Switches to the release phase after the critical section.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all locks are currently held.
+    pub fn begin_release(&mut self) {
+        assert_eq!(self.state, State::Held, "release without holding locks");
+        self.state = State::Releasing { released: 0 };
+    }
+
+    /// Full acquisition attempts made (1 = no contention).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// The sorted lock set.
+    pub fn locks(&self) -> &[Addr] {
+        &self.locks
+    }
+
+    /// Whether all locks are currently held.
+    pub fn is_held(&self) -> bool {
+        self.state == State::Held
+    }
+
+    /// Resets to acquire the same set again (a new critical section).
+    pub fn reset(&mut self) {
+        self.state = State::Acquiring { next: 0, issued: false };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_until_acquired(la: &mut LockAcquirer, free: impl Fn(Addr) -> bool) -> Vec<Op> {
+        let mut issued = Vec::new();
+        let mut prev = OpResult::None;
+        loop {
+            match la.step(prev) {
+                LockPhase::Issue(op) => {
+                    issued.push(op);
+                    prev = match op {
+                        Op::AtomicCas { addr, .. } => {
+                            OpResult::Value(if free(addr) { UNLOCKED } else { LOCKED })
+                        }
+                        Op::Store(..) => OpResult::None,
+                        other => panic!("unexpected op {other:?}"),
+                    };
+                }
+                LockPhase::Acquired => return issued,
+                LockPhase::Released => panic!("released before acquired"),
+            }
+        }
+    }
+
+    fn drive_release(la: &mut LockAcquirer) -> Vec<Addr> {
+        la.begin_release();
+        let mut rel = Vec::new();
+        let mut prev = OpResult::None;
+        loop {
+            match la.step(prev) {
+                LockPhase::Issue(Op::Store(a, v)) => {
+                    assert_eq!(v, UNLOCKED);
+                    rel.push(a);
+                    prev = OpResult::None;
+                }
+                LockPhase::Released => return rel,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_acquisition_order() {
+        let mut la = LockAcquirer::new(vec![Addr(64), Addr(8), Addr(32)]);
+        let ops = drive_until_acquired(&mut la, |_| true);
+        let addrs: Vec<Addr> = ops
+            .iter()
+            .map(|op| match op {
+                Op::AtomicCas { addr, .. } => *addr,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![Addr(8), Addr(32), Addr(64)]);
+        assert_eq!(la.attempts(), 1);
+        assert!(la.is_held());
+    }
+
+    #[test]
+    fn duplicate_locks_deduplicated() {
+        let la = LockAcquirer::new(vec![Addr(8), Addr(8)]);
+        assert_eq!(la.locks(), &[Addr(8)]);
+    }
+
+    #[test]
+    fn release_is_reverse_order() {
+        let mut la = LockAcquirer::new(vec![Addr(8), Addr(32)]);
+        drive_until_acquired(&mut la, |_| true);
+        assert_eq!(drive_release(&mut la), vec![Addr(32), Addr(8)]);
+    }
+
+    #[test]
+    fn inner_failure_releases_outer_and_retries() {
+        // Lock 32 is busy the first time, free afterwards.
+        let mut busy_once = true;
+        let mut la = LockAcquirer::new(vec![Addr(8), Addr(32)]);
+        let mut issued = Vec::new();
+        let mut prev = OpResult::None;
+        loop {
+            match la.step(prev) {
+                LockPhase::Issue(op) => {
+                    issued.push(op);
+                    prev = match op {
+                        Op::AtomicCas { addr: Addr(32), .. } if busy_once => {
+                            busy_once = false;
+                            OpResult::Value(LOCKED)
+                        }
+                        Op::AtomicCas { .. } => OpResult::Value(UNLOCKED),
+                        Op::Store(..) | Op::Compute(_) => OpResult::None,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                }
+                LockPhase::Acquired => break,
+                LockPhase::Released => panic!(),
+            }
+        }
+        // Expected: CAS 8 (ok), CAS 32 (fail), release 8, backoff
+        // compute, CAS 8 (ok), CAS 32 (ok).
+        let no_compute: Vec<&Op> = issued
+            .iter()
+            .filter(|o| !matches!(o, Op::Compute(_)))
+            .collect();
+        assert_eq!(no_compute.len(), 5);
+        assert!(matches!(no_compute[2], Op::Store(Addr(8), UNLOCKED)));
+        assert_eq!(issued.len(), 6, "one backoff compute expected");
+        assert_eq!(la.attempts(), 2);
+    }
+
+    #[test]
+    fn three_lock_backout_releases_all_held() {
+        // Third lock busy once: both held locks must be released.
+        let mut busy_once = true;
+        let mut la = LockAcquirer::new(vec![Addr(8), Addr(16), Addr(24)]);
+        let mut issued = Vec::new();
+        let mut prev = OpResult::None;
+        loop {
+            match la.step(prev) {
+                LockPhase::Issue(op) => {
+                    issued.push(op);
+                    prev = match op {
+                        Op::AtomicCas { addr: Addr(24), .. } if busy_once => {
+                            busy_once = false;
+                            OpResult::Value(LOCKED)
+                        }
+                        Op::AtomicCas { .. } => OpResult::Value(UNLOCKED),
+                        Op::Store(..) | Op::Compute(_) => OpResult::None,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                }
+                LockPhase::Acquired => break,
+                LockPhase::Released => panic!(),
+            }
+        }
+        // CAS 8, CAS 16, CAS 24(fail), store 16, store 8, backoff,
+        // CAS 8, 16, 24.
+        let no_compute: Vec<&Op> = issued
+            .iter()
+            .filter(|o| !matches!(o, Op::Compute(_)))
+            .collect();
+        assert_eq!(no_compute.len(), 8);
+        assert!(matches!(no_compute[3], Op::Store(Addr(16), UNLOCKED)));
+        assert!(matches!(no_compute[4], Op::Store(Addr(8), UNLOCKED)));
+    }
+
+    #[test]
+    fn first_lock_failure_backs_off_then_retries() {
+        let mut cas_count = 0;
+        let mut backoffs = 0;
+        let mut la = LockAcquirer::new_salted(vec![Addr(8)], 7);
+        let mut prev = OpResult::None;
+        loop {
+            match la.step(prev) {
+                LockPhase::Issue(Op::AtomicCas { .. }) => {
+                    cas_count += 1;
+                    prev =
+                        OpResult::Value(if cas_count < 3 { LOCKED } else { UNLOCKED });
+                }
+                LockPhase::Issue(Op::Compute(d)) => {
+                    assert!(d >= 1);
+                    backoffs += 1;
+                    prev = OpResult::None;
+                }
+                LockPhase::Issue(other) => panic!("unexpected {other:?}"),
+                LockPhase::Acquired => break,
+                LockPhase::Released => panic!(),
+            }
+        }
+        assert_eq!(cas_count, 3);
+        assert_eq!(backoffs, 2, "each failed CAS is followed by a backoff");
+        assert_eq!(la.attempts(), 3);
+    }
+
+    #[test]
+    fn backoff_windows_grow_with_failures() {
+        let mut la = LockAcquirer::new_salted(vec![Addr(8)], 3);
+        la.fails = 0;
+        let d0_window = 16;
+        assert!(la.backoff_delay() as u64 <= d0_window);
+        la.fails = 6;
+        // Window is 16 << 6 = 1024; at least occasionally the delay must
+        // exceed the base window.
+        let mut any_large = false;
+        for a in 0..64 {
+            la.attempts = a;
+            if la.backoff_delay() as u64 > d0_window {
+                any_large = true;
+            }
+        }
+        assert!(any_large);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut la = LockAcquirer::new(vec![Addr(8)]);
+        drive_until_acquired(&mut la, |_| true);
+        drive_release(&mut la);
+        la.reset();
+        let ops = drive_until_acquired(&mut la, |_| true);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(la.attempts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without holding")]
+    fn release_before_acquire_panics() {
+        let mut la = LockAcquirer::new(vec![Addr(8)]);
+        la.begin_release();
+    }
+}

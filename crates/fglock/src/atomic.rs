@@ -1,0 +1,161 @@
+//! The partition-side atomic unit.
+//!
+//! GPUs execute global atomics at the memory partition that owns the line,
+//! which is what makes spin locks viable without cache coherence. The unit
+//! applies one atomic per cycle against the committed memory image and
+//! returns the old value to the requesting lane.
+
+use gpu_mem::Addr;
+
+/// An atomic operation as it arrives at the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Compare-and-swap: store `new` iff the current value equals `expect`.
+    Cas {
+        /// Target word.
+        addr: Addr,
+        /// Expected current value.
+        expect: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Fetch-and-add.
+    Add {
+        /// Target word.
+        addr: Addr,
+        /// Addend.
+        delta: u64,
+    },
+}
+
+impl AtomicOp {
+    /// The word this atomic targets.
+    pub fn addr(&self) -> Addr {
+        match self {
+            AtomicOp::Cas { addr, .. } | AtomicOp::Add { addr, .. } => *addr,
+        }
+    }
+}
+
+/// Statistics kept by an atomic unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtomicStats {
+    /// CAS operations that swapped.
+    pub cas_success: u64,
+    /// CAS operations that failed the comparison.
+    pub cas_fail: u64,
+    /// Fetch-and-add operations.
+    pub adds: u64,
+}
+
+/// One partition's atomic unit.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicUnit {
+    stats: AtomicStats,
+}
+
+impl AtomicUnit {
+    /// Creates an idle unit.
+    pub fn new() -> Self {
+        AtomicUnit::default()
+    }
+
+    /// Executes `op` against memory exposed through `read`/`write`
+    /// closures, returning the *old* value (CUDA semantics).
+    pub fn execute(
+        &mut self,
+        op: AtomicOp,
+        read: impl FnOnce(Addr) -> u64,
+        write: impl FnOnce(Addr, u64),
+    ) -> u64 {
+        match op {
+            AtomicOp::Cas { addr, expect, new } => {
+                let old = read(addr);
+                if old == expect {
+                    write(addr, new);
+                    self.stats.cas_success += 1;
+                } else {
+                    self.stats.cas_fail += 1;
+                }
+                old
+            }
+            AtomicOp::Add { addr, delta } => {
+                let old = read(addr);
+                write(addr, old.wrapping_add(delta));
+                self.stats.adds += 1;
+                old
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AtomicStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    fn run(unit: &mut AtomicUnit, mem: &RefCell<HashMap<u64, u64>>, op: AtomicOp) -> u64 {
+        unit.execute(
+            op,
+            |a| mem.borrow().get(&a.0).copied().unwrap_or(0),
+            |a, v| {
+                mem.borrow_mut().insert(a.0, v);
+            },
+        )
+    }
+
+    #[test]
+    fn cas_success_swaps_and_returns_old() {
+        let mem = RefCell::new(HashMap::new());
+        let mut u = AtomicUnit::new();
+        let old = run(&mut u, &mem, AtomicOp::Cas { addr: Addr(8), expect: 0, new: 1 });
+        assert_eq!(old, 0);
+        assert_eq!(mem.borrow()[&8], 1);
+        assert_eq!(u.stats().cas_success, 1);
+    }
+
+    #[test]
+    fn cas_failure_leaves_memory() {
+        let mem = RefCell::new(HashMap::from([(8u64, 5u64)]));
+        let mut u = AtomicUnit::new();
+        let old = run(&mut u, &mem, AtomicOp::Cas { addr: Addr(8), expect: 0, new: 1 });
+        assert_eq!(old, 5);
+        assert_eq!(mem.borrow()[&8], 5);
+        assert_eq!(u.stats().cas_fail, 1);
+    }
+
+    #[test]
+    fn add_returns_old_and_wraps() {
+        let mem = RefCell::new(HashMap::from([(8u64, u64::MAX)]));
+        let mut u = AtomicUnit::new();
+        let old = run(&mut u, &mem, AtomicOp::Add { addr: Addr(8), delta: 2 });
+        assert_eq!(old, u64::MAX);
+        assert_eq!(mem.borrow()[&8], 1);
+        assert_eq!(u.stats().adds, 1);
+    }
+
+    #[test]
+    fn addr_accessor() {
+        assert_eq!(AtomicOp::Cas { addr: Addr(3), expect: 0, new: 1 }.addr(), Addr(3));
+        assert_eq!(AtomicOp::Add { addr: Addr(4), delta: 1 }.addr(), Addr(4));
+    }
+
+    #[test]
+    fn lock_handoff_sequence() {
+        // Two contenders on one lock: only one CAS wins per round.
+        let mem = RefCell::new(HashMap::new());
+        let mut u = AtomicUnit::new();
+        let cas = AtomicOp::Cas { addr: Addr(0), expect: 0, new: 1 };
+        assert_eq!(run(&mut u, &mem, cas), 0); // A wins
+        assert_eq!(run(&mut u, &mem, cas), 1); // B fails
+        mem.borrow_mut().insert(0, 0); // A releases
+        assert_eq!(run(&mut u, &mem, cas), 0); // B wins
+        assert_eq!(u.stats(), AtomicStats { cas_success: 2, cas_fail: 1, adds: 0 });
+    }
+}

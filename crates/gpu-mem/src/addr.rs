@@ -1,0 +1,221 @@
+//! Address geometry: bytes, cache lines, metadata granules, partitions.
+//!
+//! The simulator works with three address resolutions:
+//!
+//! * [`Addr`] — a byte address in the flat global address space.
+//! * [`LineAddr`] — a cache-line index (128-byte lines by default).
+//! * [`Granule`] — a TM-metadata granule index (32 bytes by default;
+//!   Fig. 14 sweeps 16/32/64/128).
+//!
+//! [`Geometry`] performs all conversions and owns the address-to-partition
+//! interleaving, so every component agrees on which LLC partition a given
+//! location belongs to.
+
+use std::fmt;
+
+/// A byte address in the simulated global address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Raw byte address.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line index (byte address divided by line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+/// A TM-metadata granule index (byte address divided by granule size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Granule(pub u64);
+
+impl Granule {
+    /// Raw granule index.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Granule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{:#x}", self.0)
+    }
+}
+
+/// Address-space geometry shared by all components of one simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    line_shift: u32,
+    granule_shift: u32,
+    partitions: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry with the given line size, metadata granularity
+    /// (both powers of two, granule <= line) and partition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes are not powers of two, the granule exceeds the
+    /// line size, or `partitions` is zero.
+    pub fn new(line_bytes: u64, granule_bytes: u64, partitions: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            granule_bytes.is_power_of_two(),
+            "granule size must be a power of two"
+        );
+        assert!(
+            granule_bytes <= line_bytes,
+            "granule must not exceed the cache line"
+        );
+        assert!(partitions > 0, "need at least one memory partition");
+        Geometry {
+            line_shift: line_bytes.trailing_zeros(),
+            granule_shift: granule_bytes.trailing_zeros(),
+            partitions,
+        }
+    }
+
+    /// The paper's default: 128-byte lines, 32-byte granules, 6 partitions.
+    pub fn paper_default() -> Self {
+        Geometry::new(128, 32, 6)
+    }
+
+    /// Cache-line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
+    /// Metadata granule size in bytes.
+    pub fn granule_bytes(&self) -> u64 {
+        1 << self.granule_shift
+    }
+
+    /// Number of memory partitions (LLC banks).
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The line containing `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> LineAddr {
+        LineAddr(addr.0 >> self.line_shift)
+    }
+
+    /// The metadata granule containing `addr`.
+    #[inline]
+    pub fn granule_of(&self, addr: Addr) -> Granule {
+        Granule(addr.0 >> self.granule_shift)
+    }
+
+    /// First byte address of a granule.
+    #[inline]
+    pub fn granule_base(&self, g: Granule) -> Addr {
+        Addr(g.0 << self.granule_shift)
+    }
+
+    /// The line containing a granule.
+    #[inline]
+    pub fn line_of_granule(&self, g: Granule) -> LineAddr {
+        LineAddr((g.0 << self.granule_shift) >> self.line_shift)
+    }
+
+    /// The partition that owns a line (line-interleaved).
+    #[inline]
+    pub fn partition_of_line(&self, line: LineAddr) -> u32 {
+        (line.0 % self.partitions as u64) as u32
+    }
+
+    /// The partition that owns the granule (derived from its line, so a
+    /// granule and its enclosing line always agree).
+    #[inline]
+    pub fn partition_of_granule(&self, g: Granule) -> u32 {
+        self.partition_of_line(self.line_of_granule(g))
+    }
+
+    /// The partition that owns a byte address.
+    #[inline]
+    pub fn partition_of(&self, addr: Addr) -> u32 {
+        self.partition_of_line(self.line_of(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.line_bytes(), 128);
+        assert_eq!(g.granule_bytes(), 32);
+        assert_eq!(g.partitions(), 6);
+    }
+
+    #[test]
+    fn line_and_granule_mapping() {
+        let g = Geometry::new(128, 32, 6);
+        assert_eq!(g.line_of(Addr(0)), LineAddr(0));
+        assert_eq!(g.line_of(Addr(127)), LineAddr(0));
+        assert_eq!(g.line_of(Addr(128)), LineAddr(1));
+        assert_eq!(g.granule_of(Addr(31)), Granule(0));
+        assert_eq!(g.granule_of(Addr(32)), Granule(1));
+        assert_eq!(g.granule_of(Addr(128)), Granule(4));
+        assert_eq!(g.granule_base(Granule(4)), Addr(128));
+    }
+
+    #[test]
+    fn granule_line_partition_consistency() {
+        let g = Geometry::new(128, 32, 6);
+        for a in (0..10_000u64).step_by(13) {
+            let addr = Addr(a);
+            let gran = g.granule_of(addr);
+            assert_eq!(g.line_of_granule(gran), g.line_of(addr));
+            assert_eq!(g.partition_of_granule(gran), g.partition_of(addr));
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all() {
+        let g = Geometry::new(128, 32, 6);
+        let mut seen = vec![false; 6];
+        for line in 0..12u64 {
+            seen[g.partition_of_line(LineAddr(line)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn granularity_sweep_values() {
+        for bytes in [16u64, 32, 64, 128] {
+            let g = Geometry::new(128, bytes, 6);
+            assert_eq!(g.granule_bytes(), bytes);
+            // Adjacent granules of different bytes must map into the right
+            // count per line.
+            assert_eq!(g.line_bytes() / g.granule_bytes(), 128 / bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "granule must not exceed")]
+    fn granule_larger_than_line_rejected() {
+        Geometry::new(32, 128, 6);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(Granule(16).to_string(), "g0x10");
+    }
+}

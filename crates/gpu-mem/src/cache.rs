@@ -1,0 +1,307 @@
+//! Set-associative cache tag arrays.
+//!
+//! Used for the per-core L1 data cache (48 KB, 128 B lines, 6-way) and the
+//! per-partition LLC banks (128 KB, 128 B lines, 8-way). The simulator only
+//! needs hit/miss timing, so the model is a tag array with LRU replacement;
+//! data values live in the architectural memory image, not here.
+
+use crate::addr::LineAddr;
+
+/// Whether an access reads or writes (writes allocate too; the model is
+/// write-back, write-allocate, which matches GPGPU-Sim's LLC defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent; it has been allocated. Carries the evicted
+    /// dirty line, if the victim needed a writeback.
+    Miss {
+        /// A dirty victim that must be written back downstream, if any.
+        writeback: Option<LineAddr>,
+    },
+}
+
+impl CacheResult {
+    /// `true` for [`CacheResult::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheResult::Hit)
+    }
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1D: 48 KB, 128-byte lines, 6-way.
+    pub fn paper_l1d() -> Self {
+        CacheConfig {
+            capacity_bytes: 48 * 1024,
+            line_bytes: 128,
+            ways: 6,
+        }
+    }
+
+    /// The paper's LLC bank: 128 KB per partition, 128-byte lines, 8-way.
+    pub fn paper_llc_bank() -> Self {
+        CacheConfig {
+            capacity_bytes: 128 * 1024,
+            line_bytes: 128,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TagEntry {
+    tag: u64,
+    dirty: bool,
+    /// Monotonic use stamp for LRU.
+    lru: u64,
+}
+
+/// A set-associative tag array with LRU replacement.
+///
+/// ```
+/// use gpu_mem::{SetAssocCache, CacheConfig, AccessKind, LineAddr};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::paper_l1d());
+/// assert!(!c.access(LineAddr(3), AccessKind::Read).is_hit());
+/// assert!(c.access(LineAddr(3), AccessKind::Read).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Option<TagEntry>>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly into sets.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let lines = cfg.capacity_bytes / cfg.line_bytes;
+        assert!(
+            lines as usize % cfg.ways == 0 && lines > 0,
+            "capacity must divide into an integral number of sets"
+        );
+        let sets = cfg.sets();
+        SetAssocCache {
+            cfg,
+            sets: vec![vec![None; cfg.ways]; sets],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
+        let sets = self.sets.len() as u64;
+        ((line.0 % sets) as usize, line.0 / sets)
+    }
+
+    /// Accesses `line`, allocating it on a miss.
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> CacheResult {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let (set_idx, tag) = self.set_and_tag(line);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(entry) = set.iter_mut().flatten().find(|e| e.tag == tag) {
+            entry.lru = stamp;
+            if kind == AccessKind::Write {
+                entry.dirty = true;
+            }
+            self.hits += 1;
+            return CacheResult::Hit;
+        }
+
+        self.misses += 1;
+        let dirty = kind == AccessKind::Write;
+        // Prefer an empty way; otherwise evict the LRU entry.
+        if let Some(slot) = set.iter_mut().find(|e| e.is_none()) {
+            *slot = Some(TagEntry { tag, dirty, lru: stamp });
+            return CacheResult::Miss { writeback: None };
+        }
+        let victim_way = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.as_ref().expect("set is full").lru)
+            .map(|(i, _)| i)
+            .expect("nonzero associativity");
+        let victim = set[victim_way].replace(TagEntry { tag, dirty, lru: stamp });
+        let victim = victim.expect("victim way was full");
+        let sets = self.sets.len() as u64;
+        let writeback = victim
+            .dirty
+            .then(|| LineAddr(victim.tag * sets + set_idx as u64));
+        CacheResult::Miss { writeback }
+    }
+
+    /// Whether `line` is currently resident (no LRU update, no allocation).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let (set_idx, tag) = self.set_and_tag(line);
+        self.sets[set_idx].iter().flatten().any(|e| e.tag == tag)
+    }
+
+    /// Invalidates `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let (set_idx, tag) = self.set_and_tag(line);
+        for slot in &mut self.sets[set_idx] {
+            if slot.as_ref().is_some_and(|e| e.tag == tag) {
+                return slot.take().map(|e| e.dirty);
+            }
+        }
+        None
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over the cache's lifetime (0.0 if never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 128B lines = 1 KiB
+        SetAssocCache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 128,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(LineAddr(0), AccessKind::Read).is_hit());
+        assert!(c.access(LineAddr(0), AccessKind::Read).is_hit());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny(); // 4 sets: lines 0,4,8 share set 0
+        c.access(LineAddr(0), AccessKind::Read);
+        c.access(LineAddr(4), AccessKind::Read);
+        c.access(LineAddr(0), AccessKind::Read); // 0 now MRU
+        // Allocating 8 must evict 4, keeping 0.
+        c.access(LineAddr(8), AccessKind::Read);
+        assert!(c.probe(LineAddr(0)));
+        assert!(!c.probe(LineAddr(4)));
+        assert!(c.probe(LineAddr(8)));
+    }
+
+    #[test]
+    fn dirty_writeback_reported() {
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Write);
+        c.access(LineAddr(4), AccessKind::Read);
+        match c.access(LineAddr(8), AccessKind::Read) {
+            CacheResult::Miss { writeback } => assert_eq!(writeback, Some(LineAddr(0))),
+            CacheResult::Hit => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Read);
+        c.access(LineAddr(4), AccessKind::Read);
+        match c.access(LineAddr(8), AccessKind::Read) {
+            CacheResult::Miss { writeback } => assert_eq!(writeback, None),
+            CacheResult::Hit => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Read);
+        c.access(LineAddr(0), AccessKind::Write); // hit, dirties the line
+        c.access(LineAddr(4), AccessKind::Read);
+        match c.access(LineAddr(8), AccessKind::Read) {
+            CacheResult::Miss { writeback } => assert_eq!(writeback, Some(LineAddr(0))),
+            CacheResult::Hit => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn invalidate() {
+        let mut c = tiny();
+        c.access(LineAddr(0), AccessKind::Write);
+        assert_eq!(c.invalidate(LineAddr(0)), Some(true));
+        assert_eq!(c.invalidate(LineAddr(0)), None);
+        assert!(!c.probe(LineAddr(0)));
+    }
+
+    #[test]
+    fn paper_geometries() {
+        let l1 = SetAssocCache::new(CacheConfig::paper_l1d());
+        assert_eq!(l1.config().sets(), 64);
+        let llc = SetAssocCache::new(CacheConfig::paper_llc_bank());
+        assert_eq!(llc.config().sets(), 128);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        for line in 0..4u64 {
+            assert!(!c.access(LineAddr(line), AccessKind::Read).is_hit());
+        }
+        for line in 0..4u64 {
+            assert!(c.access(LineAddr(line), AccessKind::Read).is_hit());
+        }
+    }
+}

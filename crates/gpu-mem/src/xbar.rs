@@ -1,0 +1,230 @@
+//! The core <-> memory-partition crossbar.
+//!
+//! The baseline GPU has two crossbars (one per direction), each with a fixed
+//! traversal latency and a finite bandwidth (Table II: 5-cycle latency,
+//! 288 GB/s at 1400 MHz ~ 205 bytes/cycle aggregate). We model each
+//! direction as a set of per-destination output queues: a packet occupies
+//! its destination port for `ceil(bytes / port_bytes_per_cycle)` cycles and
+//! arrives `latency` cycles after it wins the port. Per-category byte
+//! counters feed the Fig. 12 traffic comparison.
+
+use sim_core::{Counter, Cycle, EventWheel};
+use std::collections::BTreeMap;
+
+/// Crossbar configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XbarConfig {
+    /// Fixed traversal latency in cycles.
+    pub latency: u64,
+    /// Bytes per cycle each destination port can accept.
+    pub port_bytes_per_cycle: u64,
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        // 288 GB/s aggregate at 1.4 GHz across 6 partitions ~= 34 B/cyc per
+        // port; 32 keeps the arithmetic round and matches the 32 B/cycle
+        // commit bandwidth in Table II.
+        XbarConfig {
+            latency: 5,
+            port_bytes_per_cycle: 32,
+        }
+    }
+}
+
+/// A delivered packet: destination port and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// Destination port index.
+    pub dst: usize,
+    /// The payload handed to `send`.
+    pub payload: T,
+}
+
+/// One direction of the interconnect.
+///
+/// ```
+/// use gpu_mem::{Crossbar, XbarConfig};
+/// use sim_core::Cycle;
+///
+/// let mut x: Crossbar<&str> = Crossbar::new(XbarConfig { latency: 5, port_bytes_per_cycle: 32 }, 2);
+/// let arrive = x.send(Cycle(0), 0, 8, "req", "tm");
+/// assert_eq!(arrive, Cycle(6)); // 1 cycle of port time + 5 cycles latency
+/// assert!(x.deliver(arrive).iter().any(|d| d.payload == "req"));
+/// ```
+#[derive(Debug)]
+pub struct Crossbar<T> {
+    cfg: XbarConfig,
+    /// Cycle at which each destination port next becomes free.
+    port_free: Vec<Cycle>,
+    wheel: EventWheel<Delivery<T>>,
+    total_bytes: Counter,
+    by_category: BTreeMap<&'static str, u64>,
+}
+
+impl<T> Crossbar<T> {
+    /// Creates a crossbar with `ports` destination ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero or the configured bandwidth is zero.
+    pub fn new(cfg: XbarConfig, ports: usize) -> Self {
+        assert!(ports > 0, "crossbar needs at least one port");
+        assert!(cfg.port_bytes_per_cycle > 0, "bandwidth must be positive");
+        Crossbar {
+            cfg,
+            port_free: vec![Cycle::ZERO; ports],
+            wheel: EventWheel::new(),
+            total_bytes: Counter::new(),
+            by_category: BTreeMap::new(),
+        }
+    }
+
+    /// Injects a packet of `bytes` bytes for destination port `dst`,
+    /// returning the cycle at which it will be delivered.
+    ///
+    /// `category` labels the traffic for accounting (e.g. `"tm-access"`,
+    /// `"commit"`, `"broadcast"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub fn send(
+        &mut self,
+        now: Cycle,
+        dst: usize,
+        bytes: u64,
+        payload: T,
+        category: &'static str,
+    ) -> Cycle {
+        let occupancy = bytes.max(1).div_ceil(self.cfg.port_bytes_per_cycle);
+        let start = self.port_free[dst].max(now);
+        let done = start + occupancy;
+        self.port_free[dst] = done;
+        let arrive = done + self.cfg.latency;
+        self.wheel.schedule(arrive, Delivery { dst, payload });
+        self.total_bytes.add(bytes);
+        *self.by_category.entry(category).or_insert(0) += bytes;
+        arrive
+    }
+
+    /// Returns every packet that has arrived by `now`, in arrival order.
+    pub fn deliver(&mut self, now: Cycle) -> Vec<Delivery<T>> {
+        let mut out = Vec::new();
+        while let Some(d) = self.wheel.pop_due(now) {
+            out.push(d);
+        }
+        out
+    }
+
+    /// The earliest pending arrival time, if any packet is in flight.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.wheel.next_due()
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Total bytes ever injected.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes.get()
+    }
+
+    /// Bytes injected under a given category label.
+    pub fn bytes_in_category(&self, category: &str) -> u64 {
+        self.by_category.get(category).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(category, bytes)` in label order.
+    pub fn categories(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_category.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> Crossbar<u32> {
+        Crossbar::new(
+            XbarConfig {
+                latency: 5,
+                port_bytes_per_cycle: 32,
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn small_packet_takes_latency_plus_one() {
+        let mut x = xbar();
+        let arrive = x.send(Cycle(10), 0, 8, 1, "t");
+        assert_eq!(arrive, Cycle(16)); // 1 cycle port + 5 latency
+        assert!(x.deliver(Cycle(15)).is_empty());
+        let got = x.deliver(Cycle(16));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].dst, 0);
+        assert_eq!(got[0].payload, 1);
+    }
+
+    #[test]
+    fn bandwidth_serializes_same_port() {
+        let mut x = xbar();
+        let a = x.send(Cycle(0), 0, 64, 1, "t"); // 2 cycles of port time
+        let b = x.send(Cycle(0), 0, 64, 2, "t"); // waits for the first
+        assert_eq!(a, Cycle(7)); // 2 + 5
+        assert_eq!(b, Cycle(9)); // 2 + 2 + 5
+    }
+
+    #[test]
+    fn different_ports_do_not_contend() {
+        let mut x = xbar();
+        let a = x.send(Cycle(0), 0, 64, 1, "t");
+        let b = x.send(Cycle(0), 1, 64, 2, "t");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_byte_packets_still_occupy_a_cycle() {
+        let mut x = xbar();
+        let a = x.send(Cycle(0), 0, 0, 1, "t");
+        assert_eq!(a, Cycle(6));
+    }
+
+    #[test]
+    fn traffic_accounting_by_category() {
+        let mut x = xbar();
+        x.send(Cycle(0), 0, 100, 1, "tm-access");
+        x.send(Cycle(0), 1, 50, 2, "commit");
+        x.send(Cycle(0), 2, 25, 3, "tm-access");
+        assert_eq!(x.total_bytes(), 175);
+        assert_eq!(x.bytes_in_category("tm-access"), 125);
+        assert_eq!(x.bytes_in_category("commit"), 50);
+        assert_eq!(x.bytes_in_category("nope"), 0);
+        let cats: Vec<_> = x.categories().collect();
+        assert_eq!(cats, vec![("commit", 50), ("tm-access", 125)]);
+    }
+
+    #[test]
+    fn in_flight_and_next_arrival() {
+        let mut x = xbar();
+        assert_eq!(x.next_arrival(), None);
+        x.send(Cycle(0), 0, 8, 1, "t");
+        x.send(Cycle(0), 0, 8, 2, "t");
+        assert_eq!(x.in_flight(), 2);
+        assert_eq!(x.next_arrival(), Some(Cycle(6)));
+        x.deliver(Cycle(100));
+        assert_eq!(x.in_flight(), 0);
+    }
+
+    #[test]
+    fn port_contention_with_gap() {
+        let mut x = xbar();
+        x.send(Cycle(0), 0, 32, 1, "t"); // port busy until cycle 1
+        // A later injection after the port is free starts fresh.
+        let c = x.send(Cycle(50), 0, 32, 2, "t");
+        assert_eq!(c, Cycle(56));
+    }
+}

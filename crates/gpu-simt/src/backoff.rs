@@ -1,0 +1,124 @@
+//! Probabilistic exponential backoff for aborted transactions.
+//!
+//! GETM ensures forward progress by restarting aborted transactions after a
+//! randomized, probabilistically increasing delay (the classic multi-access
+//! broadcast-channel control scheme the paper cites). Each consecutive
+//! abort widens the delay window; a successful commit resets it.
+
+use sim_core::DetRng;
+
+/// Per-warp backoff state.
+///
+/// ```
+/// use gpu_simt::Backoff;
+/// use sim_core::DetRng;
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut b = Backoff::new(8, 6);
+/// let d1 = b.next_delay(&mut rng);
+/// assert!(d1 < 8);
+/// b.note_abort();
+/// let d2 = b.next_delay(&mut rng);
+/// assert!(d2 < 16);
+/// b.reset();
+/// assert_eq!(b.attempts(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_window: u64,
+    max_exponent: u32,
+    attempts: u32,
+}
+
+impl Backoff {
+    /// Creates a backoff with an initial window of `base_window` cycles,
+    /// doubling per abort up to `2^max_exponent` times the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_window` is zero.
+    pub fn new(base_window: u64, max_exponent: u32) -> Self {
+        assert!(base_window > 0, "backoff window must be positive");
+        Backoff {
+            base_window,
+            max_exponent,
+            attempts: 0,
+        }
+    }
+
+    /// Paper-flavoured default: 16-cycle base window, doubling per abort
+    /// and capped at 16x (256 cycles) — roughly one memory round trip, so
+    /// a retry departs as contention from the conflicting commit drains
+    /// without idling the warp for thousands of cycles.
+    pub fn paper_default() -> Self {
+        Backoff::new(16, 4)
+    }
+
+    /// Records an abort, widening the next delay window.
+    pub fn note_abort(&mut self) {
+        self.attempts = self.attempts.saturating_add(1);
+    }
+
+    /// Resets after a successful commit.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// Number of consecutive aborts recorded.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Draws a uniformly random delay from the current window.
+    pub fn next_delay(&self, rng: &mut DetRng) -> u64 {
+        let exp = self.attempts.min(self.max_exponent);
+        let window = self.base_window << exp;
+        rng.below(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_grows_and_caps() {
+        let mut rng = DetRng::seeded(3);
+        let mut b = Backoff::new(4, 3);
+        // attempts=0 -> window 4
+        for _ in 0..100 {
+            assert!(b.next_delay(&mut rng) < 4);
+        }
+        for _ in 0..10 {
+            b.note_abort();
+        }
+        // attempts capped at exponent 3 -> window 32
+        let max_seen = (0..200).map(|_| b.next_delay(&mut rng)).max().unwrap();
+        assert!(max_seen < 32);
+        assert!(max_seen >= 4, "the window should actually widen");
+    }
+
+    #[test]
+    fn reset_shrinks_window() {
+        let mut rng = DetRng::seeded(3);
+        let mut b = Backoff::new(4, 4);
+        b.note_abort();
+        b.note_abort();
+        assert_eq!(b.attempts(), 2);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        for _ in 0..50 {
+            assert!(b.next_delay(&mut rng) < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = DetRng::seeded(42);
+        let mut r2 = DetRng::seeded(42);
+        let b = Backoff::paper_default();
+        for _ in 0..16 {
+            assert_eq!(b.next_delay(&mut r1), b.next_delay(&mut r2));
+        }
+    }
+}

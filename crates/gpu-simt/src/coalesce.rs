@@ -1,0 +1,115 @@
+//! The memory-access coalescer.
+//!
+//! When a warp issues a memory instruction, the per-lane addresses are
+//! grouped by metadata granule (for transactional accesses the validation
+//! unit works at granule granularity) so that one request per distinct
+//! granule crosses the interconnect, carrying the lanes it serves.
+
+use gpu_mem::{Addr, Geometry, Granule};
+
+/// One coalesced request produced from a warp's per-lane addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalescedAccess {
+    /// Target granule.
+    pub granule: Granule,
+    /// Lanes (indices into the input slice) served by this request.
+    pub lanes: Vec<u32>,
+    /// Representative word address (the first lane's address).
+    pub addr: Addr,
+}
+
+/// Groups per-lane addresses by granule, preserving first-appearance order.
+///
+/// `addrs[i]` is `Some(addr)` for lanes participating in the access.
+///
+/// ```
+/// use gpu_simt::coalesce_by_granule;
+/// use gpu_mem::{Addr, Geometry};
+///
+/// let geom = Geometry::new(128, 32, 6);
+/// let lanes = vec![Some(Addr(0)), Some(Addr(8)), Some(Addr(64)), None];
+/// let reqs = coalesce_by_granule(&lanes, &geom);
+/// assert_eq!(reqs.len(), 2);           // granule 0 (bytes 0..32) and granule 2
+/// assert_eq!(reqs[0].lanes, vec![0, 1]);
+/// assert_eq!(reqs[1].lanes, vec![2]);
+/// ```
+pub fn coalesce_by_granule(addrs: &[Option<Addr>], geom: &Geometry) -> Vec<CoalescedAccess> {
+    let mut out: Vec<CoalescedAccess> = Vec::new();
+    for (lane, addr) in addrs.iter().enumerate() {
+        let Some(addr) = addr else { continue };
+        let g = geom.granule_of(*addr);
+        if let Some(req) = out.iter_mut().find(|r| r.granule == g) {
+            req.lanes.push(lane as u32);
+        } else {
+            out.push(CoalescedAccess {
+                granule: g,
+                lanes: vec![lane as u32],
+                addr: *addr,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(128, 32, 6)
+    }
+
+    #[test]
+    fn fully_coalesced_warp() {
+        // 32 lanes touching consecutive words within one granule region of
+        // 4 words -> 8 granules.
+        let addrs: Vec<Option<Addr>> = (0..32u64).map(|i| Some(Addr(i * 8))).collect();
+        let reqs = coalesce_by_granule(&addrs, &geom());
+        assert_eq!(reqs.len(), 8);
+        for r in &reqs {
+            assert_eq!(r.lanes.len(), 4);
+        }
+    }
+
+    #[test]
+    fn fully_divergent_warp() {
+        // Each lane in its own granule.
+        let addrs: Vec<Option<Addr>> = (0..32u64).map(|i| Some(Addr(i * 4096))).collect();
+        let reqs = coalesce_by_granule(&addrs, &geom());
+        assert_eq!(reqs.len(), 32);
+    }
+
+    #[test]
+    fn inactive_lanes_skipped() {
+        let addrs = vec![None, Some(Addr(32)), None, Some(Addr(40))];
+        let reqs = coalesce_by_granule(&addrs, &geom());
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].lanes, vec![1, 3]);
+        assert_eq!(reqs[0].addr, Addr(32));
+        assert_eq!(reqs[0].granule, Granule(1));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(coalesce_by_granule(&[], &geom()).is_empty());
+        assert!(coalesce_by_granule(&[None, None], &geom()).is_empty());
+    }
+
+    #[test]
+    fn order_is_first_appearance() {
+        let addrs = vec![Some(Addr(4096)), Some(Addr(0)), Some(Addr(4100))];
+        let reqs = coalesce_by_granule(&addrs, &geom());
+        assert_eq!(reqs[0].granule, Granule(128));
+        assert_eq!(reqs[1].granule, Granule(0));
+        assert_eq!(reqs[0].lanes, vec![0, 2]);
+    }
+
+    #[test]
+    fn granularity_affects_grouping() {
+        let fine = Geometry::new(128, 16, 6);
+        let coarse = Geometry::new(128, 128, 6);
+        let addrs = vec![Some(Addr(0)), Some(Addr(16)), Some(Addr(64))];
+        assert_eq!(coalesce_by_granule(&addrs, &fine).len(), 3);
+        assert_eq!(coalesce_by_granule(&addrs, &coarse).len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Identifier newtypes for cores, warps, and SIMD lanes.
+
+use std::fmt;
+
+/// A SIMT core index within the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u32);
+
+/// A warp's slot index within its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WarpIndex(pub u32);
+
+/// A lane (thread position) within a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LaneId(pub u32);
+
+/// A GPU-global warp identifier.
+///
+/// GETM uses this as the `owner` field of write reservations: transactions
+/// are coalesced per warp, so the global warp ID uniquely identifies a
+/// running transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalWarpId(pub u32);
+
+impl GlobalWarpId {
+    /// Composes a global warp ID from a core and its warp slot.
+    pub fn new(core: CoreId, warp: WarpIndex, warps_per_core: u32) -> Self {
+        GlobalWarpId(core.0 * warps_per_core + warp.0)
+    }
+
+    /// The core this warp runs on.
+    pub fn core(self, warps_per_core: u32) -> CoreId {
+        CoreId(self.0 / warps_per_core)
+    }
+
+    /// The warp's slot index within its core.
+    pub fn warp_index(self, warps_per_core: u32) -> WarpIndex {
+        WarpIndex(self.0 % warps_per_core)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalWarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_warp_id_roundtrip() {
+        let wpc = 48;
+        for core in 0..15u32 {
+            for w in 0..wpc {
+                let gid = GlobalWarpId::new(CoreId(core), WarpIndex(w), wpc);
+                assert_eq!(gid.core(wpc), CoreId(core));
+                assert_eq!(gid.warp_index(wpc), WarpIndex(w));
+            }
+        }
+    }
+
+    #[test]
+    fn global_ids_are_unique() {
+        let wpc = 48;
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..15u32 {
+            for w in 0..wpc {
+                assert!(seen.insert(GlobalWarpId::new(CoreId(core), WarpIndex(w), wpc)));
+            }
+        }
+        assert_eq!(seen.len(), 15 * 48);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(GlobalWarpId(12).to_string(), "w12");
+    }
+}

@@ -1,0 +1,422 @@
+//! Per-thread transaction logs and intra-warp conflict resolution.
+//!
+//! Every transactional thread keeps a redo log in the core's local memory:
+//! loads record the observed value (needed by WarpTM's value-based
+//! validation), stores record the new value. GETM only *transmits* the
+//! write log at commit, but still records reads to drive intra-warp
+//! conflict detection, exactly as the paper describes (Sec. V-A).
+
+use gpu_mem::{Addr, Geometry, Granule};
+use std::collections::HashMap;
+
+/// One log entry: a word address and the associated value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Word address.
+    pub addr: Addr,
+    /// Observed (read log) or written (write log) value.
+    pub value: u64,
+    /// Read log only: this read was satisfied by the transaction's *own*
+    /// earlier write (read-own-writes forwarding). Forwarded reads observe
+    /// speculative data by design and are excluded from value validation;
+    /// reads that *preceded* the own write still validate against memory.
+    pub forwarded: bool,
+}
+
+/// The read and write logs of one thread's open transaction.
+#[derive(Debug, Clone, Default)]
+pub struct TxLogs {
+    reads: Vec<LogEntry>,
+    writes: Vec<LogEntry>,
+    /// Per-granule write counts (for the `#writes` bookkeeping GETM sends
+    /// at commit/abort).
+    write_counts: HashMap<u64, u32>,
+}
+
+/// Bytes on the wire per log entry when a log is transmitted: an address
+/// plus a 64-bit value (WarpTM sends both logs at commit; GETM only the
+/// write log).
+pub const LOG_ENTRY_BYTES: u64 = 16;
+
+impl TxLogs {
+    /// Fresh, empty logs.
+    pub fn new() -> Self {
+        TxLogs::default()
+    }
+
+    /// Records a transactional load of `addr` observing `value`. The
+    /// forwarding flag is derived from whether this transaction has
+    /// already written `addr` at record time.
+    pub fn record_read(&mut self, addr: Addr, value: u64) {
+        let forwarded = self.forwarded_value(addr).is_some();
+        self.reads.push(LogEntry {
+            addr,
+            value,
+            forwarded,
+        });
+    }
+
+    /// Fills in the value of the most recent read of `addr` — the engine
+    /// records a placeholder at issue (for intra-warp conflict checks) and
+    /// patches the observed value when the memory reply arrives.
+    pub fn update_read_value(&mut self, addr: Addr, value: u64) {
+        if let Some(e) = self.reads.iter_mut().rev().find(|e| e.addr == addr) {
+            e.value = value;
+        }
+    }
+
+    /// Records a transactional store, tracking the per-granule write count.
+    pub fn record_write(&mut self, addr: Addr, value: u64, geom: &Geometry) {
+        self.writes.push(LogEntry {
+            addr,
+            value,
+            forwarded: false,
+        });
+        *self
+            .write_counts
+            .entry(geom.granule_of(addr).raw())
+            .or_insert(0) += 1;
+    }
+
+    /// Removes the most recent write to `addr` — used when an eager
+    /// conflict check rejects a store that was optimistically logged at
+    /// issue time (the reservation was never taken, so the cleanup log
+    /// must not release it).
+    ///
+    /// Returns whether an entry was removed.
+    pub fn remove_last_write(&mut self, addr: Addr, geom: &Geometry) -> bool {
+        let Some(pos) = self.writes.iter().rposition(|e| e.addr == addr) else {
+            return false;
+        };
+        self.writes.remove(pos);
+        let g = geom.granule_of(addr).raw();
+        if let Some(c) = self.write_counts.get_mut(&g) {
+            *c -= 1;
+            if *c == 0 {
+                self.write_counts.remove(&g);
+            }
+        }
+        true
+    }
+
+    /// Latest value this transaction wrote to `addr`, if any
+    /// (read-own-writes forwarding).
+    pub fn forwarded_value(&self, addr: Addr) -> Option<u64> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
+    }
+
+    /// Whether this transaction has written `addr`'s granule.
+    pub fn wrote_granule(&self, g: Granule) -> bool {
+        self.write_counts.contains_key(&g.raw())
+    }
+
+    /// Whether this transaction has read anything in granule `g`.
+    pub fn read_granule(&self, g: Granule, geom: &Geometry) -> bool {
+        self.reads.iter().any(|e| geom.granule_of(e.addr) == g)
+    }
+
+    /// The read log.
+    pub fn reads(&self) -> &[LogEntry] {
+        &self.reads
+    }
+
+    /// The write log.
+    pub fn writes(&self) -> &[LogEntry] {
+        &self.writes
+    }
+
+    /// Whether the transaction performed no writes (candidate for WarpTM's
+    /// TCD silent commit).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Iterates `(granule, #writes)` pairs in unspecified order.
+    pub fn write_counts(&self) -> impl Iterator<Item = (Granule, u32)> + '_ {
+        self.write_counts.iter().map(|(&g, &c)| (Granule(g), c))
+    }
+
+    /// Set of granules read, deduplicated.
+    pub fn read_granules(&self, geom: &Geometry) -> Vec<Granule> {
+        let mut gs: Vec<u64> = self
+            .reads
+            .iter()
+            .map(|e| geom.granule_of(e.addr).raw())
+            .collect();
+        gs.sort_unstable();
+        gs.dedup();
+        gs.into_iter().map(Granule).collect()
+    }
+
+    /// Set of granules written, deduplicated, in increasing order.
+    pub fn write_granules(&self) -> Vec<Granule> {
+        let mut gs: Vec<u64> = self.write_counts.keys().copied().collect();
+        gs.sort_unstable();
+        gs.into_iter().map(Granule).collect()
+    }
+
+    /// Bytes needed to transmit the write log (commit traffic).
+    pub fn write_log_bytes(&self) -> u64 {
+        self.writes.len() as u64 * LOG_ENTRY_BYTES
+    }
+
+    /// Bytes needed to transmit both logs (WarpTM validation traffic).
+    pub fn full_log_bytes(&self) -> u64 {
+        (self.reads.len() + self.writes.len()) as u64 * LOG_ENTRY_BYTES
+    }
+
+    /// Clears both logs (after commit, abort cleanup, or retry).
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.write_counts.clear();
+    }
+
+    /// Whether both logs are empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// Resolves intra-warp conflicts among the open transactions of one warp's
+/// threads, returning the surviving lane mask.
+///
+/// Two threads of the same warp conflict if one wrote a granule the other
+/// read or wrote. Survivors are chosen greedily in lane order (the
+/// two-phase parallel scheme of WarpTM resolves to a deterministic winner
+/// set; lane order matches its leader-election tie-break). Threads whose
+/// slot is `None` (not in a transaction) are ignored.
+pub fn resolve_intra_warp(logs: &[Option<&TxLogs>], geom: &Geometry) -> Vec<bool> {
+    let mut survivors = vec![false; logs.len()];
+    // Granules written / read by surviving threads so far.
+    let mut written: HashMap<u64, ()> = HashMap::new();
+    let mut read: HashMap<u64, ()> = HashMap::new();
+
+    for (lane, slot) in logs.iter().enumerate() {
+        let Some(l) = slot else { continue };
+        let my_writes: Vec<u64> = l.write_granules().iter().map(|g| g.raw()).collect();
+        let my_reads: Vec<u64> = l.read_granules(geom).iter().map(|g| g.raw()).collect();
+
+        let conflict = my_writes
+            .iter()
+            .any(|g| written.contains_key(g) || read.contains_key(g))
+            || my_reads.iter().any(|g| written.contains_key(g));
+
+        if !conflict {
+            survivors[lane] = true;
+            for g in my_writes {
+                written.insert(g, ());
+            }
+            for g in my_reads {
+                read.insert(g, ());
+            }
+        }
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(128, 32, 6)
+    }
+
+    #[test]
+    fn read_own_writes() {
+        let g = geom();
+        let mut l = TxLogs::new();
+        assert_eq!(l.forwarded_value(Addr(8)), None);
+        l.record_write(Addr(8), 1, &g);
+        l.record_write(Addr(8), 2, &g);
+        assert_eq!(l.forwarded_value(Addr(8)), Some(2));
+        assert_eq!(l.forwarded_value(Addr(16)), None);
+    }
+
+    #[test]
+    fn write_counts_per_granule() {
+        let g = geom();
+        let mut l = TxLogs::new();
+        l.record_write(Addr(0), 1, &g); // granule 0
+        l.record_write(Addr(8), 2, &g); // granule 0
+        l.record_write(Addr(32), 3, &g); // granule 1
+        let counts: HashMap<u64, u32> =
+            l.write_counts().map(|(g, c)| (g.raw(), c)).collect();
+        assert_eq!(counts[&0], 2);
+        assert_eq!(counts[&1], 1);
+        assert!(l.wrote_granule(Granule(0)));
+        assert!(!l.wrote_granule(Granule(2)));
+        assert_eq!(
+            l.write_granules(),
+            vec![Granule(0), Granule(1)]
+        );
+    }
+
+    #[test]
+    fn remove_last_write_unwinds_counts() {
+        let g = geom();
+        let mut l = TxLogs::new();
+        l.record_write(Addr(0), 1, &g);
+        l.record_write(Addr(0), 2, &g);
+        assert!(l.remove_last_write(Addr(0), &g));
+        assert_eq!(l.forwarded_value(Addr(0)), Some(1));
+        assert!(l.wrote_granule(Granule(0)));
+        assert!(l.remove_last_write(Addr(0), &g));
+        assert!(!l.wrote_granule(Granule(0)));
+        assert!(!l.remove_last_write(Addr(0), &g));
+    }
+
+    #[test]
+    fn update_read_value_patches_latest() {
+        let mut l = TxLogs::new();
+        l.record_read(Addr(0), 0);
+        l.record_read(Addr(8), 0);
+        l.record_read(Addr(0), 0);
+        l.update_read_value(Addr(0), 42);
+        // Only the most recent entry for the address is patched.
+        assert_eq!(l.reads()[2].value, 42);
+        assert_eq!(l.reads()[0].value, 0);
+        assert_eq!(l.reads()[1].value, 0);
+        // Patching an unknown address is a no-op.
+        l.update_read_value(Addr(64), 1);
+        assert_eq!(l.reads().len(), 3);
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let g = geom();
+        let mut l = TxLogs::new();
+        l.record_read(Addr(0), 7);
+        assert!(l.is_read_only());
+        l.record_write(Addr(0), 8, &g);
+        assert!(!l.is_read_only());
+    }
+
+    #[test]
+    fn log_byte_sizes() {
+        let g = geom();
+        let mut l = TxLogs::new();
+        l.record_read(Addr(0), 1);
+        l.record_read(Addr(8), 2);
+        l.record_write(Addr(16), 3, &g);
+        assert_eq!(l.write_log_bytes(), 16);
+        assert_eq!(l.full_log_bytes(), 48);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let g = geom();
+        let mut l = TxLogs::new();
+        l.record_read(Addr(0), 1);
+        l.record_write(Addr(8), 2, &g);
+        assert!(!l.is_empty());
+        l.clear();
+        assert!(l.is_empty());
+        assert!(l.is_read_only());
+    }
+
+    #[test]
+    fn intra_warp_disjoint_all_survive() {
+        let g = geom();
+        let mut a = TxLogs::new();
+        a.record_write(Addr(0), 1, &g);
+        let mut b = TxLogs::new();
+        b.record_write(Addr(32), 1, &g);
+        let survivors = resolve_intra_warp(&[Some(&a), Some(&b)], &g);
+        assert_eq!(survivors, vec![true, true]);
+    }
+
+    #[test]
+    fn intra_warp_ww_conflict_first_wins() {
+        let g = geom();
+        let mut a = TxLogs::new();
+        a.record_write(Addr(0), 1, &g);
+        let mut b = TxLogs::new();
+        b.record_write(Addr(8), 1, &g); // same granule 0
+        let survivors = resolve_intra_warp(&[Some(&a), Some(&b)], &g);
+        assert_eq!(survivors, vec![true, false]);
+    }
+
+    #[test]
+    fn intra_warp_rw_conflict() {
+        let g = geom();
+        let mut a = TxLogs::new();
+        a.record_write(Addr(0), 1, &g);
+        let mut b = TxLogs::new();
+        b.record_read(Addr(8), 1); // reads granule 0, written by a
+        let survivors = resolve_intra_warp(&[Some(&a), Some(&b)], &g);
+        assert_eq!(survivors, vec![true, false]);
+
+        // Writer after reader also conflicts.
+        let survivors = resolve_intra_warp(&[Some(&b), Some(&a)], &g);
+        assert_eq!(survivors, vec![true, false]);
+    }
+
+    #[test]
+    fn intra_warp_rr_no_conflict() {
+        let g = geom();
+        let mut a = TxLogs::new();
+        a.record_read(Addr(0), 1);
+        let mut b = TxLogs::new();
+        b.record_read(Addr(8), 1);
+        let survivors = resolve_intra_warp(&[Some(&a), Some(&b)], &g);
+        assert_eq!(survivors, vec![true, true]);
+    }
+
+    #[test]
+    fn intra_warp_skips_non_tx_lanes() {
+        let g = geom();
+        let mut a = TxLogs::new();
+        a.record_write(Addr(0), 1, &g);
+        let survivors = resolve_intra_warp(&[None, Some(&a), None], &g);
+        assert_eq!(survivors, vec![false, true, false]);
+    }
+
+    proptest! {
+        /// Survivors of intra-warp resolution are pairwise conflict-free.
+        #[test]
+        fn survivors_pairwise_disjoint(
+            accesses in proptest::collection::vec(
+                proptest::collection::vec((0u64..8, proptest::bool::ANY), 1..5),
+                2..8,
+            )
+        ) {
+            let g = geom();
+            let logs: Vec<TxLogs> = accesses
+                .iter()
+                .map(|th| {
+                    let mut l = TxLogs::new();
+                    for &(granule, is_write) in th {
+                        let addr = Addr(granule * 32);
+                        if is_write {
+                            l.record_write(addr, 0, &g);
+                        } else {
+                            l.record_read(addr, 0);
+                        }
+                    }
+                    l
+                })
+                .collect();
+            let refs: Vec<Option<&TxLogs>> = logs.iter().map(Some).collect();
+            let survivors = resolve_intra_warp(&refs, &g);
+            prop_assert!(survivors.iter().any(|&s| s), "at least one lane survives");
+            for i in 0..logs.len() {
+                for j in 0..logs.len() {
+                    if i == j || !survivors[i] || !survivors[j] {
+                        continue;
+                    }
+                    for gw in logs[i].write_granules() {
+                        prop_assert!(!logs[j].wrote_granule(gw));
+                        prop_assert!(!logs[j].read_granule(gw, &g));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The greedy-then-oldest (GTO) warp scheduler.
+//!
+//! GTO keeps issuing from the warp it issued from last as long as that warp
+//! is ready; when it stalls, the scheduler falls back to the *oldest* ready
+//! warp (lowest slot index, matching the baseline GPU's age order).
+
+/// A GTO scheduler over `n` warp slots.
+///
+/// ```
+/// use gpu_simt::GtoScheduler;
+///
+/// let mut s = GtoScheduler::new(4);
+/// // Warps 1 and 3 are ready; nothing issued yet, so the oldest wins.
+/// assert_eq!(s.pick(|w| w == 1 || w == 3), Some(1));
+/// // Greedy: warp 1 keeps the slot while it stays ready.
+/// assert_eq!(s.pick(|w| w == 1 || w == 3), Some(1));
+/// // Warp 1 stalls: fall back to the oldest ready warp.
+/// assert_eq!(s.pick(|w| w == 3), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GtoScheduler {
+    n: usize,
+    last: Option<usize>,
+}
+
+impl GtoScheduler {
+    /// Creates a scheduler over `n` warp slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "scheduler needs at least one warp slot");
+        GtoScheduler { n, last: None }
+    }
+
+    /// Picks the next warp to issue from, where `ready(w)` reports whether
+    /// slot `w` can issue this cycle. Returns `None` when nothing is ready.
+    pub fn pick(&mut self, mut ready: impl FnMut(usize) -> bool) -> Option<usize> {
+        if let Some(last) = self.last {
+            if ready(last) {
+                return Some(last);
+            }
+        }
+        for w in 0..self.n {
+            if ready(w) {
+                self.last = Some(w);
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.n
+    }
+
+    /// Forgets the greedy warp (e.g. when it finished its thread block).
+    pub fn reset_greedy(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_first_when_idle() {
+        let mut s = GtoScheduler::new(8);
+        assert_eq!(s.pick(|w| w >= 5), Some(5));
+    }
+
+    #[test]
+    fn greedy_sticks_with_last() {
+        let mut s = GtoScheduler::new(8);
+        assert_eq!(s.pick(|w| w == 6), Some(6));
+        // Even though warp 0 became ready, greedy prefers 6.
+        assert_eq!(s.pick(|_| true), Some(6));
+    }
+
+    #[test]
+    fn falls_back_to_oldest_on_stall() {
+        let mut s = GtoScheduler::new(8);
+        assert_eq!(s.pick(|w| w == 6), Some(6));
+        assert_eq!(s.pick(|w| w == 2 || w == 4), Some(2));
+        // New greedy warp is 2.
+        assert_eq!(s.pick(|w| w == 2 || w == 4), Some(2));
+    }
+
+    #[test]
+    fn none_when_nothing_ready() {
+        let mut s = GtoScheduler::new(4);
+        assert_eq!(s.pick(|_| false), None);
+    }
+
+    #[test]
+    fn reset_greedy_returns_to_age_order() {
+        let mut s = GtoScheduler::new(4);
+        assert_eq!(s.pick(|w| w == 3), Some(3));
+        s.reset_greedy();
+        assert_eq!(s.pick(|_| true), Some(0));
+    }
+}

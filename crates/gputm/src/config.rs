@@ -1,0 +1,291 @@
+//! Machine configuration: the simulated GPU's geometry and timing, plus
+//! the transactional-memory system selector.
+//!
+//! The defaults follow the paper's Table II: a Fermi-class GPU with 15
+//! SIMT cores of 48 x 32-wide warps, six memory partitions with 128 KB LLC
+//! banks, two crossbars, and GDDR5-like latencies. The 56-core scalability
+//! configuration (Sec. VI-B, Fig. 17) doubles the precise metadata table
+//! and scales the LLC to 4 MB in eight banks.
+
+use getm::vu::GetmConfig;
+use gpu_mem::{CacheConfig, DramConfig, XbarConfig};
+use sim_core::SimError;
+use tm_structs::{CuckooConfig, StallConfig};
+
+/// Which synchronization system executes the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TmSystem {
+    /// GETM: eager conflict detection, lazy versioning (this paper).
+    Getm,
+    /// WarpTM: lazy value-based validation with TCD silent commits (best
+    /// prior art, the paper's main baseline).
+    WarpTmLL,
+    /// The idealized eager-lazy WarpTM variant of the paper's Sec. III
+    /// study (zero-latency per-access validation).
+    WarpTmEL,
+    /// Idealized EAPG: WarpTM plus commit-time conflict broadcasts.
+    Eapg,
+    /// Hand-optimized fine-grained locks (non-TM baseline).
+    FgLock,
+}
+
+impl TmSystem {
+    /// All systems, in the order the paper's figures present them.
+    pub const ALL: [TmSystem; 5] = [
+        TmSystem::FgLock,
+        TmSystem::WarpTmLL,
+        TmSystem::WarpTmEL,
+        TmSystem::Eapg,
+        TmSystem::Getm,
+    ];
+
+    /// Whether this system runs workloads in transactional mode.
+    pub fn is_tm(self) -> bool {
+        !matches!(self, TmSystem::FgLock)
+    }
+
+    /// Display label used by the benchmark harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            TmSystem::Getm => "GETM",
+            TmSystem::WarpTmLL => "WarpTM",
+            TmSystem::WarpTmEL => "WarpTM-EL",
+            TmSystem::Eapg => "EAPG",
+            TmSystem::FgLock => "FGLock",
+        }
+    }
+}
+
+impl std::fmt::Display for TmSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full machine + protocol configuration.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Number of SIMT cores.
+    pub cores: u32,
+    /// Resident warps per core.
+    pub warps_per_core: u32,
+    /// Threads per warp.
+    pub warp_width: u32,
+    /// Memory partitions (LLC banks).
+    pub partitions: u32,
+    /// LLC line size in bytes.
+    pub line_bytes: u64,
+    /// TM metadata granularity in bytes (Fig. 14 sweeps 16..128).
+    pub granule_bytes: u64,
+    /// Max warps per core with open transactions; `None` = unlimited.
+    pub tx_concurrency: Option<u32>,
+    /// Crossbar timing (each direction).
+    pub xbar: XbarConfig,
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// LLC bank geometry (per partition).
+    pub llc_bank: CacheConfig,
+    /// LLC service latency in cycles (tag + data access, pipelined).
+    pub llc_service: u64,
+    /// DRAM channel timing (per partition).
+    pub dram: DramConfig,
+    /// GETM validation-unit configuration (per partition).
+    pub getm: GetmConfig,
+    /// TCD table entries per partition (WarpTM).
+    pub tcd_entries: usize,
+    /// Logical-timestamp rollover threshold (48-bit by default).
+    pub ts_limit: u64,
+    /// Simulation cycle budget before a run is declared livelocked.
+    pub max_cycles: u64,
+    /// Root seed for every random stream in the run.
+    pub seed: u64,
+}
+
+impl GpuConfig {
+    /// The paper's baseline: a GTX 480-like GPU (Table II).
+    pub fn fermi_15core() -> Self {
+        GpuConfig {
+            cores: 15,
+            warps_per_core: 48,
+            warp_width: 32,
+            partitions: 6,
+            line_bytes: 128,
+            granule_bytes: 32,
+            tx_concurrency: Some(8),
+            xbar: XbarConfig::default(),
+            l1: CacheConfig::paper_l1d(),
+            llc_bank: CacheConfig::paper_llc_bank(),
+            llc_service: 90,
+            dram: DramConfig::default(),
+            getm: GetmConfig::paper_default_per_partition(6),
+            tcd_entries: 1024,
+            ts_limit: 1 << 48,
+            max_cycles: 200_000_000,
+            seed: 0x6E7A,
+        }
+    }
+
+    /// The 56-core scalability configuration: 4 MB LLC in eight banks,
+    /// doubled precise metadata tables (Sec. VI-B).
+    pub fn large_56core() -> Self {
+        let mut cfg = GpuConfig::fermi_15core();
+        cfg.cores = 56;
+        cfg.partitions = 8;
+        cfg.llc_bank = CacheConfig {
+            capacity_bytes: 4 * 1024 * 1024 / 8,
+            line_bytes: 128,
+            ways: 8,
+        };
+        // GETM: double only the precise table; WarpTM doubles its recency
+        // filter, which the engine scales via tcd_entries.
+        cfg.getm = GetmConfig {
+            cuckoo: CuckooConfig {
+                total_entries: (8192 / 8 / 4) * 4,
+                ..CuckooConfig::default()
+            },
+            bloom_entries_per_way: (1024 / 8 / 4).max(1),
+            bloom_ways: 4,
+            stall: StallConfig::default(),
+            ..GetmConfig::default()
+        };
+        cfg.tcd_entries = 2048;
+        cfg
+    }
+
+    /// A small machine for unit tests: 2 cores, 4 warps, 2 partitions.
+    pub fn tiny_test() -> Self {
+        let mut cfg = GpuConfig::fermi_15core();
+        cfg.cores = 2;
+        cfg.warps_per_core = 4;
+        cfg.warp_width = 4;
+        cfg.partitions = 2;
+        cfg.getm = GetmConfig::paper_default_per_partition(2);
+        cfg.max_cycles = 20_000_000;
+        cfg
+    }
+
+    /// Overrides the per-core transactional-concurrency throttle.
+    pub fn with_concurrency(mut self, limit: Option<u32>) -> Self {
+        self.tx_concurrency = limit;
+        self
+    }
+
+    /// Overrides the metadata granularity (Fig. 14 bottom).
+    pub fn with_granularity(mut self, bytes: u64) -> Self {
+        self.granule_bytes = bytes;
+        self
+    }
+
+    /// Overrides the GPU-wide precise-table entry budget (Fig. 14 top).
+    pub fn with_metadata_entries(mut self, gpu_wide: usize) -> Self {
+        self.getm.cuckoo.total_entries =
+            ((gpu_wide / self.partitions as usize / 4).max(1)) * 4;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate geometry.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::invalid_config("cores", "must be nonzero"));
+        }
+        if self.warps_per_core == 0 || self.warp_width == 0 || self.warp_width > 64 {
+            return Err(SimError::invalid_config(
+                "warps",
+                "warps_per_core must be nonzero and warp_width in 1..=64",
+            ));
+        }
+        if self.partitions == 0 {
+            return Err(SimError::invalid_config("partitions", "must be nonzero"));
+        }
+        if !self.granule_bytes.is_power_of_two()
+            || !self.line_bytes.is_power_of_two()
+            || self.granule_bytes > self.line_bytes
+        {
+            return Err(SimError::invalid_config(
+                "granularity",
+                "granule and line must be powers of two with granule <= line",
+            ));
+        }
+        if self.tx_concurrency == Some(0) {
+            return Err(SimError::invalid_config(
+                "tx_concurrency",
+                "use None for unlimited, not zero",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        GpuConfig::fermi_15core().validate().unwrap();
+        GpuConfig::large_56core().validate().unwrap();
+        GpuConfig::tiny_test().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_baseline_numbers() {
+        let c = GpuConfig::fermi_15core();
+        assert_eq!(c.cores, 15);
+        assert_eq!(c.warps_per_core, 48);
+        assert_eq!(c.partitions, 6);
+        assert_eq!(c.granule_bytes, 32);
+    }
+
+    #[test]
+    fn large_config_scales_llc_and_metadata() {
+        let c = GpuConfig::large_56core();
+        assert_eq!(c.cores, 56);
+        assert_eq!(c.partitions, 8);
+        assert_eq!(c.llc_bank.capacity_bytes * c.partitions as u64, 4 << 20);
+        let small = GpuConfig::fermi_15core();
+        assert!(
+            c.getm.cuckoo.total_entries * 8 > small.getm.cuckoo.total_entries * 6,
+            "precise table should double GPU-wide"
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = GpuConfig::fermi_15core()
+            .with_concurrency(Some(2))
+            .with_granularity(64)
+            .with_metadata_entries(2048);
+        assert_eq!(c.tx_concurrency, Some(2));
+        assert_eq!(c.granule_bytes, 64);
+        assert_eq!(c.getm.cuckoo.total_entries, 2048 / 6 / 4 * 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GpuConfig::tiny_test();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.granule_bytes = 256; // bigger than the 128-byte line
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.tx_concurrency = Some(0);
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.warp_width = 65;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn system_labels() {
+        assert_eq!(TmSystem::Getm.label(), "GETM");
+        assert_eq!(TmSystem::Getm.to_string(), "GETM");
+        assert!(TmSystem::Getm.is_tm());
+        assert!(!TmSystem::FgLock.is_tm());
+        assert_eq!(TmSystem::ALL.len(), 5);
+    }
+}

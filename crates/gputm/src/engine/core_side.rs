@@ -1,0 +1,1263 @@
+//! Core-side execution: warp scheduling, instruction issue, transactional
+//! access handling per TM system, reply processing, and the per-protocol
+//! warp commit sequences.
+
+use super::{CommitCtx, DownMsg, Engine, Pending, UpMsg};
+use crate::config::TmSystem;
+use fglock::AtomicOp;
+use getm::{AccessKind as GetmKind, AccessRequest, CommitEntry, ReplyKind};
+use gpu_mem::{Addr, Granule};
+use gpu_simt::program::OpKind as K;
+use gpu_simt::{Op, OpResult, ThreadStatus};
+use std::collections::BTreeMap;
+use warptm::eapg::EapgDecision;
+use warptm::ValidationJob;
+
+impl Engine {
+    // ===================== issue =====================
+
+    /// Refills finished warp slots and issues one instruction on core `c`.
+    pub(crate) fn issue_core(&mut self, c: usize) {
+        self.retire_and_refill(c);
+
+        // Compute readiness, including the TxBegin throttle.
+        let now = self.now;
+        let limit = self.cfg.tx_concurrency;
+        let nwarps = self.cores[c].warps.len();
+        let mut ready = vec![false; nwarps];
+        for w in 0..nwarps {
+            let tokens = self.cores[c].tx_tokens;
+            let Some(slot) = self.cores[c].warps[w].as_mut() else {
+                continue;
+            };
+            if slot.warp.status(now) != gpu_simt::WarpStatus::Ready
+                || slot.committing.is_some()
+            {
+                continue;
+            }
+            // Peek the leader op to apply the concurrency throttle.
+            let leader = slot
+                .warp
+                .threads
+                .iter_mut()
+                .find(|t| t.status == ThreadStatus::Ready);
+            let Some(leader) = leader else { continue };
+            let op = leader.fetch_op();
+            if op == Op::TxBegin {
+                if self.rollover_pending {
+                    continue; // hold new transactions during rollover
+                }
+                if !slot.warp.holds_tx_token {
+                    if let Some(limit) = limit {
+                        if tokens >= limit {
+                            continue; // throttled; stats sampled elsewhere
+                        }
+                    }
+                }
+            }
+            ready[w] = true;
+        }
+
+        let mut sched = std::mem::replace(
+            &mut self.cores[c].sched,
+            gpu_simt::GtoScheduler::new(nwarps),
+        );
+        let pick = sched.pick(|w| ready[w]);
+        self.cores[c].sched = sched;
+        if let Some(w) = pick {
+            self.issue_warp(c, w);
+        }
+    }
+
+    fn retire_and_refill(&mut self, c: usize) {
+        for w in 0..self.cores[c].warps.len() {
+            let finished = self.cores[c].warps[w]
+                .as_ref()
+                .is_some_and(|s| s.warp.all_finished());
+            if !finished {
+                continue;
+            }
+            let slot = self.cores[c].warps[w].take().expect("checked above");
+            self.cores[c].retired_commits += slot.warp.total_commits();
+            self.cores[c].retired_aborts += slot.warp.total_aborts();
+            self.live_warps -= 1;
+            if let Some(progs) = self.cores[c].pending_warps.pop_front() {
+                let new_slot =
+                    super::make_slot(progs, c, w, &self.cfg, &sim_core::DetRng::seeded(
+                        self.cfg.seed ^ 0x517A,
+                    ));
+                self.cores[c].warps[w] = Some(new_slot);
+            }
+        }
+    }
+
+    fn issue_warp(&mut self, c: usize, w: usize) {
+        let kind = {
+            let slot = self.cores[c].warps[w].as_mut().expect("scheduled warp");
+            let leader = slot
+                .warp
+                .threads
+                .iter_mut()
+                .find(|t| t.status == ThreadStatus::Ready)
+                .expect("ready warp has a ready lane");
+            leader.fetch_op().kind()
+        };
+        // Group: every ready lane whose next op has the same kind.
+        let group: Vec<u32> = {
+            let slot = self.cores[c].warps[w].as_mut().expect("scheduled warp");
+            (0..slot.warp.threads.len() as u32)
+                .filter(|&l| {
+                    let t = &mut slot.warp.threads[l as usize];
+                    t.status == ThreadStatus::Ready && t.fetch_op().kind() == kind
+                })
+                .collect()
+        };
+        match kind {
+            K::Compute => self.issue_compute(c, w, &group),
+            K::TxBegin => self.issue_tx_begin(c, w, &group),
+            K::TxLoad => self.issue_tx_access(c, w, &group, false),
+            K::TxStore => self.issue_tx_access(c, w, &group, true),
+            K::TxCommit => {
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                for &l in &group {
+                    // A lane with store verdicts still in flight cannot be
+                    // *guaranteed* to commit yet; it keeps its TxCommit
+                    // staged and re-tries when the verdicts drain.
+                    if slot.pending_stores[l as usize] > 0 {
+                        continue;
+                    }
+                    slot.warp.tx_stack.lane_at_commit(l);
+                    slot.warp.threads[l as usize].status = ThreadStatus::AtCommit;
+                    slot.warp.threads[l as usize].consume_op();
+                }
+                self.maybe_warp_commit(c, w);
+            }
+            K::Load => self.issue_plain_load(c, w, &group),
+            K::Store => self.issue_plain_store(c, w, &group),
+            K::Atomic => self.issue_atomic(c, w, &group),
+            K::Done => {
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                for &l in &group {
+                    slot.warp.threads[l as usize].status = ThreadStatus::Finished;
+                    slot.warp.threads[l as usize].consume_op();
+                }
+            }
+        }
+    }
+
+    fn issue_compute(&mut self, c: usize, w: usize, group: &[u32]) {
+        let slot = self.cores[c].warps[w].as_mut().expect("warp");
+        let mut cycles = 1u32;
+        for &l in group {
+            if let Some(Op::Compute(n)) = slot.warp.threads[l as usize].staged_op {
+                cycles = cycles.max(n);
+            }
+            slot.warp.threads[l as usize].consume_op();
+        }
+        slot.warp.sleep_until = self.now + cycles as u64;
+    }
+
+    fn issue_tx_begin(&mut self, c: usize, w: usize, group: &[u32]) {
+        let now = self.now;
+        {
+            let core = &mut self.cores[c];
+            let slot = core.warps[w].as_mut().expect("warp");
+            assert!(
+                !slot.warp.tx_stack.is_open(),
+                "TxBegin while a region is open"
+            );
+            if !slot.warp.holds_tx_token {
+                core.tx_tokens += 1;
+                slot.warp.holds_tx_token = true;
+            }
+            let mut mask = 0u64;
+            for &l in group {
+                mask |= 1 << l;
+            }
+            slot.warp.tx_stack.begin(mask);
+            for &l in group {
+                let t = &mut slot.warp.threads[l as usize];
+                t.consume_op();
+                t.in_tx = true;
+                t.logs.clear();
+                slot.tcd_clean[l as usize] = true;
+                slot.tx_begin[l as usize] = now;
+                slot.doomed[l as usize] = false;
+            }
+            slot.obs_max_ts = 0;
+            slot.warp.abort_cause_ts = 0;
+        }
+    }
+
+    /// Transactional loads and stores: intra-warp conflict check, logging,
+    /// and protocol-specific routing.
+    fn issue_tx_access(&mut self, c: usize, w: usize, group: &[u32], is_store: bool) {
+        let geom = self.geom;
+        // Phase 1: intra-warp conflict detection + logging (core-local).
+        let mut survivors: Vec<(u32, Addr, u64)> = Vec::new();
+        let mut lanes_aborted = false;
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in group {
+                let (addr, value) = match slot.warp.threads[l as usize].staged_op {
+                    Some(Op::TxLoad(a)) => (a, 0),
+                    Some(Op::TxStore(a, v)) => (a, v),
+                    other => panic!("expected tx access, found {other:?}"),
+                };
+                let g = geom.granule_of(addr);
+                // First-accessor-wins: only *live* lanes (still executing
+                // or parked at this round's commit point) kill the current
+                // accessor. Aborted lanes are dead for this round — their
+                // reads never commit and their reservations unwind at the
+                // round boundary — so counting them would let two lanes
+                // mutually kill each other forever.
+                let conflict = slot.warp.threads.iter().enumerate().any(|(ol, t)| {
+                    ol as u32 != l
+                        && t.in_tx
+                        && t.status != ThreadStatus::Aborted
+                        && (t.logs.wrote_granule(g)
+                            || (is_store && t.logs.read_granule(g, &geom)))
+                });
+                let t = &mut slot.warp.threads[l as usize];
+                t.consume_op();
+                if conflict {
+                    slot.warp.tx_stack.abort_lane(l);
+                    t.status = ThreadStatus::Aborted;
+                    t.aborts += 1;
+                    lanes_aborted = true;
+                    continue;
+                }
+                if is_store {
+                    t.logs.record_write(addr, value, &geom);
+                } else {
+                    t.logs.record_read(addr, 0);
+                }
+                survivors.push((l, addr, value));
+            }
+            if lanes_aborted {
+                self.stats.aborts += group.len() as u64 - survivors.len() as u64;
+            }
+        }
+
+        // Phase 2: protocol routing.
+        match self.system {
+            TmSystem::Getm => self.getm_send_accesses(c, w, &survivors, is_store),
+            TmSystem::WarpTmLL | TmSystem::Eapg => {
+                if is_store {
+                    // Stores are core-local until commit.
+                } else {
+                    self.wtm_send_loads(c, w, &survivors);
+                }
+            }
+            TmSystem::WarpTmEL => {
+                if is_store {
+                    // Idealized eager check: validate the read log against
+                    // committed memory instantly; a stale log aborts now.
+                    self.el_validate_lanes(c, w, &survivors.iter().map(|s| s.0).collect::<Vec<_>>());
+                } else {
+                    self.wtm_send_loads(c, w, &survivors);
+                }
+            }
+            TmSystem::FgLock => unreachable!("tx ops in lock mode"),
+        }
+        if lanes_aborted {
+            self.maybe_warp_commit(c, w);
+        }
+    }
+
+    /// GETM: one eager-check request per distinct granule.
+    fn getm_send_accesses(
+        &mut self,
+        c: usize,
+        w: usize,
+        survivors: &[(u32, Addr, u64)],
+        is_store: bool,
+    ) {
+        if survivors.is_empty() {
+            return;
+        }
+        let geom = self.geom;
+        let (wid, warpts) = {
+            let slot = self.cores[c].warps[w].as_ref().expect("warp");
+            (slot.gwid, slot.warp.warpts)
+        };
+        // Group survivors by granule, preserving first-appearance order.
+        let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
+        for &(l, a, _) in survivors {
+            let g = geom.granule_of(a);
+            match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
+                Some((_, lanes)) => lanes.push((l, a)),
+                None => by_granule.push((g, vec![(l, a)])),
+            }
+        }
+        let now = self.now;
+        for (g, lanes) in by_granule {
+            let token = self.fresh_token();
+            let part = geom.partition_of_granule(g) as usize;
+            let addr = lanes[0].1;
+            {
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                for &(l, _) in &lanes {
+                    if is_store {
+                        // GPU stores are fire-and-forget; the eager check
+                        // returns no value, so the lane keeps executing and
+                        // a conflict aborts it when the reply lands. The
+                        // commit point still waits for every verdict.
+                        slot.pending_stores[l as usize] += 1;
+                    } else {
+                        slot.warp.threads[l as usize].status = ThreadStatus::Blocked;
+                    }
+                }
+                slot.warp.outstanding += 1;
+            }
+            self.pending.insert(
+                token,
+                Pending::Access {
+                    core: c,
+                    warp: w,
+                    lanes,
+                    is_store,
+                    is_tx: true,
+                    issued: now,
+                },
+            );
+            self.up.send(
+                now,
+                part,
+                getm::msg::ACCESS_REQUEST_BYTES,
+                UpMsg::GetmAccess(AccessRequest {
+                    granule: g,
+                    addr,
+                    wid,
+                    warpts,
+                    kind: if is_store { GetmKind::Store } else { GetmKind::Load },
+                    token,
+                }),
+                "tm-access",
+            );
+        }
+    }
+
+    /// WarpTM / EL: loads fetch values (and TCD stamps) from the LLC.
+    fn wtm_send_loads(&mut self, c: usize, w: usize, survivors: &[(u32, Addr, u64)]) {
+        if survivors.is_empty() {
+            return;
+        }
+        let geom = self.geom;
+        let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
+        for &(l, a, _) in survivors {
+            let g = geom.granule_of(a);
+            match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
+                Some((_, lanes)) => lanes.push((l, a)),
+                None => by_granule.push((g, vec![(l, a)])),
+            }
+        }
+        let now = self.now;
+        for (g, lanes) in by_granule {
+            let token = self.fresh_token();
+            let part = geom.partition_of_granule(g) as usize;
+            let addr = lanes[0].1;
+            {
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                for &(l, _) in &lanes {
+                    slot.warp.threads[l as usize].status = ThreadStatus::Blocked;
+                }
+                slot.warp.outstanding += 1;
+            }
+            self.pending.insert(
+                token,
+                Pending::Access {
+                    core: c,
+                    warp: w,
+                    lanes,
+                    is_store: false,
+                    is_tx: true,
+                    issued: now,
+                },
+            );
+            self.up
+                .send(now, part, 16, UpMsg::TxLoadWtm { addr, token }, "tm-access");
+        }
+    }
+
+    fn issue_plain_load(&mut self, c: usize, w: usize, group: &[u32]) {
+        let geom = self.geom;
+        let use_l1 = self.system.is_tm();
+        let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in group {
+                let Some(Op::Load(a)) = slot.warp.threads[l as usize].staged_op else {
+                    panic!("expected Load");
+                };
+                slot.warp.threads[l as usize].consume_op();
+                let g = geom.granule_of(a);
+                match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
+                    Some((_, lanes)) => lanes.push((l, a)),
+                    None => by_granule.push((g, vec![(l, a)])),
+                }
+            }
+        }
+        let now = self.now;
+        for (g, lanes) in by_granule {
+            let line = geom.line_of_granule(g);
+            if use_l1 && self.cores[c].l1.access(line, gpu_mem::AccessKind::Read).is_hit()
+            {
+                // L1 hit: values available next cycle.
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                for &(l, a) in &lanes {
+                    let v = self.mem.get(&a.0).copied().unwrap_or(0);
+                    let t = &mut slot.warp.threads[l as usize];
+                    t.pending_result = OpResult::Value(v);
+                }
+                slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1);
+                continue;
+            }
+            let token = self.fresh_token();
+            let part = geom.partition_of_granule(g) as usize;
+            let addr = lanes[0].1;
+            {
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                for &(l, _) in &lanes {
+                    slot.warp.threads[l as usize].status = ThreadStatus::Blocked;
+                }
+                slot.warp.outstanding += 1;
+            }
+            self.pending.insert(
+                token,
+                Pending::Access {
+                    core: c,
+                    warp: w,
+                    lanes,
+                    is_store: false,
+                    is_tx: false,
+                    issued: now,
+                },
+            );
+            self.up
+                .send(now, part, 16, UpMsg::PlainLoad { addr, token }, "load");
+        }
+    }
+
+    /// Plain stores apply to the memory image immediately (GPU stores are
+    /// fire-and-forget through a store buffer); the message only charges
+    /// crossbar and LLC bandwidth.
+    fn issue_plain_store(&mut self, c: usize, w: usize, group: &[u32]) {
+        let geom = self.geom;
+        let now = self.now;
+        let mut sends: Vec<(usize, Addr, u64)> = Vec::new();
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in group {
+                let Some(Op::Store(a, v)) = slot.warp.threads[l as usize].staged_op
+                else {
+                    panic!("expected Store");
+                };
+                slot.warp.threads[l as usize].consume_op();
+                let part = geom.partition_of(a) as usize;
+                sends.push((part, a, v));
+            }
+            slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1);
+        }
+        for (part, a, v) in sends {
+            self.mem.insert(a.0, v);
+            if self.system.is_tm() {
+                self.cores[c].l1.invalidate(geom.line_of(a));
+            }
+            self.up
+                .send(now, part, 16, UpMsg::PlainStore { addr: a, value: v }, "store");
+        }
+    }
+
+    fn issue_atomic(&mut self, c: usize, w: usize, group: &[u32]) {
+        let geom = self.geom;
+        let now = self.now;
+        for &l in group {
+            let op = {
+                let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                let staged = slot.warp.threads[l as usize].staged_op;
+                slot.warp.threads[l as usize].consume_op();
+                slot.warp.threads[l as usize].status = ThreadStatus::Blocked;
+                slot.warp.outstanding += 1;
+                match staged {
+                    Some(Op::AtomicCas { addr, expect, new }) => {
+                        AtomicOp::Cas { addr, expect, new }
+                    }
+                    Some(Op::AtomicAdd { addr, delta }) => AtomicOp::Add { addr, delta },
+                    other => panic!("expected atomic, found {other:?}"),
+                }
+            };
+            let token = self.fresh_token();
+            self.pending
+                .insert(token, Pending::AtomicOp { core: c, warp: w, lane: l });
+            let part = geom.partition_of(op.addr()) as usize;
+            self.up
+                .send(now, part, 16, UpMsg::Atomic { op, token }, "atomic");
+        }
+    }
+
+    // ===================== replies =====================
+
+    /// Handles one down-crossbar delivery at core `c`.
+    pub(crate) fn handle_down(&mut self, c: usize, msg: DownMsg) {
+        match msg {
+            DownMsg::GetmReply(reply, values) => self.on_getm_reply(c, reply, values),
+            DownMsg::LoadReply {
+                token,
+                values,
+                last_write,
+            } => self.on_load_reply(c, token, values, last_write),
+            DownMsg::AtomicReply { token, old } => self.on_atomic_reply(token, old),
+            DownMsg::Verdict { token, failed_lanes } => self.on_verdict(token, failed_lanes),
+            DownMsg::CommitAck { token } => self.on_commit_ack(token),
+            DownMsg::Broadcast { writes } => self.on_broadcast(c, &writes),
+        }
+    }
+
+    fn on_getm_reply(&mut self, _c: usize, reply: getm::AccessReply, values: Vec<u64>) {
+        let Some(Pending::Access {
+            core,
+            warp,
+            lanes,
+            is_store,
+            issued,
+            ..
+        }) = self.pending.remove(&reply.token)
+        else {
+            panic!("GETM reply for unknown token");
+        };
+        self.stats.access_rt.observe(self.now.since(issued) as f64);
+        let geom = self.geom;
+        let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
+        slot.warp.outstanding -= 1;
+        if is_store {
+            for &(l, _) in &lanes {
+                slot.pending_stores[l as usize] =
+                    slot.pending_stores[l as usize].saturating_sub(1);
+            }
+        }
+        match reply.kind {
+            ReplyKind::Success => {
+                slot.obs_max_ts = slot
+                    .obs_max_ts
+                    .max(reply.observed_wts)
+                    .max(reply.observed_rts);
+                if !is_store {
+                    for (i, &(l, a)) in lanes.iter().enumerate() {
+                        let t = &mut slot.warp.threads[l as usize];
+                        if t.status != ThreadStatus::Blocked {
+                            // The lane aborted (another access's verdict or
+                            // an intra-warp conflict) while this load was
+                            // in flight; drop the value.
+                            continue;
+                        }
+                        // Read-own-writes forwarding beats the LLC value.
+                        let v = t
+                            .logs
+                            .forwarded_value(a)
+                            .or_else(|| values.get(i).copied())
+                            .unwrap_or(0);
+                        t.logs.update_read_value(a, v);
+                        t.pending_result = OpResult::Value(v);
+                        t.status = ThreadStatus::Ready;
+                    }
+                }
+            }
+            ReplyKind::Abort { cause_ts } => {
+                slot.warp.abort_cause_ts = slot.warp.abort_cause_ts.max(cause_ts);
+                for &(l, a) in &lanes {
+                    let li = l as usize;
+                    if is_store {
+                        // The reservation was never taken: unwind the log.
+                        slot.warp.threads[li].logs.remove_last_write(a, &geom);
+                    }
+                    // The lane may already have aborted for another reason.
+                    if slot.warp.threads[li].status == ThreadStatus::Aborted {
+                        continue;
+                    }
+                    slot.warp.tx_stack.abort_lane(l);
+                    let t = &mut slot.warp.threads[li];
+                    t.status = ThreadStatus::Aborted;
+                    t.aborts += 1;
+                    self.stats.aborts += 1;
+                }
+            }
+        }
+        self.maybe_warp_commit(core, warp);
+    }
+
+    fn on_load_reply(
+        &mut self,
+        _c: usize,
+        token: u64,
+        values: Vec<u64>,
+        last_write: Option<sim_core::Cycle>,
+    ) {
+        let Some(Pending::Access {
+            core,
+            warp,
+            lanes,
+            is_tx,
+            issued,
+            ..
+        }) = self.pending.remove(&token)
+        else {
+            panic!("load reply for unknown token");
+        };
+        if is_tx {
+            self.stats.access_rt.observe(self.now.since(issued) as f64);
+        }
+        let el = self.system == TmSystem::WarpTmEL;
+        let mut el_lanes: Vec<u32> = Vec::new();
+        let mut any_abort = false;
+        {
+            let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
+            slot.warp.outstanding -= 1;
+            for (i, &(l, a)) in lanes.iter().enumerate() {
+                let li = l as usize;
+                if is_tx && slot.doomed[li] {
+                    // EAPG marked this lane doomed while the load was in
+                    // flight: abort instead of delivering.
+                    slot.doomed[li] = false;
+                    slot.warp.tx_stack.abort_lane(l);
+                    let t = &mut slot.warp.threads[li];
+                    t.status = ThreadStatus::Aborted;
+                    t.aborts += 1;
+                    self.stats.aborts += 1;
+                    any_abort = true;
+                    continue;
+                }
+                let t = &mut slot.warp.threads[li];
+                let v = t
+                    .logs
+                    .forwarded_value(a)
+                    .or_else(|| values.get(i).copied())
+                    .unwrap_or(0);
+                if is_tx {
+                    t.logs.update_read_value(a, v);
+                    if let Some(lw) = last_write {
+                        // Cycle 0 means "never written" — the TCD table
+                        // starts zeroed, and nothing commits at cycle 0.
+                        if lw.raw() > 0 && lw >= slot.tx_begin[li] {
+                            slot.tcd_clean[li] = false;
+                        }
+                    }
+                }
+                let t = &mut slot.warp.threads[li];
+                t.pending_result = OpResult::Value(v);
+                t.status = ThreadStatus::Ready;
+                if el && is_tx {
+                    el_lanes.push(l);
+                }
+            }
+        }
+        if el && !el_lanes.is_empty() {
+            // Idealized per-access validation on the fresh read log.
+            self.el_validate_lanes(core, warp, &el_lanes);
+        }
+        if any_abort {
+            self.maybe_warp_commit(core, warp);
+        }
+    }
+
+    fn on_atomic_reply(&mut self, token: u64, old: u64) {
+        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(&token)
+        else {
+            panic!("atomic reply for unknown token");
+        };
+        let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
+        slot.warp.outstanding -= 1;
+        let t = &mut slot.warp.threads[lane as usize];
+        t.pending_result = OpResult::Value(old);
+        t.status = ThreadStatus::Ready;
+    }
+
+    /// WarpTM-EL idealized validation: compare the lanes' read logs against
+    /// the committed image, aborting stale lanes at zero cost.
+    fn el_validate_lanes(&mut self, c: usize, w: usize, lanes: &[u32]) {
+        let mut aborted = false;
+        {
+            let mem = &self.mem;
+            let slot = self.cores[c].warps[w].as_mut().expect("warp alive");
+            for &l in lanes {
+                let t = &slot.warp.threads[l as usize];
+                if t.status == ThreadStatus::Aborted || !t.in_tx {
+                    continue;
+                }
+                let valid = t.logs.reads().iter().all(|e| {
+                    e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
+                });
+                if !valid {
+                    slot.warp.tx_stack.abort_lane(l);
+                    let t = &mut slot.warp.threads[l as usize];
+                    t.status = ThreadStatus::Aborted;
+                    t.aborts += 1;
+                    self.stats.aborts += 1;
+                    aborted = true;
+                }
+            }
+        }
+        if aborted {
+            self.maybe_warp_commit(c, w);
+        }
+    }
+
+    /// EAPG broadcast reception: abort running transactions that overlap
+    /// the committed write set; mark blocked lanes doomed.
+    fn on_broadcast(&mut self, c: usize, writes: &[Granule]) {
+        let mut to_check: Vec<usize> = Vec::new();
+        for w in 0..self.cores[c].warps.len() {
+            let mut any = false;
+            {
+                let core = &mut self.cores[c];
+                let Some(slot) = core.warps[w].as_mut() else { continue };
+                if !slot.warp.tx_stack.is_open() || slot.committing.is_some() {
+                    continue;
+                }
+                for l in 0..slot.warp.threads.len() {
+                    let t = &slot.warp.threads[l];
+                    if !t.in_tx
+                        || !matches!(
+                            t.status,
+                            ThreadStatus::Ready | ThreadStatus::Blocked
+                        )
+                    {
+                        continue;
+                    }
+                    if core.eapg.on_broadcast(&t.logs, writes) == EapgDecision::EarlyAbort
+                    {
+                        if t.status == ThreadStatus::Ready {
+                            slot.warp.tx_stack.abort_lane(l as u32);
+                            let t = &mut slot.warp.threads[l];
+                            t.status = ThreadStatus::Aborted;
+                            t.aborts += 1;
+                            self.stats.aborts += 1;
+                            any = true;
+                        } else {
+                            slot.doomed[l] = true;
+                        }
+                    }
+                }
+            }
+            if any {
+                to_check.push(w);
+            }
+        }
+        for w in to_check {
+            self.maybe_warp_commit(c, w);
+        }
+    }
+
+    // ===================== commit sequences =====================
+
+    pub(crate) fn maybe_warp_commit(&mut self, c: usize, w: usize) {
+        let ready = {
+            let Some(slot) = self.cores[c].warps[w].as_ref() else { return };
+            slot.warp.tx_stack.is_open()
+                && slot.warp.tx_stack.warp_at_commit_point()
+                && slot.committing.is_none()
+                // Aborted lanes may still have replies in flight: a store
+                // landing after the cleanup log would leak its reservation,
+                // and a stale load reply could be mistaken for a retried
+                // lane's new request. Drain everything first.
+                && slot.warp.outstanding == 0
+        };
+        if !ready {
+            return;
+        }
+        match self.system {
+            TmSystem::Getm => self.commit_getm(c, w),
+            TmSystem::WarpTmLL | TmSystem::Eapg => self.commit_wtm(c, w),
+            TmSystem::WarpTmEL => self.commit_el(c, w),
+            TmSystem::FgLock => unreachable!("no transactions in lock mode"),
+        }
+    }
+
+    /// GETM: guaranteed commit. Serialize the write/cleanup logs, ship them
+    /// to the commit units, and continue immediately.
+    fn commit_getm(&mut self, c: usize, w: usize) {
+        let geom = self.geom;
+        let parts = self.cfg.partitions as usize;
+        let mut per_part: Vec<Vec<CommitEntry>> = vec![Vec::new(); parts];
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            let commit_mask = slot.warp.tx_stack.commit_mask();
+            let retry_mask = slot.warp.tx_stack.retry_mask();
+            for l in 0..slot.warp.threads.len() {
+                let bit = 1u64 << l;
+                let t = &mut slot.warp.threads[l];
+                if commit_mask & bit != 0 {
+                    // Per-word last value + per-word write count.
+                    let mut words: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+                    for e in t.logs.writes() {
+                        let entry = words.entry(e.addr.0).or_insert((0, 0));
+                        entry.0 = e.value;
+                        entry.1 += 1;
+                    }
+                    for (a, (v, n)) in words {
+                        let g = geom.granule_of(Addr(a));
+                        per_part[geom.partition_of_granule(g) as usize].push(
+                            CommitEntry {
+                                granule: g,
+                                addr: Addr(a),
+                                data: Some(v),
+                                writes: n,
+                            },
+                        );
+                    }
+                    t.commits += 1;
+                    self.stats.commits += 1;
+                    // The commit has shipped: this lane's speculative state
+                    // is dead and must no longer trigger intra-warp
+                    // conflicts for lanes retrying in later rounds.
+                    t.logs.clear();
+                    t.in_tx = false;
+                } else if retry_mask & bit != 0 {
+                    // Abort cleanup: address + count per reserved granule.
+                    for (g, n) in t.logs.write_counts() {
+                        per_part[geom.partition_of_granule(g) as usize].push(
+                            CommitEntry {
+                                granule: g,
+                                addr: geom.granule_base(g),
+                                data: None,
+                                writes: n,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let now = self.now;
+        for (p, entries) in per_part.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let bytes = CommitEntry::batch_bytes(&entries);
+            self.up.send(now, p, bytes, UpMsg::GetmLog(entries), "commit");
+        }
+        self.finish_round(c, w, true);
+    }
+
+    /// WarpTM-LL / EAPG: TCD silent commits, then the two-round-trip
+    /// validation/commit sequence for the rest.
+    fn commit_wtm(&mut self, c: usize, w: usize) {
+        let geom = self.geom;
+        let mut validate_lanes: Vec<u32> = Vec::new();
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            let commit_mask = slot.warp.tx_stack.commit_mask();
+            for l in 0..slot.warp.threads.len() {
+                if commit_mask & (1 << l) == 0 {
+                    continue;
+                }
+                let read_only = slot.warp.threads[l].logs.is_read_only();
+                if read_only && slot.tcd_clean[l] {
+                    slot.warp.threads[l].commits += 1;
+                    self.stats.commits += 1;
+                    self.stats.silent_commits += 1;
+                    slot.warp.threads[l].logs.clear();
+                    slot.warp.threads[l].in_tx = false;
+                } else {
+                    validate_lanes.push(l as u32);
+                }
+            }
+        }
+        if validate_lanes.is_empty() {
+            self.finish_round(c, w, true);
+            return;
+        }
+        // Merge the surviving lanes' logs into one coalesced transaction;
+        // entries stay tagged with their lane so validation can fail
+        // threads individually.
+        let token = self.fresh_token();
+        let parts = self.cfg.partitions as usize;
+        let gwid = self.cores[c].warps[w].as_ref().expect("warp").gwid;
+        let mut jobs: Vec<ValidationJob> = (0..parts)
+            .map(|_| ValidationJob {
+                wid: gwid,
+                token,
+                ..ValidationJob::default()
+            })
+            .collect();
+        {
+            let slot = self.cores[c].warps[w].as_ref().expect("warp");
+            for &l in &validate_lanes {
+                let logs = &slot.warp.threads[l as usize].logs;
+                for e in logs.reads() {
+                    // Only reads that were *forwarded* from the lane's own
+                    // earlier write skip validation; a read that preceded
+                    // the write observed committed memory and must still
+                    // validate (otherwise a racing commit is lost).
+                    if e.forwarded {
+                        continue;
+                    }
+                    let p = geom.partition_of(e.addr) as usize;
+                    jobs[p].reads.push(warptm::LaneEntry {
+                        lane: l,
+                        addr: e.addr,
+                        value: e.value,
+                    });
+                }
+                // Per-word last value.
+                let mut words: BTreeMap<u64, u64> = BTreeMap::new();
+                for e in logs.writes() {
+                    words.insert(e.addr.0, e.value);
+                }
+                for (a, v) in words {
+                    let p = geom.partition_of(Addr(a)) as usize;
+                    jobs[p].writes.push(warptm::LaneEntry {
+                        lane: l,
+                        addr: Addr(a),
+                        value: v,
+                    });
+                }
+            }
+        }
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in &validate_lanes {
+                // The merged job carries everything validation needs; the
+                // lane's speculative state must stop shadowing later
+                // rounds (a failed commit rolls the lane back anyway).
+                let t = &mut slot.warp.threads[l as usize];
+                t.logs.clear();
+                t.in_tx = false;
+            }
+        }
+        let involved: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.entries() > 0)
+            .map(|(p, _)| p)
+            .collect();
+        if involved.is_empty() {
+            // Nothing to validate (pure forwarded reads): commit directly.
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in &validate_lanes {
+                slot.warp.threads[l as usize].commits += 1;
+                self.stats.commits += 1;
+            }
+            self.finish_round(c, w, true);
+            return;
+        }
+        self.commits_in_flight.insert(
+            token,
+            CommitCtx {
+                core: c,
+                warp: w,
+                lanes: validate_lanes,
+                pending_verdicts: involved.len() as u32,
+                pending_acks: 0,
+                failed_lanes: 0,
+                parts: involved.clone(),
+            },
+        );
+        self.cores[c].warps[w].as_mut().expect("warp").committing = Some(token);
+        let now = self.now;
+        for p in involved {
+            let job = std::mem::take(&mut jobs[p]);
+            let bytes = job.entries() as u64 * gpu_simt::log::LOG_ENTRY_BYTES;
+            self.up
+                .send(now, p, bytes.max(8), UpMsg::Validate(job), "validation");
+        }
+    }
+
+    /// WarpTM-EL: instant final validation, then a single write round trip.
+    fn commit_el(&mut self, c: usize, w: usize) {
+        let geom = self.geom;
+        // Final instant validation of every lane at the commit point.
+        let commit_mask = {
+            let slot = self.cores[c].warps[w].as_ref().expect("warp");
+            slot.warp.tx_stack.commit_mask()
+        };
+        let mut failed_mask = 0u64;
+        {
+            let mem = &self.mem;
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for l in 0..slot.warp.threads.len() {
+                if commit_mask & (1 << l) == 0 {
+                    continue;
+                }
+                let t = &slot.warp.threads[l];
+                let valid = t.logs.reads().iter().all(|e| {
+                    e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
+                });
+                if !valid {
+                    failed_mask |= 1 << l;
+                }
+            }
+            if failed_mask != 0 {
+                slot.warp.tx_stack.fail_commit_lanes(failed_mask);
+                for l in 0..slot.warp.threads.len() {
+                    if failed_mask & (1 << l) != 0 {
+                        let t = &mut slot.warp.threads[l];
+                        t.status = ThreadStatus::Aborted;
+                        t.aborts += 1;
+                        self.stats.aborts += 1;
+                    }
+                }
+            }
+        }
+        let survivors = commit_mask & !failed_mask;
+        // Apply survivor writes atomically now; the round trip is timing.
+        let parts = self.cfg.partitions as usize;
+        let mut per_part: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); parts];
+        let mut committed_lanes: Vec<u32> = Vec::new();
+        {
+            let slot = self.cores[c].warps[w].as_ref().expect("warp");
+            for l in 0..slot.warp.threads.len() {
+                if survivors & (1 << l) == 0 {
+                    continue;
+                }
+                committed_lanes.push(l as u32);
+                let mut words: BTreeMap<u64, u64> = BTreeMap::new();
+                for e in slot.warp.threads[l].logs.writes() {
+                    words.insert(e.addr.0, e.value);
+                }
+                for (a, v) in words {
+                    per_part[geom.partition_of(Addr(a)) as usize].push((Addr(a), v));
+                }
+            }
+        }
+        for writes in &per_part {
+            for &(a, v) in writes {
+                self.mem.insert(a.0, v);
+            }
+        }
+        {
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in &committed_lanes {
+                let t = &mut slot.warp.threads[l as usize];
+                t.logs.clear();
+                t.in_tx = false;
+            }
+        }
+        let involved: Vec<usize> = per_part
+            .iter()
+            .enumerate()
+            .filter(|(_, ws)| !ws.is_empty())
+            .map(|(p, _)| p)
+            .collect();
+        if involved.is_empty() {
+            // Read-only survivors commit with no traffic.
+            let slot = self.cores[c].warps[w].as_mut().expect("warp");
+            for &l in &committed_lanes {
+                slot.warp.threads[l as usize].commits += 1;
+                self.stats.commits += 1;
+            }
+            self.finish_round(c, w, true);
+            return;
+        }
+        let token = self.fresh_token();
+        self.commits_in_flight.insert(
+            token,
+            CommitCtx {
+                core: c,
+                warp: w,
+                lanes: committed_lanes,
+                pending_verdicts: 0,
+                pending_acks: involved.len() as u32,
+                failed_lanes: 0,
+                parts: involved.clone(),
+            },
+        );
+        self.cores[c].warps[w].as_mut().expect("warp").committing = Some(token);
+        let now = self.now;
+        for p in involved {
+            let writes = std::mem::take(&mut per_part[p]);
+            let bytes = (writes.len() as u64 * gpu_simt::log::LOG_ENTRY_BYTES).max(8);
+            self.up
+                .send(now, p, bytes, UpMsg::ElWriteLog { token, writes }, "commit");
+        }
+    }
+
+    fn on_verdict(&mut self, token: u64, failed_lanes: u64) {
+        let finished = {
+            let ctx = self
+                .commits_in_flight
+                .get_mut(&token)
+                .expect("verdict for unknown commit");
+            ctx.failed_lanes |= failed_lanes;
+            ctx.pending_verdicts -= 1;
+            ctx.pending_verdicts == 0
+        };
+        if !finished {
+            return;
+        }
+        let (core, warp, lanes, failed, parts) = {
+            let ctx = &self.commits_in_flight[&token];
+            (
+                ctx.core,
+                ctx.warp,
+                ctx.lanes.clone(),
+                ctx.failed_lanes,
+                ctx.parts.clone(),
+            )
+        };
+        let now = self.now;
+        // Abort the failed lanes individually; the survivors commit.
+        let failing: Vec<u32> = lanes
+            .iter()
+            .copied()
+            .filter(|&l| failed & (1 << l) != 0)
+            .collect();
+        let surviving: Vec<u32> = lanes
+            .iter()
+            .copied()
+            .filter(|&l| failed & (1 << l) == 0)
+            .collect();
+        if !failing.is_empty() {
+            let slot = self.cores[core].warps[warp].as_mut().expect("warp");
+            let mut mask = 0u64;
+            for &l in &failing {
+                mask |= 1 << l;
+            }
+            slot.warp.tx_stack.fail_commit_lanes(mask);
+            for &l in &failing {
+                let t = &mut slot.warp.threads[l as usize];
+                t.status = ThreadStatus::Aborted;
+                t.aborts += 1;
+                self.stats.aborts += 1;
+            }
+        }
+        if surviving.is_empty() {
+            // Whole warp transaction failed: abort at every partition and
+            // restart without waiting for acknowledgements.
+            for &p in &parts {
+                self.up.send(
+                    now,
+                    p,
+                    8,
+                    UpMsg::CommitCmd {
+                        token,
+                        commit: false,
+                        failed_lanes: failed,
+                    },
+                    "commit",
+                );
+            }
+            self.commits_in_flight.remove(&token);
+            self.cores[core].warps[warp]
+                .as_mut()
+                .expect("warp")
+                .committing = None;
+            self.finish_round(core, warp, false);
+        } else {
+            for &p in &parts {
+                self.up.send(
+                    now,
+                    p,
+                    8,
+                    UpMsg::CommitCmd {
+                        token,
+                        commit: true,
+                        failed_lanes: failed,
+                    },
+                    "commit",
+                );
+            }
+            let ctx = self
+                .commits_in_flight
+                .get_mut(&token)
+                .expect("ctx present");
+            ctx.pending_acks = parts.len() as u32;
+            ctx.lanes = surviving;
+        }
+    }
+
+    fn on_commit_ack(&mut self, token: u64) {
+        let done = {
+            let ctx = self
+                .commits_in_flight
+                .get_mut(&token)
+                .expect("ack for unknown commit");
+            ctx.pending_acks -= 1;
+            ctx.pending_acks == 0
+        };
+        if !done {
+            return;
+        }
+        let ctx = self.commits_in_flight.remove(&token).expect("ctx present");
+        {
+            let slot = self.cores[ctx.core].warps[ctx.warp]
+                .as_mut()
+                .expect("warp");
+            slot.committing = None;
+            for &l in &ctx.lanes {
+                slot.warp.threads[l as usize].commits += 1;
+                self.stats.commits += 1;
+            }
+        }
+        self.finish_round(ctx.core, ctx.warp, true);
+    }
+
+    /// Closes one commit round: restart aborted lanes (with backoff and —
+    /// for GETM — a `warpts` advance) or close the region entirely.
+    fn finish_round(&mut self, c: usize, w: usize, committed: bool) {
+        let now = self.now;
+        let is_getm = self.system == TmSystem::Getm;
+        let core = &mut self.cores[c];
+        let slot = core.warps[w].as_mut().expect("warp");
+        let rounds = slot.warp.tx_stack.rounds();
+        let restart = slot.warp.tx_stack.finish_round();
+        if restart == 0 {
+            self.stats
+                .rounds_per_region
+                .observe(rounds as f64 + 1.0);
+        }
+        if restart != 0 {
+            if is_getm {
+                // Restart logically after the newest conflicting timestamp,
+                // with a small warp-dependent skip: every loser of a
+                // conflict restarts at cause+1, so without the skip the
+                // retries re-tie their clocks and must eliminate each other
+                // one abort per round. Skipping ahead is always consistent
+                // (logical time is arbitrary); it only trades a little
+                // clock space for tie-free retries that can queue.
+                let cause = slot.warp.abort_cause_ts;
+                let skip = 1 + (slot.gwid.0 as u64 & 7);
+                slot.warp.warpts = slot.warp.warpts.max(cause + skip);
+                slot.warp.abort_cause_ts = 0;
+                if slot.warp.warpts >= self.cfg.ts_limit {
+                    self.rollover_pending = true;
+                }
+            }
+            slot.warp.backoff.note_abort();
+            let delay = slot.warp.backoff.next_delay(&mut slot.rng);
+            slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1 + delay);
+            for l in 0..slot.warp.threads.len() {
+                if restart & (1 << l) != 0 {
+                    let t = &mut slot.warp.threads[l];
+                    t.rollback();
+                    t.status = ThreadStatus::Ready;
+                    t.in_tx = true;
+                    slot.doomed[l] = false;
+                    slot.tcd_clean[l] = true;
+                    slot.tx_begin[l] = now;
+                }
+            }
+        } else {
+            // Region closed.
+            if is_getm && committed {
+                slot.warp.warpts = slot.warp.warpts.max(slot.obs_max_ts) + 1;
+            }
+            if is_getm && slot.warp.warpts >= self.cfg.ts_limit {
+                self.rollover_pending = true;
+            }
+            slot.warp.backoff.reset();
+            for t in slot.warp.threads.iter_mut() {
+                if t.status == ThreadStatus::AtCommit {
+                    t.status = ThreadStatus::Ready;
+                }
+                if t.in_tx {
+                    t.in_tx = false;
+                    t.logs.clear();
+                }
+            }
+            if slot.warp.holds_tx_token {
+                slot.warp.holds_tx_token = false;
+                core.tx_tokens -= 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! The cycle-level execution engine.
+//!
+//! The engine owns the architectural state (cores, crossbars, memory
+//! partitions, the committed memory image) and drives one workload to
+//! completion under a selected TM system. Protocol *decisions* live in the
+//! `getm`, `warptm`, and `fglock` crates; the engine supplies timing
+//! (crossbar bandwidth/latency, LLC/DRAM service, validation-unit
+//! serialization) and moves messages.
+//!
+//! Per simulated cycle:
+//!
+//! 1. up-crossbar deliveries are processed at their memory partitions
+//!    (FIFO per partition), scheduling replies onto the down crossbar;
+//! 2. down-crossbar deliveries are processed at their cores, unblocking
+//!    warps, recording abort causes, and advancing commit state machines;
+//! 3. every core issues at most one warp instruction, chosen by its
+//!    greedy-then-oldest scheduler;
+//! 4. per-warp transactional exec/wait statistics are sampled.
+//!
+//! Everything is deterministic for a given `GpuConfig::seed`.
+
+mod core_side;
+mod partition_side;
+
+use crate::config::{GpuConfig, TmSystem};
+use crate::metrics::Metrics;
+use fglock::{AtomicOp, AtomicUnit};
+use getm::vu::GetmConfig;
+use getm::{AccessRequest, CommitEntry, CommitUnit, ValidationUnit};
+use gpu_mem::{Addr, Crossbar, Geometry, Granule, SetAssocCache};
+use gpu_simt::{Backoff, GtoScheduler, Warp};
+use sim_core::{Cycle, DetRng, SimError};
+use std::collections::{HashMap, VecDeque};
+use warptm::{EapgFilter, TcdTable, ValidationJob, WarptmValidator};
+use workloads::{SyncMode, Workload};
+
+/// Messages travelling core -> partition.
+#[derive(Debug)]
+pub(crate) enum UpMsg {
+    /// GETM eager conflict check.
+    GetmAccess(AccessRequest),
+    /// GETM commit/abort log (no reply — off the critical path).
+    GetmLog(Vec<CommitEntry>),
+    /// WarpTM transactional load: value fetch plus TCD last-write query.
+    TxLoadWtm {
+        /// Representative address.
+        addr: Addr,
+        /// Correlation token.
+        token: u64,
+    },
+    /// Non-transactional load (L1 miss) — also used by FGLock data reads.
+    PlainLoad {
+        /// Target address.
+        addr: Addr,
+        /// Correlation token.
+        token: u64,
+    },
+    /// Fire-and-forget store. The value was already applied at issue
+    /// (store-buffer semantics); the message carries the address so the
+    /// partition can charge LLC bandwidth. The value rides along only for
+    /// debugging dumps.
+    PlainStore {
+        /// Target address.
+        addr: Addr,
+        /// Value (debug visibility only).
+        #[allow(dead_code)]
+        value: u64,
+    },
+    /// Atomic executed at the partition.
+    Atomic {
+        /// The operation.
+        op: AtomicOp,
+        /// Correlation token.
+        token: u64,
+    },
+    /// WarpTM validation job (first round trip of a commit).
+    Validate(ValidationJob),
+    /// WarpTM commit/abort command (second round trip). On commit, the
+    /// mask carries lanes that failed at *some* partition so their limbo
+    /// writes are dropped everywhere.
+    CommitCmd {
+        /// Token of the validated job.
+        token: u64,
+        /// Commit (true) or abort every lane (false).
+        commit: bool,
+        /// Union of failed-lane masks across partitions.
+        failed_lanes: u64,
+    },
+    /// WarpTM-EL single-trip commit: write log, applied then acked.
+    ElWriteLog {
+        /// Correlation token.
+        token: u64,
+        /// The writes.
+        writes: Vec<(Addr, u64)>,
+    },
+}
+
+/// Messages travelling partition -> core.
+///
+/// Loads carry the per-lane values captured *at partition processing time*
+/// (aligned with the pending context's lane list), so a reply in flight
+/// cannot observe writes that are logically later than the access.
+#[derive(Debug)]
+pub(crate) enum DownMsg {
+    /// GETM access reply (success or abort) plus per-lane load values.
+    GetmReply(getm::AccessReply, Vec<u64>),
+    /// Load values (with the TCD last-write stamp for WarpTM tx loads).
+    LoadReply {
+        token: u64,
+        values: Vec<u64>,
+        last_write: Option<Cycle>,
+    },
+    /// Atomic result.
+    AtomicReply { token: u64, old: u64 },
+    /// WarpTM validation verdict: the lanes that failed at this partition.
+    Verdict { token: u64, failed_lanes: u64 },
+    /// WarpTM commit acknowledgement.
+    CommitAck { token: u64 },
+    /// EAPG write-set broadcast.
+    Broadcast { writes: Vec<Granule> },
+}
+
+/// What a pending token is waiting for.
+#[derive(Debug)]
+pub(crate) enum Pending {
+    /// A transactional or plain load/store access: which lanes it serves.
+    Access {
+        core: usize,
+        warp: usize,
+        /// `(lane, word address)` pairs served by this request.
+        lanes: Vec<(u32, Addr)>,
+        is_store: bool,
+        is_tx: bool,
+        /// Issue time (round-trip latency statistics).
+        issued: Cycle,
+    },
+    /// An atomic op for a single lane.
+    AtomicOp { core: usize, warp: usize, lane: u32 },
+}
+
+/// A WarpTM commit attempt in flight.
+#[derive(Debug)]
+pub(crate) struct CommitCtx {
+    pub core: usize,
+    pub warp: usize,
+    /// Lanes being committed through validation.
+    pub lanes: Vec<u32>,
+    pub pending_verdicts: u32,
+    pub pending_acks: u32,
+    /// Union of failed-lane masks reported so far.
+    pub failed_lanes: u64,
+    /// Partitions involved.
+    pub parts: Vec<usize>,
+}
+
+/// Extra per-warp state the engine tracks beside `gpu_simt::Warp`.
+pub(crate) struct WarpSlot {
+    pub warp: Warp,
+    /// Per-lane: reads so far all predate the transaction start (TCD).
+    pub tcd_clean: Vec<bool>,
+    /// Per-lane transaction start cycle (TCD reference point).
+    pub tx_begin: Vec<Cycle>,
+    /// Per-lane EAPG doom marks (abort at next reply).
+    pub doomed: Vec<bool>,
+    /// Per-lane count of in-flight (non-blocking) transactional stores.
+    pub pending_stores: Vec<u32>,
+    /// Token of the WarpTM commit in flight, if any.
+    pub committing: Option<u64>,
+    /// Observed max timestamp during the open region (GETM commit rule).
+    pub obs_max_ts: u64,
+    /// This warp's private backoff RNG.
+    pub rng: DetRng,
+    /// Global warp id.
+    pub gwid: gpu_simt::GlobalWarpId,
+}
+
+/// One SIMT core.
+pub(crate) struct CoreState {
+    pub warps: Vec<Option<WarpSlot>>,
+    pub sched: GtoScheduler,
+    pub l1: SetAssocCache,
+    /// Warps currently holding a transactional-concurrency token.
+    pub tx_tokens: u32,
+    /// Warps (as per-lane program vectors) waiting for a free slot.
+    pub pending_warps: VecDeque<Vec<gpu_simt::BoxedProgram>>,
+    pub eapg: EapgFilter,
+    /// Commits/aborts of retired warps.
+    pub retired_commits: u64,
+    pub retired_aborts: u64,
+}
+
+/// One memory partition: LLC bank plus the TM units.
+pub(crate) struct Partition {
+    pub llc: SetAssocCache,
+    pub vu: ValidationUnit,
+    pub cu: CommitUnit,
+    pub wtm: WarptmValidator,
+    pub tcd: TcdTable,
+    pub atomic: AtomicUnit,
+    /// Validation-unit serialization point.
+    pub vu_free: Cycle,
+    /// Commit-unit serialization point (half-rate clock: 2 cycles/region).
+    pub cu_free: Cycle,
+    /// DRAM accesses performed (LLC misses).
+    pub dram_accesses: u64,
+}
+
+/// Aggregated engine statistics (folded into [`Metrics`] at the end).
+#[derive(Debug, Default)]
+pub(crate) struct EngineStats {
+    pub commits: u64,
+    pub aborts: u64,
+    /// Round-trip latency of transactional accesses (issue -> reply).
+    pub access_rt: sim_core::RatioStat,
+    /// VU queue delay observed by arriving requests (vu_free - now).
+    pub vu_queue_delay: sim_core::RatioStat,
+    /// Extra data-access latency charged to replies (LLC/DRAM component).
+    pub data_latency: sim_core::RatioStat,
+    /// Commit rounds per transactional region.
+    pub rounds_per_region: sim_core::RatioStat,
+    pub silent_commits: u64,
+    pub tx_exec_cycles: u64,
+    pub tx_wait_cycles: u64,
+    pub max_stall_total: u64,
+    pub eapg_broadcasts: u64,
+    pub rollovers: u64,
+}
+
+/// The engine itself.
+pub struct Engine {
+    pub(crate) cfg: GpuConfig,
+    pub(crate) system: TmSystem,
+    pub(crate) geom: Geometry,
+    pub(crate) now: Cycle,
+    /// Committed memory image, keyed by word address.
+    pub(crate) mem: HashMap<u64, u64>,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) parts: Vec<Partition>,
+    pub(crate) up: Crossbar<UpMsg>,
+    pub(crate) down: Crossbar<DownMsg>,
+    pub(crate) pending: HashMap<u64, Pending>,
+    pub(crate) commits_in_flight: HashMap<u64, CommitCtx>,
+    pub(crate) next_token: u64,
+    pub(crate) stats: EngineStats,
+    /// Live warps that still have unfinished threads.
+    pub(crate) live_warps: usize,
+    /// A logical clock hit `ts_limit`: new transactions are held while the
+    /// machine quiesces, then every clock and metadata table resets.
+    pub(crate) rollover_pending: bool,
+}
+
+impl Engine {
+    /// Builds an engine for `workload` under `system`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(
+        workload: &dyn Workload,
+        system: TmSystem,
+        cfg: &GpuConfig,
+    ) -> Result<Engine, SimError> {
+        cfg.validate()?;
+        let geom = Geometry::new(cfg.line_bytes, cfg.granule_bytes, cfg.partitions);
+        let root_rng = DetRng::seeded(cfg.seed);
+
+        let mem: HashMap<u64, u64> = workload
+            .initial_memory()
+            .into_iter()
+            .map(|(a, v)| (a.0, v))
+            .collect();
+
+        // Partition the grid into warps, round-robin across cores.
+        let mode = if system.is_tm() {
+            SyncMode::Tm
+        } else {
+            SyncMode::FgLock
+        };
+        let width = cfg.warp_width as usize;
+        let threads = workload.thread_count();
+        let n_warps = threads.div_ceil(width);
+        let mut per_core: Vec<VecDeque<Vec<gpu_simt::BoxedProgram>>> =
+            (0..cfg.cores).map(|_| VecDeque::new()).collect();
+        for w in 0..n_warps {
+            let lo = w * width;
+            let hi = ((w + 1) * width).min(threads);
+            let programs: Vec<gpu_simt::BoxedProgram> =
+                (lo..hi).map(|tid| workload.program(tid, mode)).collect();
+            per_core[w % cfg.cores as usize].push_back(programs);
+        }
+
+        let mut cores = Vec::with_capacity(cfg.cores as usize);
+        for (c, mut queue) in per_core.into_iter().enumerate() {
+            let mut warps: Vec<Option<WarpSlot>> = Vec::new();
+            for w in 0..cfg.warps_per_core as usize {
+                warps.push(queue.pop_front().map(|progs| {
+                    make_slot(progs, c, w, cfg, &root_rng)
+                }));
+            }
+            cores.push(CoreState {
+                warps,
+                sched: GtoScheduler::new(cfg.warps_per_core as usize),
+                l1: SetAssocCache::new(cfg.l1),
+                tx_tokens: 0,
+                pending_warps: queue,
+                eapg: EapgFilter::new(geom),
+                retired_commits: 0,
+                retired_aborts: 0,
+            });
+        }
+        let live_warps = cores
+            .iter()
+            .map(|c| {
+                c.warps.iter().filter(|w| w.is_some()).count() + c.pending_warps.len()
+            })
+            .sum();
+
+        let parts = (0..cfg.partitions as usize)
+            .map(|p| {
+                let mut vu_rng = root_rng.fork(0x9A57 + p as u64);
+                Partition {
+                    llc: SetAssocCache::new(cfg.llc_bank),
+                    vu: ValidationUnit::new(
+                        GetmConfig { ..cfg.getm },
+                        &mut vu_rng,
+                    ),
+                    cu: CommitUnit::new(),
+                    wtm: WarptmValidator::new(geom),
+                    tcd: TcdTable::new(cfg.tcd_entries),
+                    atomic: AtomicUnit::new(),
+                    vu_free: Cycle::ZERO,
+                    cu_free: Cycle::ZERO,
+                    dram_accesses: 0,
+                }
+            })
+            .collect();
+
+        Ok(Engine {
+            cfg: cfg.clone(),
+            system,
+            geom,
+            now: Cycle::ZERO,
+            mem,
+            cores,
+            parts,
+            up: Crossbar::new(cfg.xbar, cfg.partitions as usize),
+            down: Crossbar::new(cfg.xbar, cfg.cores as usize),
+            pending: HashMap::new(),
+            commits_in_flight: HashMap::new(),
+            next_token: 1,
+            stats: EngineStats::default(),
+            live_warps,
+            rollover_pending: false,
+        })
+    }
+
+    /// Runs the simulation to completion and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimitExceeded`] if the run does not drain within
+    /// the configured budget (protocol livelock).
+    pub fn run(&mut self) -> Result<Metrics, SimError> {
+        while !self.drained() {
+            if self.now.raw() >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            self.step();
+        }
+        Ok(self.collect_metrics())
+    }
+
+    /// Advances the simulation by one cycle.
+    pub(crate) fn step(&mut self) {
+        if self.rollover_pending {
+            self.try_complete_rollover();
+        }
+        let now = self.now;
+        // 1. Up deliveries -> partitions.
+        for d in self.up.deliver(now) {
+            self.handle_up(d.dst, d.payload);
+        }
+        // 2. Down deliveries -> cores.
+        for d in self.down.deliver(now) {
+            self.handle_down(d.dst, d.payload);
+        }
+        // 3. Issue.
+        for c in 0..self.cores.len() {
+            self.issue_core(c);
+        }
+        // 4. Stats sampling.
+        self.sample_stats();
+        self.now += 1;
+    }
+
+    /// Completes a pending timestamp rollover once the machine quiesces:
+    /// no open transactional regions, no in-flight messages. Models the
+    /// paper's stall-the-world protocol (Sec. V-B1): a stall message
+    /// circulates the VU ring, cores ack quiesce, every metadata table and
+    /// stall buffer flushes, and logical time restarts near zero.
+    fn try_complete_rollover(&mut self) {
+        let quiesced = self.pending.is_empty()
+            && self.commits_in_flight.is_empty()
+            && self.up.in_flight() == 0
+            && self.down.in_flight() == 0
+            && self.cores.iter().all(|c| {
+                c.warps
+                    .iter()
+                    .flatten()
+                    .all(|s| !s.warp.tx_stack.is_open() && s.committing.is_none())
+            });
+        if !quiesced {
+            return;
+        }
+        for p in &mut self.parts {
+            let stalled = p.vu.flush();
+            debug_assert!(stalled.is_empty(), "quiesced machine has no stalled reqs");
+        }
+        // Two ring traversals (stall + resume) stall the whole machine.
+        let ring = 2 * self.cfg.partitions as u64;
+        for core in &mut self.cores {
+            for slot in core.warps.iter_mut().flatten() {
+                // Restart logical time at small, distinct per-warp values
+                // (see make_slot) so queueing still has ties to break.
+                slot.warp.warpts = (slot.gwid.0 as u64) & 0x3F;
+                slot.warp.sleep_until = slot.warp.sleep_until.max(self.now + ring);
+            }
+        }
+        self.stats.rollovers += 1;
+        self.rollover_pending = false;
+    }
+
+    fn drained(&self) -> bool {
+        self.live_warps == 0
+            && self.up.in_flight() == 0
+            && self.down.in_flight() == 0
+            && self.pending.is_empty()
+            && self.commits_in_flight.is_empty()
+    }
+
+    pub(crate) fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Reads the committed value of a word.
+    pub(crate) fn read_mem(&self, a: Addr) -> u64 {
+        self.mem.get(&a.0).copied().unwrap_or(0)
+    }
+
+    /// A read-only view of the final memory (for invariant checks).
+    pub fn memory_reader(&self) -> impl Fn(Addr) -> u64 + '_ {
+        move |a| self.read_mem(a)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// A human-readable snapshot of simulation state, for diagnosing
+    /// livelocks when a run exceeds its cycle budget.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "t={} live_warps={} pending={} commits_in_flight={} up={} down={}",
+            self.now,
+            self.live_warps,
+            self.pending.len(),
+            self.commits_in_flight.len(),
+            self.up.in_flight(),
+            self.down.in_flight(),
+        );
+        for (c, core) in self.cores.iter().enumerate() {
+            for (w, slot) in core.warps.iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                if slot.warp.all_finished() {
+                    continue;
+                }
+                let statuses: Vec<String> = slot
+                    .warp
+                    .threads
+                    .iter()
+                    .map(|t| format!("{:?}/{:?}", t.status, t.staged_op))
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "core{c} warp{w}: out={} sleep={} tx_open={} committing={:?} warpts={} lanes=[{}]",
+                    slot.warp.outstanding,
+                    slot.warp.sleep_until,
+                    slot.warp.tx_stack.is_open(),
+                    slot.committing,
+                    slot.warp.warpts,
+                    statuses.join(", "),
+                );
+            }
+            let _ = writeln!(
+                s,
+                "core{c}: tx_tokens={} pending_warps={}",
+                core.tx_tokens,
+                core.pending_warps.len()
+            );
+        }
+        for (p, part) in self.parts.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "part{p}: stalled={} vu_free={} cu_free={}",
+                part.vu.stalled_requests(),
+                part.vu_free,
+                part.cu_free
+            );
+        }
+        s
+    }
+
+    fn sample_stats(&mut self) {
+        let now = self.now;
+        for core in &mut self.cores {
+            for slot in core.warps.iter().flatten() {
+                if slot.warp.in_tx() || slot.committing.is_some() {
+                    if now < slot.warp.sleep_until && slot.warp.outstanding == 0 {
+                        // Abort backoff: waiting.
+                        self.stats.tx_wait_cycles += 1;
+                    } else {
+                        self.stats.tx_exec_cycles += 1;
+                    }
+                } else if slot.warp.any_ready() && !slot.warp.all_finished() {
+                    // Throttled at TxBegin?
+                    let wants_tx = slot
+                        .warp
+                        .threads
+                        .iter()
+                        .any(|t| {
+                            t.status == gpu_simt::ThreadStatus::Ready
+                                && t.staged_op == Some(gpu_simt::Op::TxBegin)
+                        });
+                    if wants_tx {
+                        if let Some(limit) = self.cfg.tx_concurrency {
+                            if core.tx_tokens >= limit {
+                                self.stats.tx_wait_cycles += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Fig. 15: max *total* stall occupancy across all partitions.
+        let total: u64 = self
+            .parts
+            .iter()
+            .map(|p| p.vu.stalled_requests() as u64)
+            .sum();
+        if total > self.stats.max_stall_total {
+            self.stats.max_stall_total = total;
+        }
+    }
+
+    fn collect_metrics(&self) -> Metrics {
+        let mut m = Metrics {
+            cycles: self.now.raw(),
+            commits: self.stats.commits,
+            aborts: self.stats.aborts,
+            silent_commits: self.stats.silent_commits,
+            tx_exec_cycles: self.stats.tx_exec_cycles,
+            tx_wait_cycles: self.stats.tx_wait_cycles,
+            xbar_bytes: self.up.total_bytes() + self.down.total_bytes(),
+            eapg_broadcasts: self.stats.eapg_broadcasts,
+            rollovers: self.stats.rollovers,
+            mean_access_rt: self.stats.access_rt.mean(),
+            mean_rounds_per_region: self.stats.rounds_per_region.mean(),
+            mean_vu_queue_delay: self.stats.vu_queue_delay.mean(),
+            mean_data_latency: self.stats.data_latency.mean(),
+            max_stall_occupancy: self.stats.max_stall_total,
+            ..Metrics::default()
+        };
+        for (k, v) in self.up.categories() {
+            *m.xbar_by_category.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in self.down.categories() {
+            *m.xbar_by_category.entry(k).or_insert(0) += v;
+        }
+        // Weighted mean of metadata access latency across partitions.
+        let (mut wsum, mut wn) = (0.0, 0u64);
+        let mut stall_ratio = sim_core::RatioStat::new();
+        for p in &self.parts {
+            let n = p.vu.stats().successes + p.vu.stats().aborts + p.vu.stats().queued;
+            wsum += p.vu.mean_access_cycles() * n as f64;
+            wn += n;
+            m.stall_full_aborts += p.vu.stats().stall_full_aborts;
+            m.stall_queued += p.vu.stats().queued;
+            m.getm_aborts_load += p.vu.stats().aborts_load;
+            m.getm_aborts_store += p.vu.stats().aborts_store;
+            m.getm_aborts_approx += p.vu.stats().aborts_approx;
+            m.getm_max_cause_ts = m.getm_max_cause_ts.max(p.vu.stats().max_cause_ts);
+            m.metadata_overflow_peak = m.metadata_overflow_peak.max(p.vu.max_overflow());
+            if p.vu.mean_waiters_per_addr() > 0.0 {
+                stall_ratio.observe(p.vu.mean_waiters_per_addr());
+            }
+            let cas = p.atomic.stats();
+            m.atomics += cas.cas_success + cas.cas_fail + cas.adds;
+            m.cas_failures += cas.cas_fail;
+        }
+        m.mean_metadata_access_cycles = if wn == 0 { 0.0 } else { wsum / wn as f64 };
+        m.mean_stall_waiters_per_addr = stall_ratio.mean();
+        let (mut l1h, mut l1m, mut llch, mut llcm) = (0, 0, 0, 0);
+        for c in &self.cores {
+            l1h += c.l1.hits();
+            l1m += c.l1.misses();
+            m.eapg_early_aborts += c.eapg.early_aborts();
+        }
+        for p in &self.parts {
+            llch += p.llc.hits();
+            llcm += p.llc.misses();
+        }
+        m.l1_hit_rate = ratio(l1h, l1m);
+        m.llc_hit_rate = ratio(llch, llcm);
+        m
+    }
+}
+
+fn ratio(h: u64, miss: u64) -> f64 {
+    if h + miss == 0 {
+        0.0
+    } else {
+        h as f64 / (h + miss) as f64
+    }
+}
+
+fn make_slot(
+    programs: Vec<gpu_simt::BoxedProgram>,
+    core: usize,
+    warp_index: usize,
+    cfg: &GpuConfig,
+    root_rng: &DetRng,
+) -> WarpSlot {
+    let width = programs.len();
+    let gwid = gpu_simt::GlobalWarpId::new(
+        gpu_simt::CoreId(core as u32),
+        gpu_simt::WarpIndex(warp_index as u32),
+        cfg.warps_per_core,
+    );
+    let mut warp = Warp::new(programs);
+    warp.backoff = Backoff::paper_default();
+    // Initialize each warp's logical clock to a distinct value. Logical
+    // timestamps are arbitrary, so any initialization is consistent; with
+    // all warps tied at zero, every granule conflict degenerates into
+    // abort-based elimination (ties can never queue in the stall buffer),
+    // whereas distinct clocks let logically-later requests queue behind
+    // the owner exactly as the protocol intends.
+    warp.warpts = gwid.0 as u64;
+    WarpSlot {
+        warp,
+        tcd_clean: vec![true; width],
+        tx_begin: vec![Cycle::ZERO; width],
+        doomed: vec![false; width],
+        pending_stores: vec![0; width],
+        committing: None,
+        obs_max_ts: 0,
+        rng: root_rng.fork(0xAB0F ^ (gwid.0 as u64) << 8),
+        gwid,
+    }
+}

@@ -1,0 +1,363 @@
+//! Partition-side message processing.
+//!
+//! Each memory partition serializes its validation-unit work (1 request
+//! per cycle plus metadata-table cycles) and its commit-unit work (the CU
+//! runs at half the core clock: two cycles per unit of work). LLC hits add
+//! the pipelined LLC service latency to a reply; misses add a DRAM access
+//! on top. Replies are injected into the down crossbar at their
+//! service-completion time.
+//!
+//! Load values are captured *here*, at partition processing time, so a
+//! reply in flight can never observe logically later writes.
+
+use super::{DownMsg, Engine, Pending, UpMsg};
+use fglock::AtomicOp;
+use gpu_mem::{AccessKind, Addr, CacheResult, Granule, LineAddr};
+use sim_core::Cycle;
+
+impl Engine {
+    /// Handles one up-crossbar delivery at partition `p`.
+    pub(crate) fn handle_up(&mut self, p: usize, msg: UpMsg) {
+        match msg {
+            UpMsg::GetmAccess(req) => self.getm_access(p, req),
+            UpMsg::GetmLog(entries) => self.getm_log(p, &entries),
+            UpMsg::TxLoadWtm { addr, token } => self.wtm_tx_load(p, addr, token),
+            UpMsg::PlainLoad { addr, token } => self.plain_load(p, addr, token),
+            UpMsg::PlainStore { addr, .. } => self.plain_store(p, addr),
+            UpMsg::Atomic { op, token } => self.atomic(p, op, token),
+            UpMsg::Validate(job) => self.wtm_validate(p, job),
+            UpMsg::CommitCmd {
+                token,
+                commit,
+                failed_lanes,
+            } => self.wtm_commit_cmd(p, token, commit, failed_lanes),
+            UpMsg::ElWriteLog { token, writes } => self.el_write_log(p, token, writes),
+        }
+    }
+
+    /// Charges an LLC (and possibly DRAM) access for data at `line`,
+    /// returning the extra service cycles.
+    fn data_cycles(&mut self, p: usize, line: LineAddr, kind: AccessKind) -> u64 {
+        let part = &mut self.parts[p];
+        match part.llc.access(line, kind) {
+            CacheResult::Hit => self.cfg.llc_service,
+            CacheResult::Miss { .. } => {
+                part.dram_accesses += 1;
+                self.cfg.llc_service + self.cfg.dram.latency
+            }
+        }
+    }
+
+    /// Reserves the validation unit starting no earlier than `now`,
+    /// consuming `cycles`, and returns the completion time.
+    fn vu_slot(&mut self, p: usize, cycles: u64) -> Cycle {
+        let start = self.parts[p].vu_free.max(self.now);
+        let done = start + cycles.max(1);
+        self.parts[p].vu_free = done;
+        done
+    }
+
+    /// Reserves the commit unit (half-rate clock: 2 cycles per unit of
+    /// work), returning the completion time.
+    fn cu_slot(&mut self, p: usize, units: u64) -> Cycle {
+        let start = self.parts[p].cu_free.max(self.now);
+        let done = start + 2 * units.max(1);
+        self.parts[p].cu_free = done;
+        done
+    }
+
+    /// Per-lane values for a pending access token, read from the committed
+    /// image *now*.
+    fn capture_values(&self, token: u64) -> (usize, Vec<u64>) {
+        match self.pending.get(&token) {
+            Some(Pending::Access { core, lanes, .. }) => (
+                *core,
+                lanes
+                    .iter()
+                    .map(|&(_, a)| self.mem.get(&a.0).copied().unwrap_or(0))
+                    .collect(),
+            ),
+            Some(Pending::AtomicOp { core, .. }) => (*core, Vec::new()),
+            None => panic!("reply for unknown token {token}"),
+        }
+    }
+
+    // ----- GETM ----------------------------------------------------------
+
+    fn getm_access(&mut self, p: usize, req: getm::AccessRequest) {
+        self.stats
+            .vu_queue_delay
+            .observe(self.parts[p].vu_free.raw().saturating_sub(self.now.raw()) as f64);
+        let out = self.parts[p].vu.access(req, || 0);
+        // Table II: validation bandwidth is one request per cycle per
+        // partition — the metadata banks are pipelined, so multi-cycle
+        // table walks add latency to this reply without throttling the
+        // unit's throughput.
+        let vu_done = self.vu_slot(p, 1) + out.cycles.saturating_sub(1) as u64;
+        match out.reply {
+            Some(reply) => {
+                // Successful loads also touch the LLC line for data; a
+                // store reservation is metadata-only (the write data only
+                // arrives with the commit log).
+                let extra = if reply.kind == getm::ReplyKind::Success
+                    && req.kind == getm::AccessKind::Load
+                {
+                    self.data_cycles(p, self.geom.line_of(req.addr), AccessKind::Read)
+                } else {
+                    0
+                };
+                self.stats.data_latency.observe(extra as f64);
+                let (core, values) = self.capture_values(reply.token);
+                self.send_down(
+                    vu_done + extra,
+                    core,
+                    getm::msg::ACCESS_REPLY_BYTES,
+                    DownMsg::GetmReply(reply, values),
+                    "getm-reply",
+                );
+            }
+            None => {
+                // Queued in the stall buffer; the reply will surface when
+                // the owning transaction commits or aborts.
+            }
+        }
+    }
+
+    fn getm_log(&mut self, p: usize, entries: &[getm::CommitEntry]) {
+        self.parts[p].cu.receive(entries);
+        let regions = self.parts[p].cu.drain();
+        let cu_done = self.cu_slot(p, regions.len().max(1) as u64);
+
+        // Apply word data before any lock release, so woken readers see
+        // the committed values.
+        for e in entries {
+            if let Some(v) = e.data {
+                self.mem.insert(e.addr.0, v);
+                self.data_cycles(p, self.geom.line_of(e.addr), AccessKind::Write);
+            }
+        }
+        // Release per-granule write counts, waking stalled requests.
+        let mut merged: std::collections::BTreeMap<u64, u32> = Default::default();
+        for r in regions {
+            // CU regions are keyed by granule in the GETM path.
+            *merged.entry(r.granule).or_insert(0) += r.writes;
+        }
+        for (g, count) in merged {
+            // The release consumes VU cycles, but the VU clock must not be
+            // chained to the commit unit's backlog — only the *visibility*
+            // of this release (and its woken replies) waits for the data
+            // to have been applied at `cu_done`.
+            let (woken, vu_done) = {
+                let mem = &self.mem;
+                let part = &mut self.parts[p];
+                let (woken, cycles) = part.vu.release(Granule(g), count, |r| {
+                    mem.get(&r.addr.0).copied().unwrap_or(0)
+                });
+                let start = part.vu_free.max(self.now);
+                part.vu_free = start + 1; // pipelined: 1 request/cycle
+                (woken, start + cycles.max(1) as u64)
+            };
+            for wk in woken {
+                let extra = self.data_cycles(
+                    p,
+                    self.geom.line_of(wk.request.addr),
+                    AccessKind::Read,
+                );
+                let (core, values) = self.capture_values(wk.reply.token);
+                let at = vu_done.max(cu_done) + wk.cycles as u64 + extra;
+                self.send_down(
+                    at,
+                    core,
+                    getm::msg::ACCESS_REPLY_BYTES,
+                    DownMsg::GetmReply(wk.reply, values),
+                    "getm-reply",
+                );
+            }
+        }
+    }
+
+    // ----- WarpTM --------------------------------------------------------
+
+    fn wtm_tx_load(&mut self, p: usize, addr: Addr, token: u64) {
+        let g = self.geom.granule_of(addr);
+        let last_write = self.parts[p].tcd.last_write(g);
+        let extra = self.data_cycles(p, self.geom.line_of(addr), AccessKind::Read);
+        let done = self.vu_slot(p, 1) + extra;
+        let (core, values) = self.capture_values(token);
+        self.send_down(
+            done,
+            core,
+            16,
+            DownMsg::LoadReply {
+                token,
+                values,
+                last_write: Some(last_write),
+            },
+            "tx-load",
+        );
+    }
+
+    fn wtm_validate(&mut self, p: usize, job: warptm::ValidationJob) {
+        let token = job.token;
+        // Value-based validation reads the *current* value of every logged
+        // line from the LLC: charge the (pipelined) LLC latency once plus
+        // a DRAM access per missing line.
+        let mut lines: Vec<LineAddr> = job
+            .reads
+            .iter()
+            .map(|e| self.geom.line_of(e.addr))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut extra = if lines.is_empty() { 0 } else { self.cfg.llc_service };
+        for line in lines {
+            let hit = matches!(
+                self.parts[p].llc.access(line, AccessKind::Read),
+                CacheResult::Hit
+            );
+            if !hit {
+                self.parts[p].dram_accesses += 1;
+                extra += self.cfg.dram.latency;
+            }
+        }
+        let verdict = {
+            let mem = &self.mem;
+            self.parts[p]
+                .wtm
+                .validate(job, |a| mem.get(&a.0).copied().unwrap_or(0))
+        };
+        let done = self.vu_slot(p, verdict.cycles as u64) + extra;
+        let core = self.commit_core(token);
+        self.send_down(
+            done,
+            core,
+            8,
+            DownMsg::Verdict {
+                token,
+                failed_lanes: verdict.failed_lanes,
+            },
+            "verdict",
+        );
+    }
+
+    fn wtm_commit_cmd(&mut self, p: usize, token: u64, commit: bool, failed_lanes: u64) {
+        if !commit {
+            self.parts[p].wtm.abort(token);
+            return;
+        }
+        let (writes, cycles) = self.parts[p].wtm.commit(token, failed_lanes);
+        let done = self.cu_slot(p, cycles as u64);
+        let mut granules: Vec<Granule> = Vec::new();
+        for (a, v) in writes {
+            self.mem.insert(a.0, v);
+            self.data_cycles(p, self.geom.line_of(a), AccessKind::Write);
+            let g = self.geom.granule_of(a);
+            self.parts[p].tcd.note_write(g, done);
+            if !granules.contains(&g) {
+                granules.push(g);
+            }
+        }
+        let core = self.commit_core(token);
+        self.send_down(done, core, 8, DownMsg::CommitAck { token }, "commit-ack");
+        // EAPG: broadcast the committed write set to every core.
+        if self.system == crate::config::TmSystem::Eapg && !granules.is_empty() {
+            self.stats.eapg_broadcasts += self.cores.len() as u64;
+            for c in 0..self.cores.len() {
+                self.send_down(
+                    done,
+                    c,
+                    8,
+                    DownMsg::Broadcast {
+                        writes: granules.clone(),
+                    },
+                    "eapg-broadcast",
+                );
+            }
+        }
+    }
+
+    fn el_write_log(&mut self, p: usize, token: u64, writes: Vec<(Addr, u64)>) {
+        // WarpTM-EL idealization: the writes were applied atomically at
+        // commit initiation (core side); here we only charge the commit
+        // bandwidth and acknowledge.
+        let done = self.cu_slot(p, writes.len().max(1) as u64);
+        for (a, _) in &writes {
+            self.data_cycles(p, self.geom.line_of(*a), AccessKind::Write);
+        }
+        let core = self.commit_core(token);
+        self.send_down(done, core, 8, DownMsg::CommitAck { token }, "commit-ack");
+    }
+
+    // ----- Plain memory and atomics ---------------------------------------
+
+    fn plain_load(&mut self, p: usize, addr: Addr, token: u64) {
+        let extra = self.data_cycles(p, self.geom.line_of(addr), AccessKind::Read);
+        let done = self.now + 1 + extra;
+        let (core, values) = self.capture_values(token);
+        self.send_down(
+            done,
+            core,
+            16,
+            DownMsg::LoadReply {
+                token,
+                values,
+                last_write: None,
+            },
+            "load",
+        );
+    }
+
+    /// Plain stores were applied at issue (GPU store-buffer semantics);
+    /// the partition only charges LLC bandwidth.
+    fn plain_store(&mut self, p: usize, addr: Addr) {
+        self.data_cycles(p, self.geom.line_of(addr), AccessKind::Write);
+    }
+
+    fn atomic(&mut self, p: usize, op: AtomicOp, token: u64) {
+        let extra = self.data_cycles(p, self.geom.line_of(op.addr()), AccessKind::Write);
+        // Atomics serialize at the partition (one per cycle, like the VU).
+        let done = self.vu_slot(p, 1) + extra;
+        let old = {
+            // Split read and write phases to satisfy the borrow checker;
+            // the unit's closures are invoked sequentially anyway.
+            let current = self.mem.get(&op.addr().0).copied().unwrap_or(0);
+            let mut new_value: Option<u64> = None;
+            let old = self.parts[p].atomic.execute(
+                op,
+                |_| current,
+                |_, v| new_value = Some(v),
+            );
+            if let Some(v) = new_value {
+                self.mem.insert(op.addr().0, v);
+            }
+            old
+        };
+        let core = match self.pending.get(&token) {
+            Some(Pending::AtomicOp { core, .. }) => *core,
+            _ => panic!("atomic reply for unknown token {token}"),
+        };
+        self.send_down(done, core, 16, DownMsg::AtomicReply { token, old }, "atomic");
+    }
+
+    // ----- Helpers ---------------------------------------------------------
+
+    /// Injects a reply onto the down crossbar.
+    pub(crate) fn send_down(
+        &mut self,
+        at: Cycle,
+        core: usize,
+        bytes: u64,
+        msg: DownMsg,
+        category: &'static str,
+    ) {
+        self.down.send(at, core, bytes, msg, category);
+    }
+
+    /// The destination core of an in-flight commit token.
+    fn commit_core(&self, token: u64) -> usize {
+        self.commits_in_flight
+            .get(&token)
+            .map(|c| c.core)
+            .unwrap_or_else(|| panic!("verdict/ack for unknown commit {token}"))
+    }
+}

@@ -1,0 +1,46 @@
+//! # gputm
+//!
+//! The top-level simulator facade for the GETM reproduction: assemble a
+//! simulated GPU (SIMT cores, crossbars, LLC partitions), pick a
+//! transactional-memory system, run one of the paper's workloads, and read
+//! back the metrics every figure and table of the evaluation is built from.
+//!
+//! ```no_run
+//! use gputm::prelude::*;
+//!
+//! let workload = workloads::suite::by_name("HT-H", Scale::Fast);
+//! let cfg = GpuConfig::fermi_15core();
+//! let metrics = run_workload(workload.as_ref(), TmSystem::Getm, &cfg).unwrap();
+//! println!("cycles = {}", metrics.cycles);
+//! ```
+//!
+//! Modules:
+//!
+//! * [`config`] — machine configuration (Table II presets) and the
+//!   [`config::TmSystem`] selector.
+//! * [`engine`] — the cycle-level engine that moves messages between cores
+//!   and memory partitions and drives each TM protocol.
+//! * [`metrics`] — everything measured during a run.
+//! * [`runner`] — one-call workload execution with invariant checking.
+//! * [`silicon`] — the analytical SRAM area/power model behind Table V.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod silicon;
+
+pub use config::{GpuConfig, TmSystem};
+pub use metrics::Metrics;
+pub use runner::run_workload;
+
+/// Common imports for examples and benchmarks.
+pub mod prelude {
+    pub use crate::config::{GpuConfig, TmSystem};
+    pub use crate::metrics::Metrics;
+    pub use crate::runner::run_workload;
+    pub use workloads::suite::Scale;
+    pub use workloads::{SyncMode, Workload};
+}

@@ -1,0 +1,156 @@
+//! Everything a run measures.
+//!
+//! One [`Metrics`] value summarizes a simulation; the benchmark harness
+//! combines metrics from multiple runs into the paper's figures and
+//! tables. Field docs note which experiment consumes each number.
+
+use std::collections::BTreeMap;
+
+/// Measurements from one simulated kernel execution.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total simulated core cycles until the kernel drained (Figs. 4, 11,
+    /// 14, 17 — "total exec time").
+    pub cycles: u64,
+    /// Committed transactions (thread granularity).
+    pub commits: u64,
+    /// Aborted transaction attempts (Table IV: aborts per 1K commits).
+    pub aborts: u64,
+    /// Transactions committed silently via the TCD filter (WarpTM only).
+    pub silent_commits: u64,
+    /// Warp-cycles with an open transactional region actively executing
+    /// (Figs. 3, 4, 10 — "tx exec").
+    pub tx_exec_cycles: u64,
+    /// Warp-cycles waiting: throttled at `TxBegin` or sleeping in abort
+    /// backoff (Figs. 3, 4, 10 — "tx wait").
+    pub tx_wait_cycles: u64,
+    /// Total bytes crossing the two crossbars (Fig. 12).
+    pub xbar_bytes: u64,
+    /// Crossbar bytes by traffic category.
+    pub xbar_by_category: BTreeMap<&'static str, u64>,
+    /// Mean validation-unit metadata access latency, cycles (Fig. 13).
+    pub mean_metadata_access_cycles: f64,
+    /// Maximum total stall-buffer occupancy across the GPU (Fig. 15).
+    pub max_stall_occupancy: u64,
+    /// Mean queued requests per stalled address (Fig. 16).
+    pub mean_stall_waiters_per_addr: f64,
+    /// GETM stall-buffer-full aborts.
+    pub stall_full_aborts: u64,
+    /// GETM requests that were parked in stall buffers.
+    pub stall_queued: u64,
+    /// GETM aborts triggered at loads (WAR).
+    pub getm_aborts_load: u64,
+    /// GETM aborts triggered at stores (WAW/RAW).
+    pub getm_aborts_store: u64,
+    /// GETM aborts whose metadata came from the approximate table.
+    pub getm_aborts_approx: u64,
+    /// Largest conflicting timestamp reported by any GETM abort.
+    pub getm_max_cause_ts: u64,
+    /// GETM precise-table overflow high-water mark (expected 0).
+    pub metadata_overflow_peak: usize,
+    /// EAPG early aborts triggered by broadcasts.
+    pub eapg_early_aborts: u64,
+    /// EAPG broadcast messages delivered.
+    pub eapg_broadcasts: u64,
+    /// L1 data cache hit rate across cores.
+    pub l1_hit_rate: f64,
+    /// LLC hit rate across partitions.
+    pub llc_hit_rate: f64,
+    /// Atomic operations executed (FGLock mode).
+    pub atomics: u64,
+    /// CAS operations that failed (lock contention indicator).
+    pub cas_failures: u64,
+    /// Timestamp rollovers performed (expected 0 at 48-bit).
+    pub rollovers: u64,
+    /// Mean round-trip latency of transactional accesses, cycles.
+    pub mean_access_rt: f64,
+    /// Mean commit rounds (1 + warp-level retries) per region.
+    pub mean_rounds_per_region: f64,
+    /// Mean validation-unit queue delay seen by arriving requests.
+    pub mean_vu_queue_delay: f64,
+    /// Mean LLC/DRAM latency component added to replies.
+    pub mean_data_latency: f64,
+    /// Workload invariant check outcome (`None` = not run).
+    pub check: Option<Result<(), String>>,
+}
+
+impl Metrics {
+    /// Aborts per 1000 commits (Table IV). Zero if nothing committed.
+    pub fn aborts_per_1k_commits(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 * 1000.0 / self.commits as f64
+        }
+    }
+
+    /// Sum of transactional exec and wait cycles (Fig. 10's bar height).
+    pub fn total_tx_cycles(&self) -> u64 {
+        self.tx_exec_cycles + self.tx_wait_cycles
+    }
+
+    /// Whether the run's final memory satisfied the workload invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the check was never executed or failed — callers in the
+    /// harness want a loud failure, not a silently wrong figure.
+    pub fn assert_correct(&self) {
+        match &self.check {
+            Some(Ok(())) => {}
+            Some(Err(e)) => panic!("workload invariants violated: {e}"),
+            None => panic!("workload invariants were never checked"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate() {
+        let m = Metrics {
+            commits: 2000,
+            aborts: 500,
+            ..Metrics::default()
+        };
+        assert_eq!(m.aborts_per_1k_commits(), 250.0);
+        assert_eq!(Metrics::default().aborts_per_1k_commits(), 0.0);
+    }
+
+    #[test]
+    fn tx_cycle_total() {
+        let m = Metrics {
+            tx_exec_cycles: 10,
+            tx_wait_cycles: 5,
+            ..Metrics::default()
+        };
+        assert_eq!(m.total_tx_cycles(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "never checked")]
+    fn assert_correct_requires_check() {
+        Metrics::default().assert_correct();
+    }
+
+    #[test]
+    #[should_panic(expected = "invariants violated")]
+    fn assert_correct_propagates_failure() {
+        let m = Metrics {
+            check: Some(Err("boom".into())),
+            ..Metrics::default()
+        };
+        m.assert_correct();
+    }
+
+    #[test]
+    fn assert_correct_passes() {
+        let m = Metrics {
+            check: Some(Ok(())),
+            ..Metrics::default()
+        };
+        m.assert_correct();
+    }
+}

@@ -1,0 +1,36 @@
+//! One-call workload execution.
+
+use crate::config::{GpuConfig, TmSystem};
+use crate::engine::Engine;
+use crate::metrics::Metrics;
+use sim_core::SimError;
+use workloads::Workload;
+
+/// Runs `workload` to completion under `system` on the machine described
+/// by `cfg`, returning the metrics with the workload's invariant check
+/// already applied.
+///
+/// # Errors
+///
+/// Configuration errors and [`SimError::CycleLimitExceeded`] (protocol
+/// livelock) are returned; invariant violations are reported in
+/// [`Metrics::check`] rather than as an error, so harnesses can decide how
+/// loudly to fail.
+///
+/// ```no_run
+/// use gputm::prelude::*;
+///
+/// let w = workloads::suite::by_name("ATM", Scale::Fast);
+/// let m = run_workload(w.as_ref(), TmSystem::Getm, &GpuConfig::fermi_15core()).unwrap();
+/// m.assert_correct();
+/// ```
+pub fn run_workload(
+    workload: &dyn Workload,
+    system: TmSystem,
+    cfg: &GpuConfig,
+) -> Result<Metrics, SimError> {
+    let mut engine = Engine::new(workload, system, cfg)?;
+    let mut metrics = engine.run()?;
+    metrics.check = Some(workload.check(&engine.memory_reader()));
+    Ok(metrics)
+}

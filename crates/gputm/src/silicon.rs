@@ -1,0 +1,214 @@
+//! Analytical silicon area & power model (Table V).
+//!
+//! The paper sizes the TM hardware structures with CACTI 6.5 at a 32 nm
+//! node, conservatively assuming every structure is accessed every cycle
+//! and accounting for the validation unit's higher clock. CACTI is a
+//! standalone C++ tool we cannot ship, so this module substitutes an
+//! analytical SRAM model with the standard scaling behaviour — area linear
+//! in capacity with a per-array fixed overhead, dynamic power linear in
+//! capacity and frequency, leakage linear in capacity — with coefficients
+//! fitted to the CACTI numbers the paper reports. The *structure
+//! inventory* (which tables exist, how many, how large) is taken from the
+//! paper, so the WarpTM : EAPG : GETM ratios are reproduced by
+//! construction of the model, not hard-coded.
+
+/// One SRAM structure instance.
+#[derive(Debug, Clone)]
+pub struct SramStructure {
+    /// Human-readable name matching Table V's rows.
+    pub name: &'static str,
+    /// Capacity of one instance, in bytes.
+    pub bytes_per_instance: u64,
+    /// Number of instances on the die.
+    pub instances: u32,
+    /// Clock in MHz (the VU runs at 1400, the CU at 700).
+    pub clock_mhz: u32,
+}
+
+impl SramStructure {
+    /// Total capacity across instances, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_instance * self.instances as u64
+    }
+
+    /// Estimated area in mm^2 (32 nm), linear in capacity with the
+    /// density calibrated so WarpTM's total matches the paper's CACTI
+    /// output exactly (5.16 mm^2 per MB). CACTI's residual nonlinearity in
+    /// the paper (multiported commit buffers are less dense) moves the
+    /// WarpTM : GETM ratio from our 3.1x to the paper's 3.6x.
+    pub fn area_mm2(&self) -> f64 {
+        const MM2_PER_KB: f64 = 0.005038;
+        self.total_bytes() as f64 / 1024.0 * MM2_PER_KB
+    }
+
+    /// Estimated power (dynamic + leakage) in mW, assuming an access every
+    /// cycle (the paper's conservative assumption). Array energy grows
+    /// sublinearly with capacity (bitline/wordline segmentation) and the
+    /// dynamic half scales with the clock; each array instance adds fixed
+    /// peripheral power. Coefficients are solved so that WarpTM's and
+    /// GETM's totals match the paper's CACTI outputs exactly.
+    pub fn power_mw(&self) -> f64 {
+        const K_ARRAY: f64 = 1.158; // mW per KB^0.75, full-rate clock
+        const C_INSTANCE: f64 = 3.2653; // mW fixed peripheral per array
+        let kb_per_instance = self.bytes_per_instance as f64 / 1024.0;
+        let clock_term = 0.5 + 0.5 * (self.clock_mhz as f64 / 1400.0);
+        self.instances as f64
+            * (K_ARRAY * kb_per_instance.powf(0.75) * clock_term + C_INSTANCE)
+    }
+}
+
+/// The hardware inventory of one TM proposal.
+#[derive(Debug, Clone)]
+pub struct TmInventory {
+    /// Proposal name.
+    pub name: &'static str,
+    /// Its structures.
+    pub structures: Vec<SramStructure>,
+}
+
+impl TmInventory {
+    /// Total area.
+    pub fn area_mm2(&self) -> f64 {
+        self.structures.iter().map(SramStructure::area_mm2).sum()
+    }
+
+    /// Total power.
+    pub fn power_mw(&self) -> f64 {
+        self.structures.iter().map(SramStructure::power_mw).sum()
+    }
+}
+
+const KB: u64 = 1024;
+
+/// WarpTM's TM structures (Table V, top block), for a 15-core / 6-partition
+/// GPU.
+pub fn warptm_inventory() -> TmInventory {
+    TmInventory {
+        name: "WarpTM",
+        structures: vec![
+            SramStructure { name: "CU: LWHR tables", bytes_per_instance: 3 * KB, instances: 6, clock_mhz: 700 },
+            SramStructure { name: "CU: LWHR filters", bytes_per_instance: 2 * KB, instances: 6, clock_mhz: 700 },
+            SramStructure { name: "CU: entry arrays", bytes_per_instance: 19 * KB, instances: 6, clock_mhz: 700 },
+            SramStructure { name: "CU: read-write buffers", bytes_per_instance: 32 * KB, instances: 6, clock_mhz: 700 },
+            SramStructure { name: "TCD: first-read tables", bytes_per_instance: 12 * KB, instances: 15, clock_mhz: 1400 },
+            SramStructure { name: "TCD: last-write buffer", bytes_per_instance: 16 * KB, instances: 1, clock_mhz: 1400 },
+        ],
+    }
+}
+
+/// EAPG adds a conflict-address table per core and a reference-count table
+/// per partition *on top of* WarpTM.
+pub fn eapg_inventory() -> TmInventory {
+    let mut inv = warptm_inventory();
+    inv.name = "EAPG";
+    inv.structures.push(SramStructure {
+        name: "CAT: conflict address table",
+        bytes_per_instance: 12 * KB,
+        instances: 15,
+        clock_mhz: 1400,
+    });
+    inv.structures.push(SramStructure {
+        name: "RCT: reference count table",
+        bytes_per_instance: 15 * KB,
+        instances: 6,
+        clock_mhz: 700,
+    });
+    inv
+}
+
+/// GETM's structures (Table V, bottom block) — independent of WarpTM's.
+pub fn getm_inventory() -> TmInventory {
+    TmInventory {
+        name: "GETM",
+        structures: vec![
+            // Write-only commit buffers: half of WarpTM's read-write buffers.
+            SramStructure { name: "CU: write buffers", bytes_per_instance: 16 * KB, instances: 6, clock_mhz: 700 },
+            // Precise metadata: 4K entries x 16B = 64KB GPU-wide.
+            SramStructure { name: "VU: precise tables", bytes_per_instance: 64 * KB, instances: 1, clock_mhz: 1400 },
+            // Approximate metadata: 1K entries x 8B = 8KB GPU-wide.
+            SramStructure { name: "VU: approximate tables", bytes_per_instance: 8 * KB, instances: 1, clock_mhz: 1400 },
+            // warpts: 48 warps x 4B per core.
+            SramStructure { name: "warpts tables", bytes_per_instance: 192, instances: 15, clock_mhz: 1400 },
+            // Stall buffers: 4 lines x 4 entries, ~30B each, per partition.
+            SramStructure { name: "stall buffers", bytes_per_instance: 480, instances: 6, clock_mhz: 1400 },
+        ],
+    }
+}
+
+/// Table V summary row: (name, area mm^2, power mW).
+pub fn table5() -> Vec<(&'static str, f64, f64)> {
+    [warptm_inventory(), eapg_inventory(), getm_inventory()]
+        .iter()
+        .map(|inv| (inv.name, inv.area_mm2(), inv.power_mw()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let small = SramStructure { name: "s", bytes_per_instance: KB, instances: 1, clock_mhz: 1400 };
+        let big = SramStructure { name: "b", bytes_per_instance: 4 * KB, instances: 1, clock_mhz: 1400 };
+        assert!(big.area_mm2() > 3.0 * small.area_mm2());
+        // Array power is sublinear in capacity (segmented bitlines) plus a
+        // fixed per-instance peripheral term.
+        assert!(big.power_mw() > 1.4 * small.power_mw());
+        assert!(big.power_mw() < 4.0 * small.power_mw());
+    }
+
+    #[test]
+    fn half_clock_reduces_dynamic_power_only() {
+        let fast = SramStructure { name: "f", bytes_per_instance: KB, instances: 1, clock_mhz: 1400 };
+        let slow = SramStructure { name: "s", bytes_per_instance: KB, instances: 1, clock_mhz: 700 };
+        assert!(slow.power_mw() < fast.power_mw());
+        assert!(slow.power_mw() > fast.power_mw() / 2.0, "leakage is clock-independent");
+    }
+
+    #[test]
+    fn totals_match_the_papers_cacti_outputs() {
+        let w = warptm_inventory();
+        let e = eapg_inventory();
+        let g = getm_inventory();
+        // Calibration anchors (paper Table V): WarpTM 2.68 mm^2 / 390 mW,
+        // GETM 0.736 mm^2 / 177 mW. Area is anchored on WarpTM only (the
+        // linear-density model puts GETM within ~20%); power is anchored
+        // on both.
+        assert!((w.area_mm2() - 2.68).abs() < 0.05, "warptm area {}", w.area_mm2());
+        assert!((w.power_mw() - 390.0).abs() < 5.0, "warptm power {}", w.power_mw());
+        assert!((g.power_mw() - 177.0).abs() < 5.0, "getm power {}", g.power_mw());
+        assert!((g.area_mm2() - 0.736).abs() < 0.2, "getm area {}", g.area_mm2());
+        assert!((e.power_mw() - 619.0).abs() < 20.0, "eapg power {}", e.power_mw());
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        let w = warptm_inventory();
+        let e = eapg_inventory();
+        let g = getm_inventory();
+        // Paper: GETM ~3.6x lower area and ~2.2x lower power than WarpTM;
+        // EAPG costs the most.
+        let area_ratio = w.area_mm2() / g.area_mm2();
+        let power_ratio = w.power_mw() / g.power_mw();
+        assert!(area_ratio > 2.7 && area_ratio < 4.2, "area ratio {area_ratio}");
+        assert!(power_ratio > 1.8 && power_ratio < 2.7, "power ratio {power_ratio}");
+        assert!(e.area_mm2() > w.area_mm2());
+        assert!(e.power_mw() > w.power_mw());
+    }
+
+    #[test]
+    fn getm_total_area_is_fraction_of_a_die() {
+        // The paper: GETM adds ~0.2% to a ~529 mm^2 GTX 480 die scaled to
+        // 32nm (~270 mm^2). Sanity: under 2 mm^2.
+        assert!(getm_inventory().area_mm2() < 2.0);
+    }
+
+    #[test]
+    fn table5_has_three_rows() {
+        let t = table5();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].0, "WarpTM");
+        assert_eq!(t[2].0, "GETM");
+    }
+}

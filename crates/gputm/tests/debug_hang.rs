@@ -1,0 +1,53 @@
+//! Diagnostic: small runs with tight cycle budgets that dump engine state
+//! on livelock instead of hanging the test suite.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::engine::Engine;
+use workloads::atm::Atm;
+use workloads::Workload;
+
+fn tiny() -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = 1;
+    cfg.warps_per_core = 2;
+    cfg.warp_width = 4;
+    cfg.partitions = 2;
+    cfg.max_cycles = 2_000_000;
+    cfg
+}
+
+fn run_or_dump(system: TmSystem, threads: usize) {
+    let w = Atm::new(16, threads, 1, 5);
+    let mut e = Engine::new(&w, system, &tiny()).expect("engine");
+    match e.run() {
+        Ok(m) => {
+            assert!(m.cycles > 0);
+            if let Err(err) = w.check(&e.memory_reader()) {
+                panic!("{system} with {threads} threads violated invariants: {err}");
+            }
+        }
+        Err(err) => panic!("{system} livelocked: {err}\n{}", e.debug_dump()),
+    }
+}
+
+#[test]
+fn single_warp_fglock() {
+    run_or_dump(TmSystem::FgLock, 4);
+}
+
+#[test]
+fn single_warp_getm() {
+    run_or_dump(TmSystem::Getm, 4);
+}
+
+#[test]
+fn single_warp_warptm() {
+    run_or_dump(TmSystem::WarpTmLL, 4);
+}
+
+#[test]
+fn two_warps_each_system() {
+    for s in TmSystem::ALL {
+        run_or_dump(s, 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end engine smoke tests: every workload under every TM system on
+//! a small machine, with the workload's invariant checker applied to the
+//! final memory image and determinism verified.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::runner::run_workload;
+use workloads::apriori::Apriori;
+use workloads::atm::Atm;
+use workloads::barneshut::BarnesHut;
+use workloads::cloth::Cloth;
+use workloads::cudacuts::CudaCuts;
+use workloads::hashtable::HashTable;
+use workloads::Workload;
+
+fn small_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = 3;
+    cfg.warps_per_core = 6;
+    cfg.warp_width = 8;
+    cfg.partitions = 3;
+    cfg
+}
+
+fn run_all_systems(w: &dyn Workload) {
+    for system in TmSystem::ALL {
+        let m = run_workload(w, system, &small_cfg())
+            .unwrap_or_else(|e| panic!("{} under {system}: {e}", w.name()));
+        assert!(m.cycles > 0);
+        match &m.check {
+            Some(Ok(())) => {}
+            Some(Err(e)) => panic!("{} under {system} violated invariants: {e}", w.name()),
+            None => panic!("check missing"),
+        }
+        if system.is_tm() {
+            assert!(
+                m.commits > 0,
+                "{} under {system} committed nothing",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hashtable_all_systems() {
+    run_all_systems(&HashTable::new("HT-T", 32, 128, 9));
+}
+
+#[test]
+fn atm_all_systems() {
+    run_all_systems(&Atm::new(64, 96, 2, 5));
+}
+
+#[test]
+fn cloth_all_systems() {
+    run_all_systems(&Cloth::cl(6, 6, 1));
+    run_all_systems(&Cloth::clto(6, 6, 1));
+}
+
+#[test]
+fn barneshut_all_systems() {
+    run_all_systems(&BarnesHut::new(96, 3));
+}
+
+#[test]
+fn cudacuts_all_systems() {
+    run_all_systems(&CudaCuts::new(8, 6, 1));
+}
+
+#[test]
+fn apriori_all_systems() {
+    run_all_systems(&Apriori::new(16, 64, 2, 7));
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let w = Atm::new(32, 64, 2, 5);
+    let cfg = small_cfg();
+    for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::FgLock] {
+        let a = run_workload(&w, system, &cfg).unwrap();
+        let b = run_workload(&w, system, &cfg).unwrap();
+        assert_eq!(a.cycles, b.cycles, "{system} not deterministic");
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.xbar_bytes, b.xbar_bytes);
+    }
+}
+
+#[test]
+fn contention_drives_aborts() {
+    // A single hot counter under GETM must see plenty of aborts; a
+    // spread-out hashtable should see far fewer per commit.
+    let hot = Apriori::new(2, 64, 2, 7);
+    let cold = HashTable::new("HT-C", 4096, 128, 9);
+    let cfg = small_cfg();
+    let m_hot = run_workload(&hot, TmSystem::Getm, &cfg).unwrap();
+    let m_cold = run_workload(&cold, TmSystem::Getm, &cfg).unwrap();
+    assert!(
+        m_hot.aborts_per_1k_commits() > m_cold.aborts_per_1k_commits(),
+        "hot {} <= cold {}",
+        m_hot.aborts_per_1k_commits(),
+        m_cold.aborts_per_1k_commits()
+    );
+}
+
+#[test]
+fn concurrency_throttle_respected() {
+    let w = Atm::new(64, 96, 2, 5);
+    let cfg = small_cfg().with_concurrency(Some(1));
+    let m = run_workload(&w, TmSystem::Getm, &cfg).unwrap();
+    m.assert_correct();
+    // Severe throttling should show up as wait cycles.
+    assert!(m.tx_wait_cycles > 0);
+}
+
+#[test]
+fn getm_uses_tm_access_traffic() {
+    let w = Atm::new(64, 96, 2, 5);
+    let m = run_workload(&w, TmSystem::Getm, &small_cfg()).unwrap();
+    assert!(m.xbar_by_category.get("tm-access").copied().unwrap_or(0) > 0);
+    assert!(m.xbar_by_category.get("commit").copied().unwrap_or(0) > 0);
+    // GETM never validates at commit time.
+    assert_eq!(m.xbar_by_category.get("validation").copied().unwrap_or(0), 0);
+}
+
+#[test]
+fn warptm_validates_at_commit() {
+    let w = Atm::new(64, 96, 2, 5);
+    let m = run_workload(&w, TmSystem::WarpTmLL, &small_cfg()).unwrap();
+    assert!(m.xbar_by_category.get("validation").copied().unwrap_or(0) > 0);
+}
+
+#[test]
+fn eapg_broadcasts() {
+    let w = Apriori::new(4, 64, 2, 7);
+    let m = run_workload(&w, TmSystem::Eapg, &small_cfg()).unwrap();
+    assert!(m.eapg_broadcasts > 0);
+    assert!(m.xbar_by_category.get("eapg-broadcast").copied().unwrap_or(0) > 0);
+}

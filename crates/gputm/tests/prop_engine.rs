@@ -1,0 +1,86 @@
+//! Property-based tests over the full engine: random workload shapes,
+//! seeds, and machine geometries must always produce invariant-satisfying
+//! final memory under every TM system. These are the closest thing the
+//! repository has to a model checker for the protocols.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::runner::run_workload;
+use proptest::prelude::*;
+use workloads::atm::Atm;
+use workloads::hashtable::HashTable;
+
+fn cfg(cores: u32, warps: u32, width: u32, parts: u32, limit: Option<u32>) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = cores;
+    cfg.warps_per_core = warps;
+    cfg.warp_width = width;
+    cfg.partitions = parts;
+    cfg.tx_concurrency = limit;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full simulation
+        ..ProptestConfig::default()
+    })]
+
+    /// Money is conserved under arbitrary contention, machine shape, and
+    /// concurrency limit, for every TM system.
+    #[test]
+    fn atm_conserves_money_everywhere(
+        accounts in 8u64..256,
+        threads in 16usize..128,
+        seed in 0u64..1000,
+        cores in 1u32..4,
+        parts in 1u32..4,
+        limit in prop_oneof![Just(None), (1u32..5).prop_map(Some)],
+    ) {
+        let w = Atm::new(accounts, threads, 2, seed);
+        let machine = cfg(cores, 4, 8, parts, limit);
+        for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
+            let m = run_workload(&w, system, &machine)
+                .unwrap_or_else(|e| panic!("{system}: {e}"));
+            prop_assert!(
+                matches!(m.check, Some(Ok(()))),
+                "{system} violated conservation: {:?}",
+                m.check
+            );
+            prop_assert_eq!(m.commits, threads as u64 * 2);
+        }
+    }
+
+    /// Every hashtable insert lands exactly once regardless of bucket
+    /// pressure, under GETM and the lock baseline.
+    #[test]
+    fn hashtable_inserts_exactly_once(
+        buckets in 4u64..512,
+        inserts in 16usize..160,
+        seed in 0u64..1000,
+    ) {
+        let w = HashTable::new("HT-P", buckets, inserts, seed);
+        let machine = cfg(2, 4, 8, 2, Some(4));
+        for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::FgLock] {
+            let m = run_workload(&w, system, &machine)
+                .unwrap_or_else(|e| panic!("{system}: {e}"));
+            prop_assert!(
+                matches!(m.check, Some(Ok(()))),
+                "{system} broke the table: {:?}",
+                m.check
+            );
+        }
+    }
+
+    /// Metadata granularity never affects correctness, only performance
+    /// (the Fig. 14 knob).
+    #[test]
+    fn granularity_is_correctness_neutral(
+        granule_log2 in 4u32..8, // 16..128 bytes
+        seed in 0u64..100,
+    ) {
+        let w = Atm::new(64, 64, 2, seed);
+        let machine = cfg(2, 4, 8, 2, Some(4)).with_granularity(1 << granule_log2);
+        let m = run_workload(&w, TmSystem::Getm, &machine).expect("run");
+        prop_assert!(matches!(m.check, Some(Ok(()))));
+    }
+}

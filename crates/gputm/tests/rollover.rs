@@ -1,0 +1,51 @@
+//! Logical-timestamp rollover, end to end: with an artificially tiny
+//! timestamp limit, the engine must stall the world, flush every metadata
+//! table, restart the clocks, and still finish the workload correctly.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::runner::run_workload;
+use workloads::atm::Atm;
+
+fn tiny_limit_cfg(limit: u64) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = 2;
+    cfg.warps_per_core = 4;
+    cfg.warp_width = 8;
+    cfg.partitions = 2;
+    cfg.ts_limit = limit;
+    cfg
+}
+
+#[test]
+fn rollover_fires_and_preserves_correctness() {
+    // Contended transfers push logical clocks up quickly; a limit of 96
+    // forces several rollovers (initial warpts already reach 0..63).
+    let w = Atm::new(64, 64, 4, 11);
+    let m = run_workload(&w, TmSystem::Getm, &tiny_limit_cfg(96)).expect("run");
+    m.assert_correct();
+    assert!(
+        m.rollovers > 0,
+        "a 96-tick clock limit must trigger at least one rollover"
+    );
+    assert!(m.commits == 64 * 4, "every transfer still commits");
+}
+
+#[test]
+fn generous_limit_never_rolls_over() {
+    let w = Atm::new(64, 64, 2, 11);
+    let m = run_workload(&w, TmSystem::Getm, &tiny_limit_cfg(1 << 48)).expect("run");
+    m.assert_correct();
+    assert_eq!(m.rollovers, 0);
+}
+
+#[test]
+fn repeated_rollovers_are_deterministic() {
+    let w = Atm::new(32, 48, 4, 3);
+    let cfg = tiny_limit_cfg(80);
+    let a = run_workload(&w, TmSystem::Getm, &cfg).expect("first");
+    let b = run_workload(&w, TmSystem::Getm, &cfg).expect("second");
+    a.assert_correct();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.rollovers, b.rollovers);
+    assert!(a.rollovers >= 1);
+}

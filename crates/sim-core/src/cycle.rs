@@ -1,0 +1,121 @@
+//! Cycle arithmetic.
+//!
+//! All timing in the simulator is expressed in core-clock cycles via the
+//! [`Cycle`] newtype, which prevents accidental mixing of cycle counts with
+//! other `u64` quantities (addresses, logical timestamps, ...).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in core-clock cycles.
+///
+/// `Cycle` is ordered and supports adding a `u64` delay:
+///
+/// ```
+/// use sim_core::Cycle;
+/// let t = Cycle(10) + 5;
+/// assert_eq!(t, Cycle(15));
+/// assert_eq!(t - Cycle(10), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero, the start of simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Saturating difference: cycles elapsed from `earlier` to `self`,
+    /// clamped to zero if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Cycles elapsed between two points in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle difference");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cyc{}", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub() {
+        let t = Cycle(100);
+        assert_eq!(t + 30, Cycle(130));
+        assert_eq!(Cycle(130) - t, 30);
+        assert_eq!(t.since(Cycle(130)), 0);
+        assert_eq!(Cycle(130).since(t), 30);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(1).max(Cycle(2)), Cycle(2));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = Cycle(5);
+        t += 7;
+        assert_eq!(t, Cycle(12));
+    }
+
+    #[test]
+    fn debug_display() {
+        assert_eq!(format!("{:?}", Cycle(3)), "cyc3");
+        assert_eq!(format!("{}", Cycle(3)), "3");
+    }
+}

@@ -1,0 +1,88 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by simulator construction and execution.
+///
+/// Most simulator-internal conditions (aborted transactions, full queues)
+/// are modelled behaviour, not errors; `SimError` covers genuine misuse of
+/// the API or configurations the models cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter is outside the supported range.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Human-readable detail of the rejection.
+        detail: String,
+    },
+    /// The simulation exceeded its cycle budget without finishing, which
+    /// usually indicates livelock in a protocol under test.
+    CycleLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A workload asked for resources the simulated machine does not have.
+    ResourceExhausted {
+        /// Which resource ran out.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for {what}: {detail}")
+            }
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded cycle limit of {limit}")
+            }
+            SimError::ResourceExhausted { what } => {
+                write!(f, "simulated resource exhausted: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(what: &'static str, detail: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::invalid_config("warps_per_core", "must be nonzero");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for warps_per_core: must be nonzero"
+        );
+        assert_eq!(
+            SimError::CycleLimitExceeded { limit: 10 }.to_string(),
+            "simulation exceeded cycle limit of 10"
+        );
+        assert_eq!(
+            SimError::ResourceExhausted { what: "stall buffer" }.to_string(),
+            "simulated resource exhausted: stall buffer"
+        );
+    }
+
+    #[test]
+    fn is_error_and_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,161 @@
+//! A timing-event wheel.
+//!
+//! Components that model latency (crossbar traversal, DRAM access, commit
+//! unit processing) schedule payloads for a future [`Cycle`] and drain the
+//! ones that have become due each tick. Events scheduled for the same cycle
+//! are delivered in insertion order, which keeps the whole simulation
+//! deterministic.
+
+use crate::Cycle;
+use std::collections::BinaryHeap;
+use std::cmp::{Ordering, Reverse};
+
+/// One pending event: delivery time plus a tiebreaking sequence number.
+struct Entry<T> {
+    due: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// A deterministic min-heap of future events.
+///
+/// ```
+/// use sim_core::{Cycle, EventWheel};
+///
+/// let mut wheel = EventWheel::new();
+/// wheel.schedule(Cycle(3), "late");
+/// wheel.schedule(Cycle(1), "early");
+/// wheel.schedule(Cycle(1), "early2");
+/// assert_eq!(wheel.pop_due(Cycle(2)), Some("early"));
+/// assert_eq!(wheel.pop_due(Cycle(2)), Some("early2"));
+/// assert_eq!(wheel.pop_due(Cycle(2)), None);
+/// assert_eq!(wheel.len(), 1);
+/// ```
+pub struct EventWheel<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> EventWheel<T> {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        EventWheel {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at cycle `due`.
+    pub fn schedule(&mut self, due: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { due, seq, payload }));
+    }
+
+    /// Removes and returns the next event due at or before `now`, if any.
+    ///
+    /// Call in a loop to drain everything that is due this cycle.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.due <= now) {
+            Some(self.heap.pop().expect("peeked entry").0.payload)
+        } else {
+            None
+        }
+    }
+
+    /// The delivery time of the earliest pending event.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EventWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventWheel")
+            .field("pending", &self.heap.len())
+            .field("next_due", &self.next_due())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut w = EventWheel::new();
+        w.schedule(Cycle(10), 'c');
+        w.schedule(Cycle(5), 'a');
+        w.schedule(Cycle(7), 'b');
+        assert_eq!(w.next_due(), Some(Cycle(5)));
+        assert_eq!(w.pop_due(Cycle(100)), Some('a'));
+        assert_eq!(w.pop_due(Cycle(100)), Some('b'));
+        assert_eq!(w.pop_due(Cycle(100)), Some('c'));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut w = EventWheel::new();
+        for i in 0..100 {
+            w.schedule(Cycle(1), i);
+        }
+        for i in 0..100 {
+            assert_eq!(w.pop_due(Cycle(1)), Some(i));
+        }
+    }
+
+    #[test]
+    fn not_due_yet_stays() {
+        let mut w = EventWheel::new();
+        w.schedule(Cycle(5), ());
+        assert_eq!(w.pop_due(Cycle(4)), None);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_due(Cycle(5)), Some(()));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut w = EventWheel::new();
+        w.schedule(Cycle(2), 1);
+        assert_eq!(w.pop_due(Cycle(2)), Some(1));
+        w.schedule(Cycle(2), 2); // same due time after pops
+        w.schedule(Cycle(1), 3); // earlier, still deliverable at 2
+        assert_eq!(w.pop_due(Cycle(2)), Some(3));
+        assert_eq!(w.pop_due(Cycle(2)), Some(2));
+    }
+}

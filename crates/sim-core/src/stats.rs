@@ -1,0 +1,314 @@
+//! Statistics collection.
+//!
+//! Architectural models accumulate counts, maxima, ratios and small
+//! histograms during simulation; the experiment harness reads them out at
+//! the end of a run. All types here are plain accumulators — cheap to update
+//! on hot paths and trivially mergeable across runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 += other.0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Tracks the maximum of a stream of observations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxTracker(u64);
+
+impl MaxTracker {
+    /// A tracker with maximum zero.
+    pub fn new() -> Self {
+        MaxTracker(0)
+    }
+
+    /// Observes a value.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        if v > self.0 {
+            self.0 = v;
+        }
+    }
+
+    /// The largest value observed so far (zero if none).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds another tracker into this one.
+    pub fn merge(&mut self, other: &MaxTracker) {
+        self.observe(other.0);
+    }
+}
+
+/// An online mean: a sum of observations and their count.
+///
+/// Used for per-request averages such as "validation-unit cycles per
+/// metadata access" (Fig. 13) or "stalled requests per address" (Fig. 16).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RatioStat {
+    sum: f64,
+    n: u64,
+}
+
+impl RatioStat {
+    /// An empty ratio.
+    pub fn new() -> Self {
+        RatioStat::default()
+    }
+
+    /// Observes one sample.
+    #[inline]
+    pub fn observe(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// The mean of all samples, or 0.0 if none were observed.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Folds another ratio into this one.
+    pub fn merge(&mut self, other: &RatioStat) {
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+}
+
+/// A sparse histogram over `u64` buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `v`.
+    pub fn observe(&mut self, v: u64) {
+        *self.buckets.entry(v).or_insert(0) += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Mean of all observations (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.buckets.iter().map(|(v, c)| v * c).sum();
+        sum as f64 / n as f64
+    }
+
+    /// Largest observed value (None if empty).
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &c) in &other.buckets {
+            *self.buckets.entry(v).or_insert(0) += c;
+        }
+    }
+}
+
+/// A named bundle of counters, handy for ad-hoc per-component stats that the
+/// harness dumps verbatim.
+#[derive(Debug, Clone, Default)]
+pub struct StatSet {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl StatSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        StatSet::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.values.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds another set into this one.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (&k, &v) in &other.values {
+            *self.values.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values; 0.0 for an empty slice.
+///
+/// Used for the "GMEAN" column of the paper's figures. Non-positive inputs
+/// are skipped (they would otherwise poison the logarithm).
+pub fn gmean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        0.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut d = Counter::new();
+        d.add(10);
+        c.merge(&d);
+        assert_eq!(c.get(), 15);
+        assert_eq!(c.to_string(), "15");
+    }
+
+    #[test]
+    fn max_tracker() {
+        let mut m = MaxTracker::new();
+        assert_eq!(m.max(), 0);
+        m.observe(3);
+        m.observe(1);
+        assert_eq!(m.max(), 3);
+        let mut n = MaxTracker::new();
+        n.observe(9);
+        m.merge(&n);
+        assert_eq!(m.max(), 9);
+    }
+
+    #[test]
+    fn ratio_stat_mean() {
+        let mut r = RatioStat::new();
+        assert_eq!(r.mean(), 0.0);
+        r.observe(1.0);
+        r.observe(3.0);
+        assert_eq!(r.mean(), 2.0);
+        assert_eq!(r.count(), 2);
+        let mut s = RatioStat::new();
+        s.observe(8.0);
+        r.merge(&s);
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.mean(), 4.0);
+    }
+
+    #[test]
+    fn histogram() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        h.observe(2);
+        h.observe(2);
+        h.observe(8);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.max(), Some(8));
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(2, 2), (8, 1)]);
+        let mut g = Histogram::new();
+        g.observe(2);
+        h.merge(&g);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn stat_set() {
+        let mut s = StatSet::new();
+        s.add("loads", 2);
+        s.add("loads", 3);
+        assert_eq!(s.get("loads"), 5);
+        assert_eq!(s.get("missing"), 0);
+        let mut t = StatSet::new();
+        t.add("stores", 1);
+        s.merge(&t);
+        assert_eq!(s.get("stores"), 1);
+    }
+
+    #[test]
+    fn gmean_values() {
+        assert_eq!(gmean(&[]), 0.0);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        // zeros and negatives are skipped
+        assert!((gmean(&[2.0, 8.0, 0.0, -1.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+}

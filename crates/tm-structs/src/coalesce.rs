@@ -1,0 +1,181 @@
+//! Commit-time write coalescing (paper Sec. V-C).
+//!
+//! The commit unit receives per-thread write-log entries from a committing
+//! (or aborting) warp, merges multiple writes to the same metadata-granule
+//! region, and drains them to the LLC at the commit-unit bandwidth. In GETM
+//! only the *write* log travels, so the buffer is half the size of the one
+//! WarpTM needs — the size difference is accounted in the silicon model, not
+//! here; this structure models the merging behaviour and drain order.
+
+use std::collections::BTreeMap;
+
+/// One coalesced region ready to be written to the LLC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalescedWrite {
+    /// Metadata-granule address (already shifted to granule units).
+    pub granule: u64,
+    /// Last-writer-wins payload for the region, if any write carried data
+    /// (aborting transactions send only address + count for cleanup).
+    pub data: Option<u64>,
+    /// Total `#writes` count accumulated for the region; the validation
+    /// unit's lock release subtracts this from the line's `#writes` field.
+    pub writes: u32,
+}
+
+/// The coalescing buffer of one commit unit.
+///
+/// ```
+/// use tm_structs::CoalescingBuffer;
+///
+/// let mut cb = CoalescingBuffer::new();
+/// cb.push(0x4, Some(11), 1);
+/// cb.push(0x4, Some(22), 2); // same granule: merged, last write wins
+/// cb.push(0x8, None, 1);     // cleanup entry (abort)
+/// let drained = cb.drain();
+/// assert_eq!(drained.len(), 2);
+/// assert_eq!(drained[0].granule, 0x4);
+/// assert_eq!(drained[0].data, Some(22));
+/// assert_eq!(drained[0].writes, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoalescingBuffer {
+    regions: BTreeMap<u64, (Option<u64>, u32)>,
+    pushes: u64,
+}
+
+impl CoalescingBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        CoalescingBuffer::default()
+    }
+
+    /// Adds one write-log entry for `granule`.
+    ///
+    /// `data` is `Some` for committing threads (write data travels) and
+    /// `None` for aborting threads (cleanup only). `writes` is the number of
+    /// coalesced writes the entry represents.
+    pub fn push(&mut self, granule: u64, data: Option<u64>, writes: u32) {
+        self.pushes += 1;
+        let slot = self.regions.entry(granule).or_insert((None, 0));
+        if data.is_some() {
+            slot.0 = data; // last write wins within a commit
+        }
+        slot.1 += writes;
+    }
+
+    /// Number of distinct regions currently buffered.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Raw (pre-coalescing) entries pushed over the buffer's lifetime.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Drains all coalesced regions in address order, leaving the buffer
+    /// empty. Address order matches the sequential LLC write-port drain.
+    pub fn drain(&mut self) -> Vec<CoalescedWrite> {
+        let regions = std::mem::take(&mut self.regions);
+        regions
+            .into_iter()
+            .map(|(granule, (data, writes))| CoalescedWrite {
+                granule,
+                data,
+                writes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merges_same_granule() {
+        let mut cb = CoalescingBuffer::new();
+        cb.push(1, Some(10), 1);
+        cb.push(1, Some(20), 1);
+        cb.push(1, None, 2);
+        let out = cb.drain();
+        assert_eq!(out, vec![CoalescedWrite { granule: 1, data: Some(20), writes: 4 }]);
+        assert!(cb.is_empty());
+        assert_eq!(cb.pushes(), 3);
+    }
+
+    #[test]
+    fn cleanup_only_entries_have_no_data() {
+        let mut cb = CoalescingBuffer::new();
+        cb.push(7, None, 3);
+        let out = cb.drain();
+        assert_eq!(out[0].data, None);
+        assert_eq!(out[0].writes, 3);
+    }
+
+    #[test]
+    fn data_survives_later_cleanup_merge() {
+        // A committing thread's data must not be erased by an aborting
+        // thread's cleanup entry for the same granule.
+        let mut cb = CoalescingBuffer::new();
+        cb.push(7, Some(5), 1);
+        cb.push(7, None, 1);
+        let out = cb.drain();
+        assert_eq!(out[0].data, Some(5));
+        assert_eq!(out[0].writes, 2);
+    }
+
+    #[test]
+    fn drain_is_address_ordered() {
+        let mut cb = CoalescingBuffer::new();
+        cb.push(9, None, 1);
+        cb.push(3, None, 1);
+        cb.push(6, None, 1);
+        let order: Vec<u64> = cb.drain().iter().map(|w| w.granule).collect();
+        assert_eq!(order, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn empty_drain() {
+        let mut cb = CoalescingBuffer::new();
+        assert!(cb.drain().is_empty());
+        assert_eq!(cb.len(), 0);
+    }
+
+    proptest! {
+        /// The sum of write counts is conserved through coalescing.
+        #[test]
+        fn write_counts_conserved(entries in proptest::collection::vec((0u64..16, 1u32..5), 1..100)) {
+            let mut cb = CoalescingBuffer::new();
+            let mut total = 0u32;
+            for &(g, w) in &entries {
+                cb.push(g, Some(w as u64), w);
+                total += w;
+            }
+            let drained: u32 = cb.drain().iter().map(|c| c.writes).sum();
+            prop_assert_eq!(drained, total);
+        }
+
+        /// Coalescing never produces more regions than distinct granules.
+        #[test]
+        fn region_count_bounded(entries in proptest::collection::vec(0u64..8, 1..100)) {
+            let mut cb = CoalescingBuffer::new();
+            for &g in &entries {
+                cb.push(g, None, 1);
+            }
+            let distinct = {
+                let mut v = entries.clone();
+                v.sort_unstable();
+                v.dedup();
+                v.len()
+            };
+            prop_assert_eq!(cb.len(), distinct);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The stall buffer (paper Sec. V-B2, Fig. 9).
+//!
+//! Transactional requests that pass the timestamp check but find their
+//! target line write-reserved by a logically *earlier* transaction are
+//! queued here instead of aborting. When the reserving transaction commits
+//! or aborts (its `#writes` count reaches zero), the oldest queued request —
+//! the one with the minimum `warpts` — re-enters the validation unit. A full
+//! buffer aborts the requester instead.
+
+use std::collections::BTreeMap;
+use sim_core::{MaxTracker, RatioStat};
+
+/// Configuration for a [`StallBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConfig {
+    /// Distinct addresses the buffer can track (lines). The paper sizes this
+    /// to 4 per partition.
+    pub lines: usize,
+    /// Queued requests per address. The paper uses 4.
+    pub entries_per_line: usize,
+}
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        StallConfig {
+            lines: 4,
+            entries_per_line: 4,
+        }
+    }
+}
+
+/// Why an enqueue was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallError {
+    /// All address lines are occupied by other addresses.
+    NoFreeLine,
+    /// The line for this address is full.
+    LineFull,
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallError::NoFreeLine => write!(f, "stall buffer has no free address line"),
+            StallError::LineFull => write!(f, "stall buffer line for this address is full"),
+        }
+    }
+}
+
+impl std::error::Error for StallError {}
+
+#[derive(Debug, Clone)]
+struct Waiter<T> {
+    warpts: u64,
+    seq: u64,
+    payload: T,
+}
+
+/// The per-partition stall buffer.
+///
+/// ```
+/// use tm_structs::{StallBuffer, StallConfig};
+///
+/// let mut sb: StallBuffer<&str> = StallBuffer::new(StallConfig::default());
+/// sb.enqueue(0x40, 12, "late").unwrap();
+/// sb.enqueue(0x40, 7, "early").unwrap();
+/// // Oldest (minimum warpts) wakes first.
+/// assert_eq!(sb.wake_one(0x40), Some("early"));
+/// assert_eq!(sb.wake_one(0x40), Some("late"));
+/// assert_eq!(sb.wake_one(0x40), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StallBuffer<T> {
+    cfg: StallConfig,
+    lines: BTreeMap<u64, Vec<Waiter<T>>>,
+    next_seq: u64,
+    occupancy_max: MaxTracker,
+    waiters_per_addr: RatioStat,
+}
+
+impl<T> StallBuffer<T> {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero lines or entries.
+    pub fn new(cfg: StallConfig) -> Self {
+        assert!(cfg.lines > 0 && cfg.entries_per_line > 0);
+        StallBuffer {
+            cfg,
+            lines: BTreeMap::new(),
+            next_seq: 0,
+            occupancy_max: MaxTracker::new(),
+            waiters_per_addr: RatioStat::new(),
+        }
+    }
+
+    /// Queues a request for `addr` made at logical time `warpts`.
+    ///
+    /// # Errors
+    ///
+    /// [`StallError::NoFreeLine`] if the buffer tracks `lines` other
+    /// addresses already; [`StallError::LineFull`] if this address's line is
+    /// at capacity. In either case the caller must abort the transaction.
+    pub fn enqueue(&mut self, addr: u64, warpts: u64, payload: T) -> Result<(), StallError> {
+        if !self.lines.contains_key(&addr) && self.lines.len() >= self.cfg.lines {
+            return Err(StallError::NoFreeLine);
+        }
+        let line = self.lines.entry(addr).or_default();
+        if line.len() >= self.cfg.entries_per_line {
+            return Err(StallError::LineFull);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        line.push(Waiter {
+            warpts,
+            seq,
+            payload,
+        });
+        self.waiters_per_addr.observe(line.len() as f64);
+        self.occupancy_max.observe(self.total_occupancy() as u64);
+        Ok(())
+    }
+
+    /// Wakes the oldest (minimum `warpts`, ties broken by arrival order)
+    /// waiter on `addr`, removing it from the buffer.
+    pub fn wake_one(&mut self, addr: u64) -> Option<T> {
+        let line = self.lines.get_mut(&addr)?;
+        let best = line
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.warpts, w.seq))
+            .map(|(i, _)| i)?;
+        let waiter = line.remove(best);
+        if line.is_empty() {
+            self.lines.remove(&addr);
+        }
+        Some(waiter.payload)
+    }
+
+    /// Wakes *all* waiters on `addr` in oldest-first order.
+    pub fn wake_all(&mut self, addr: u64) -> Vec<T> {
+        let mut line = match self.lines.remove(&addr) {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        line.sort_by_key(|w| (w.warpts, w.seq));
+        line.into_iter().map(|w| w.payload).collect()
+    }
+
+    /// Whether any request is queued on `addr`.
+    pub fn has_waiters(&self, addr: u64) -> bool {
+        self.lines.contains_key(&addr)
+    }
+
+    /// Total queued requests across all addresses.
+    pub fn total_occupancy(&self) -> usize {
+        self.lines.values().map(Vec::len).sum()
+    }
+
+    /// Number of distinct addresses with waiters.
+    pub fn addresses(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// High-water mark of total occupancy (Fig. 15 input).
+    pub fn max_occupancy(&self) -> u64 {
+        self.occupancy_max.max()
+    }
+
+    /// Mean concurrent waiters per address at enqueue time (Fig. 16 input).
+    pub fn mean_waiters_per_addr(&self) -> f64 {
+        self.waiters_per_addr.mean()
+    }
+
+    /// Drains everything (rollover flush), oldest-first per address.
+    pub fn drain(&mut self) -> Vec<T> {
+        let addrs: Vec<u64> = self.lines.keys().copied().collect();
+        let mut out = Vec::new();
+        for a in addrs {
+            out.extend(self.wake_all(a));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn buf() -> StallBuffer<u32> {
+        StallBuffer::new(StallConfig::default())
+    }
+
+    #[test]
+    fn min_warpts_wakes_first() {
+        let mut sb = buf();
+        sb.enqueue(1, 30, 300).unwrap();
+        sb.enqueue(1, 10, 100).unwrap();
+        sb.enqueue(1, 20, 200).unwrap();
+        assert_eq!(sb.wake_one(1), Some(100));
+        assert_eq!(sb.wake_one(1), Some(200));
+        assert_eq!(sb.wake_one(1), Some(300));
+        assert_eq!(sb.wake_one(1), None);
+        assert!(!sb.has_waiters(1));
+    }
+
+    #[test]
+    fn ties_break_by_arrival_order() {
+        let mut sb = buf();
+        sb.enqueue(1, 5, 1).unwrap();
+        sb.enqueue(1, 5, 2).unwrap();
+        assert_eq!(sb.wake_one(1), Some(1));
+        assert_eq!(sb.wake_one(1), Some(2));
+    }
+
+    #[test]
+    fn line_capacity_enforced() {
+        let mut sb = buf();
+        for i in 0..4 {
+            sb.enqueue(1, i, i as u32).unwrap();
+        }
+        assert_eq!(sb.enqueue(1, 9, 9), Err(StallError::LineFull));
+    }
+
+    #[test]
+    fn line_count_enforced() {
+        let mut sb = buf();
+        for a in 0..4u64 {
+            sb.enqueue(a, 0, a as u32).unwrap();
+        }
+        assert_eq!(sb.enqueue(99, 0, 0), Err(StallError::NoFreeLine));
+        // Existing address still accepts.
+        sb.enqueue(3, 1, 1).unwrap();
+    }
+
+    #[test]
+    fn wake_frees_line_for_new_address() {
+        let mut sb = buf();
+        for a in 0..4u64 {
+            sb.enqueue(a, 0, a as u32).unwrap();
+        }
+        assert_eq!(sb.wake_one(0), Some(0));
+        sb.enqueue(99, 0, 42).unwrap();
+        assert_eq!(sb.wake_one(99), Some(42));
+    }
+
+    #[test]
+    fn wake_all_is_sorted() {
+        let mut sb = buf();
+        sb.enqueue(1, 3, 3).unwrap();
+        sb.enqueue(1, 1, 1).unwrap();
+        sb.enqueue(1, 2, 2).unwrap();
+        assert_eq!(sb.wake_all(1), vec![1, 2, 3]);
+        assert_eq!(sb.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn stats_track_occupancy() {
+        let mut sb = buf();
+        sb.enqueue(1, 0, 0).unwrap();
+        sb.enqueue(1, 1, 1).unwrap();
+        sb.enqueue(2, 0, 2).unwrap();
+        assert_eq!(sb.max_occupancy(), 3);
+        assert_eq!(sb.addresses(), 2);
+        // waiters/addr observations were 1, 2, 1 -> mean 4/3
+        assert!((sb.mean_waiters_per_addr() - 4.0 / 3.0).abs() < 1e-9);
+        sb.wake_all(1);
+        sb.wake_all(2);
+        assert_eq!(sb.max_occupancy(), 3, "high-water mark persists");
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut sb = buf();
+        sb.enqueue(5, 2, 52).unwrap();
+        sb.enqueue(5, 1, 51).unwrap();
+        sb.enqueue(9, 0, 90).unwrap();
+        let drained = sb.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(sb.total_occupancy(), 0);
+        // Per-address oldest-first order preserved within each address.
+        let pos51 = drained.iter().position(|&x| x == 51).unwrap();
+        let pos52 = drained.iter().position(|&x| x == 52).unwrap();
+        assert!(pos51 < pos52);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StallError::NoFreeLine.to_string().contains("no free"));
+        assert!(StallError::LineFull.to_string().contains("full"));
+    }
+
+    proptest! {
+        /// Capacity invariants hold under arbitrary operation sequences and
+        /// every enqueued payload is woken exactly once.
+        #[test]
+        fn conservation(ops in proptest::collection::vec((0u8..2, 0u64..6, 0u64..100), 1..200)) {
+            let mut sb: StallBuffer<u64> = StallBuffer::new(StallConfig::default());
+            let mut enqueued = 0u64;
+            let mut woken = 0u64;
+            let mut next_payload = 0u64;
+            for (op, addr, ts) in ops {
+                if op == 0 {
+                    if sb.enqueue(addr, ts, next_payload).is_ok() {
+                        enqueued += 1;
+                        next_payload += 1;
+                    }
+                } else if sb.wake_one(addr).is_some() {
+                    woken += 1;
+                }
+                prop_assert!(sb.addresses() <= 4);
+                prop_assert!(sb.total_occupancy() <= 16);
+            }
+            let rest = sb.drain().len() as u64;
+            prop_assert_eq!(enqueued, woken + rest);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Temporal conflict detection (TCD): silent commits for read-only
+//! transactions.
+//!
+//! WarpTM keeps a table at the LLC recording the physical clock cycle of
+//! the last committed store to each location. Every transactional load
+//! consults it; if a read-only transaction observed only locations whose
+//! last write predates the transaction's start, the values it read cannot
+//! have changed since, so it may commit silently — skipping value-based
+//! validation entirely.
+
+use gpu_mem::Granule;
+use sim_core::Cycle;
+use std::collections::HashMap;
+
+/// The per-partition last-write timestamp table.
+///
+/// The hardware structure is a bounded buffer of recent writes backed by a
+/// conservative overflow bound; we model it as an exact map plus a floor
+/// timestamp that stands in for evicted entries (reads of untracked
+/// granules conservatively report the floor).
+#[derive(Debug, Clone, Default)]
+pub struct TcdTable {
+    last_write: HashMap<u64, Cycle>,
+    /// Conservative bound for granules not individually tracked.
+    floor: Cycle,
+    capacity: usize,
+}
+
+impl TcdTable {
+    /// Creates a table that tracks up to `capacity` granules exactly; older
+    /// entries fold into the conservative floor.
+    pub fn new(capacity: usize) -> Self {
+        TcdTable {
+            last_write: HashMap::new(),
+            floor: Cycle::ZERO,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a committed store to `granule` at `now`.
+    pub fn note_write(&mut self, granule: Granule, now: Cycle) {
+        if self.last_write.len() >= self.capacity
+            && !self.last_write.contains_key(&granule.raw())
+        {
+            // Evict the oldest entry into the floor.
+            if let Some((&victim, &ts)) = self.last_write.iter().min_by_key(|(_, &ts)| ts) {
+                self.floor = self.floor.max(ts);
+                self.last_write.remove(&victim);
+            }
+        }
+        let e = self.last_write.entry(granule.raw()).or_insert(Cycle::ZERO);
+        *e = (*e).max(now);
+    }
+
+    /// The last-write time of `granule`, conservatively overestimated for
+    /// granules that fell out of the exact table.
+    pub fn last_write(&self, granule: Granule) -> Cycle {
+        self.last_write
+            .get(&granule.raw())
+            .copied()
+            .unwrap_or(Cycle::ZERO)
+            .max(self.floor)
+    }
+
+    /// Whether a read-only transaction that started at `tx_start` and read
+    /// `granules` may commit silently.
+    pub fn silent_commit_ok(&self, tx_start: Cycle, granules: &[Granule]) -> bool {
+        granules.iter().all(|&g| self.last_write(g) < tx_start)
+    }
+
+    /// Exact entries currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last_write.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_location_is_clean() {
+        let t = TcdTable::new(16);
+        assert_eq!(t.last_write(Granule(5)), Cycle(0));
+        assert!(t.silent_commit_ok(Cycle(1), &[Granule(5)]));
+    }
+
+    #[test]
+    fn write_after_tx_start_blocks_silent_commit() {
+        let mut t = TcdTable::new(16);
+        t.note_write(Granule(5), Cycle(100));
+        assert!(t.silent_commit_ok(Cycle(101), &[Granule(5)]));
+        assert!(!t.silent_commit_ok(Cycle(100), &[Granule(5)]));
+        assert!(!t.silent_commit_ok(Cycle(50), &[Granule(5)]));
+    }
+
+    #[test]
+    fn mixed_granules_all_must_be_clean() {
+        let mut t = TcdTable::new(16);
+        t.note_write(Granule(1), Cycle(10));
+        t.note_write(Granule(2), Cycle(200));
+        assert!(!t.silent_commit_ok(Cycle(100), &[Granule(1), Granule(2)]));
+        assert!(t.silent_commit_ok(Cycle(300), &[Granule(1), Granule(2)]));
+    }
+
+    #[test]
+    fn newest_write_wins() {
+        let mut t = TcdTable::new(16);
+        t.note_write(Granule(1), Cycle(10));
+        t.note_write(Granule(1), Cycle(50));
+        t.note_write(Granule(1), Cycle(30)); // out-of-order note keeps max
+        assert_eq!(t.last_write(Granule(1)), Cycle(50));
+    }
+
+    #[test]
+    fn eviction_folds_into_floor() {
+        let mut t = TcdTable::new(2);
+        t.note_write(Granule(1), Cycle(10));
+        t.note_write(Granule(2), Cycle(20));
+        t.note_write(Granule(3), Cycle(30)); // evicts granule 1 -> floor 10
+        assert_eq!(t.tracked(), 2);
+        // Granule 1 now reports at least the floor — conservative, so a
+        // transaction that started before the floor cannot commit silently.
+        assert_eq!(t.last_write(Granule(1)), Cycle(10));
+        assert!(!t.silent_commit_ok(Cycle(5), &[Granule(1)]));
+        // Any totally unknown granule also reports the floor.
+        assert_eq!(t.last_write(Granule(99)), Cycle(10));
+    }
+}

@@ -1,0 +1,422 @@
+//! The WarpTM validation/commit unit: lazy, value-based conflict detection.
+//!
+//! At commit time a coalesced warp transaction sends its read and write
+//! logs to the validation unit of every partition it touched. Validation
+//! is *per thread* (lane): the coalesced job tags every entry with its
+//! lane, and the verdict reports the set of lanes that failed, so one
+//! stale thread does not doom its 31 warp-mates. Each unit:
+//!
+//! 1. compares every logged read value against the current committed value
+//!    (one log entry per cycle),
+//! 2. conservatively fails a lane whose footprint overlaps a *limbo* write
+//!    set — writes of lanes that validated here but whose commit command
+//!    has not arrived yet (this models KiloTM's hazard detection between
+//!    pipelined validations),
+//! 3. replies with the failed-lane mask.
+//!
+//! The core collects verdicts from all partitions, unions the failed
+//! masks, and sends a commit command carrying the global mask (or an abort
+//! if every lane failed); the unit then applies the surviving lanes'
+//! buffered writes to the LLC and acknowledges. Only when all acks arrive
+//! may the warp continue — the two round trips of the paper's Fig. 2.
+
+use gpu_mem::{Addr, Geometry};
+use gpu_simt::GlobalWarpId;
+use std::collections::{HashMap, HashSet};
+
+/// One log entry of a per-partition validation job, tagged with the lane
+/// (thread) it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneEntry {
+    /// Lane within the committing warp.
+    pub lane: u32,
+    /// Word address.
+    pub addr: Addr,
+    /// Observed value (reads) or new value (writes).
+    pub value: u64,
+}
+
+/// A transaction's per-partition validation job.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationJob {
+    /// The committing warp.
+    pub wid: GlobalWarpId,
+    /// Engine correlation token (unique per commit attempt).
+    pub token: u64,
+    /// Read-log entries to validate.
+    pub reads: Vec<LaneEntry>,
+    /// Write-log entries to apply on commit.
+    pub writes: Vec<LaneEntry>,
+}
+
+impl ValidationJob {
+    /// Log entries carried by this job.
+    pub fn entries(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// The per-partition verdict for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Correlation token.
+    pub token: u64,
+    /// Mask of lanes that failed validation at this partition.
+    pub failed_lanes: u64,
+    /// Validation-unit cycles consumed (one per log entry, minimum one).
+    pub cycles: u32,
+}
+
+impl Verdict {
+    /// Whether every lane passed here.
+    pub fn all_ok(&self) -> bool {
+        self.failed_lanes == 0
+    }
+}
+
+/// One partition's WarpTM validation/commit unit.
+#[derive(Debug)]
+pub struct WarptmValidator {
+    geom: Geometry,
+    /// Buffered writes of validated-but-uncommitted jobs, by token.
+    limbo: HashMap<u64, Vec<LaneEntry>>,
+    /// Granules covered by limbo writes (with reference counts).
+    limbo_granules: HashMap<u64, u32>,
+    /// Granules *read* by validated-but-uncommitted lanes, by token (for
+    /// release) and as a refcounted set (for the hazard check): a later
+    /// write to a limbo read would un-serialize the earlier transaction.
+    limbo_reads: HashMap<u64, Vec<u64>>,
+    limbo_read_granules: HashMap<u64, u32>,
+    lanes_validated: u64,
+    lanes_failed: u64,
+    hazard_failures: u64,
+}
+
+impl WarptmValidator {
+    /// Creates a validator for a partition of the given geometry.
+    pub fn new(geom: Geometry) -> Self {
+        WarptmValidator {
+            geom,
+            limbo: HashMap::new(),
+            limbo_granules: HashMap::new(),
+            limbo_reads: HashMap::new(),
+            limbo_read_granules: HashMap::new(),
+            lanes_validated: 0,
+            lanes_failed: 0,
+            hazard_failures: 0,
+        }
+    }
+
+    /// Validates a job against the current committed state, lane by lane.
+    ///
+    /// `value_at` reads the committed value of a word from the LLC/memory
+    /// image. Writes of lanes that pass *here* enter the limbo set until
+    /// [`commit`](Self::commit) or [`abort`](Self::abort) arrives with the
+    /// same token.
+    pub fn validate(&mut self, job: ValidationJob, value_at: impl Fn(Addr) -> u64) -> Verdict {
+        let cycles = job.entries().max(1) as u32;
+        let token = job.token;
+        let lanes: HashSet<u32> = job
+            .reads
+            .iter()
+            .chain(job.writes.iter())
+            .map(|e| e.lane)
+            .collect();
+
+        let mut failed = 0u64;
+        for &lane in &lanes {
+            // Hazard checks against validated-but-uncommitted state: the
+            // lane's whole footprint must avoid limbo *writes*, and the
+            // lane's writes must additionally avoid limbo *reads* (a write
+            // under a validated read would break serializability).
+            let hazard = job
+                .reads
+                .iter()
+                .chain(job.writes.iter())
+                .filter(|e| e.lane == lane)
+                .any(|e| {
+                    self.limbo_granules
+                        .contains_key(&self.geom.granule_of(e.addr).raw())
+                })
+                || job
+                    .writes
+                    .iter()
+                    .filter(|e| e.lane == lane)
+                    .any(|e| {
+                        self.limbo_read_granules
+                            .contains_key(&self.geom.granule_of(e.addr).raw())
+                    });
+            if hazard {
+                failed |= 1 << lane;
+                self.hazard_failures += 1;
+                continue;
+            }
+            // Value-based validation of the lane's reads.
+            let ok = job
+                .reads
+                .iter()
+                .filter(|e| e.lane == lane)
+                .all(|e| value_at(e.addr) == e.value);
+            if !ok {
+                failed |= 1 << lane;
+            }
+        }
+        self.lanes_validated += lanes.len() as u64;
+        self.lanes_failed += failed.count_ones() as u64;
+
+        // Locally passing lanes' writes and reads enter limbo.
+        let retained: Vec<LaneEntry> = job
+            .writes
+            .iter()
+            .filter(|e| failed & (1 << e.lane) == 0)
+            .copied()
+            .collect();
+        for e in &retained {
+            *self
+                .limbo_granules
+                .entry(self.geom.granule_of(e.addr).raw())
+                .or_insert(0) += 1;
+        }
+        self.limbo.insert(token, retained);
+        let read_granules: Vec<u64> = job
+            .reads
+            .iter()
+            .filter(|e| failed & (1 << e.lane) == 0)
+            .map(|e| self.geom.granule_of(e.addr).raw())
+            .collect();
+        for &g in &read_granules {
+            *self.limbo_read_granules.entry(g).or_insert(0) += 1;
+        }
+        self.limbo_reads.insert(token, read_granules);
+
+        Verdict {
+            token,
+            failed_lanes: failed,
+            cycles,
+        }
+    }
+
+    /// Applies the writes of a previously validated job, excluding lanes
+    /// in `global_failed` (lanes that failed at *another* partition).
+    /// Returns the surviving writes for the engine to apply plus the apply
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token was never validated (an engine bug).
+    pub fn commit(&mut self, token: u64, global_failed: u64) -> (Vec<(Addr, u64)>, u32) {
+        let retained = self
+            .limbo
+            .remove(&token)
+            .expect("commit for unknown validation token");
+        self.release_granules(&retained);
+        self.release_reads(token);
+        let survivors: Vec<(Addr, u64)> = retained
+            .iter()
+            .filter(|e| global_failed & (1 << e.lane) == 0)
+            .map(|e| (e.addr, e.value))
+            .collect();
+        let cycles = survivors.len().max(1) as u32;
+        (survivors, cycles)
+    }
+
+    /// Discards the limbo state of a job whose global decision was a full
+    /// abort. Unknown tokens are ignored (everything failed locally).
+    pub fn abort(&mut self, token: u64) {
+        if let Some(writes) = self.limbo.remove(&token) {
+            self.release_granules(&writes);
+        }
+        self.release_reads(token);
+    }
+
+    fn release_reads(&mut self, token: u64) {
+        if let Some(gs) = self.limbo_reads.remove(&token) {
+            for g in gs {
+                if let Some(c) = self.limbo_read_granules.get_mut(&g) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.limbo_read_granules.remove(&g);
+                    }
+                }
+            }
+        }
+    }
+
+    fn release_granules(&mut self, writes: &[LaneEntry]) {
+        for e in writes {
+            let g = self.geom.granule_of(e.addr).raw();
+            if let Some(c) = self.limbo_granules.get_mut(&g) {
+                *c -= 1;
+                if *c == 0 {
+                    self.limbo_granules.remove(&g);
+                }
+            }
+        }
+    }
+
+    /// Granules currently covered by limbo writes (for EAPG broadcasts and
+    /// tests).
+    pub fn limbo_granule_set(&self) -> HashSet<u64> {
+        self.limbo_granules.keys().copied().collect()
+    }
+
+    /// Lanes validated over the unit's lifetime.
+    pub fn validated(&self) -> u64 {
+        self.lanes_validated
+    }
+
+    /// Lanes failed (value mismatch or hazard).
+    pub fn failed(&self) -> u64 {
+        self.lanes_failed
+    }
+
+    /// Failures attributable to the conservative limbo hazard check.
+    pub fn hazard_failures(&self) -> u64 {
+        self.hazard_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(128, 32, 6)
+    }
+
+    fn entry(lane: u32, addr: u64, value: u64) -> LaneEntry {
+        LaneEntry {
+            lane,
+            addr: Addr(addr),
+            value,
+        }
+    }
+
+    fn job(token: u64, reads: Vec<LaneEntry>, writes: Vec<LaneEntry>) -> ValidationJob {
+        ValidationJob {
+            wid: GlobalWarpId(1),
+            token,
+            reads,
+            writes,
+        }
+    }
+
+    #[test]
+    fn matching_values_pass() {
+        let mut v = WarptmValidator::new(geom());
+        let verdict = v.validate(
+            job(1, vec![entry(0, 8, 42)], vec![entry(0, 16, 9)]),
+            |a| if a.0 == 8 { 42 } else { 0 },
+        );
+        assert!(verdict.all_ok());
+        assert_eq!(verdict.cycles, 2);
+        assert_eq!(v.validated(), 1);
+    }
+
+    #[test]
+    fn stale_read_fails_only_that_lane() {
+        let mut v = WarptmValidator::new(geom());
+        // Lane 0 reads a stale value; lane 1's read matches.
+        let verdict = v.validate(
+            job(
+                1,
+                vec![entry(0, 8, 42), entry(1, 256, 7)],
+                vec![entry(0, 512, 1), entry(1, 1024, 2)],
+            ),
+            |a| if a.0 == 256 { 7 } else { 0 },
+        );
+        assert_eq!(verdict.failed_lanes, 0b01);
+        // Only lane 1's write survives the commit.
+        let (writes, _) = v.commit(1, verdict.failed_lanes);
+        assert_eq!(writes, vec![(Addr(1024), 2)]);
+        assert_eq!(v.failed(), 1);
+    }
+
+    #[test]
+    fn commit_excludes_globally_failed_lanes() {
+        let mut v = WarptmValidator::new(geom());
+        let verdict = v.validate(
+            job(1, vec![], vec![entry(0, 8, 1), entry(1, 256, 2)]),
+            |_| 0,
+        );
+        assert!(verdict.all_ok());
+        // Lane 1 failed at some other partition.
+        let (writes, _) = v.commit(1, 0b10);
+        assert_eq!(writes, vec![(Addr(8), 1)]);
+        assert!(v.limbo_granule_set().is_empty());
+    }
+
+    #[test]
+    fn limbo_hazard_fails_overlapping_lane() {
+        let mut v = WarptmValidator::new(geom());
+        assert!(v.validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0).all_ok());
+        // Token 2's lane 0 reads granule 0 (addr 8 lives there): hazard.
+        // Its lane 1 touches a distant granule: fine.
+        let verdict = v.validate(
+            job(2, vec![entry(0, 0, 0), entry(1, 4096, 0)], vec![]),
+            |_| 0,
+        );
+        assert_eq!(verdict.failed_lanes, 0b01);
+        assert_eq!(v.hazard_failures(), 1);
+        // After token 1 commits, the same footprint passes.
+        v.commit(1, 0);
+        assert!(v.validate(job(3, vec![entry(0, 0, 0)], vec![]), |_| 0).all_ok());
+    }
+
+    #[test]
+    fn write_write_limbo_hazard() {
+        let mut v = WarptmValidator::new(geom());
+        assert!(v.validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0).all_ok());
+        let verdict = v.validate(job(2, vec![], vec![entry(0, 16, 2)]), |_| 0);
+        assert_eq!(verdict.failed_lanes, 0b01);
+    }
+
+    #[test]
+    fn disjoint_jobs_pipeline() {
+        let mut v = WarptmValidator::new(geom());
+        assert!(v.validate(job(1, vec![], vec![entry(0, 0, 1)]), |_| 0).all_ok());
+        assert!(v.validate(job(2, vec![], vec![entry(0, 64, 2)]), |_| 0).all_ok());
+        assert_eq!(v.limbo_granule_set().len(), 2);
+        v.commit(2, 0);
+        v.commit(1, 0);
+        assert!(v.limbo_granule_set().is_empty());
+    }
+
+    #[test]
+    fn abort_releases_limbo() {
+        let mut v = WarptmValidator::new(geom());
+        assert!(v.validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0).all_ok());
+        v.abort(1);
+        assert!(v.limbo_granule_set().is_empty());
+        assert!(v.validate(job(2, vec![entry(0, 0, 0)], vec![]), |_| 0).all_ok());
+    }
+
+    #[test]
+    fn failed_lane_writes_never_enter_limbo() {
+        let mut v = WarptmValidator::new(geom());
+        let verdict = v.validate(
+            job(1, vec![entry(0, 8, 99)], vec![entry(0, 16, 1)]),
+            |_| 0, // lane 0's read is stale
+        );
+        assert_eq!(verdict.failed_lanes, 0b01);
+        // Its write must not block others via the hazard check.
+        assert!(v.limbo_granule_set().is_empty());
+        let verdict = v.validate(job(2, vec![entry(0, 16, 0)], vec![]), |_| 0);
+        assert!(verdict.all_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown validation token")]
+    fn commit_unknown_token_panics() {
+        let mut v = WarptmValidator::new(geom());
+        v.commit(99, 0);
+    }
+
+    #[test]
+    fn empty_job_costs_one_cycle() {
+        let mut v = WarptmValidator::new(geom());
+        let verdict = v.validate(job(1, vec![], vec![]), |_| 0);
+        assert!(verdict.all_ok());
+        assert_eq!(verdict.cycles, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's Fig. 1 running example: parallel bank transfers, written
+//! once with fine-grained locks and once as transactions, executed on the
+//! same simulated GPU.
+//!
+//! The lock version acquires both account locks in ascending order and
+//! loops on a done-flag to stay SIMT-safe; the TM version is four lines of
+//! transaction body. The simulator runs both and verifies that money is
+//! conserved either way.
+//!
+//! ```text
+//! cargo run --release --example bank_transfer
+//! ```
+
+use getm_repro::prelude::*;
+use workloads::atm::Atm;
+
+fn main() {
+    let atm = Atm::new(8192, 3840, 2, 0xF16_1);
+    let cfg = GpuConfig::fermi_15core();
+
+    println!("ATM: {} threads x 2 transfers over 8192 accounts\n", atm.thread_count());
+
+    // Fine-grained locks: the programmer writes the Fig. 1 dance —
+    // ordered acquisition, flag-driven retry, explicit release.
+    let locks = run_workload(&atm, TmSystem::FgLock, &cfg).expect("lock run");
+    locks.assert_correct();
+    println!("fine-grained locks : {:>10} cycles, {} CAS failures", locks.cycles, locks.cas_failures);
+
+    // Transactions: txbegin / 4 accesses / txcommit. Under GETM each
+    // access is conflict-checked eagerly, and commits stream off the
+    // critical path.
+    let tm = run_workload(&atm, TmSystem::Getm, &cfg).expect("GETM run");
+    tm.assert_correct();
+    println!(
+        "GETM transactions  : {:>10} cycles, {} commits, {} aborts ({:.0} per 1K commits)",
+        tm.cycles,
+        tm.commits,
+        tm.aborts,
+        tm.aborts_per_1k_commits()
+    );
+
+    let ratio = tm.cycles as f64 / locks.cycles as f64;
+    println!("\nGETM runs at {ratio:.2}x the hand-tuned lock runtime (paper: within ~7%).");
+}

@@ -1,0 +1,42 @@
+//! Contention sweep: how GETM and WarpTM respond as a hashtable gets
+//! smaller (the paper's HT-H / HT-M / HT-L axis).
+//!
+//! With abundant buckets, concurrent inserts rarely collide and both TMs
+//! track the lock baseline; as the table shrinks, conflicts and retries
+//! grow, and the cost of each retry — two validation round trips for
+//! WarpTM versus cheap eager aborts for GETM — dominates.
+//!
+//! ```text
+//! cargo run --release --example hashtable_contention
+//! ```
+
+use getm_repro::prelude::*;
+use workloads::hashtable::HashTable;
+
+fn main() {
+    let inserts = 2048;
+    let cfg = GpuConfig::fermi_15core();
+
+    println!(
+        "{:<10} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>7}",
+        "buckets", "load", "WarpTM cyc", "ab/1Kc", "GETM cyc", "ab/1Kc", "speedup"
+    );
+
+    for buckets in [256u64, 1024, 4096, 16384, 65536] {
+        let w = HashTable::new("HT", buckets, inserts, 42);
+        let wtm = run_workload(&w, TmSystem::WarpTmLL, &cfg).expect("WarpTM");
+        wtm.assert_correct();
+        let getm = run_workload(&w, TmSystem::Getm, &cfg).expect("GETM");
+        getm.assert_correct();
+        println!(
+            "{:<10} {:>8.2} | {:>10} {:>8.0} | {:>10} {:>8.0} | {:>6.2}x",
+            buckets,
+            inserts as f64 / buckets as f64,
+            wtm.cycles,
+            wtm.aborts_per_1k_commits(),
+            getm.cycles,
+            getm.aborts_per_1k_commits(),
+            wtm.cycles as f64 / getm.cycles as f64,
+        );
+    }
+}

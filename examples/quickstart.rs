@@ -1,0 +1,33 @@
+//! Quickstart: run one benchmark under GETM and the WarpTM baseline and
+//! compare cycle counts.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use getm_repro::prelude::*;
+
+fn main() {
+    // A high-contention hashtable population (the paper's HT-H), scaled
+    // down so this example finishes in seconds.
+    let workload = workloads::suite::by_name("HT-H", Scale::Fast);
+    let cfg = GpuConfig::fermi_15core();
+
+    println!("workload: {} ({} threads)", workload.name(), workload.thread_count());
+    println!("{:<10} {:>12} {:>10} {:>10} {:>14}", "system", "cycles", "commits", "aborts", "xbar bytes");
+
+    for system in [TmSystem::FgLock, TmSystem::WarpTmLL, TmSystem::Getm] {
+        let m = run_workload(workload.as_ref(), system, &cfg)
+            .unwrap_or_else(|e| panic!("{system} failed: {e}"));
+        // Fail loudly if the final memory image is inconsistent.
+        m.assert_correct();
+        println!(
+            "{:<10} {:>12} {:>10} {:>10} {:>14}",
+            system.label(),
+            m.cycles,
+            m.commits,
+            m.aborts,
+            m.xbar_bytes
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # getm-repro
+//!
+//! Top-level facade for the GETM (HPCA 2018) reproduction. Re-exports the
+//! most commonly used items so examples and downstream users need a single
+//! dependency:
+//!
+//! ```
+//! use getm_repro::prelude::*;
+//! ```
+//!
+//! See [`gputm`] for the simulator facade, [`getm`] for the protocol itself,
+//! and [`workloads`] for the nine paper benchmarks.
+
+pub use getm;
+pub use gputm;
+pub use workloads;
+
+/// Convenience re-exports covering the typical "run a workload under a TM
+/// system and inspect metrics" flow.
+pub mod prelude {
+    pub use gputm::prelude::*;
+}

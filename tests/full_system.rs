@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the full simulated GPU runs every paper
+//! benchmark under every synchronization system, the final memory image
+//! satisfies each workload's invariants, and runs are deterministic.
+
+use getm_repro::prelude::*;
+use gputm::config::GpuConfig;
+
+fn quick_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::fermi_15core();
+    cfg.cores = 4;
+    cfg.warps_per_core = 8;
+    cfg.warp_width = 8;
+    cfg.partitions = 3;
+    cfg
+}
+
+/// Small stand-ins for the suite benchmarks (the full Fast suite runs in
+/// the bench harness; integration tests need seconds, not minutes).
+fn small_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(workloads::hashtable::HashTable::new("HT-S", 128, 256, 3)),
+        Box::new(workloads::atm::Atm::new(1024, 256, 2, 4)),
+        Box::new(workloads::cloth::Cloth::cl(10, 10, 1)),
+        Box::new(workloads::cloth::Cloth::clto(10, 10, 1)),
+        Box::new(workloads::barneshut::BarnesHut::new(256, 5)),
+        Box::new(workloads::cudacuts::CudaCuts::new(12, 8, 1)),
+        Box::new(workloads::apriori::Apriori::new(32, 128, 1, 6)),
+    ]
+}
+
+#[test]
+fn every_workload_under_every_system_is_correct() {
+    let cfg = quick_cfg();
+    for w in small_suite() {
+        for system in TmSystem::ALL {
+            let m = run_workload(w.as_ref(), system, &cfg)
+                .unwrap_or_else(|e| panic!("{} under {system}: {e}", w.name()));
+            match &m.check {
+                Some(Ok(())) => {}
+                Some(Err(e)) => {
+                    panic!("{} under {system} violated invariants: {e}", w.name())
+                }
+                None => panic!("missing check"),
+            }
+            if system.is_tm() {
+                assert!(m.commits > 0, "{} under {system}: no commits", w.name());
+            } else {
+                assert_eq!(m.commits, 0, "lock mode commits nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_cycle_exact_deterministic() {
+    let cfg = quick_cfg();
+    let w = workloads::atm::Atm::new(512, 192, 2, 9);
+    for system in TmSystem::ALL {
+        let a = run_workload(&w, system, &cfg).expect("first run");
+        let b = run_workload(&w, system, &cfg).expect("second run");
+        assert_eq!(a.cycles, b.cycles, "{system} cycles diverged");
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.xbar_bytes, b.xbar_bytes);
+        assert_eq!(a.tx_exec_cycles, b.tx_exec_cycles);
+    }
+}
+
+#[test]
+fn seed_changes_the_execution_but_not_correctness() {
+    let mut cfg = quick_cfg();
+    let w = workloads::hashtable::HashTable::new("HT-S2", 64, 256, 3);
+    let base = run_workload(&w, TmSystem::Getm, &cfg).expect("base");
+    cfg.seed ^= 0xDEAD;
+    let other = run_workload(&w, TmSystem::Getm, &cfg).expect("other seed");
+    other.assert_correct();
+    // Different hash functions / backoff draws virtually always shift the
+    // cycle count at least slightly.
+    assert_ne!(
+        (base.cycles, base.xbar_bytes),
+        (other.cycles, other.xbar_bytes),
+        "different seeds should perturb the execution"
+    );
+}
+
+#[test]
+fn getm_commit_traffic_is_write_log_only() {
+    // GETM must never send validation traffic, and its commit bytes should
+    // be well below WarpTM's validation bytes (which carry read logs too).
+    let cfg = quick_cfg();
+    let w = workloads::atm::Atm::new(1024, 256, 2, 4);
+    let getm = run_workload(&w, TmSystem::Getm, &cfg).expect("getm");
+    let wtm = run_workload(&w, TmSystem::WarpTmLL, &cfg).expect("wtm");
+    assert_eq!(
+        getm.xbar_by_category.get("validation").copied().unwrap_or(0),
+        0,
+        "GETM performs no commit-time validation"
+    );
+    let getm_commit = getm.xbar_by_category.get("commit").copied().unwrap_or(0);
+    let wtm_validation = wtm
+        .xbar_by_category
+        .get("validation")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        getm_commit < wtm_validation,
+        "GETM write-only commit ({getm_commit}B) should undercut WarpTM's \
+         full-log validation ({wtm_validation}B)"
+    );
+}
+
+#[test]
+fn concurrency_throttle_trades_wait_for_conflicts() {
+    let w = workloads::hashtable::HashTable::new("HT-S3", 64, 512, 7);
+    let strict = quick_cfg().with_concurrency(Some(1));
+    let loose = quick_cfg().with_concurrency(None);
+    let m_strict = run_workload(&w, TmSystem::Getm, &strict).expect("strict");
+    let m_loose = run_workload(&w, TmSystem::Getm, &loose).expect("loose");
+    m_strict.assert_correct();
+    m_loose.assert_correct();
+    assert!(
+        m_strict.aborts <= m_loose.aborts,
+        "serializing transactions cannot increase conflicts"
+    );
+}
+
+#[test]
+fn tcd_silently_commits_read_only_transactions() {
+    // A read-mostly workload: threads read a shared array transactionally
+    // and write a private slot non-transactionally.
+    use gpu_mem::Addr;
+    use gpu_simt::{BoxedProgram, Op, OpResult, ThreadProgram};
+
+    struct ReadOnly {
+        tid: u64,
+        step: u8,
+    }
+    impl ThreadProgram for ReadOnly {
+        fn next(&mut self, _prev: OpResult) -> Op {
+            let op = match self.step {
+                0 => Op::TxBegin,
+                1 => Op::TxLoad(Addr(0x100 + (self.tid % 16) * 8)),
+                2 => Op::TxCommit,
+                _ => return Op::Done,
+            };
+            self.step += 1;
+            op
+        }
+        fn rollback(&mut self) {
+            self.step = 1;
+        }
+    }
+    struct ReadOnlyWorkload;
+    impl Workload for ReadOnlyWorkload {
+        fn name(&self) -> &str {
+            "read-only"
+        }
+        fn initial_memory(&self) -> Vec<(Addr, u64)> {
+            (0..16).map(|i| (Addr(0x100 + i * 8), i)).collect()
+        }
+        fn thread_count(&self) -> usize {
+            128
+        }
+        fn program(&self, tid: usize, _mode: SyncMode) -> BoxedProgram {
+            Box::new(ReadOnly {
+                tid: tid as u64,
+                step: 0,
+            })
+        }
+        fn check(&self, mem: &dyn Fn(Addr) -> u64) -> Result<(), String> {
+            for i in 0..16u64 {
+                if mem(Addr(0x100 + i * 8)) != i {
+                    return Err("read-only workload mutated memory".into());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let m = run_workload(&ReadOnlyWorkload, TmSystem::WarpTmLL, &quick_cfg())
+        .expect("run");
+    m.assert_correct();
+    assert_eq!(
+        m.silent_commits, m.commits,
+        "every read-only transaction should commit silently via the TCD"
+    );
+    assert_eq!(
+        m.xbar_by_category.get("validation").copied().unwrap_or(0),
+        0,
+        "silent commits skip validation entirely"
+    );
+}
