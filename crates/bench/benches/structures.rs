@@ -12,8 +12,7 @@ fn bench_cuckoo(c: &mut Criterion) {
 
     g.bench_function("lookup_hit_full_table", |b| {
         let mut rng = DetRng::seeded(1);
-        let mut t: CuckooTable<TxMetadata> =
-            CuckooTable::new(CuckooConfig::default(), &mut rng);
+        let mut t: CuckooTable<TxMetadata> = CuckooTable::new(CuckooConfig::default(), &mut rng);
         for k in 0..4096u64 {
             t.insert(k, TxMetadata::from_approx(k, k));
         }
@@ -25,7 +24,7 @@ fn bench_cuckoo(c: &mut Criterion) {
     });
 
     g.bench_function("insert_with_eviction_pressure", |b| {
-        let mut rng = DetRng::seeded(2);
+        let rng = DetRng::seeded(2);
         b.iter_batched(
             || {
                 let mut t: CuckooTable<TxMetadata> =

@@ -1,66 +1,10 @@
-//! Ablation study of GETM's two key validation-unit design choices, both
-//! called out in the paper (Sec. V-B):
-//!
-//! * **Recency Bloom filter vs. max registers** — the paper first tried a
-//!   single pair of registers holding the maximum evicted `wts`/`rts` and
-//!   found "version numbers increased very quickly and caused many
-//!   aborts"; the Bloom filter discriminates between evicted addresses.
-//! * **Stall buffer vs. abort-on-lock** — queueing logically-younger
-//!   requests behind a write reservation avoids aborts that pure eager
-//!   conflict detection would pay.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin ablation [--paper-scale]
+//! cargo run -p bench --release --bin ablation [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, optimal_concurrency, scale_from_args, RunCache};
-use getm::ApproxMode;
-use gputm::config::{GpuConfig, TmSystem};
-
-const BENCHES: [&str; 4] = ["HT-H", "HT-L", "ATM", "AP"];
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    banner("Ablation", "GETM design choices (cycles and aborts/1K commits)");
-
-    println!(
-        "{:<10} {:>22} {:>22} {:>22}",
-        "bench", "GETM (full)", "max-registers", "no stall buffer"
-    );
-    for b in BENCHES {
-        let limit = optimal_concurrency(TmSystem::Getm, b);
-
-        let full = {
-            let cfg = GpuConfig::fermi_15core().with_concurrency(limit);
-            cache.run(b, TmSystem::Getm, scale, &cfg)
-        };
-        let maxreg = {
-            let mut cfg = GpuConfig::fermi_15core().with_concurrency(limit);
-            cfg.getm.approx_mode = ApproxMode::MaxRegisters;
-            cache.run(b, TmSystem::Getm, scale, &cfg)
-        };
-        let nostall = {
-            let mut cfg = GpuConfig::fermi_15core().with_concurrency(limit);
-            cfg.getm.disable_stall_buffer = true;
-            cache.run(b, TmSystem::Getm, scale, &cfg)
-        };
-
-        println!(
-            "{:<10} {:>12} ({:>6.0}) {:>13} ({:>6.0}) {:>13} ({:>6.0})",
-            b,
-            full.cycles,
-            full.aborts_per_1k_commits(),
-            maxreg.cycles,
-            maxreg.aborts_per_1k_commits(),
-            nostall.cycles,
-            nostall.aborts_per_1k_commits(),
-        );
-    }
-    println!(
-        "\nExpected: the max-register approximation inflates abort rates \
-         (most visibly on large-footprint benchmarks where evictions are \
-         constant), and removing the stall buffer converts queueing into \
-         extra aborts under write contention."
-    );
+    bench::figures::run_standalone("ablation");
 }

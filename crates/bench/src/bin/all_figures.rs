@@ -1,31 +1,28 @@
-//! Runs every figure and table reproduction in one process, sharing the
-//! simulation cache across experiments (Figs. 10-12 and 15-16 reuse the
-//! same runs, so this is much faster than invoking each binary).
+//! Runs every figure and table reproduction in one process.
+//!
+//! The union of every figure's [`bench::figures::Figure::spec`] is
+//! deduplicated and executed as ONE parallel, disk-cached sweep; rendering
+//! then reads everything back from the in-memory memo. Overlapping cells
+//! (Figs. 10-12 and 15-16 reuse the same optimal-concurrency runs)
+//! simulate exactly once, and a rerun with a warm cache simulates nothing.
 //!
 //! ```text
-//! cargo run -p bench --release --bin all_figures [--paper-scale]
+//! cargo run -p bench --release --bin all_figures [--paper-scale] [--jobs N]
 //! ```
 
-use std::process::Command;
-
-const BINS: [&str; 13] = [
-    "fig3", "fig4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "table4", "table5", "ablation",
-];
+use gputm::sweep::ExperimentSpec;
 
 fn main() {
-    let pass_scale: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
-    for bin in BINS {
-        println!("\n############ {bin} ############");
-        let status = Command::new(exe_dir.join(bin))
-            .args(&pass_scale)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+    let harness = bench::Harness::from_cli();
+    let mut union = ExperimentSpec::default();
+    for f in &bench::figures::ALL {
+        union.extend((f.spec)(harness.scale()));
+    }
+    union.dedup();
+    eprintln!("all_figures: {} distinct cells", union.len());
+    harness.prefetch(&union);
+    for f in &bench::figures::ALL {
+        println!("\n############ {} ############", f.id);
+        (f.render)(&harness);
     }
 }

@@ -4,26 +4,52 @@
 //! cargo run -p bench --release --bin diag [BENCH] [--paper-scale]
 //! ```
 
-use bench::{scale_from_args, RunCache};
+use bench::{cli, Harness};
 use gputm::config::{GpuConfig, TmSystem};
+use gputm::sweep::{CellSpec, ExperimentSpec};
+use workloads::suite::Benchmark;
 
 fn main() {
-    let bench = std::env::args()
-        .nth(1)
-        .filter(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "HT-H".to_owned());
-    let scale = scale_from_args();
-    let cache = RunCache::new();
+    let args = cli::Args::parse();
+    let bench: Benchmark = args
+        .positional
+        .first()
+        .map(|name| name.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(Benchmark::HtH);
+    let harness = Harness::new(args.scale, args.sweep_options());
     let cfg = GpuConfig::fermi_15core();
 
-    println!("benchmark {bench} ({scale:?})");
+    // Prefetch the five optimal-concurrency cells in one parallel sweep.
+    let spec = ExperimentSpec::from_cells(
+        TmSystem::ALL
+            .iter()
+            .map(|&s| {
+                let c = cfg
+                    .clone()
+                    .with_concurrency(bench::optimal_concurrency(s, bench));
+                CellSpec::new(bench, args.scale, s, c)
+            })
+            .collect(),
+    );
+    harness.prefetch(&spec);
+
+    println!("benchmark {bench} ({:?})", args.scale);
     println!(
         "{:<10} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
-        "system", "cycles", "commits", "aborts", "silent",
-        "tx_exec", "tx_wait", "xbarKB", "mdacc", "stallmx", "l2hit"
+        "system",
+        "cycles",
+        "commits",
+        "aborts",
+        "silent",
+        "tx_exec",
+        "tx_wait",
+        "xbarKB",
+        "mdacc",
+        "stallmx",
+        "l2hit"
     );
     for system in TmSystem::ALL {
-        let m = cache.run_optimal(&bench, system, scale, &cfg);
+        let m = harness.run_optimal(bench, system, &cfg);
         println!(
             "{:<10} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7.2} {:>7} {:>6.2}",
             system.label(),

@@ -1,48 +1,10 @@
-//! Fig. 10: transaction-only execution and wait time for WarpTM, idealized
-//! EAPG, and GETM, normalized to WarpTM, at each system's optimal
-//! concurrency.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig10 [--paper-scale]
+//! cargo run -p bench --release --bin fig10 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, print_header, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 10", "tx exec+wait normalized to WarpTM (optimal concurrency)");
-
-    let wtm: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| {
-            cache
-                .run_optimal(b, TmSystem::WarpTmLL, scale, &base)
-                .total_tx_cycles() as f64
-        })
-        .collect();
-
-    println!("\n{:<14} {:>8} {:>8}", "", "EXEC", "WAIT");
-    print_header("system", true);
-    for system in [TmSystem::WarpTmLL, TmSystem::Eapg, TmSystem::Getm] {
-        let mut exec_w = Vec::new();
-        let mut wait_w = Vec::new();
-        let mut total = Vec::new();
-        for (i, b) in BENCHES.iter().enumerate() {
-            let m = cache.run_optimal(b, system, scale, &base);
-            let denom = wtm[i].max(1.0);
-            exec_w.push(m.tx_exec_cycles as f64 / denom);
-            wait_w.push(m.tx_wait_cycles as f64 / denom);
-            total.push(m.total_tx_cycles() as f64 / denom);
-        }
-        bench::print_row(&format!("{} total", system.label()), &total, true);
-        bench::print_row(&format!("{}  exec", system.label()), &exec_w, false);
-        bench::print_row(&format!("{}  wait", system.label()), &wait_w, false);
-    }
-    println!(
-        "\nPaper shape: GETM reduces both exec and wait on most workloads; \
-         EAPG tracks WarpTM or slightly worse."
-    );
+    bench::figures::run_standalone("fig10");
 }

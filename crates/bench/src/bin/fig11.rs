@@ -1,39 +1,10 @@
-//! Fig. 11: total execution time (transactional and non-transactional
-//! parts) normalized to the fine-grained-lock baseline, for WarpTM,
-//! idealized EAPG, and GETM at optimal concurrency.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig11 [--paper-scale]
+//! cargo run -p bench --release --bin fig11 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, print_header, print_row, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 11", "total execution time normalized to FGLock");
-
-    let fgl: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| cache.run_optimal(b, TmSystem::FgLock, scale, &base).cycles as f64)
-        .collect();
-
-    print_header("system", true);
-    print_row("FGLock", &vec![1.0; BENCHES.len()], true);
-    for system in [TmSystem::WarpTmLL, TmSystem::Eapg, TmSystem::Getm] {
-        let series: Vec<f64> = BENCHES
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                cache.run_optimal(b, system, scale, &base).cycles as f64 / fgl[i].max(1.0)
-            })
-            .collect();
-        print_row(system.label(), &series, true);
-    }
-    println!(
-        "\nPaper shape: GETM gmean ~1.2x faster than WarpTM and within ~7% \
-         of FGLock; the largest wins are on high-contention workloads."
-    );
+    bench::figures::run_standalone("fig11");
 }

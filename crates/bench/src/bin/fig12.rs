@@ -1,43 +1,10 @@
-//! Fig. 12: total crossbar traffic normalized to WarpTM, at optimal
-//! concurrency.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig12 [--paper-scale]
+//! cargo run -p bench --release --bin fig12 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, print_header, print_row, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 12", "crossbar traffic normalized to WarpTM");
-
-    let wtm: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| {
-            cache
-                .run_optimal(b, TmSystem::WarpTmLL, scale, &base)
-                .xbar_bytes as f64
-        })
-        .collect();
-
-    print_header("system", true);
-    for system in [TmSystem::FgLock, TmSystem::WarpTmLL, TmSystem::Eapg, TmSystem::Getm] {
-        let series: Vec<f64> = BENCHES
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                cache.run_optimal(b, system, scale, &base).xbar_bytes as f64
-                    / wtm[i].max(1.0)
-            })
-            .collect();
-        print_row(system.label(), &series, true);
-    }
-    println!(
-        "\nPaper shape: GETM costs somewhat more traffic than WarpTM (it \
-         contacts the LLC for stores too, and aborts more), EAPG costs the \
-         most (broadcasts)."
-    );
+    bench::figures::run_standalone("fig12");
 }

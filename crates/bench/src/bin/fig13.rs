@@ -1,38 +1,10 @@
-//! Fig. 13: mean validation-unit cycles per metadata-table access under
-//! GETM (>= 1.0; the cuckoo table plus stash keeps insertions cheap even
-//! at high load factors).
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig13 [--paper-scale]
+//! cargo run -p bench --release --bin fig13 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 13", "mean GETM metadata access latency (cycles)");
-
-    print!("{:<14}", "");
-    for b in BENCHES {
-        print!(" {b:>8}");
-    }
-    println!(" {:>8}", "AVG");
-    print!("{:<14}", "GETM");
-    let mut vals = Vec::new();
-    for b in BENCHES {
-        let m = cache.run_optimal(b, TmSystem::Getm, scale, &base);
-        vals.push(m.mean_metadata_access_cycles);
-        print!(" {:>8.2}", m.mean_metadata_access_cycles);
-    }
-    println!(
-        " {:>8.2}",
-        vals.iter().sum::<f64>() / vals.len() as f64
-    );
-    println!(
-        "\nPaper shape: close to 1.0 everywhere — long insertion chains are \
-         rare because unlocked entries evict to the approximate table."
-    );
+    bench::figures::run_standalone("fig13");
 }

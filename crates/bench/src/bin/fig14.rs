@@ -1,62 +1,10 @@
-//! Fig. 14: GETM sensitivity to metadata-table size (2K / 4K / 8K entries
-//! GPU-wide, top panel) and to metadata granularity (16 / 32 / 64 / 128
-//! bytes, bottom panel). Execution time is normalized to the WarpTM
-//! baseline at its optimal concurrency.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig14 [--paper-scale]
+//! cargo run -p bench --release --bin fig14 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, print_header, print_row, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 14", "GETM sensitivity to metadata size and granularity");
-
-    let wtm: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| {
-            cache
-                .run_optimal(b, TmSystem::WarpTmLL, scale, &base)
-                .cycles as f64
-        })
-        .collect();
-
-    println!("\n-- metadata entries GPU-wide (normalized to WarpTM) --");
-    print_header("entries", true);
-    for entries in [2048usize, 4096, 8192] {
-        let series: Vec<f64> = BENCHES
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                let cfg = base.clone().with_metadata_entries(entries);
-                cache.run_optimal_cfg(b, TmSystem::Getm, scale, &cfg) as f64
-                    / wtm[i].max(1.0)
-            })
-            .collect();
-        print_row(&format!("GETM-{}K", entries / 1024), &series, true);
-    }
-
-    println!("\n-- metadata granularity in bytes (normalized to WarpTM) --");
-    print_header("granularity", true);
-    for bytes in [16u64, 32, 64, 128] {
-        let series: Vec<f64> = BENCHES
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                let cfg = base.clone().with_granularity(bytes);
-                cache.run_optimal_cfg(b, TmSystem::Getm, scale, &cfg) as f64
-                    / wtm[i].max(1.0)
-            })
-            .collect();
-        print_row(&format!("GETM-{bytes}B"), &series, true);
-    }
-    println!(
-        "\nPaper shape: 2K entries hurts under abundant parallelism, 8K \
-         barely beats 4K; finer granularity helps (less false sharing) \
-         until table pressure bites."
-    );
+    bench::figures::run_standalone("fig14");
 }

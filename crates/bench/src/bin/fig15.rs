@@ -1,32 +1,10 @@
-//! Fig. 15: maximum total stall-buffer occupancy across all partitions at
-//! any instant (GETM).
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig15 [--paper-scale]
+//! cargo run -p bench --release --bin fig15 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 15", "max total stall-buffer occupancy (requests)");
-
-    print!("{:<14}", "");
-    for b in BENCHES {
-        print!(" {b:>8}");
-    }
-    println!();
-    print!("{:<14}", "GETM");
-    for b in BENCHES {
-        let m = cache.run_optimal(b, TmSystem::Getm, scale, &base);
-        print!(" {:>8}", m.max_stall_occupancy);
-    }
-    println!();
-    println!(
-        "\nPaper shape: small in absolute terms (never above 12 in the \
-         paper's runs) — a few addresses with a few waiters suffice."
-    );
+    bench::figures::run_standalone("fig15");
 }

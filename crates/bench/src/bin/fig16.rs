@@ -1,31 +1,10 @@
-//! Fig. 16: average number of requests concurrently queued per stalled
-//! address in GETM's stall buffers.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig16 [--paper-scale]
+//! cargo run -p bench --release --bin fig16 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 16", "mean queued requests per stalled address");
-
-    print!("{:<14}", "");
-    for b in BENCHES {
-        print!(" {b:>8}");
-    }
-    println!(" {:>8}", "AVG");
-    print!("{:<14}", "GETM");
-    let mut vals = Vec::new();
-    for b in BENCHES {
-        let m = cache.run_optimal(b, TmSystem::Getm, scale, &base);
-        vals.push(m.mean_stall_waiters_per_addr);
-        print!(" {:>8.2}", m.mean_stall_waiters_per_addr);
-    }
-    println!(" {:>8.2}", vals.iter().sum::<f64>() / vals.len() as f64);
-    println!("\nPaper shape: close to 1 — addresses rarely have multiple waiters.");
+    bench::figures::run_standalone("fig16");
 }

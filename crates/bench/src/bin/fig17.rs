@@ -1,45 +1,10 @@
-//! Fig. 17: scalability — total execution time in the 15-core and 56-core
-//! configurations, every system, normalized to 15-core WarpTM.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig17 [--paper-scale]
+//! cargo run -p bench --release --bin fig17 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, print_header, print_row, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let small = GpuConfig::fermi_15core();
-    let large = GpuConfig::large_56core();
-    banner("Fig. 17", "15-core vs 56-core, normalized to 15-core WarpTM");
-
-    let wtm15: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| {
-            cache
-                .run_optimal(b, TmSystem::WarpTmLL, scale, &small)
-                .cycles as f64
-        })
-        .collect();
-
-    print_header("config", true);
-    for (tag, cfg) in [("", &small), ("-56Core", &large)] {
-        for system in [TmSystem::WarpTmLL, TmSystem::Eapg, TmSystem::Getm] {
-            let series: Vec<f64> = BENCHES
-                .iter()
-                .enumerate()
-                .map(|(i, b)| {
-                    cache.run_optimal(b, system, scale, cfg).cycles as f64
-                        / wtm15[i].max(1.0)
-                })
-                .collect();
-            print_row(&format!("{}{tag}", system.label()), &series, true);
-        }
-    }
-    println!(
-        "\nPaper shape: the 56-core trends mirror the 15-core setup — more \
-         cores speed everything up, with GETM keeping its relative edge."
-    );
+    bench::figures::run_standalone("fig17");
 }

@@ -1,84 +1,10 @@
-//! Fig. 3: per-transaction exec / wait / total cycles of WarpTM-LL versus
-//! the idealized eager-lazy variant (WarpTM-EL) as the per-core
-//! transactional-concurrency limit grows, on the HT-H workload.
-//!
-//! The paper's finding: with lazy validation, more concurrency means more
-//! (and more expensive) retries, so per-transaction cycles climb steeply;
-//! the eager variant stays flat and its wait time *falls* as extra warps
-//! hide latency. Values are normalized to the highest data point, like the
-//! paper's plot.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig3 [--paper-scale]
+//! cargo run -p bench --release --bin fig3 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, scale_from_args, RunCache};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    let limits: [(&str, Option<u32>); 6] = [
-        ("1", Some(1)),
-        ("2", Some(2)),
-        ("4", Some(4)),
-        ("8", Some(8)),
-        ("16", Some(16)),
-        ("NL", None),
-    ];
-    banner("Fig. 3", "tx cycles vs concurrency limit, HT-H (normalized to max)");
-
-    let mut rows: Vec<(&str, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
-    for system in [TmSystem::WarpTmLL, TmSystem::WarpTmEL] {
-        let mut exec = Vec::new();
-        let mut wait = Vec::new();
-        let mut total = Vec::new();
-        for &(_, limit) in &limits {
-            let cfg = base.clone().with_concurrency(limit);
-            let m = cache.run("HT-H", system, scale, &cfg);
-            let per_tx = |v: u64| v as f64 / m.commits.max(1) as f64;
-            exec.push(per_tx(m.tx_exec_cycles));
-            wait.push(per_tx(m.tx_wait_cycles));
-            total.push(per_tx(m.total_tx_cycles()));
-        }
-        rows.push((system.label(), exec, wait, total));
-    }
-
-    for (metric, pick) in [
-        ("tx exec cycles", 0usize),
-        ("tx wait cycles", 1),
-        ("total tx cycles", 2),
-    ] {
-        println!("\n-- {metric} (per committed tx, normalized to max) --");
-        print!("{:<14}", "limit");
-        for (name, _) in &limits {
-            print!(" {name:>8}");
-        }
-        println!();
-        let max = rows
-            .iter()
-            .flat_map(|r| match pick {
-                0 => r.1.iter(),
-                1 => r.2.iter(),
-                _ => r.3.iter(),
-            })
-            .fold(1e-9f64, |a, &b| a.max(b));
-        for r in &rows {
-            let series = match pick {
-                0 => &r.1,
-                1 => &r.2,
-                _ => &r.3,
-            };
-            print!("{:<14}", r.0);
-            for v in series {
-                print!(" {:>8.3}", v / max);
-            }
-            println!();
-        }
-    }
-    println!(
-        "\nPaper shape: LL's exec and total climb with concurrency; EL stays \
-         flat with wait falling, supporting much higher concurrency."
-    );
+    bench::figures::run_standalone("fig3");
 }

@@ -1,67 +1,10 @@
-//! Fig. 4: WarpTM with lazy (LL) versus idealized eager (EL) conflict
-//! detection, compared against hand-optimized fine-grained locks, at each
-//! configuration's optimal concurrency.
-//!
-//! Top panel: transaction-only cycles (exec + wait) normalized to
-//! WarpTM-LL per benchmark. Bottom panel: total execution time normalized
-//! to the FGLock baseline.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig4 [--paper-scale]
+//! cargo run -p bench --release --bin fig4 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, print_header, print_row, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner("Fig. 4", "WarpTM-LL vs WarpTM-EL vs FGLock (optimal concurrency)");
-
-    // Top: tx-only cycles normalized to WarpTM-LL.
-    println!("\n-- transaction cycles (exec+wait) normalized to WarpTM-LL --");
-    print_header("system", false);
-    let ll: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| {
-            cache
-                .run_optimal(b, TmSystem::WarpTmLL, scale, &base)
-                .total_tx_cycles() as f64
-        })
-        .collect();
-    print_row("WarpTM-LL", &vec![1.0; BENCHES.len()], false);
-    let el: Vec<f64> = BENCHES
-        .iter()
-        .enumerate()
-        .map(|(i, b)| {
-            cache
-                .run_optimal(b, TmSystem::WarpTmEL, scale, &base)
-                .total_tx_cycles() as f64
-                / ll[i].max(1.0)
-        })
-        .collect();
-    print_row("WarpTM-EL", &el, false);
-
-    // Bottom: total execution time normalized to FGLock.
-    println!("\n-- total execution time normalized to FGLock --");
-    print_header("system", true);
-    let fgl: Vec<f64> = BENCHES
-        .iter()
-        .map(|b| cache.run_optimal(b, TmSystem::FgLock, scale, &base).cycles as f64)
-        .collect();
-    for system in [TmSystem::WarpTmLL, TmSystem::WarpTmEL] {
-        let series: Vec<f64> = BENCHES
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                cache.run_optimal(b, system, scale, &base).cycles as f64 / fgl[i].max(1.0)
-            })
-            .collect();
-        print_row(system.label(), &series, true);
-    }
-    println!(
-        "\nPaper shape: EL cuts transactional cycles well below LL on \
-         contended benchmarks and narrows the gap to fine-grained locks."
-    );
+    bench::figures::run_standalone("fig4");
 }

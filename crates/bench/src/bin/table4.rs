@@ -1,106 +1,10 @@
-//! Table IV: optimal transactional-concurrency setting (warps per core)
-//! and abort rate (aborts per 1000 commits) for every benchmark and
-//! system. The harness *finds* the optimum by sweeping 1/2/4/8/16/NL and
-//! reports both the discovered optimum and the paper's.
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin table4 [--paper-scale]
+//! cargo run -p bench --release --bin table4 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::{banner, scale_from_args, RunCache, BENCHES};
-use gputm::config::{GpuConfig, TmSystem};
-
-/// The paper's Table IV: (concurrency, aborts/1K commits) per system, in
-/// WTM / EAPG / WTM-EL / GETM order. `None` concurrency = unlimited.
-#[allow(clippy::type_complexity)]
-fn paper_row(bench: &str) -> ([(Option<u32>, u32); 4], ()) {
-    let r = match bench {
-        "HT-H" => [(Some(2), 119), (Some(2), 113), (Some(8), 122), (Some(8), 460)],
-        "HT-M" => [(Some(8), 98), (Some(4), 84), (Some(8), 83), (Some(8), 172)],
-        "HT-L" => [(Some(8), 80), (Some(4), 78), (Some(8), 78), (Some(8), 207)],
-        "ATM" => [(Some(4), 27), (Some(4), 26), (Some(4), 25), (Some(4), 114)],
-        "CL" => [(Some(2), 93), (Some(2), 91), (Some(4), 119), (Some(4), 205)],
-        "CLto" => [(Some(4), 110), (Some(2), 61), (Some(4), 72), (Some(4), 176)],
-        "BH" => [(None, 93), (Some(2), 86), (Some(2), 145), (Some(8), 865)],
-        "CC" => [(None, 6), (None, 5), (None, 1), (None, 38)],
-        "AP" => [(Some(1), 231), (Some(1), 237), (Some(1), 204), (Some(1), 9188)],
-        other => panic!("unknown benchmark {other}"),
-    };
-    (r, ())
-}
-
-const SYSTEMS: [TmSystem; 4] = [
-    TmSystem::WarpTmLL,
-    TmSystem::Eapg,
-    TmSystem::WarpTmEL,
-    TmSystem::Getm,
-];
-
-fn fmt_limit(l: Option<u32>) -> String {
-    match l {
-        Some(n) => n.to_string(),
-        None => "inf".into(),
-    }
-}
-
 fn main() {
-    let scale = scale_from_args();
-    let cache = RunCache::new();
-    let base = GpuConfig::fermi_15core();
-    banner(
-        "Table IV",
-        "optimal concurrency (swept) and aborts per 1K commits",
-    );
-
-    println!(
-        "{:<8} | {:>22} | {:>22}",
-        "bench", "best concurrency", "aborts / 1K commits"
-    );
-    print!("{:<8} |", "");
-    for s in SYSTEMS {
-        print!(" {:>9}", s.label().replace("WarpTM", "WTM"));
-    }
-    print!(" |");
-    for s in SYSTEMS {
-        print!(" {:>9}", s.label().replace("WarpTM", "WTM"));
-    }
-    println!();
-
-    for b in BENCHES {
-        let mut best: Vec<(Option<u32>, u64, f64)> = Vec::new();
-        for system in SYSTEMS {
-            let mut found: Option<(Option<u32>, u64, f64)> = None;
-            for limit in [Some(1), Some(2), Some(4), Some(8), Some(16), None] {
-                let cfg = base.clone().with_concurrency(limit);
-                let m = cache.run(b, system, scale, &cfg);
-                if found.is_none() || m.cycles < found.as_ref().expect("set").1 {
-                    found = Some((limit, m.cycles, m.aborts_per_1k_commits()));
-                }
-            }
-            best.push(found.expect("swept at least one limit"));
-        }
-        print!("{b:<8} |");
-        for (limit, _, _) in &best {
-            print!(" {:>9}", fmt_limit(*limit));
-        }
-        print!(" |");
-        for (_, _, rate) in &best {
-            print!(" {:>9.0}", rate);
-        }
-        println!();
-        let (paper, ()) = paper_row(b);
-        print!("{:<8} |", " paper");
-        for (limit, _) in paper {
-            print!(" {:>9}", fmt_limit(limit));
-        }
-        print!(" |");
-        for (_, rate) in paper {
-            print!(" {:>9}", rate);
-        }
-        println!();
-    }
-    println!(
-        "\nPaper shape: GETM tolerates higher concurrency than WarpTM on \
-         contended benchmarks and sustains higher abort rates profitably."
-    );
+    bench::figures::run_standalone("table4");
 }

@@ -1,48 +1,10 @@
-//! Table V: silicon area and power of the TM hardware structures for
-//! WarpTM, EAPG, and GETM, from the analytical SRAM model (the paper used
-//! CACTI 6.5 at 32 nm; our model is a linear fit to its scaling laws —
-//! absolute values are fit constants, the structure inventory and the
-//! ratios are the reproduction target).
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
 //!
 //! ```text
-//! cargo run -p bench --release --bin table5
+//! cargo run -p bench --release --bin table5 [--paper-scale] [--jobs N] ...
 //! ```
 
-use bench::banner;
-use gputm::silicon::{eapg_inventory, getm_inventory, table5, warptm_inventory};
-
 fn main() {
-    banner("Table V", "TM hardware area and power (analytical SRAM model)");
-
-    for inv in [warptm_inventory(), eapg_inventory(), getm_inventory()] {
-        println!("\n{}:", inv.name);
-        println!(
-            "  {:<32} {:>10} {:>12} {:>12}",
-            "structure", "bytes", "area mm^2", "power mW"
-        );
-        for s in &inv.structures {
-            println!(
-                "  {:<32} {:>10} {:>12.3} {:>12.2}",
-                s.name,
-                s.total_bytes(),
-                s.area_mm2(),
-                s.power_mw()
-            );
-        }
-        println!(
-            "  {:<32} {:>10} {:>12.3} {:>12.2}",
-            "TOTAL",
-            "",
-            inv.area_mm2(),
-            inv.power_mw()
-        );
-    }
-
-    let rows = table5();
-    let (wa, wp) = (rows[0].1, rows[0].2);
-    let (ea, ep) = (rows[1].1, rows[1].2);
-    let (ga, gp) = (rows[2].1, rows[2].2);
-    println!("\nRatios vs GETM (paper: WarpTM 3.6x area / 2.2x power; EAPG 4.9x / 3.6x):");
-    println!("  WarpTM / GETM : {:.1}x area, {:.1}x power", wa / ga, wp / gp);
-    println!("  EAPG   / GETM : {:.1}x area, {:.1}x power", ea / ga, ep / gp);
+    bench::figures::run_standalone("table5");
 }

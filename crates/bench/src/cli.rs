@@ -1,0 +1,190 @@
+//! Command-line flags shared by every figure binary.
+//!
+//! All 15 binaries accept the same sweep-controlling flags, parsed here
+//! once instead of ad hoc per binary:
+//!
+//! ```text
+//! --paper-scale      use the paper's full benchmark sizes (default: fast)
+//! --jobs N | -j N    worker threads for the sweep (default: all cores)
+//! --serial           shorthand for --jobs 1
+//! --no-cache         don't read or write the on-disk result cache
+//! --cache-dir PATH   result-cache location (default: $GETM_SWEEP_CACHE
+//!                    or target/sweep-cache)
+//! --quiet            suppress per-cell progress lines on stderr
+//! ```
+//!
+//! Remaining non-flag arguments are collected as positionals (the `diag`
+//! binary takes a benchmark name).
+
+use gputm::sweep::{ResultCache, SweepOptions};
+use std::path::PathBuf;
+use workloads::suite::Scale;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Benchmark sizing.
+    pub scale: Scale,
+    /// Sweep worker threads (0 = one per core).
+    pub jobs: usize,
+    /// Whether the on-disk result cache is enabled.
+    pub cache: bool,
+    /// Cache location override (`None` = default resolution).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-cell progress lines on stderr.
+    pub progress: bool,
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: Scale::Fast,
+            jobs: 0,
+            cache: true,
+            cache_dir: None,
+            progress: true,
+            positional: Vec::new(),
+        }
+    }
+}
+
+impl Args {
+    /// Parses the process's arguments.
+    ///
+    /// # Panics
+    ///
+    /// Exits with a usage message on unknown or malformed flags: every
+    /// figure binary shares one flag vocabulary, and a typo silently
+    /// ignored would run the wrong experiment.
+    pub fn parse() -> Self {
+        Args::parse_from(std::env::args().skip(1)).unwrap_or_else(|e| panic!("{e}\n\n{USAGE}"))
+    }
+
+    /// Parses an explicit argument list (testable core of [`Args::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first unknown flag or missing/malformed flag value.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper-scale" => out.scale = Scale::Paper,
+                "--serial" => out.jobs = 1,
+                "--no-cache" => out.cache = false,
+                "--quiet" => out.progress = false,
+                "--jobs" | "-j" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    out.jobs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("{arg} needs a positive integer, got {v:?}"))?;
+                }
+                "--cache-dir" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    out.cache_dir = Some(PathBuf::from(v));
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag:?}"));
+                }
+                _ => out.positional.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The sweep options these arguments describe.
+    pub fn sweep_options(&self) -> SweepOptions {
+        let mut opts = SweepOptions::new()
+            .threads(self.jobs)
+            .progress(self.progress);
+        if self.cache {
+            opts = opts.cache(match &self.cache_dir {
+                Some(dir) => ResultCache::new(dir.clone()),
+                None => ResultCache::at_default_dir(),
+            });
+        }
+        opts
+    }
+}
+
+/// The shared usage text.
+pub const USAGE: &str = "\
+common flags (all figure binaries):
+  --paper-scale      use the paper's full benchmark sizes (default: fast)
+  --jobs N | -j N    worker threads for the sweep (default: all cores)
+  --serial           shorthand for --jobs 1
+  --no-cache         don't read or write the on-disk result cache
+  --cache-dir PATH   result-cache location (default: $GETM_SWEEP_CACHE
+                     or target/sweep-cache)
+  --quiet            suppress per-cell progress lines on stderr";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_parallel_cached_fast() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, Args::default());
+        let opts = a.sweep_options();
+        assert_eq!(opts.threads, 0);
+        assert!(opts.result_cache.is_some());
+        assert!(opts.progress);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&[
+            "--paper-scale",
+            "-j",
+            "4",
+            "--no-cache",
+            "--quiet",
+            "HT-H",
+            "--cache-dir",
+            "/tmp/c",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.jobs, 4);
+        assert!(!a.cache);
+        assert!(!a.progress);
+        assert_eq!(a.positional, vec!["HT-H".to_string()]);
+        assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
+        assert!(a.sweep_options().result_cache.is_none());
+    }
+
+    #[test]
+    fn serial_means_one_job() {
+        assert_eq!(parse(&["--serial"]).unwrap().jobs, 1);
+    }
+
+    #[test]
+    fn cache_dir_overrides_default_location() {
+        let a = parse(&["--cache-dir", "/tmp/xyz"]).unwrap();
+        let opts = a.sweep_options();
+        assert_eq!(
+            opts.result_cache.unwrap().dir(),
+            std::path::Path::new("/tmp/xyz")
+        );
+    }
+
+    #[test]
+    fn bad_flags_are_errors() {
+        assert!(parse(&["--jobs"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--jobs", "zero"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+}

@@ -13,31 +13,26 @@
 //! cargo run -p bench --release --bin all_figures   # everything
 //! ```
 //!
-//! Pass `--paper-scale` to use the paper's full benchmark sizes instead of
-//! the fast (ratio-preserving) defaults.
+//! Each binary declares its cells as an [`gputm::sweep::ExperimentSpec`]
+//! (see [`figures`]), prefetches them through the parallel sweep executor,
+//! then renders from the [`Harness`]'s memo — so figures use every core
+//! and `all_figures` simulates each distinct cell exactly once. Finished
+//! cells persist in an on-disk result cache keyed by a stable hash of the
+//! full cell description, making reruns nearly free. See [`cli`] for the
+//! shared flags (`--paper-scale`, `--jobs`, `--serial`, `--no-cache`,
+//! `--cache-dir`, `--quiet`).
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod figures;
+
 use gputm::config::{GpuConfig, TmSystem};
 use gputm::metrics::Metrics;
-use gputm::runner::run_workload;
+use gputm::sweep::{run_sweep, CellSpec, ExperimentSpec, SweepOptions};
 use std::collections::HashMap;
 use std::sync::Mutex;
-use workloads::suite::{by_name, Scale};
-
-/// The benchmark names in the paper's presentation order.
-pub const BENCHES: [&str; 9] = [
-    "HT-H", "HT-M", "HT-L", "ATM", "CL", "CLto", "BH", "CC", "AP",
-];
-
-/// Parses the common CLI flags of the figure binaries.
-pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--paper-scale") {
-        Scale::Paper
-    } else {
-        Scale::Fast
-    }
-}
+use workloads::suite::{Benchmark, Scale};
 
 /// The optimal transactional-concurrency setting per system and benchmark.
 /// `None` means unlimited.
@@ -46,19 +41,19 @@ pub fn scale_from_args() -> Scale {
 /// (its Table IV lists the values its simulator found); these are the
 /// optima the `table4` sweep finds on THIS simulator. They differ from
 /// the paper's in places — EXPERIMENTS.md records both side by side.
-pub fn optimal_concurrency(system: TmSystem, bench: &str) -> Option<u32> {
+pub fn optimal_concurrency(system: TmSystem, bench: Benchmark) -> Option<u32> {
+    use Benchmark::*;
     use TmSystem::*;
     let (wtm, eapg, el, getm) = match bench {
-        "HT-H" => (Some(4), Some(4), Some(4), Some(2)),
-        "HT-M" => (Some(4), Some(4), Some(4), Some(2)),
-        "HT-L" => (Some(2), Some(4), Some(2), Some(4)),
-        "ATM" => (Some(16), Some(16), Some(4), Some(4)),
-        "CL" => (Some(16), None, Some(16), None),
-        "CLto" => (None, None, None, None),
-        "BH" => (Some(2), Some(4), Some(16), Some(8)),
-        "CC" => (None, None, None, None),
-        "AP" => (Some(1), Some(1), Some(1), Some(1)),
-        _ => (Some(8), Some(8), Some(8), Some(8)),
+        HtH => (Some(4), Some(4), Some(4), Some(2)),
+        HtM => (Some(4), Some(4), Some(4), Some(2)),
+        HtL => (Some(2), Some(4), Some(2), Some(4)),
+        Atm => (Some(16), Some(16), Some(4), Some(4)),
+        Cl => (Some(16), None, Some(16), None),
+        ClTo => (None, None, None, None),
+        Bh => (Some(2), Some(4), Some(16), Some(8)),
+        Cc => (None, None, None, None),
+        Ap => (Some(1), Some(1), Some(1), Some(1)),
     };
     match system {
         WarpTmLL => wtm,
@@ -69,62 +64,91 @@ pub fn optimal_concurrency(system: TmSystem, bench: &str) -> Option<u32> {
     }
 }
 
-/// A memoizing run cache: several figures share the same underlying runs,
-/// and `all_figures` reuses results across binaries executed in-process.
-#[derive(Default)]
-pub struct RunCache {
-    cache: Mutex<HashMap<(String, TmSystem, String), Metrics>>,
+/// The experiment front end shared by every figure binary: a scale, the
+/// sweep options parsed from the command line, and a process-wide memo of
+/// finished cells.
+///
+/// The intended flow is [`Harness::prefetch`] with the figure's full
+/// [`ExperimentSpec`] (one parallel, disk-cached sweep), then any number
+/// of [`Harness::run`] calls from the render code, which hit the memo.
+/// Cells a render requests without prefetching still work — they simulate
+/// on demand (serially) — so specs are a performance contract, not a
+/// correctness one.
+pub struct Harness {
+    scale: Scale,
+    opts: SweepOptions,
+    memo: Mutex<HashMap<String, Metrics>>,
 }
 
-impl RunCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        RunCache::default()
+impl Harness {
+    /// A harness with explicit settings.
+    pub fn new(scale: Scale, opts: SweepOptions) -> Self {
+        Harness {
+            scale,
+            opts,
+            memo: Mutex::new(HashMap::new()),
+        }
     }
 
-    /// Runs (or recalls) `bench` under `system` with `cfg`, asserting the
-    /// workload invariants.
+    /// A harness configured from the process's command line (see [`cli`]).
+    pub fn from_cli() -> Self {
+        let args = cli::Args::parse();
+        Harness::new(args.scale, args.sweep_options())
+    }
+
+    /// The benchmark scale every run uses.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Runs every cell of `spec` through the parallel sweep executor and
+    /// memoizes the results, asserting workload invariants on each.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation fails or the invariants are violated — a
+    /// Panics if any cell fails or violates its workload's invariants — a
     /// figure must never be built from a broken run.
-    pub fn run(&self, bench: &str, system: TmSystem, scale: Scale, cfg: &GpuConfig) -> Metrics {
-        let key = (bench.to_owned(), system, format!("{cfg:?}|{scale:?}"));
-        if let Some(m) = self.cache.lock().expect("cache lock").get(&key) {
+    pub fn prefetch(&self, spec: &ExperimentSpec) {
+        let outcomes = run_sweep(spec, &self.opts).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+        let mut memo = self.memo.lock().expect("memo lock");
+        for o in outcomes {
+            o.metrics.assert_correct();
+            memo.insert(o.cell.cache_key(), o.metrics);
+        }
+    }
+
+    /// Runs (or recalls) `bench` under `system` with `cfg` at the harness
+    /// scale, asserting the workload invariants.
+    ///
+    /// # Panics
+    ///
+    /// See [`Harness::prefetch`].
+    pub fn run(&self, bench: Benchmark, system: TmSystem, cfg: &GpuConfig) -> Metrics {
+        let cell = CellSpec::new(bench, self.scale, system, cfg.clone());
+        let key = cell.cache_key();
+        if let Some(m) = self.memo.lock().expect("memo lock").get(&key) {
             return m.clone();
         }
-        let workload = by_name(bench, scale);
-        let m = run_workload(workload.as_ref(), system, cfg)
-            .unwrap_or_else(|e| panic!("{bench} under {system}: {e}"));
-        m.assert_correct();
-        self.cache.lock().expect("cache lock").insert(key, m.clone());
-        m
+        let spec = ExperimentSpec::from_cells(vec![cell]);
+        let outcome = run_sweep(&spec, &self.opts)
+            .unwrap_or_else(|e| panic!("{bench} under {system}: {e}"))
+            .pop()
+            .expect("one cell in, one outcome out");
+        outcome.metrics.assert_correct();
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .insert(key, outcome.metrics.clone());
+        outcome.metrics
     }
 
-    /// Like [`RunCache::run`] with the Table IV optimal concurrency
-    /// applied for the `(system, bench)` pair.
-    pub fn run_optimal(
-        &self,
-        bench: &str,
-        system: TmSystem,
-        scale: Scale,
-        base: &GpuConfig,
-    ) -> Metrics {
-        let cfg = base.clone().with_concurrency(optimal_concurrency(system, bench));
-        self.run(bench, system, scale, &cfg)
-    }
-
-    /// [`RunCache::run_optimal`] on a customized machine configuration,
-    /// returning just the cycle count (sensitivity sweeps).
-    pub fn run_optimal_cfg(
-        &self,
-        bench: &str,
-        system: TmSystem,
-        scale: Scale,
-        cfg: &GpuConfig,
-    ) -> u64 {
-        self.run_optimal(bench, system, scale, cfg).cycles
+    /// Like [`Harness::run`] with the Table IV optimal concurrency applied
+    /// for the `(system, bench)` pair on top of `base`.
+    pub fn run_optimal(&self, bench: Benchmark, system: TmSystem, base: &GpuConfig) -> Metrics {
+        let cfg = base
+            .clone()
+            .with_concurrency(optimal_concurrency(system, bench));
+        self.run(bench, system, &cfg)
     }
 }
 
@@ -148,8 +172,8 @@ pub fn print_row(label: &str, values: &[f64], with_gmean: bool) {
 /// Prints the benchmark-name column header.
 pub fn print_header(first: &str, with_gmean: bool) {
     print!("{first:<14}");
-    for b in BENCHES {
-        print!(" {b:>8}");
+    for b in Benchmark::ALL {
+        print!(" {:>8}", b.name());
     }
     if with_gmean {
         print!(" {:>8}", "GMEAN");
@@ -163,18 +187,31 @@ mod tests {
 
     #[test]
     fn optimal_concurrency_is_defined_for_all_cells() {
-        for b in BENCHES {
+        for b in Benchmark::ALL {
             for s in TmSystem::ALL {
                 // Every cell resolves (None = unlimited is legal).
                 let _ = optimal_concurrency(s, b);
             }
         }
-        assert_eq!(optimal_concurrency(TmSystem::Getm, "AP"), Some(1));
-        assert_eq!(optimal_concurrency(TmSystem::FgLock, "ATM"), None);
+        assert_eq!(optimal_concurrency(TmSystem::Getm, Benchmark::Ap), Some(1));
+        assert_eq!(optimal_concurrency(TmSystem::FgLock, Benchmark::Atm), None);
     }
 
     #[test]
-    fn bench_list_matches_suite() {
-        assert_eq!(BENCHES, workloads::suite::NAMES);
+    fn every_figure_spec_builds() {
+        for f in &figures::ALL {
+            let spec = (f.spec)(Scale::Fast);
+            // table5 is analytical (no simulations); everything else sweeps.
+            if f.id != "table5" {
+                assert!(!spec.is_empty(), "{} has an empty spec", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn figures_are_found_by_id() {
+        assert!(figures::by_id("fig3").is_some());
+        assert!(figures::by_id("table4").is_some());
+        assert!(figures::by_id("fig99").is_none());
     }
 }

@@ -25,9 +25,7 @@ use crate::meta::TxMetadata;
 use crate::msg::{AccessKind, AccessReply, AccessRequest, ReplyKind};
 use gpu_mem::Granule;
 use sim_core::DetRng;
-use tm_structs::{
-    CuckooConfig, CuckooTable, RecencyBloom, StallBuffer, StallConfig,
-};
+use tm_structs::{CuckooConfig, CuckooTable, RecencyBloom, StallBuffer, StallConfig};
 
 /// How evicted metadata is approximated (ablation knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -176,11 +174,7 @@ impl ValidationUnit {
     ///
     /// `value_of` supplies the current committed value of the requested
     /// word, read from the LLC on a successful load.
-    pub fn access(
-        &mut self,
-        req: AccessRequest,
-        value_of: impl FnOnce() -> u64,
-    ) -> AccessOutcome {
+    pub fn access(&mut self, req: AccessRequest, value_of: impl FnOnce() -> u64) -> AccessOutcome {
         let (meta, mut cycles) = self.fetch_meta(req.granule);
         let mut meta = meta;
 
@@ -377,9 +371,10 @@ impl ValidationUnit {
                 let approx = self.approx.lookup(granule.raw());
                 (TxMetadata::from_approx(approx.wts, approx.rts), cycles)
             }
-            ApproxMode::MaxRegisters => {
-                (TxMetadata::from_approx(self.max_regs.0, self.max_regs.1), cycles)
-            }
+            ApproxMode::MaxRegisters => (
+                TxMetadata::from_approx(self.max_regs.0, self.max_regs.1),
+                cycles,
+            ),
         }
     }
 
@@ -548,7 +543,7 @@ mod tests {
     fn younger_access_to_reserved_granule_queues() {
         let mut v = vu();
         assert_success(&v.access(store(1, 10, 7), || 0)); // wts=11, locked by w1
-        // w2 at warpts 22 passes the timestamp check but finds the lock.
+                                                          // w2 at warpts 22 passes the timestamp check but finds the lock.
         let out = v.access(load(2, 22, 7), || 0);
         assert!(out.reply.is_none(), "younger access should queue");
         assert_eq!(v.stats().queued, 1);
@@ -589,7 +584,7 @@ mod tests {
     fn owner_reaccess_bypasses_timestamp_checks() {
         let mut v = vu();
         assert_success(&v.access(store(1, 10, 7), || 0)); // wts=11
-        // The owner's own load succeeds even though warpts < wts.
+                                                          // The owner's own load succeeds even though warpts < wts.
         let r = assert_success(&v.access(load(1, 10, 7), || 5));
         assert_eq!(r.value, 5);
         // Repeated store increments #writes without touching wts.
@@ -629,7 +624,7 @@ mod tests {
     fn timestamps_not_rolled_back_after_abort() {
         let mut v = vu();
         assert_success(&v.access(load(1, 40, 7), || 0)); // rts = 40
-        // A store at warpts 10 aborts, but rts stays 40.
+                                                         // A store at warpts 10 aborts, but rts stays 40.
         assert_abort(&v.access(store(2, 10, 7), || 0));
         assert_eq!(v.peek(Granule(7)).rts, 40);
     }

@@ -5,8 +5,10 @@
 //! The interleaving below follows the figure exactly and checks the
 //! metadata tables against the paper's snapshots (1), (2) and (3).
 
-use getm::{AccessKind, AccessReply, AccessRequest, CommitEntry, CommitUnit, ReplyKind, ValidationUnit};
 use getm::vu::GetmConfig;
+use getm::{
+    AccessKind, AccessReply, AccessRequest, CommitEntry, CommitUnit, ReplyKind, ValidationUnit,
+};
 use gpu_mem::{Addr, Granule};
 use gpu_simt::GlobalWarpId;
 use sim_core::DetRng;
@@ -33,7 +35,7 @@ fn reply(vu: &mut ValidationUnit, r: AccessRequest) -> Option<AccessReply> {
 
 #[test]
 fn figure7_walkthrough() {
-    let mut rng = DetRng::seeded(0xF16_7);
+    let mut rng = DetRng::seeded(0xF167);
     let mut vu = ValidationUnit::new(GetmConfig::default(), &mut rng);
     let mut cu = CommitUnit::new();
 
@@ -60,7 +62,10 @@ fn figure7_walkthrough() {
 
     // tx2 attempts LD A @ 10: A.wts (21) > 10, so tx2 aborts and the next
     // warpts must be later than 21.
-    match reply(&mut vu, req(TX2, 10, A, AccessKind::Load)).unwrap().kind {
+    match reply(&mut vu, req(TX2, 10, A, AccessKind::Load))
+        .unwrap()
+        .kind
+    {
         ReplyKind::Abort { cause_ts } => assert_eq!(cause_ts, 21),
         ReplyKind::Success => panic!("tx2's stale load must abort"),
     }
@@ -97,8 +102,18 @@ fn figure7_walkthrough() {
 
     // tx1 commits: guaranteed to succeed, write log streamed to the CU.
     cu.receive(&[
-        CommitEntry { granule: A, addr: Addr(A.raw() * 32), data: Some(77), writes: 1 },
-        CommitEntry { granule: B, addr: Addr(B.raw() * 32), data: Some(33), writes: 1 },
+        CommitEntry {
+            granule: A,
+            addr: Addr(A.raw() * 32),
+            data: Some(77),
+            writes: 1,
+        },
+        CommitEntry {
+            granule: B,
+            addr: Addr(B.raw() * 32),
+            data: Some(33),
+            writes: 1,
+        },
     ]);
     let mut woken_replies = Vec::new();
     for region in cu.drain() {
@@ -124,7 +139,11 @@ fn figure7_walkthrough() {
         (A, AccessKind::Store),
     ] {
         let r = reply(&mut vu, req(TX2, 22, g, kind)).unwrap();
-        assert_eq!(r.kind, ReplyKind::Success, "tx2 retry must succeed on {g:?}");
+        assert_eq!(
+            r.kind,
+            ReplyKind::Success,
+            "tx2 retry must succeed on {g:?}"
+        );
     }
     assert!(vu.peek(A).owned_by(TX2));
     assert!(vu.peek(B).owned_by(TX2));

@@ -87,7 +87,10 @@ impl LockAcquirer {
         lock_addrs.dedup();
         LockAcquirer {
             locks: lock_addrs,
-            state: State::Acquiring { next: 0, issued: false },
+            state: State::Acquiring {
+                next: 0,
+                issued: false,
+            },
             attempts: 0,
             salt: 0,
             fails: 0,
@@ -123,7 +126,10 @@ impl LockAcquirer {
     pub fn step(&mut self, prev: OpResult) -> LockPhase {
         match self.state {
             State::Backoff => {
-                self.state = State::Acquiring { next: 0, issued: false };
+                self.state = State::Acquiring {
+                    next: 0,
+                    issued: false,
+                };
                 LockPhase::Issue(Op::Compute(self.backoff_delay()))
             }
             State::Acquiring { next, issued } => {
@@ -145,7 +151,10 @@ impl LockAcquirer {
                         self.fails = 0;
                         return LockPhase::Acquired;
                     }
-                    self.state = State::Acquiring { next: next + 1, issued: false };
+                    self.state = State::Acquiring {
+                        next: next + 1,
+                        issued: false,
+                    };
                     self.step(OpResult::None)
                 } else if next == 0 {
                     // Nothing held yet: back off, then retry the first lock.
@@ -163,7 +172,9 @@ impl LockAcquirer {
                 if remaining > 0 {
                     // Release from the highest-held lock downward.
                     let addr = self.locks[remaining - 1];
-                    self.state = State::Backout { remaining: remaining - 1 };
+                    self.state = State::Backout {
+                        remaining: remaining - 1,
+                    };
                     LockPhase::Issue(Op::Store(addr, UNLOCKED))
                 } else {
                     self.state = State::Backoff;
@@ -176,7 +187,9 @@ impl LockAcquirer {
                     // Release inner-to-outer (reverse acquisition order),
                     // matching Fig. 1's `locks[inner] = 0; locks[outer] = 0`.
                     let idx = self.locks.len() - 1 - released;
-                    self.state = State::Releasing { released: released + 1 };
+                    self.state = State::Releasing {
+                        released: released + 1,
+                    };
                     LockPhase::Issue(Op::Store(self.locks[idx], UNLOCKED))
                 } else {
                     self.state = State::Done;
@@ -214,7 +227,10 @@ impl LockAcquirer {
 
     /// Resets to acquire the same set again (a new critical section).
     pub fn reset(&mut self) {
-        self.state = State::Acquiring { next: 0, issued: false };
+        self.state = State::Acquiring {
+            next: 0,
+            issued: false,
+        };
     }
 }
 
@@ -372,8 +388,7 @@ mod tests {
             match la.step(prev) {
                 LockPhase::Issue(Op::AtomicCas { .. }) => {
                     cas_count += 1;
-                    prev =
-                        OpResult::Value(if cas_count < 3 { LOCKED } else { UNLOCKED });
+                    prev = OpResult::Value(if cas_count < 3 { LOCKED } else { UNLOCKED });
                 }
                 LockPhase::Issue(Op::Compute(d)) => {
                     assert!(d >= 1);

@@ -114,7 +114,15 @@ mod tests {
     fn cas_success_swaps_and_returns_old() {
         let mem = RefCell::new(HashMap::new());
         let mut u = AtomicUnit::new();
-        let old = run(&mut u, &mem, AtomicOp::Cas { addr: Addr(8), expect: 0, new: 1 });
+        let old = run(
+            &mut u,
+            &mem,
+            AtomicOp::Cas {
+                addr: Addr(8),
+                expect: 0,
+                new: 1,
+            },
+        );
         assert_eq!(old, 0);
         assert_eq!(mem.borrow()[&8], 1);
         assert_eq!(u.stats().cas_success, 1);
@@ -124,7 +132,15 @@ mod tests {
     fn cas_failure_leaves_memory() {
         let mem = RefCell::new(HashMap::from([(8u64, 5u64)]));
         let mut u = AtomicUnit::new();
-        let old = run(&mut u, &mem, AtomicOp::Cas { addr: Addr(8), expect: 0, new: 1 });
+        let old = run(
+            &mut u,
+            &mem,
+            AtomicOp::Cas {
+                addr: Addr(8),
+                expect: 0,
+                new: 1,
+            },
+        );
         assert_eq!(old, 5);
         assert_eq!(mem.borrow()[&8], 5);
         assert_eq!(u.stats().cas_fail, 1);
@@ -134,7 +150,14 @@ mod tests {
     fn add_returns_old_and_wraps() {
         let mem = RefCell::new(HashMap::from([(8u64, u64::MAX)]));
         let mut u = AtomicUnit::new();
-        let old = run(&mut u, &mem, AtomicOp::Add { addr: Addr(8), delta: 2 });
+        let old = run(
+            &mut u,
+            &mem,
+            AtomicOp::Add {
+                addr: Addr(8),
+                delta: 2,
+            },
+        );
         assert_eq!(old, u64::MAX);
         assert_eq!(mem.borrow()[&8], 1);
         assert_eq!(u.stats().adds, 1);
@@ -142,8 +165,23 @@ mod tests {
 
     #[test]
     fn addr_accessor() {
-        assert_eq!(AtomicOp::Cas { addr: Addr(3), expect: 0, new: 1 }.addr(), Addr(3));
-        assert_eq!(AtomicOp::Add { addr: Addr(4), delta: 1 }.addr(), Addr(4));
+        assert_eq!(
+            AtomicOp::Cas {
+                addr: Addr(3),
+                expect: 0,
+                new: 1
+            }
+            .addr(),
+            Addr(3)
+        );
+        assert_eq!(
+            AtomicOp::Add {
+                addr: Addr(4),
+                delta: 1
+            }
+            .addr(),
+            Addr(4)
+        );
     }
 
     #[test]
@@ -151,11 +189,22 @@ mod tests {
         // Two contenders on one lock: only one CAS wins per round.
         let mem = RefCell::new(HashMap::new());
         let mut u = AtomicUnit::new();
-        let cas = AtomicOp::Cas { addr: Addr(0), expect: 0, new: 1 };
+        let cas = AtomicOp::Cas {
+            addr: Addr(0),
+            expect: 0,
+            new: 1,
+        };
         assert_eq!(run(&mut u, &mem, cas), 0); // A wins
         assert_eq!(run(&mut u, &mem, cas), 1); // B fails
         mem.borrow_mut().insert(0, 0); // A releases
         assert_eq!(run(&mut u, &mem, cas), 0); // B wins
-        assert_eq!(u.stats(), AtomicStats { cas_success: 2, cas_fail: 1, adds: 0 });
+        assert_eq!(
+            u.stats(),
+            AtomicStats {
+                cas_success: 2,
+                cas_fail: 1,
+                adds: 0
+            }
+        );
     }
 }

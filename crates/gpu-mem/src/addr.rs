@@ -70,7 +70,10 @@ impl Geometry {
     /// Panics if the sizes are not powers of two, the granule exceeds the
     /// line size, or `partitions` is zero.
     pub fn new(line_bytes: u64, granule_bytes: u64, partitions: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             granule_bytes.is_power_of_two(),
             "granule size must be a power of two"
@@ -189,7 +192,7 @@ mod tests {
     #[test]
     fn partitions_cover_all() {
         let g = Geometry::new(128, 32, 6);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for line in 0..12u64 {
             seen[g.partition_of_line(LineAddr(line)) as usize] = true;
         }

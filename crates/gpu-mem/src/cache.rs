@@ -108,7 +108,7 @@ impl SetAssocCache {
     pub fn new(cfg: CacheConfig) -> Self {
         let lines = cfg.capacity_bytes / cfg.line_bytes;
         assert!(
-            lines as usize % cfg.ways == 0 && lines > 0,
+            (lines as usize).is_multiple_of(cfg.ways) && lines > 0,
             "capacity must divide into an integral number of sets"
         );
         let sets = cfg.sets();
@@ -146,7 +146,11 @@ impl SetAssocCache {
         let dirty = kind == AccessKind::Write;
         // Prefer an empty way; otherwise evict the LRU entry.
         if let Some(slot) = set.iter_mut().find(|e| e.is_none()) {
-            *slot = Some(TagEntry { tag, dirty, lru: stamp });
+            *slot = Some(TagEntry {
+                tag,
+                dirty,
+                lru: stamp,
+            });
             return CacheResult::Miss { writeback: None };
         }
         let victim_way = set
@@ -155,7 +159,11 @@ impl SetAssocCache {
             .min_by_key(|(_, e)| e.as_ref().expect("set is full").lru)
             .map(|(i, _)| i)
             .expect("nonzero associativity");
-        let victim = set[victim_way].replace(TagEntry { tag, dirty, lru: stamp });
+        let victim = set[victim_way].replace(TagEntry {
+            tag,
+            dirty,
+            lru: stamp,
+        });
         let victim = victim.expect("victim way was full");
         let sets = self.sets.len() as u64;
         let writeback = victim
@@ -236,7 +244,7 @@ mod tests {
         c.access(LineAddr(0), AccessKind::Read);
         c.access(LineAddr(4), AccessKind::Read);
         c.access(LineAddr(0), AccessKind::Read); // 0 now MRU
-        // Allocating 8 must evict 4, keeping 0.
+                                                 // Allocating 8 must evict 4, keeping 0.
         c.access(LineAddr(8), AccessKind::Read);
         assert!(c.probe(LineAddr(0)));
         assert!(!c.probe(LineAddr(4)));

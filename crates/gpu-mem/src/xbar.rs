@@ -223,7 +223,7 @@ mod tests {
     fn port_contention_with_gap() {
         let mut x = xbar();
         x.send(Cycle(0), 0, 32, 1, "t"); // port busy until cycle 1
-        // A later injection after the port is free starts fresh.
+                                         // A later injection after the port is free starts fresh.
         let c = x.send(Cycle(50), 0, 32, 2, "t");
         assert_eq!(c, Cycle(56));
     }

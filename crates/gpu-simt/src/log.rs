@@ -246,16 +246,12 @@ mod tests {
         l.record_write(Addr(0), 1, &g); // granule 0
         l.record_write(Addr(8), 2, &g); // granule 0
         l.record_write(Addr(32), 3, &g); // granule 1
-        let counts: HashMap<u64, u32> =
-            l.write_counts().map(|(g, c)| (g.raw(), c)).collect();
+        let counts: HashMap<u64, u32> = l.write_counts().map(|(g, c)| (g.raw(), c)).collect();
         assert_eq!(counts[&0], 2);
         assert_eq!(counts[&1], 1);
         assert!(l.wrote_granule(Granule(0)));
         assert!(!l.wrote_granule(Granule(2)));
-        assert_eq!(
-            l.write_granules(),
-            vec![Granule(0), Granule(1)]
-        );
+        assert_eq!(l.write_granules(), vec![Granule(0), Granule(1)]);
     }
 
     #[test]

@@ -180,9 +180,7 @@ impl ThreadProgram for ScriptProgram {
     }
 
     fn rollback(&mut self) {
-        self.pc = self
-            .tx_start
-            .expect("rollback outside a transaction");
+        self.pc = self.tx_start.expect("rollback outside a transaction");
     }
 }
 
@@ -196,11 +194,20 @@ mod tests {
         assert!(Op::TxStore(Addr(0), 1).is_tx_access());
         assert!(!Op::Load(Addr(0)).is_tx_access());
         assert!(Op::Load(Addr(0)).is_memory());
-        assert!(Op::AtomicAdd { addr: Addr(0), delta: 1 }.is_memory());
+        assert!(Op::AtomicAdd {
+            addr: Addr(0),
+            delta: 1
+        }
+        .is_memory());
         assert!(!Op::Compute(3).is_memory());
         assert_eq!(Op::TxBegin.kind(), OpKind::TxBegin);
         assert_eq!(
-            Op::AtomicCas { addr: Addr(0), expect: 0, new: 1 }.kind(),
+            Op::AtomicCas {
+                addr: Addr(0),
+                expect: 0,
+                new: 1
+            }
+            .kind(),
             OpKind::Atomic
         );
     }

@@ -7,8 +7,8 @@
 //! invariants of the per-thread state machine.
 
 use crate::backoff::Backoff;
-use crate::program::{BoxedProgram, Op, OpResult};
 use crate::log::TxLogs;
+use crate::program::{BoxedProgram, Op, OpResult};
 use crate::stack::TxStack;
 use sim_core::Cycle;
 

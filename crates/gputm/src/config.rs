@@ -143,7 +143,7 @@ impl GpuConfig {
                 total_entries: (8192 / 8 / 4) * 4,
                 ..CuckooConfig::default()
             },
-            bloom_entries_per_way: (1024 / 8 / 4).max(1),
+            bloom_entries_per_way: 1024 / 8 / 4,
             bloom_ways: 4,
             stall: StallConfig::default(),
             ..GetmConfig::default()
@@ -178,8 +178,7 @@ impl GpuConfig {
 
     /// Overrides the GPU-wide precise-table entry budget (Fig. 14 top).
     pub fn with_metadata_entries(mut self, gpu_wide: usize) -> Self {
-        self.getm.cuckoo.total_entries =
-            ((gpu_wide / self.partitions as usize / 4).max(1)) * 4;
+        self.getm.cuckoo.total_entries = ((gpu_wide / self.partitions as usize / 4).max(1)) * 4;
         self
     }
 

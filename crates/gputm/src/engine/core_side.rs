@@ -25,14 +25,12 @@ impl Engine {
         let limit = self.cfg.tx_concurrency;
         let nwarps = self.cores[c].warps.len();
         let mut ready = vec![false; nwarps];
-        for w in 0..nwarps {
+        for (w, ready_slot) in ready.iter_mut().enumerate() {
             let tokens = self.cores[c].tx_tokens;
             let Some(slot) = self.cores[c].warps[w].as_mut() else {
                 continue;
             };
-            if slot.warp.status(now) != gpu_simt::WarpStatus::Ready
-                || slot.committing.is_some()
-            {
+            if slot.warp.status(now) != gpu_simt::WarpStatus::Ready || slot.committing.is_some() {
                 continue;
             }
             // Peek the leader op to apply the concurrency throttle.
@@ -55,7 +53,7 @@ impl Engine {
                     }
                 }
             }
-            ready[w] = true;
+            *ready_slot = true;
         }
 
         let mut sched = std::mem::replace(
@@ -82,10 +80,13 @@ impl Engine {
             self.cores[c].retired_aborts += slot.warp.total_aborts();
             self.live_warps -= 1;
             if let Some(progs) = self.cores[c].pending_warps.pop_front() {
-                let new_slot =
-                    super::make_slot(progs, c, w, &self.cfg, &sim_core::DetRng::seeded(
-                        self.cfg.seed ^ 0x517A,
-                    ));
+                let new_slot = super::make_slot(
+                    progs,
+                    c,
+                    w,
+                    &self.cfg,
+                    &sim_core::DetRng::seeded(self.cfg.seed ^ 0x517A),
+                );
                 self.cores[c].warps[w] = Some(new_slot);
             }
         }
@@ -215,8 +216,7 @@ impl Engine {
                     ol as u32 != l
                         && t.in_tx
                         && t.status != ThreadStatus::Aborted
-                        && (t.logs.wrote_granule(g)
-                            || (is_store && t.logs.read_granule(g, &geom)))
+                        && (t.logs.wrote_granule(g) || (is_store && t.logs.read_granule(g, &geom)))
                 });
                 let t = &mut slot.warp.threads[l as usize];
                 t.consume_op();
@@ -253,7 +253,11 @@ impl Engine {
                 if is_store {
                     // Idealized eager check: validate the read log against
                     // committed memory instantly; a stale log aborts now.
-                    self.el_validate_lanes(c, w, &survivors.iter().map(|s| s.0).collect::<Vec<_>>());
+                    self.el_validate_lanes(
+                        c,
+                        w,
+                        &survivors.iter().map(|s| s.0).collect::<Vec<_>>(),
+                    );
                 } else {
                     self.wtm_send_loads(c, w, &survivors);
                 }
@@ -330,7 +334,11 @@ impl Engine {
                     addr,
                     wid,
                     warpts,
-                    kind: if is_store { GetmKind::Store } else { GetmKind::Load },
+                    kind: if is_store {
+                        GetmKind::Store
+                    } else {
+                        GetmKind::Load
+                    },
                     token,
                 }),
                 "tm-access",
@@ -401,7 +409,11 @@ impl Engine {
         let now = self.now;
         for (g, lanes) in by_granule {
             let line = geom.line_of_granule(g);
-            if use_l1 && self.cores[c].l1.access(line, gpu_mem::AccessKind::Read).is_hit()
+            if use_l1
+                && self.cores[c]
+                    .l1
+                    .access(line, gpu_mem::AccessKind::Read)
+                    .is_hit()
             {
                 // L1 hit: values available next cycle.
                 let slot = self.cores[c].warps[w].as_mut().expect("warp");
@@ -449,8 +461,7 @@ impl Engine {
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
-                let Some(Op::Store(a, v)) = slot.warp.threads[l as usize].staged_op
-                else {
+                let Some(Op::Store(a, v)) = slot.warp.threads[l as usize].staged_op else {
                     panic!("expected Store");
                 };
                 slot.warp.threads[l as usize].consume_op();
@@ -464,8 +475,13 @@ impl Engine {
             if self.system.is_tm() {
                 self.cores[c].l1.invalidate(geom.line_of(a));
             }
-            self.up
-                .send(now, part, 16, UpMsg::PlainStore { addr: a, value: v }, "store");
+            self.up.send(
+                now,
+                part,
+                16,
+                UpMsg::PlainStore { addr: a, value: v },
+                "store",
+            );
         }
     }
 
@@ -488,8 +504,14 @@ impl Engine {
                 }
             };
             let token = self.fresh_token();
-            self.pending
-                .insert(token, Pending::AtomicOp { core: c, warp: w, lane: l });
+            self.pending.insert(
+                token,
+                Pending::AtomicOp {
+                    core: c,
+                    warp: w,
+                    lane: l,
+                },
+            );
             let part = geom.partition_of(op.addr()) as usize;
             self.up
                 .send(now, part, 16, UpMsg::Atomic { op, token }, "atomic");
@@ -508,7 +530,10 @@ impl Engine {
                 last_write,
             } => self.on_load_reply(c, token, values, last_write),
             DownMsg::AtomicReply { token, old } => self.on_atomic_reply(token, old),
-            DownMsg::Verdict { token, failed_lanes } => self.on_verdict(token, failed_lanes),
+            DownMsg::Verdict {
+                token,
+                failed_lanes,
+            } => self.on_verdict(token, failed_lanes),
             DownMsg::CommitAck { token } => self.on_commit_ack(token),
             DownMsg::Broadcast { writes } => self.on_broadcast(c, &writes),
         }
@@ -532,8 +557,7 @@ impl Engine {
         slot.warp.outstanding -= 1;
         if is_store {
             for &(l, _) in &lanes {
-                slot.pending_stores[l as usize] =
-                    slot.pending_stores[l as usize].saturating_sub(1);
+                slot.pending_stores[l as usize] = slot.pending_stores[l as usize].saturating_sub(1);
             }
         }
         match reply.kind {
@@ -661,8 +685,7 @@ impl Engine {
     }
 
     fn on_atomic_reply(&mut self, token: u64, old: u64) {
-        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(&token)
-        else {
+        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(&token) else {
             panic!("atomic reply for unknown token");
         };
         let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
@@ -684,9 +707,10 @@ impl Engine {
                 if t.status == ThreadStatus::Aborted || !t.in_tx {
                     continue;
                 }
-                let valid = t.logs.reads().iter().all(|e| {
-                    e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
-                });
+                let valid =
+                    t.logs.reads().iter().all(|e| {
+                        e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
+                    });
                 if !valid {
                     slot.warp.tx_stack.abort_lane(l);
                     let t = &mut slot.warp.threads[l as usize];
@@ -710,22 +734,19 @@ impl Engine {
             let mut any = false;
             {
                 let core = &mut self.cores[c];
-                let Some(slot) = core.warps[w].as_mut() else { continue };
+                let Some(slot) = core.warps[w].as_mut() else {
+                    continue;
+                };
                 if !slot.warp.tx_stack.is_open() || slot.committing.is_some() {
                     continue;
                 }
                 for l in 0..slot.warp.threads.len() {
                     let t = &slot.warp.threads[l];
-                    if !t.in_tx
-                        || !matches!(
-                            t.status,
-                            ThreadStatus::Ready | ThreadStatus::Blocked
-                        )
+                    if !t.in_tx || !matches!(t.status, ThreadStatus::Ready | ThreadStatus::Blocked)
                     {
                         continue;
                     }
-                    if core.eapg.on_broadcast(&t.logs, writes) == EapgDecision::EarlyAbort
-                    {
+                    if core.eapg.on_broadcast(&t.logs, writes) == EapgDecision::EarlyAbort {
                         if t.status == ThreadStatus::Ready {
                             slot.warp.tx_stack.abort_lane(l as u32);
                             let t = &mut slot.warp.threads[l];
@@ -752,7 +773,9 @@ impl Engine {
 
     pub(crate) fn maybe_warp_commit(&mut self, c: usize, w: usize) {
         let ready = {
-            let Some(slot) = self.cores[c].warps[w].as_ref() else { return };
+            let Some(slot) = self.cores[c].warps[w].as_ref() else {
+                return;
+            };
             slot.warp.tx_stack.is_open()
                 && slot.warp.tx_stack.warp_at_commit_point()
                 && slot.committing.is_none()
@@ -796,14 +819,12 @@ impl Engine {
                     }
                     for (a, (v, n)) in words {
                         let g = geom.granule_of(Addr(a));
-                        per_part[geom.partition_of_granule(g) as usize].push(
-                            CommitEntry {
-                                granule: g,
-                                addr: Addr(a),
-                                data: Some(v),
-                                writes: n,
-                            },
-                        );
+                        per_part[geom.partition_of_granule(g) as usize].push(CommitEntry {
+                            granule: g,
+                            addr: Addr(a),
+                            data: Some(v),
+                            writes: n,
+                        });
                     }
                     t.commits += 1;
                     self.stats.commits += 1;
@@ -815,14 +836,12 @@ impl Engine {
                 } else if retry_mask & bit != 0 {
                     // Abort cleanup: address + count per reserved granule.
                     for (g, n) in t.logs.write_counts() {
-                        per_part[geom.partition_of_granule(g) as usize].push(
-                            CommitEntry {
-                                granule: g,
-                                addr: geom.granule_base(g),
-                                data: None,
-                                writes: n,
-                            },
-                        );
+                        per_part[geom.partition_of_granule(g) as usize].push(CommitEntry {
+                            granule: g,
+                            addr: geom.granule_base(g),
+                            data: None,
+                            writes: n,
+                        });
                     }
                 }
             }
@@ -833,7 +852,8 @@ impl Engine {
                 continue;
             }
             let bytes = CommitEntry::batch_bytes(&entries);
-            self.up.send(now, p, bytes, UpMsg::GetmLog(entries), "commit");
+            self.up
+                .send(now, p, bytes, UpMsg::GetmLog(entries), "commit");
         }
         self.finish_round(c, w, true);
     }
@@ -979,9 +999,10 @@ impl Engine {
                     continue;
                 }
                 let t = &slot.warp.threads[l];
-                let valid = t.logs.reads().iter().all(|e| {
-                    e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
-                });
+                let valid =
+                    t.logs.reads().iter().all(|e| {
+                        e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
+                    });
                 if !valid {
                     failed_mask |= 1 << l;
                 }
@@ -1156,10 +1177,7 @@ impl Engine {
                     "commit",
                 );
             }
-            let ctx = self
-                .commits_in_flight
-                .get_mut(&token)
-                .expect("ctx present");
+            let ctx = self.commits_in_flight.get_mut(&token).expect("ctx present");
             ctx.pending_acks = parts.len() as u32;
             ctx.lanes = surviving;
         }
@@ -1179,9 +1197,7 @@ impl Engine {
         }
         let ctx = self.commits_in_flight.remove(&token).expect("ctx present");
         {
-            let slot = self.cores[ctx.core].warps[ctx.warp]
-                .as_mut()
-                .expect("warp");
+            let slot = self.cores[ctx.core].warps[ctx.warp].as_mut().expect("warp");
             slot.committing = None;
             for &l in &ctx.lanes {
                 slot.warp.threads[l as usize].commits += 1;
@@ -1201,9 +1217,7 @@ impl Engine {
         let rounds = slot.warp.tx_stack.rounds();
         let restart = slot.warp.tx_stack.finish_round();
         if restart == 0 {
-            self.stats
-                .rounds_per_region
-                .observe(rounds as f64 + 1.0);
+            self.stats.rounds_per_region.observe(rounds as f64 + 1.0);
         }
         if restart != 0 {
             if is_getm {

@@ -293,9 +293,11 @@ impl Engine {
         for (c, mut queue) in per_core.into_iter().enumerate() {
             let mut warps: Vec<Option<WarpSlot>> = Vec::new();
             for w in 0..cfg.warps_per_core as usize {
-                warps.push(queue.pop_front().map(|progs| {
-                    make_slot(progs, c, w, cfg, &root_rng)
-                }));
+                warps.push(
+                    queue
+                        .pop_front()
+                        .map(|progs| make_slot(progs, c, w, cfg, &root_rng)),
+                );
             }
             cores.push(CoreState {
                 warps,
@@ -310,9 +312,7 @@ impl Engine {
         }
         let live_warps = cores
             .iter()
-            .map(|c| {
-                c.warps.iter().filter(|w| w.is_some()).count() + c.pending_warps.len()
-            })
+            .map(|c| c.warps.iter().filter(|w| w.is_some()).count() + c.pending_warps.len())
             .sum();
 
         let parts = (0..cfg.partitions as usize)
@@ -320,10 +320,7 @@ impl Engine {
                 let mut vu_rng = root_rng.fork(0x9A57 + p as u64);
                 Partition {
                     llc: SetAssocCache::new(cfg.llc_bank),
-                    vu: ValidationUnit::new(
-                        GetmConfig { ..cfg.getm },
-                        &mut vu_rng,
-                    ),
+                    vu: ValidationUnit::new(GetmConfig { ..cfg.getm }, &mut vu_rng),
                     cu: CommitUnit::new(),
                     wtm: WarptmValidator::new(geom),
                     tcd: TcdTable::new(cfg.tcd_entries),
@@ -531,14 +528,10 @@ impl Engine {
                     }
                 } else if slot.warp.any_ready() && !slot.warp.all_finished() {
                     // Throttled at TxBegin?
-                    let wants_tx = slot
-                        .warp
-                        .threads
-                        .iter()
-                        .any(|t| {
-                            t.status == gpu_simt::ThreadStatus::Ready
-                                && t.staged_op == Some(gpu_simt::Op::TxBegin)
-                        });
+                    let wants_tx = slot.warp.threads.iter().any(|t| {
+                        t.status == gpu_simt::ThreadStatus::Ready
+                            && t.staged_op == Some(gpu_simt::Op::TxBegin)
+                    });
                     if wants_tx {
                         if let Some(limit) = self.cfg.tx_concurrency {
                             if core.tx_tokens >= limit {

@@ -158,11 +158,8 @@ impl Engine {
                 (woken, start + cycles.max(1) as u64)
             };
             for wk in woken {
-                let extra = self.data_cycles(
-                    p,
-                    self.geom.line_of(wk.request.addr),
-                    AccessKind::Read,
-                );
+                let extra =
+                    self.data_cycles(p, self.geom.line_of(wk.request.addr), AccessKind::Read);
                 let (core, values) = self.capture_values(wk.reply.token);
                 let at = vu_done.max(cu_done) + wk.cycles as u64 + extra;
                 self.send_down(
@@ -209,7 +206,11 @@ impl Engine {
             .collect();
         lines.sort_unstable();
         lines.dedup();
-        let mut extra = if lines.is_empty() { 0 } else { self.cfg.llc_service };
+        let mut extra = if lines.is_empty() {
+            0
+        } else {
+            self.cfg.llc_service
+        };
         for line in lines {
             let hit = matches!(
                 self.parts[p].llc.access(line, AccessKind::Read),
@@ -322,11 +323,9 @@ impl Engine {
             // the unit's closures are invoked sequentially anyway.
             let current = self.mem.get(&op.addr().0).copied().unwrap_or(0);
             let mut new_value: Option<u64> = None;
-            let old = self.parts[p].atomic.execute(
-                op,
-                |_| current,
-                |_, v| new_value = Some(v),
-            );
+            let old = self.parts[p]
+                .atomic
+                .execute(op, |_| current, |_, v| new_value = Some(v));
             if let Some(v) = new_value {
                 self.mem.insert(op.addr().0, v);
             }
@@ -336,7 +335,13 @@ impl Engine {
             Some(Pending::AtomicOp { core, .. }) => *core,
             _ => panic!("atomic reply for unknown token {token}"),
         };
-        self.send_down(done, core, 16, DownMsg::AtomicReply { token, old }, "atomic");
+        self.send_down(
+            done,
+            core,
+            16,
+            DownMsg::AtomicReply { token, old },
+            "atomic",
+        );
     }
 
     // ----- Helpers ---------------------------------------------------------

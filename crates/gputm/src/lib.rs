@@ -8,11 +8,18 @@
 //! ```no_run
 //! use gputm::prelude::*;
 //!
-//! let workload = workloads::suite::by_name("HT-H", Scale::Fast);
 //! let cfg = GpuConfig::fermi_15core();
-//! let metrics = run_workload(workload.as_ref(), TmSystem::Getm, &cfg).unwrap();
+//! let workload = Benchmark::HtH.build(Scale::Fast);
+//! let metrics = Sim::new(&cfg)
+//!     .system(TmSystem::Getm)
+//!     .run(workload.as_ref())
+//!     .unwrap();
 //! println!("cycles = {}", metrics.cycles);
 //! ```
+//!
+//! Whole experiment grids run through the [`sweep`] module, which executes
+//! cells in parallel (bit-identically to serial execution) and caches
+//! finished results on disk.
 //!
 //! Modules:
 //!
@@ -21,7 +28,9 @@
 //! * [`engine`] — the cycle-level engine that moves messages between cores
 //!   and memory partitions and drives each TM protocol.
 //! * [`metrics`] — everything measured during a run.
-//! * [`runner`] — one-call workload execution with invariant checking.
+//! * [`runner`] — the [`runner::Sim`] builder plus the one-call
+//!   [`runner::run_workload`] wrapper, with invariant checking.
+//! * [`sweep`] — parallel grid execution with deterministic result caching.
 //! * [`silicon`] — the analytical SRAM area/power model behind Table V.
 
 #![warn(missing_docs)]
@@ -31,16 +40,20 @@ pub mod engine;
 pub mod metrics;
 pub mod runner;
 pub mod silicon;
+pub mod sweep;
 
 pub use config::{GpuConfig, TmSystem};
 pub use metrics::Metrics;
-pub use runner::run_workload;
+pub use runner::{run_workload, Sim};
 
 /// Common imports for examples and benchmarks.
 pub mod prelude {
     pub use crate::config::{GpuConfig, TmSystem};
     pub use crate::metrics::Metrics;
-    pub use crate::runner::run_workload;
-    pub use workloads::suite::Scale;
+    pub use crate::runner::{run_workload, Sim};
+    pub use crate::sweep::{
+        run_sweep, CellSpec, ExperimentSpec, ResultCache, SweepOptions, SweepOutcome,
+    };
+    pub use workloads::suite::{Benchmark, Scale};
     pub use workloads::{SyncMode, Workload};
 }

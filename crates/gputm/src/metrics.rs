@@ -7,7 +7,12 @@
 use std::collections::BTreeMap;
 
 /// Measurements from one simulated kernel execution.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field (floats bitwise-as-written), which is
+/// what the sweep harness's determinism guarantees are stated in terms of:
+/// serial, parallel, and cache-recalled metrics for the same
+/// [`crate::sweep::CellSpec`] compare equal.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Total simulated core cycles until the kernel drained (Figs. 4, 11,
     /// 14, 17 — "total exec time").

@@ -1,4 +1,5 @@
-//! One-call workload execution.
+//! Workload execution: the [`Sim`] builder and the one-call
+//! [`run_workload`] convenience wrapper.
 
 use crate::config::{GpuConfig, TmSystem};
 use crate::engine::Engine;
@@ -6,21 +7,74 @@ use crate::metrics::Metrics;
 use sim_core::SimError;
 use workloads::Workload;
 
-/// Runs `workload` to completion under `system` on the machine described
-/// by `cfg`, returning the metrics with the workload's invariant check
-/// already applied.
+/// Builder-style entry point for running workloads on the simulated GPU.
 ///
-/// # Errors
-///
-/// Configuration errors and [`SimError::CycleLimitExceeded`] (protocol
-/// livelock) are returned; invariant violations are reported in
-/// [`Metrics::check`] rather than as an error, so harnesses can decide how
-/// loudly to fail.
+/// A `Sim` borrows a machine configuration, selects a TM system, and can
+/// then run any number of workloads:
 ///
 /// ```no_run
 /// use gputm::prelude::*;
 ///
-/// let w = workloads::suite::by_name("ATM", Scale::Fast);
+/// let cfg = GpuConfig::fermi_15core();
+/// let w = Benchmark::Atm.build(Scale::Fast);
+/// let m = Sim::new(&cfg).system(TmSystem::Getm).run(w.as_ref()).unwrap();
+/// m.assert_correct();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Sim<'a> {
+    cfg: &'a GpuConfig,
+    system: TmSystem,
+}
+
+impl<'a> Sim<'a> {
+    /// A simulator over `cfg`, defaulting to the paper's GETM system.
+    pub fn new(cfg: &'a GpuConfig) -> Self {
+        Sim {
+            cfg,
+            system: TmSystem::Getm,
+        }
+    }
+
+    /// Selects the synchronization system.
+    #[must_use]
+    pub fn system(mut self, system: TmSystem) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// The currently selected system.
+    pub fn selected_system(&self) -> TmSystem {
+        self.system
+    }
+
+    /// Runs `workload` to completion, returning the metrics with the
+    /// workload's invariant check already applied.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors and [`SimError::CycleLimitExceeded`] (protocol
+    /// livelock) are returned; invariant violations are reported in
+    /// [`Metrics::check`] rather than as an error, so harnesses can decide
+    /// how loudly to fail.
+    pub fn run(&self, workload: &dyn Workload) -> Result<Metrics, SimError> {
+        let mut engine = Engine::new(workload, self.system, self.cfg)?;
+        let mut metrics = engine.run()?;
+        metrics.check = Some(workload.check(&engine.memory_reader()));
+        Ok(metrics)
+    }
+}
+
+/// Runs `workload` to completion under `system` on the machine described
+/// by `cfg` — a thin wrapper over [`Sim`] kept for one-off calls.
+///
+/// # Errors
+///
+/// See [`Sim::run`].
+///
+/// ```no_run
+/// use gputm::prelude::*;
+///
+/// let w = Benchmark::HtH.build(Scale::Fast);
 /// let m = run_workload(w.as_ref(), TmSystem::Getm, &GpuConfig::fermi_15core()).unwrap();
 /// m.assert_correct();
 /// ```
@@ -29,8 +83,19 @@ pub fn run_workload(
     system: TmSystem,
     cfg: &GpuConfig,
 ) -> Result<Metrics, SimError> {
-    let mut engine = Engine::new(workload, system, cfg)?;
-    let mut metrics = engine.run()?;
-    metrics.check = Some(workload.check(&engine.memory_reader()));
-    Ok(metrics)
+    Sim::new(cfg).system(system).run(workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_selects_system() {
+        let cfg = GpuConfig::tiny_test();
+        let sim = Sim::new(&cfg);
+        assert_eq!(sim.selected_system(), TmSystem::Getm);
+        let sim = sim.system(TmSystem::FgLock);
+        assert_eq!(sim.selected_system(), TmSystem::FgLock);
+    }
 }

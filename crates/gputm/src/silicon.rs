@@ -52,8 +52,7 @@ impl SramStructure {
         const C_INSTANCE: f64 = 3.2653; // mW fixed peripheral per array
         let kb_per_instance = self.bytes_per_instance as f64 / 1024.0;
         let clock_term = 0.5 + 0.5 * (self.clock_mhz as f64 / 1400.0);
-        self.instances as f64
-            * (K_ARRAY * kb_per_instance.powf(0.75) * clock_term + C_INSTANCE)
+        self.instances as f64 * (K_ARRAY * kb_per_instance.powf(0.75) * clock_term + C_INSTANCE)
     }
 }
 
@@ -86,12 +85,42 @@ pub fn warptm_inventory() -> TmInventory {
     TmInventory {
         name: "WarpTM",
         structures: vec![
-            SramStructure { name: "CU: LWHR tables", bytes_per_instance: 3 * KB, instances: 6, clock_mhz: 700 },
-            SramStructure { name: "CU: LWHR filters", bytes_per_instance: 2 * KB, instances: 6, clock_mhz: 700 },
-            SramStructure { name: "CU: entry arrays", bytes_per_instance: 19 * KB, instances: 6, clock_mhz: 700 },
-            SramStructure { name: "CU: read-write buffers", bytes_per_instance: 32 * KB, instances: 6, clock_mhz: 700 },
-            SramStructure { name: "TCD: first-read tables", bytes_per_instance: 12 * KB, instances: 15, clock_mhz: 1400 },
-            SramStructure { name: "TCD: last-write buffer", bytes_per_instance: 16 * KB, instances: 1, clock_mhz: 1400 },
+            SramStructure {
+                name: "CU: LWHR tables",
+                bytes_per_instance: 3 * KB,
+                instances: 6,
+                clock_mhz: 700,
+            },
+            SramStructure {
+                name: "CU: LWHR filters",
+                bytes_per_instance: 2 * KB,
+                instances: 6,
+                clock_mhz: 700,
+            },
+            SramStructure {
+                name: "CU: entry arrays",
+                bytes_per_instance: 19 * KB,
+                instances: 6,
+                clock_mhz: 700,
+            },
+            SramStructure {
+                name: "CU: read-write buffers",
+                bytes_per_instance: 32 * KB,
+                instances: 6,
+                clock_mhz: 700,
+            },
+            SramStructure {
+                name: "TCD: first-read tables",
+                bytes_per_instance: 12 * KB,
+                instances: 15,
+                clock_mhz: 1400,
+            },
+            SramStructure {
+                name: "TCD: last-write buffer",
+                bytes_per_instance: 16 * KB,
+                instances: 1,
+                clock_mhz: 1400,
+            },
         ],
     }
 }
@@ -122,15 +151,40 @@ pub fn getm_inventory() -> TmInventory {
         name: "GETM",
         structures: vec![
             // Write-only commit buffers: half of WarpTM's read-write buffers.
-            SramStructure { name: "CU: write buffers", bytes_per_instance: 16 * KB, instances: 6, clock_mhz: 700 },
+            SramStructure {
+                name: "CU: write buffers",
+                bytes_per_instance: 16 * KB,
+                instances: 6,
+                clock_mhz: 700,
+            },
             // Precise metadata: 4K entries x 16B = 64KB GPU-wide.
-            SramStructure { name: "VU: precise tables", bytes_per_instance: 64 * KB, instances: 1, clock_mhz: 1400 },
+            SramStructure {
+                name: "VU: precise tables",
+                bytes_per_instance: 64 * KB,
+                instances: 1,
+                clock_mhz: 1400,
+            },
             // Approximate metadata: 1K entries x 8B = 8KB GPU-wide.
-            SramStructure { name: "VU: approximate tables", bytes_per_instance: 8 * KB, instances: 1, clock_mhz: 1400 },
+            SramStructure {
+                name: "VU: approximate tables",
+                bytes_per_instance: 8 * KB,
+                instances: 1,
+                clock_mhz: 1400,
+            },
             // warpts: 48 warps x 4B per core.
-            SramStructure { name: "warpts tables", bytes_per_instance: 192, instances: 15, clock_mhz: 1400 },
+            SramStructure {
+                name: "warpts tables",
+                bytes_per_instance: 192,
+                instances: 15,
+                clock_mhz: 1400,
+            },
             // Stall buffers: 4 lines x 4 entries, ~30B each, per partition.
-            SramStructure { name: "stall buffers", bytes_per_instance: 480, instances: 6, clock_mhz: 1400 },
+            SramStructure {
+                name: "stall buffers",
+                bytes_per_instance: 480,
+                instances: 6,
+                clock_mhz: 1400,
+            },
         ],
     }
 }
@@ -149,8 +203,18 @@ mod tests {
 
     #[test]
     fn area_scales_with_capacity() {
-        let small = SramStructure { name: "s", bytes_per_instance: KB, instances: 1, clock_mhz: 1400 };
-        let big = SramStructure { name: "b", bytes_per_instance: 4 * KB, instances: 1, clock_mhz: 1400 };
+        let small = SramStructure {
+            name: "s",
+            bytes_per_instance: KB,
+            instances: 1,
+            clock_mhz: 1400,
+        };
+        let big = SramStructure {
+            name: "b",
+            bytes_per_instance: 4 * KB,
+            instances: 1,
+            clock_mhz: 1400,
+        };
         assert!(big.area_mm2() > 3.0 * small.area_mm2());
         // Array power is sublinear in capacity (segmented bitlines) plus a
         // fixed per-instance peripheral term.
@@ -160,10 +224,23 @@ mod tests {
 
     #[test]
     fn half_clock_reduces_dynamic_power_only() {
-        let fast = SramStructure { name: "f", bytes_per_instance: KB, instances: 1, clock_mhz: 1400 };
-        let slow = SramStructure { name: "s", bytes_per_instance: KB, instances: 1, clock_mhz: 700 };
+        let fast = SramStructure {
+            name: "f",
+            bytes_per_instance: KB,
+            instances: 1,
+            clock_mhz: 1400,
+        };
+        let slow = SramStructure {
+            name: "s",
+            bytes_per_instance: KB,
+            instances: 1,
+            clock_mhz: 700,
+        };
         assert!(slow.power_mw() < fast.power_mw());
-        assert!(slow.power_mw() > fast.power_mw() / 2.0, "leakage is clock-independent");
+        assert!(
+            slow.power_mw() > fast.power_mw() / 2.0,
+            "leakage is clock-independent"
+        );
     }
 
     #[test]
@@ -175,11 +252,31 @@ mod tests {
         // GETM 0.736 mm^2 / 177 mW. Area is anchored on WarpTM only (the
         // linear-density model puts GETM within ~20%); power is anchored
         // on both.
-        assert!((w.area_mm2() - 2.68).abs() < 0.05, "warptm area {}", w.area_mm2());
-        assert!((w.power_mw() - 390.0).abs() < 5.0, "warptm power {}", w.power_mw());
-        assert!((g.power_mw() - 177.0).abs() < 5.0, "getm power {}", g.power_mw());
-        assert!((g.area_mm2() - 0.736).abs() < 0.2, "getm area {}", g.area_mm2());
-        assert!((e.power_mw() - 619.0).abs() < 20.0, "eapg power {}", e.power_mw());
+        assert!(
+            (w.area_mm2() - 2.68).abs() < 0.05,
+            "warptm area {}",
+            w.area_mm2()
+        );
+        assert!(
+            (w.power_mw() - 390.0).abs() < 5.0,
+            "warptm power {}",
+            w.power_mw()
+        );
+        assert!(
+            (g.power_mw() - 177.0).abs() < 5.0,
+            "getm power {}",
+            g.power_mw()
+        );
+        assert!(
+            (g.area_mm2() - 0.736).abs() < 0.2,
+            "getm area {}",
+            g.area_mm2()
+        );
+        assert!(
+            (e.power_mw() - 619.0).abs() < 20.0,
+            "eapg power {}",
+            e.power_mw()
+        );
     }
 
     #[test]
@@ -191,8 +288,14 @@ mod tests {
         // EAPG costs the most.
         let area_ratio = w.area_mm2() / g.area_mm2();
         let power_ratio = w.power_mw() / g.power_mw();
-        assert!(area_ratio > 2.7 && area_ratio < 4.2, "area ratio {area_ratio}");
-        assert!(power_ratio > 1.8 && power_ratio < 2.7, "power ratio {power_ratio}");
+        assert!(
+            area_ratio > 2.7 && area_ratio < 4.2,
+            "area ratio {area_ratio}"
+        );
+        assert!(
+            power_ratio > 1.8 && power_ratio < 2.7,
+            "power ratio {power_ratio}"
+        );
         assert!(e.area_mm2() > w.area_mm2());
         assert!(e.power_mw() > w.power_mw());
     }

@@ -1,0 +1,358 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every finished cell is stored under
+//! `<dir>/<cache_key>.metrics` in a versioned line-oriented text format
+//! (`field=value`, with floats written in Rust's shortest round-trip
+//! notation so deserialized metrics are bit-identical to the originals).
+//! Unparseable or version-mismatched files are treated as misses — the
+//! cell simply re-runs — so the format can evolve without migrations.
+//!
+//! Writes go through a temp file and an atomic rename, so concurrent
+//! sweeps (or a crash mid-write) can never leave a torn entry behind.
+
+use crate::metrics::Metrics;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// First line of every cache file; bump on incompatible format changes.
+const FORMAT: &str = "getm-metrics-v1";
+
+/// An on-disk cache mapping [`super::CellSpec::cache_key`] to [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// A cache at the default location: `$GETM_SWEEP_CACHE` if set, else
+    /// `target/sweep-cache` under the current directory.
+    pub fn at_default_dir() -> Self {
+        let dir = std::env::var_os("GETM_SWEEP_CACHE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("sweep-cache"));
+        ResultCache::new(dir)
+    }
+
+    /// Where entries live.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks up a key; any read or parse problem is a miss.
+    pub fn load(&self, key: &str) -> Option<Metrics> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        parse_metrics(&text)
+    }
+
+    /// Stores metrics under a key (atomic: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers may treat a failed store as
+    /// non-fatal (the sweep result itself is unaffected).
+    pub fn store(&self, key: &str, metrics: &Metrics) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        static TMP_SALT: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".{key}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SALT.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(serialize_metrics(metrics).as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Number of entries currently on disk (diagnostics).
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "metrics"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.metrics"))
+    }
+}
+
+/// Interns a crossbar traffic-category name to the engine's `'static`
+/// spelling. Unknown names (from newer engines) are leaked — a bounded,
+/// tiny cost paid at most once per distinct category per process.
+fn intern_category(name: &str) -> &'static str {
+    const KNOWN: [&str; 12] = [
+        "atomic",
+        "commit",
+        "commit-ack",
+        "eapg-broadcast",
+        "getm-reply",
+        "load",
+        "store",
+        "tm-access",
+        "tx-load",
+        "validation",
+        "verdict",
+        "warp",
+    ];
+    match KNOWN.iter().find(|k| **k == name) {
+        Some(k) => k,
+        None => Box::leak(name.to_owned().into_boxed_str()),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Renders metrics to the cache text format.
+pub fn serialize_metrics(m: &Metrics) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str(FORMAT);
+    s.push('\n');
+    // u64 / usize fields.
+    for (k, v) in [
+        ("cycles", m.cycles),
+        ("commits", m.commits),
+        ("aborts", m.aborts),
+        ("silent_commits", m.silent_commits),
+        ("tx_exec_cycles", m.tx_exec_cycles),
+        ("tx_wait_cycles", m.tx_wait_cycles),
+        ("xbar_bytes", m.xbar_bytes),
+        ("max_stall_occupancy", m.max_stall_occupancy),
+        ("stall_full_aborts", m.stall_full_aborts),
+        ("stall_queued", m.stall_queued),
+        ("getm_aborts_load", m.getm_aborts_load),
+        ("getm_aborts_store", m.getm_aborts_store),
+        ("getm_aborts_approx", m.getm_aborts_approx),
+        ("getm_max_cause_ts", m.getm_max_cause_ts),
+        ("metadata_overflow_peak", m.metadata_overflow_peak as u64),
+        ("eapg_early_aborts", m.eapg_early_aborts),
+        ("eapg_broadcasts", m.eapg_broadcasts),
+        ("atomics", m.atomics),
+        ("cas_failures", m.cas_failures),
+        ("rollovers", m.rollovers),
+    ] {
+        s.push_str(&format!("{k}={v}\n"));
+    }
+    // f64 fields: `{:?}` is Rust's shortest exact round-trip rendering.
+    for (k, v) in [
+        ("mean_metadata_access_cycles", m.mean_metadata_access_cycles),
+        ("mean_stall_waiters_per_addr", m.mean_stall_waiters_per_addr),
+        ("l1_hit_rate", m.l1_hit_rate),
+        ("llc_hit_rate", m.llc_hit_rate),
+        ("mean_access_rt", m.mean_access_rt),
+        ("mean_rounds_per_region", m.mean_rounds_per_region),
+        ("mean_vu_queue_delay", m.mean_vu_queue_delay),
+        ("mean_data_latency", m.mean_data_latency),
+    ] {
+        s.push_str(&format!("{k}={v:?}\n"));
+    }
+    for (cat, bytes) in &m.xbar_by_category {
+        s.push_str(&format!("xbar_by_category/{cat}={bytes}\n"));
+    }
+    match &m.check {
+        None => s.push_str("check=none\n"),
+        Some(Ok(())) => s.push_str("check=ok\n"),
+        Some(Err(e)) => s.push_str(&format!("check=err:{}\n", escape(e))),
+    }
+    s
+}
+
+/// Parses the cache text format; `None` on any mismatch.
+pub fn parse_metrics(text: &str) -> Option<Metrics> {
+    let mut lines = text.lines();
+    if lines.next() != Some(FORMAT) {
+        return None;
+    }
+    let mut m = Metrics::default();
+    let mut map: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=')?;
+        if let Some(cat) = key.strip_prefix("xbar_by_category/") {
+            map.insert(intern_category(cat), value.parse().ok()?);
+            continue;
+        }
+        match key {
+            "cycles" => m.cycles = value.parse().ok()?,
+            "commits" => m.commits = value.parse().ok()?,
+            "aborts" => m.aborts = value.parse().ok()?,
+            "silent_commits" => m.silent_commits = value.parse().ok()?,
+            "tx_exec_cycles" => m.tx_exec_cycles = value.parse().ok()?,
+            "tx_wait_cycles" => m.tx_wait_cycles = value.parse().ok()?,
+            "xbar_bytes" => m.xbar_bytes = value.parse().ok()?,
+            "max_stall_occupancy" => m.max_stall_occupancy = value.parse().ok()?,
+            "stall_full_aborts" => m.stall_full_aborts = value.parse().ok()?,
+            "stall_queued" => m.stall_queued = value.parse().ok()?,
+            "getm_aborts_load" => m.getm_aborts_load = value.parse().ok()?,
+            "getm_aborts_store" => m.getm_aborts_store = value.parse().ok()?,
+            "getm_aborts_approx" => m.getm_aborts_approx = value.parse().ok()?,
+            "getm_max_cause_ts" => m.getm_max_cause_ts = value.parse().ok()?,
+            "metadata_overflow_peak" => m.metadata_overflow_peak = value.parse().ok()?,
+            "eapg_early_aborts" => m.eapg_early_aborts = value.parse().ok()?,
+            "eapg_broadcasts" => m.eapg_broadcasts = value.parse().ok()?,
+            "atomics" => m.atomics = value.parse().ok()?,
+            "cas_failures" => m.cas_failures = value.parse().ok()?,
+            "rollovers" => m.rollovers = value.parse().ok()?,
+            "mean_metadata_access_cycles" => m.mean_metadata_access_cycles = value.parse().ok()?,
+            "mean_stall_waiters_per_addr" => m.mean_stall_waiters_per_addr = value.parse().ok()?,
+            "l1_hit_rate" => m.l1_hit_rate = value.parse().ok()?,
+            "llc_hit_rate" => m.llc_hit_rate = value.parse().ok()?,
+            "mean_access_rt" => m.mean_access_rt = value.parse().ok()?,
+            "mean_rounds_per_region" => m.mean_rounds_per_region = value.parse().ok()?,
+            "mean_vu_queue_delay" => m.mean_vu_queue_delay = value.parse().ok()?,
+            "mean_data_latency" => m.mean_data_latency = value.parse().ok()?,
+            "check" => {
+                m.check = match value {
+                    "none" => None,
+                    "ok" => Some(Ok(())),
+                    other => Some(Err(unescape(other.strip_prefix("err:")?))),
+                }
+            }
+            // Unknown fields from a newer writer: ignore, don't reject —
+            // the FORMAT line is what gates compatibility.
+            _ => {}
+        }
+    }
+    m.xbar_by_category = map;
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Metrics {
+        let mut m = Metrics {
+            cycles: 123_456,
+            commits: 7_680,
+            aborts: 321,
+            silent_commits: 12,
+            tx_exec_cycles: 99_000,
+            tx_wait_cycles: 1_234,
+            xbar_bytes: 5_555_555,
+            mean_metadata_access_cycles: 1.0625,
+            max_stall_occupancy: 7,
+            mean_stall_waiters_per_addr: 1.000_000_1,
+            stall_full_aborts: 2,
+            stall_queued: 40,
+            getm_aborts_load: 100,
+            getm_aborts_store: 200,
+            getm_aborts_approx: 3,
+            getm_max_cause_ts: 888,
+            metadata_overflow_peak: 1,
+            eapg_early_aborts: 4,
+            eapg_broadcasts: 5,
+            l1_hit_rate: 0.912_345_678_9,
+            llc_hit_rate: 0.1,
+            atomics: 6,
+            cas_failures: 7,
+            rollovers: 0,
+            mean_access_rt: 210.5,
+            mean_rounds_per_region: 1.5,
+            mean_vu_queue_delay: 0.25,
+            mean_data_latency: f64::MAX / 3.0, // exercises extreme floats
+            check: Some(Ok(())),
+            ..Metrics::default()
+        };
+        m.xbar_by_category.insert("commit", 1024);
+        m.xbar_by_category.insert("tm-access", 2048);
+        m
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let m = sample_metrics();
+        let parsed = parse_metrics(&serialize_metrics(&m)).expect("parse");
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn failed_check_round_trips_with_newlines() {
+        let m = Metrics {
+            check: Some(Err("line one\nline \\two".into())),
+            ..Metrics::default()
+        };
+        let parsed = parse_metrics(&serialize_metrics(&m)).expect("parse");
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let mut text = serialize_metrics(&Metrics::default());
+        text = text.replacen("v1", "v0", 1);
+        assert!(parse_metrics(&text).is_none());
+    }
+
+    #[test]
+    fn garbage_is_a_miss() {
+        assert!(parse_metrics("").is_none());
+        assert!(parse_metrics("getm-metrics-v1\ncycles=abc\n").is_none());
+        assert!(parse_metrics("getm-metrics-v1\nnot a line\n").is_none());
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let mut text = serialize_metrics(&sample_metrics());
+        text.push_str("a_future_field=42\n");
+        assert_eq!(parse_metrics(&text), Some(sample_metrics()));
+    }
+
+    #[test]
+    fn store_and_load_through_the_filesystem() {
+        let dir = std::env::temp_dir().join(format!(
+            "getm-cache-test-{}-{:p}",
+            std::process::id(),
+            &FORMAT
+        ));
+        let cache = ResultCache::new(&dir);
+        assert!(cache.load("deadbeef").is_none());
+        assert_eq!(cache.entry_count(), 0);
+
+        let m = sample_metrics();
+        cache.store("deadbeef", &m).expect("store");
+        assert_eq!(cache.load("deadbeef"), Some(m));
+        assert_eq!(cache.entry_count(), 1);
+        assert!(cache.dir().ends_with(dir.file_name().unwrap()));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interning_reuses_known_categories() {
+        assert_eq!(intern_category("commit"), "commit");
+        assert_eq!(intern_category("brand-new"), "brand-new");
+    }
+}

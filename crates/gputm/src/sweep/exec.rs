@@ -1,0 +1,176 @@
+//! The work-stealing cell executor.
+//!
+//! Cells are distributed block-cyclically over per-worker deques; an idle
+//! worker first drains its own queue from the front, then steals from the
+//! back of the busiest sibling. Finished cells stream over a channel to
+//! the caller's thread, which slots them by index — so the returned
+//! vector is in spec order no matter which worker finished first.
+//!
+//! Everything is built from `std` scoped threads and channels; the
+//! determinism argument needs no synchronization help because each cell
+//! is a pure function of its [`CellSpec`].
+
+use super::{CellSpec, SweepOptions, SweepOutcome};
+use sim_core::SimError;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runs `cells` on `opts.resolved_threads()` workers, returning outcomes
+/// in input order; the first (in input order) failure surfaces.
+pub(super) fn run(cells: &[CellSpec], opts: &SweepOptions) -> Result<Vec<SweepOutcome>, SimError> {
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = opts.resolved_threads().min(cells.len()).max(1);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..cells.len()).step_by(workers).collect()))
+        .collect();
+
+    let total = cells.len();
+    let mut slots: Vec<Option<Result<SweepOutcome, SimError>>> = vec![None; total];
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Result<SweepOutcome, SimError>)>();
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            scope.spawn(move || {
+                while let Some(idx) = claim(queues, me) {
+                    let outcome = run_cell(&cells[idx], opts);
+                    if tx.send((idx, outcome)).is_err() {
+                        return; // collector gone; nothing left to do
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut done = 0usize;
+        for (idx, outcome) in rx {
+            done += 1;
+            if opts.progress {
+                report(done, total, &outcome, started);
+            }
+            slots[idx] = Some(outcome);
+        }
+    });
+
+    let mut out = Vec::with_capacity(total);
+    for slot in slots {
+        out.push(slot.expect("every cell index was claimed exactly once")?);
+    }
+    Ok(out)
+}
+
+/// Pops the next cell index: own queue front first, then the largest
+/// sibling queue's back (classic steal-half-from-the-cold-end ordering,
+/// simplified to steal-one since cells are coarse).
+fn claim(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(idx) = queues[me].lock().unwrap().pop_front() {
+        return Some(idx);
+    }
+    let victim = (0..queues.len())
+        .filter(|&w| w != me)
+        .max_by_key(|&w| queues[w].lock().unwrap().len())?;
+    queues[victim].lock().unwrap().pop_back()
+}
+
+/// Runs one cell, consulting the cache first when one is attached.
+fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, SimError> {
+    let start = Instant::now();
+    let key = opts.result_cache.as_ref().map(|c| (c, cell.cache_key()));
+    if let Some((cache, key)) = &key {
+        if let Some(metrics) = cache.load(key) {
+            return Ok(SweepOutcome {
+                cell: cell.clone(),
+                metrics,
+                cached: true,
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+    let metrics = cell.run()?;
+    if let Some((cache, key)) = &key {
+        if let Err(e) = cache.store(key, &metrics) {
+            // A failed store costs a recomputation next run, nothing more.
+            eprintln!("sweep: could not cache {}: {e}", cell.label());
+        }
+    }
+    Ok(SweepOutcome {
+        cell: cell.clone(),
+        metrics,
+        cached: false,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// One progress line per finished cell, on stderr.
+fn report(done: usize, total: usize, outcome: &Result<SweepOutcome, SimError>, started: Instant) {
+    let t = started.elapsed();
+    match outcome {
+        Ok(o) if o.cached => eprintln!(
+            "[{done:>3}/{total}] {:<18} cached            (t={:.1?})",
+            o.cell.label(),
+            t
+        ),
+        Ok(o) => eprintln!(
+            "[{done:>3}/{total}] {:<18} {:>12} cycles in {:.2?} (t={:.1?})",
+            o.cell.label(),
+            o.metrics.cycles,
+            o.elapsed,
+            t
+        ),
+        Err(e) => eprintln!("[{done:>3}/{total}] FAILED: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queues_of(sizes: &[Vec<usize>]) -> Vec<Mutex<VecDeque<usize>>> {
+        sizes
+            .iter()
+            .map(|v| Mutex::new(v.iter().copied().collect()))
+            .collect()
+    }
+
+    #[test]
+    fn claim_prefers_own_queue_front() {
+        let q = queues_of(&[vec![0, 2], vec![1, 3]]);
+        assert_eq!(claim(&q, 0), Some(0));
+        assert_eq!(claim(&q, 0), Some(2));
+    }
+
+    #[test]
+    fn claim_steals_from_largest_victim_back() {
+        let q = queues_of(&[vec![], vec![1], vec![2, 5, 8]]);
+        // Worker 0 is empty: steals from worker 2 (largest), back end.
+        assert_eq!(claim(&q, 0), Some(8));
+        assert_eq!(claim(&q, 0), Some(5));
+        assert_eq!(claim(&q, 0), Some(2));
+        assert_eq!(claim(&q, 0), Some(1));
+        assert_eq!(claim(&q, 0), None);
+    }
+
+    #[test]
+    fn block_cyclic_seeding_covers_all_indices() {
+        let n = 10;
+        let workers = 3;
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        let mut seen: Vec<usize> = Vec::new();
+        for w in (0..workers).cycle() {
+            match claim(&queues, w) {
+                Some(i) => seen.push(i),
+                None => break,
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,153 @@
+//! Parallel sweep execution with deterministic result caching.
+//!
+//! The paper's evaluation is a grid of independent simulations: every
+//! (benchmark, TM system, machine configuration) cell is a fully
+//! deterministic function of its [`CellSpec`] — the engine derives every
+//! random stream from `cfg.seed` — so cells can run on any thread, in any
+//! order, and produce bit-identical [`Metrics`]. This module exploits
+//! that structure three ways:
+//!
+//! * [`ExperimentSpec`] makes a sweep a first-class value: a list of
+//!   cells, usually produced by [`ExperimentSpec::grid`]'s cross-product
+//!   builder.
+//! * [`run_sweep`] executes the cells on a work-stealing pool of scoped
+//!   threads; serial (`threads = 1`) and parallel runs return identical
+//!   metrics in identical (spec) order.
+//! * [`ResultCache`] memoizes finished cells on disk under a
+//!   content-addressed key ([`CellSpec::cache_key`], a stable 128-bit
+//!   FNV-1a digest of the cell description), so re-running a harness
+//!   skips every cell it has ever completed.
+//!
+//! ```no_run
+//! use gputm::prelude::*;
+//! use gputm::sweep::{run_sweep, ExperimentSpec, ResultCache, SweepOptions};
+//!
+//! let spec = ExperimentSpec::grid()
+//!     .benchmarks([Benchmark::HtH, Benchmark::Atm])
+//!     .systems([TmSystem::WarpTmLL, TmSystem::Getm])
+//!     .concurrency_limits([Some(2), Some(8), None])
+//!     .build();
+//! let opts = SweepOptions::default().cache(ResultCache::at_default_dir());
+//! for outcome in run_sweep(&spec, &opts).unwrap() {
+//!     println!("{}: {} cycles", outcome.cell.label(), outcome.metrics.cycles);
+//! }
+//! ```
+
+mod cache;
+mod exec;
+mod spec;
+
+pub use cache::ResultCache;
+pub use spec::{CellSpec, ExperimentSpec, GridBuilder};
+
+use crate::metrics::Metrics;
+use sim_core::SimError;
+use std::time::Duration;
+
+/// How a sweep executes: thread count, caching, progress reporting.
+#[derive(Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// On-disk result cache; `None` disables caching.
+    pub result_cache: Option<ResultCache>,
+    /// Print one line per completed cell to stderr.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// Defaults: all cores, no cache, no progress output.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepOptions::default()
+    }
+
+    /// Sets the worker-thread count (0 = one per available core).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches an on-disk result cache.
+    #[must_use]
+    pub fn cache(mut self, cache: ResultCache) -> Self {
+        self.result_cache = Some(cache);
+        self
+    }
+
+    /// Enables per-cell progress lines on stderr.
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The resolved worker count.
+    pub(crate) fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One completed cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The cell that ran.
+    pub cell: CellSpec,
+    /// Its metrics (identical whether computed or recalled from cache).
+    pub metrics: Metrics,
+    /// Whether the result came from the cache rather than a simulation.
+    pub cached: bool,
+    /// Wall-clock time spent producing this outcome.
+    pub elapsed: Duration,
+}
+
+/// Runs every cell of `spec`, in parallel, returning outcomes in spec
+/// order regardless of completion order.
+///
+/// Results are deterministic: a cell's metrics depend only on its spec
+/// (all engine randomness derives from `cfg.seed`), so serial and
+/// parallel execution — and cache hits from previous runs — are
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns the first (in spec order) cell failure. Cells after a failing
+/// cell still execute; only the error surfaces.
+pub fn run_sweep(
+    spec: &ExperimentSpec,
+    opts: &SweepOptions,
+) -> Result<Vec<SweepOutcome>, SimError> {
+    exec::run(spec.cells(), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TmSystem;
+    use workloads::suite::{Benchmark, Scale};
+
+    #[test]
+    fn options_builder_chains() {
+        let o = SweepOptions::new().threads(3).progress(true);
+        assert_eq!(o.threads, 3);
+        assert!(o.progress);
+        assert!(o.result_cache.is_none());
+        assert_eq!(o.resolved_threads(), 3);
+        assert!(SweepOptions::new().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn sweep_of_empty_spec_is_empty() {
+        let spec = ExperimentSpec::from_cells(Vec::new());
+        let out = run_sweep(&spec, &SweepOptions::new()).unwrap();
+        assert!(out.is_empty());
+        let _ = (Benchmark::HtH, Scale::Fast, TmSystem::Getm);
+    }
+}

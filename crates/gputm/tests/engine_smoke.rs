@@ -120,7 +120,10 @@ fn getm_uses_tm_access_traffic() {
     assert!(m.xbar_by_category.get("tm-access").copied().unwrap_or(0) > 0);
     assert!(m.xbar_by_category.get("commit").copied().unwrap_or(0) > 0);
     // GETM never validates at commit time.
-    assert_eq!(m.xbar_by_category.get("validation").copied().unwrap_or(0), 0);
+    assert_eq!(
+        m.xbar_by_category.get("validation").copied().unwrap_or(0),
+        0
+    );
 }
 
 #[test]
@@ -135,5 +138,11 @@ fn eapg_broadcasts() {
     let w = Apriori::new(4, 64, 2, 7);
     let m = run_workload(&w, TmSystem::Eapg, &small_cfg()).unwrap();
     assert!(m.eapg_broadcasts > 0);
-    assert!(m.xbar_by_category.get("eapg-broadcast").copied().unwrap_or(0) > 0);
+    assert!(
+        m.xbar_by_category
+            .get("eapg-broadcast")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
 }

@@ -75,7 +75,10 @@ mod tests {
             "simulation exceeded cycle limit of 10"
         );
         assert_eq!(
-            SimError::ResourceExhausted { what: "stall buffer" }.to_string(),
+            SimError::ResourceExhausted {
+                what: "stall buffer"
+            }
+            .to_string(),
             "simulated resource exhausted: stall buffer"
         );
     }

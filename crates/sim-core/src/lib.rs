@@ -22,11 +22,13 @@
 pub mod cycle;
 pub mod error;
 pub mod events;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 
 pub use cycle::Cycle;
 pub use error::SimError;
 pub use events::EventWheel;
+pub use hash::StableHasher;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, MaxTracker, RatioStat, StatSet};

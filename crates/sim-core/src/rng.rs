@@ -5,10 +5,9 @@
 //! seeded explicitly, so a given configuration always produces the same
 //! cycle-exact execution.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A small, fast, explicitly seeded RNG.
+/// A small, fast, explicitly seeded RNG (xoshiro256++, seeded via
+/// SplitMix64 — implemented inline so the simulator has zero external
+/// dependencies).
 ///
 /// `DetRng` derives independent streams from a root seed with
 /// [`DetRng::fork`], so that adding a consumer of randomness in one
@@ -22,15 +21,32 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// One SplitMix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
+        // Expand the seed into the 256-bit xoshiro state with SplitMix64,
+        // the expansion xoshiro's authors recommend.
+        let mut x = seed;
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
             seed,
         }
     }
@@ -58,24 +74,41 @@ impl DetRng {
         self.seed
     }
 
-    /// The next uniformly distributed `u64`.
+    /// The next uniformly distributed `u64` (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// The next uniformly distributed `u32`.
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        (self.next_u64() >> 32) as u32
     }
 
-    /// A uniform value in `[0, bound)`.
+    /// A uniform value in `[0, bound)` (unbiased via rejection).
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below() requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Reject draws from the incomplete top interval so every residue
+        // is equally likely.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound).wrapping_add(1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
     }
 
     /// A uniform value in `[lo, hi)`.
@@ -85,12 +118,15 @@ impl DetRng {
     /// Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "range() requires lo < hi");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        // Compare against a 53-bit uniform draw in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
     }
 
     /// Fisher–Yates shuffle of a slice.

@@ -105,7 +105,14 @@ mod tests {
         cb.push(1, Some(20), 1);
         cb.push(1, None, 2);
         let out = cb.drain();
-        assert_eq!(out, vec![CoalescedWrite { granule: 1, data: Some(20), writes: 4 }]);
+        assert_eq!(
+            out,
+            vec![CoalescedWrite {
+                granule: 1,
+                data: Some(20),
+                writes: 4
+            }]
+        );
         assert!(cb.is_empty());
         assert_eq!(cb.pushes(), 3);
     }

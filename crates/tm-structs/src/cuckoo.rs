@@ -115,7 +115,7 @@ impl<V: LockState + Clone> CuckooTable<V> {
     pub fn new(cfg: CuckooConfig, rng: &mut DetRng) -> Self {
         assert!(cfg.ways > 0 && cfg.total_entries > 0);
         assert!(
-            cfg.total_entries % cfg.ways == 0,
+            cfg.total_entries.is_multiple_of(cfg.ways),
             "total_entries must divide evenly across ways"
         );
         let per_way = cfg.total_entries / cfg.ways;
@@ -214,19 +214,28 @@ impl<V: LockState + Clone> CuckooTable<V> {
             Some(Location::Way(w, i)) => {
                 self.ways[w][i] = Some(Slot { key, value });
                 self.access_cycles.observe(cycles as f64);
-                return AccessOutcome { cycles, evicted: None };
+                return AccessOutcome {
+                    cycles,
+                    evicted: None,
+                };
             }
             Some(Location::Stash(i)) => {
                 self.stash[i].value = value;
                 self.access_cycles.observe(cycles as f64);
-                return AccessOutcome { cycles, evicted: None };
+                return AccessOutcome {
+                    cycles,
+                    evicted: None,
+                };
             }
             Some(Location::Overflow(i)) => {
                 cycles += self.cfg.overflow_cycles;
                 if value.is_locked() {
                     self.overflow[i].value = value;
                     self.access_cycles.observe(cycles as f64);
-                    return AccessOutcome { cycles, evicted: None };
+                    return AccessOutcome {
+                        cycles,
+                        evicted: None,
+                    };
                 }
                 // The update unlocks the entry: eject it from the slow
                 // overflow region into the approximate table so future
@@ -249,7 +258,10 @@ impl<V: LockState + Clone> CuckooTable<V> {
                 self.ways[w][i] = Some(Slot { key, value });
                 self.occupancy += 1;
                 self.access_cycles.observe(cycles as f64);
-                return AccessOutcome { cycles, evicted: None };
+                return AccessOutcome {
+                    cycles,
+                    evicted: None,
+                };
             }
         }
 
@@ -274,7 +286,10 @@ impl<V: LockState + Clone> CuckooTable<V> {
                     self.ways[w2][i2] = Some(homeless);
                     self.occupancy += 1;
                     self.access_cycles.observe(cycles as f64);
-                    return AccessOutcome { cycles, evicted: None };
+                    return AccessOutcome {
+                        cycles,
+                        evicted: None,
+                    };
                 }
             }
         }
@@ -302,7 +317,10 @@ impl<V: LockState + Clone> CuckooTable<V> {
             self.stash.push(homeless);
             self.occupancy += 1;
             self.access_cycles.observe(cycles as f64);
-            return AccessOutcome { cycles, evicted: None };
+            return AccessOutcome {
+                cycles,
+                evicted: None,
+            };
         }
         // Or displace an unlocked stash entry.
         if let Some(pos) = self.stash.iter().position(|s| !s.value.is_locked()) {
@@ -322,7 +340,10 @@ impl<V: LockState + Clone> CuckooTable<V> {
         self.occupancy += 1;
         self.max_overflow = self.max_overflow.max(self.overflow.len());
         self.access_cycles.observe(cycles as f64);
-        AccessOutcome { cycles, evicted: None }
+        AccessOutcome {
+            cycles,
+            evicted: None,
+        }
     }
 
     /// Removes `key` if present, returning its value and the cycle cost.
@@ -566,7 +587,10 @@ mod tests {
         for k in 0..16u64 {
             assert!(t.get(k).is_some());
         }
-        assert!(overflow_used, "saturated locked table must spill to overflow");
+        assert!(
+            overflow_used,
+            "saturated locked table must spill to overflow"
+        );
         assert!(t.max_overflow() > 0);
     }
 
@@ -602,7 +626,7 @@ mod tests {
             t.lookup(k * 32);
         }
         let m = t.mean_access_cycles();
-        assert!(m >= 1.0 && m < 1.2, "mean {m} should be ~1 at low load");
+        assert!((1.0..1.2).contains(&m), "mean {m} should be ~1 at low load");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! the one with the minimum `warpts` — re-enters the validation unit. A full
 //! buffer aborts the requester instead.
 
-use std::collections::BTreeMap;
 use sim_core::{MaxTracker, RatioStat};
+use std::collections::BTreeMap;
 
 /// Configuration for a [`StallBuffer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -51,9 +51,9 @@ impl EapgFilter {
     /// set, recording the decision in the filter's counters.
     pub fn on_broadcast(&mut self, logs: &TxLogs, written: &[Granule]) -> EapgDecision {
         self.broadcasts_seen += 1;
-        let overlap = written.iter().any(|&g| {
-            logs.read_granule(g, &self.geom) || logs.wrote_granule(g)
-        });
+        let overlap = written
+            .iter()
+            .any(|&g| logs.read_granule(g, &self.geom) || logs.wrote_granule(g));
         if overlap {
             self.early_aborts += 1;
             EapgDecision::EarlyAbort

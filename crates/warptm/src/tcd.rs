@@ -39,9 +39,7 @@ impl TcdTable {
 
     /// Records a committed store to `granule` at `now`.
     pub fn note_write(&mut self, granule: Granule, now: Cycle) {
-        if self.last_write.len() >= self.capacity
-            && !self.last_write.contains_key(&granule.raw())
-        {
+        if self.last_write.len() >= self.capacity && !self.last_write.contains_key(&granule.raw()) {
             // Evict the oldest entry into the floor.
             if let Some((&victim, &ts)) = self.last_write.iter().min_by_key(|(_, &ts)| ts) {
                 self.floor = self.floor.max(ts);

@@ -138,14 +138,10 @@ impl WarptmValidator {
                     self.limbo_granules
                         .contains_key(&self.geom.granule_of(e.addr).raw())
                 })
-                || job
-                    .writes
-                    .iter()
-                    .filter(|e| e.lane == lane)
-                    .any(|e| {
-                        self.limbo_read_granules
-                            .contains_key(&self.geom.granule_of(e.addr).raw())
-                    });
+                || job.writes.iter().filter(|e| e.lane == lane).any(|e| {
+                    self.limbo_read_granules
+                        .contains_key(&self.geom.granule_of(e.addr).raw())
+                });
             if hazard {
                 failed |= 1 << lane;
                 self.hazard_failures += 1;
@@ -304,10 +300,13 @@ mod tests {
     #[test]
     fn matching_values_pass() {
         let mut v = WarptmValidator::new(geom());
-        let verdict = v.validate(
-            job(1, vec![entry(0, 8, 42)], vec![entry(0, 16, 9)]),
-            |a| if a.0 == 8 { 42 } else { 0 },
-        );
+        let verdict = v.validate(job(1, vec![entry(0, 8, 42)], vec![entry(0, 16, 9)]), |a| {
+            if a.0 == 8 {
+                42
+            } else {
+                0
+            }
+        });
         assert!(verdict.all_ok());
         assert_eq!(verdict.cycles, 2);
         assert_eq!(v.validated(), 1);
@@ -349,7 +348,9 @@ mod tests {
     #[test]
     fn limbo_hazard_fails_overlapping_lane() {
         let mut v = WarptmValidator::new(geom());
-        assert!(v.validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0).all_ok());
+        assert!(v
+            .validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0)
+            .all_ok());
         // Token 2's lane 0 reads granule 0 (addr 8 lives there): hazard.
         // Its lane 1 touches a distant granule: fine.
         let verdict = v.validate(
@@ -360,13 +361,17 @@ mod tests {
         assert_eq!(v.hazard_failures(), 1);
         // After token 1 commits, the same footprint passes.
         v.commit(1, 0);
-        assert!(v.validate(job(3, vec![entry(0, 0, 0)], vec![]), |_| 0).all_ok());
+        assert!(v
+            .validate(job(3, vec![entry(0, 0, 0)], vec![]), |_| 0)
+            .all_ok());
     }
 
     #[test]
     fn write_write_limbo_hazard() {
         let mut v = WarptmValidator::new(geom());
-        assert!(v.validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0).all_ok());
+        assert!(v
+            .validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0)
+            .all_ok());
         let verdict = v.validate(job(2, vec![], vec![entry(0, 16, 2)]), |_| 0);
         assert_eq!(verdict.failed_lanes, 0b01);
     }
@@ -374,8 +379,12 @@ mod tests {
     #[test]
     fn disjoint_jobs_pipeline() {
         let mut v = WarptmValidator::new(geom());
-        assert!(v.validate(job(1, vec![], vec![entry(0, 0, 1)]), |_| 0).all_ok());
-        assert!(v.validate(job(2, vec![], vec![entry(0, 64, 2)]), |_| 0).all_ok());
+        assert!(v
+            .validate(job(1, vec![], vec![entry(0, 0, 1)]), |_| 0)
+            .all_ok());
+        assert!(v
+            .validate(job(2, vec![], vec![entry(0, 64, 2)]), |_| 0)
+            .all_ok());
         assert_eq!(v.limbo_granule_set().len(), 2);
         v.commit(2, 0);
         v.commit(1, 0);
@@ -385,10 +394,14 @@ mod tests {
     #[test]
     fn abort_releases_limbo() {
         let mut v = WarptmValidator::new(geom());
-        assert!(v.validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0).all_ok());
+        assert!(v
+            .validate(job(1, vec![], vec![entry(0, 8, 1)]), |_| 0)
+            .all_ok());
         v.abort(1);
         assert!(v.limbo_granule_set().is_empty());
-        assert!(v.validate(job(2, vec![entry(0, 0, 0)], vec![]), |_| 0).all_ok());
+        assert!(v
+            .validate(job(2, vec![entry(0, 0, 0)], vec![]), |_| 0)
+            .all_ok());
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl Apriori {
             updates_per_thread,
             // The hot set is at most 4 counters and always leaves at least
             // one cold counter.
-            hot: (counters / 2).min(4).max(1),
+            hot: (counters / 2).clamp(1, 4),
             hot_fraction: 0.4,
             seed,
         }
@@ -195,7 +195,10 @@ impl ThreadProgram for AtomicCount {
                 z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
                 Op::Compute(SCAN_COMPUTE + ((z ^ (z >> 27)) % 60_000) as u32)
             }
-            1 => Op::AtomicAdd { addr: COUNTERS.at(c), delta: 1 },
+            1 => Op::AtomicAdd {
+                addr: COUNTERS.at(c),
+                delta: 1,
+            },
             _ => {
                 self.k += 1;
                 self.step = 0;

@@ -289,7 +289,7 @@ mod tests {
             for k in 0..4 {
                 let (s, d, a) = w.transfer(tid, k);
                 assert_ne!(s, d);
-                assert!(a >= 1 && a <= 10);
+                assert!((1..=10).contains(&a));
             }
         }
     }

@@ -192,7 +192,10 @@ enum Phase {
     /// Waiting for the load of `node.children[digit(level)]`.
     Loaded,
     /// Split step 2: store the resident body into the fresh node.
-    SplitStoreResident { fresh: u64, resident: u64 },
+    SplitStoreResident {
+        fresh: u64,
+        resident: u64,
+    },
     /// Finished placing the body; commit next.
     Commit,
     Done,
@@ -231,7 +234,10 @@ impl ThreadProgram for TmInsert {
                     // load; the first time through we must issue it.
                     // We distinguish by issuing the load and handling the
                     // value on the next call.
-                    self.phase = Phase::SplitStoreResident { fresh: u64::MAX, resident: 0 };
+                    self.phase = Phase::SplitStoreResident {
+                        fresh: u64::MAX,
+                        resident: 0,
+                    };
                     let d = BarnesHut::digit(self.hash, self.level);
                     return Op::TxLoad(NODES.field(self.node, d));
                 }
@@ -242,10 +248,7 @@ impl ThreadProgram for TmInsert {
                     if v == 0 {
                         // Empty slot: place our body.
                         self.phase = Phase::Commit;
-                        return Op::TxStore(
-                            NODES.field(self.node, d),
-                            body_tag(self.body),
-                        );
+                        return Op::TxStore(NODES.field(self.node, d), body_tag(self.body));
                     }
                     if is_body(v) {
                         // Split: allocate a fresh node, link it, move the
@@ -260,10 +263,7 @@ impl ThreadProgram for TmInsert {
                             fresh: fresh_idx,
                             resident: v,
                         };
-                        return Op::TxStore(
-                            NODES.field(self.node, d),
-                            NODES.at(fresh_idx).0,
-                        );
+                        return Op::TxStore(NODES.field(self.node, d), NODES.at(fresh_idx).0);
                     }
                     // Interior pointer: descend.
                     self.node = NODES.index_of(Addr(v));

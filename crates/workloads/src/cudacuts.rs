@@ -18,7 +18,6 @@ use gpu_simt::{BoxedProgram, Op, OpResult, ThreadProgram};
 // kernel), which also means one TM metadata granule per pixel.
 const EXCESS: Region = Region::new(0xA000_0000, 32);
 
-
 /// Initial excess at every pixel.
 pub const INITIAL_EXCESS: u64 = 1 << 16;
 
@@ -220,7 +219,10 @@ impl ThreadProgram for LockPush {
                     // Deducted: credit the neighbour.
                     let d = push_amount(self.excess_p);
                     self.step = 4;
-                    return Op::AtomicAdd { addr: EXCESS.at(q), delta: d };
+                    return Op::AtomicAdd {
+                        addr: EXCESS.at(q),
+                        delta: d,
+                    };
                 }
                 _ => {
                     self.k += 1;

@@ -5,6 +5,11 @@
 //! accounts, ...) so a full figure sweep runs in minutes; [`Scale::Paper`]
 //! restores the paper's sizes (8000/80000/800000-entry hashtables, 1M
 //! accounts, 60K cloth edges, 30K bodies, 200x150 pixels, 4000 records).
+//!
+//! Benchmarks are identified by the [`Benchmark`] enum; its
+//! [`std::str::FromStr`]/[`std::fmt::Display`] impls round-trip the
+//! paper's names ("HT-H", "CLto", ...), so CLI surfaces can parse user
+//! input without a stringly-typed lookup table.
 
 use crate::apriori::Apriori;
 use crate::atm::Atm;
@@ -15,12 +20,151 @@ use crate::hashtable::HashTable;
 use crate::Workload;
 
 /// Benchmark sizing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Shrunk sizes with the paper's contention ratios (for sweeps).
     Fast,
     /// The paper's full sizes.
     Paper,
+}
+
+impl Scale {
+    /// The canonical name used in cache keys and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Fast => "fast",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// One of the nine benchmarks of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// High-contention hashtable population (~1 insert per bucket).
+    HtH,
+    /// Medium-contention hashtable population.
+    HtM,
+    /// Low-contention hashtable population.
+    HtL,
+    /// Parallel bank transfers.
+    Atm,
+    /// Cloth physics edge relaxation.
+    Cl,
+    /// Transaction-optimized cloth.
+    ClTo,
+    /// Barnes-Hut octree build.
+    Bh,
+    /// CudaCuts push-relabel image segmentation.
+    Cc,
+    /// Apriori itemset support counting.
+    Ap,
+}
+
+impl Benchmark {
+    /// All nine benchmarks, in the paper's presentation order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::HtH,
+        Benchmark::HtM,
+        Benchmark::HtL,
+        Benchmark::Atm,
+        Benchmark::Cl,
+        Benchmark::ClTo,
+        Benchmark::Bh,
+        Benchmark::Cc,
+        Benchmark::Ap,
+    ];
+
+    /// The paper's name for this benchmark ("HT-H", "CLto", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::HtH => "HT-H",
+            Benchmark::HtM => "HT-M",
+            Benchmark::HtL => "HT-L",
+            Benchmark::Atm => "ATM",
+            Benchmark::Cl => "CL",
+            Benchmark::ClTo => "CLto",
+            Benchmark::Bh => "BH",
+            Benchmark::Cc => "CC",
+            Benchmark::Ap => "AP",
+        }
+    }
+
+    /// Builds this benchmark's workload at the given scale.
+    pub fn build(self, scale: Scale) -> Box<dyn Workload> {
+        let seed = 0xBEEF;
+        match (self, scale) {
+            // HT-*: the paper populates 8000/80000/800000-entry tables with
+            // roughly one insert per HT-H bucket; the contention ratio is
+            // inserts : buckets (1x / 0.1x / 0.01x).
+            // The Fast sizes keep the machine's 15 cores saturated with
+            // enough warps to amortize memory latency (the GPU's whole modus
+            // operandi); shrinking the thread count further would starve the
+            // latency-hiding that both TM designs assume.
+            (Benchmark::HtH, Scale::Fast) => Box::new(HashTable::new("HT-H", 7_680, 7_680, seed)),
+            (Benchmark::HtH, Scale::Paper) => Box::new(HashTable::new("HT-H", 8_000, 8_192, seed)),
+            (Benchmark::HtM, Scale::Fast) => Box::new(HashTable::new("HT-M", 76_800, 7_680, seed)),
+            (Benchmark::HtM, Scale::Paper) => Box::new(HashTable::new("HT-M", 80_000, 8_192, seed)),
+            (Benchmark::HtL, Scale::Fast) => Box::new(HashTable::new("HT-L", 768_000, 7_680, seed)),
+            (Benchmark::HtL, Scale::Paper) => {
+                Box::new(HashTable::new("HT-L", 800_000, 8_192, seed))
+            }
+            // ATM: 1M accounts in the paper; keep accounts >> concurrent
+            // transfers so pairwise conflicts stay rare.
+            (Benchmark::Atm, Scale::Fast) => Box::new(Atm::new(500_000, 7_680, 2, seed)),
+            (Benchmark::Atm, Scale::Paper) => Box::new(Atm::new(1_000_000, 15_360, 4, seed)),
+            // CL / CLto: 60K edges in the paper (a ~175x175 grid). The grid
+            // must dwarf the concurrent-edge count or every pair of in-flight
+            // edges is adjacent.
+            (Benchmark::Cl, Scale::Fast) => Box::new(Cloth::cl(80, 80, 1)),
+            (Benchmark::Cl, Scale::Paper) => Box::new(Cloth::cl(175, 175, 1)),
+            (Benchmark::ClTo, Scale::Fast) => Box::new(Cloth::clto(80, 80, 1)),
+            (Benchmark::ClTo, Scale::Paper) => Box::new(Cloth::clto(175, 175, 1)),
+            // BH: 30K bodies in the paper.
+            (Benchmark::Bh, Scale::Fast) => Box::new(BarnesHut::new(7_680, seed)),
+            (Benchmark::Bh, Scale::Paper) => Box::new(BarnesHut::new(30_000, seed)),
+            // CC: 200x150 pixels in the paper.
+            (Benchmark::Cc, Scale::Fast) => Box::new(CudaCuts::new(112, 72, 1)),
+            (Benchmark::Cc, Scale::Paper) => Box::new(CudaCuts::new(200, 150, 2)),
+            // AP: 4000 records; few candidate counters, heavy skew.
+            (Benchmark::Ap, Scale::Fast) => Box::new(Apriori::new(256, 3_840, 1, seed)),
+            (Benchmark::Ap, Scale::Paper) => Box::new(Apriori::new(256, 4_000, 2, seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark(pub String);
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark {:?} (expected one of {})",
+            self.0,
+            NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = UnknownBenchmark;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| UnknownBenchmark(s.to_owned()))
+    }
 }
 
 /// The names of the nine benchmarks, in the paper's order.
@@ -33,49 +177,16 @@ pub const NAMES: [&str; 9] = [
 /// # Panics
 ///
 /// Panics on an unknown name.
+#[deprecated(note = "parse a `Benchmark` and call `.build(scale)` instead")]
 pub fn by_name(name: &str, scale: Scale) -> Box<dyn Workload> {
-    let seed = 0xBEEF;
-    match (name, scale) {
-        // HT-*: the paper populates 8000/80000/800000-entry tables with
-        // roughly one insert per HT-H bucket; the contention ratio is
-        // inserts : buckets (1x / 0.1x / 0.01x).
-        // The Fast sizes keep the machine's 15 cores saturated with
-        // enough warps to amortize memory latency (the GPU's whole modus
-        // operandi); shrinking the thread count further would starve the
-        // latency-hiding that both TM designs assume.
-        ("HT-H", Scale::Fast) => Box::new(HashTable::new("HT-H", 7_680, 7_680, seed)),
-        ("HT-H", Scale::Paper) => Box::new(HashTable::new("HT-H", 8_000, 8_192, seed)),
-        ("HT-M", Scale::Fast) => Box::new(HashTable::new("HT-M", 76_800, 7_680, seed)),
-        ("HT-M", Scale::Paper) => Box::new(HashTable::new("HT-M", 80_000, 8_192, seed)),
-        ("HT-L", Scale::Fast) => Box::new(HashTable::new("HT-L", 768_000, 7_680, seed)),
-        ("HT-L", Scale::Paper) => Box::new(HashTable::new("HT-L", 800_000, 8_192, seed)),
-        // ATM: 1M accounts in the paper; keep accounts >> concurrent
-        // transfers so pairwise conflicts stay rare.
-        ("ATM", Scale::Fast) => Box::new(Atm::new(500_000, 7_680, 2, seed)),
-        ("ATM", Scale::Paper) => Box::new(Atm::new(1_000_000, 15_360, 4, seed)),
-        // CL / CLto: 60K edges in the paper (a ~175x175 grid). The grid
-        // must dwarf the concurrent-edge count or every pair of in-flight
-        // edges is adjacent.
-        ("CL", Scale::Fast) => Box::new(Cloth::cl(80, 80, 1)),
-        ("CL", Scale::Paper) => Box::new(Cloth::cl(175, 175, 1)),
-        ("CLto", Scale::Fast) => Box::new(Cloth::clto(80, 80, 1)),
-        ("CLto", Scale::Paper) => Box::new(Cloth::clto(175, 175, 1)),
-        // BH: 30K bodies in the paper.
-        ("BH", Scale::Fast) => Box::new(BarnesHut::new(7_680, seed)),
-        ("BH", Scale::Paper) => Box::new(BarnesHut::new(30_000, seed)),
-        // CC: 200x150 pixels in the paper.
-        ("CC", Scale::Fast) => Box::new(CudaCuts::new(112, 72, 1)),
-        ("CC", Scale::Paper) => Box::new(CudaCuts::new(200, 150, 2)),
-        // AP: 4000 records; few candidate counters, heavy skew.
-        ("AP", Scale::Fast) => Box::new(Apriori::new(256, 3_840, 1, seed)),
-        ("AP", Scale::Paper) => Box::new(Apriori::new(256, 4_000, 2, seed)),
-        (other, _) => panic!("unknown benchmark {other:?}"),
-    }
+    name.parse::<Benchmark>()
+        .unwrap_or_else(|e| panic!("unknown benchmark: {e}"))
+        .build(scale)
 }
 
 /// The full nine-benchmark suite at the given scale, in the paper's order.
 pub fn full_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
-    NAMES.iter().map(|n| by_name(n, scale)).collect()
+    Benchmark::ALL.iter().map(|b| b.build(scale)).collect()
 }
 
 #[cfg(test)]
@@ -99,8 +210,39 @@ mod tests {
     }
 
     #[test]
+    fn names_round_trip_through_fromstr() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>(), Ok(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!("ht-h".parse::<Benchmark>(), Ok(Benchmark::HtH));
+        assert_eq!("CLTO".parse::<Benchmark>(), Ok(Benchmark::ClTo));
+    }
+
+    #[test]
+    fn enum_order_matches_names() {
+        let from_enum: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(from_enum, NAMES.to_vec());
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let err = "nope".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        assert!(err.to_string().contains("HT-H"));
+    }
+
+    #[test]
+    fn built_workload_matches_enum_name() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.build(Scale::Fast).name(), b.name());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "unknown benchmark")]
-    fn unknown_name_panics() {
+    fn by_name_wrapper_panics_on_unknown() {
+        #[allow(deprecated)]
         by_name("nope", Scale::Fast);
     }
 }

@@ -182,8 +182,7 @@ pub fn run_workload_round_robin(workload: &dyn Workload, mode: SyncMode) -> MemI
                         break; // yield after each transaction
                     }
                     Op::TxLoad(a) => {
-                        let fwd =
-                            redo.iter().rev().find(|&&(ra, _)| ra == a).map(|&(_, v)| v);
+                        let fwd = redo.iter().rev().find(|&&(ra, _)| ra == a).map(|&(_, v)| v);
                         slot.prev = OpResult::Value(fwd.unwrap_or_else(|| mem.read(a)));
                     }
                     Op::TxStore(a, v) => {
@@ -222,7 +221,10 @@ pub fn run_workload_round_robin(workload: &dyn Workload, mode: SyncMode) -> MemI
         }
     }
     if let Err(e) = workload.check(&mem.reader()) {
-        panic!("{} round-robin run failed its checker: {e}", workload.name());
+        panic!(
+            "{} round-robin run failed its checker: {e}",
+            workload.name()
+        );
     }
     mem
 }
@@ -250,8 +252,16 @@ mod tests {
     fn cas_semantics() {
         let mut mem = MemImage::default();
         let mut p = ScriptProgram::new(vec![
-            Op::AtomicCas { addr: Addr(0), expect: 0, new: 7 },
-            Op::AtomicCas { addr: Addr(0), expect: 0, new: 9 },
+            Op::AtomicCas {
+                addr: Addr(0),
+                expect: 0,
+                new: 7,
+            },
+            Op::AtomicCas {
+                addr: Addr(0),
+                expect: 0,
+                new: 9,
+            },
         ]);
         run_program_sequential(&mut p, &mut mem, 100);
         assert_eq!(mem.read(Addr(0)), 7, "second CAS must fail");

@@ -15,21 +15,33 @@ use getm_repro::prelude::*;
 use workloads::atm::Atm;
 
 fn main() {
-    let atm = Atm::new(8192, 3840, 2, 0xF16_1);
+    let atm = Atm::new(8192, 3840, 2, 0xF161);
     let cfg = GpuConfig::fermi_15core();
 
-    println!("ATM: {} threads x 2 transfers over 8192 accounts\n", atm.thread_count());
+    println!(
+        "ATM: {} threads x 2 transfers over 8192 accounts\n",
+        atm.thread_count()
+    );
 
     // Fine-grained locks: the programmer writes the Fig. 1 dance —
     // ordered acquisition, flag-driven retry, explicit release.
-    let locks = run_workload(&atm, TmSystem::FgLock, &cfg).expect("lock run");
+    let locks = Sim::new(&cfg)
+        .system(TmSystem::FgLock)
+        .run(&atm)
+        .expect("lock run");
     locks.assert_correct();
-    println!("fine-grained locks : {:>10} cycles, {} CAS failures", locks.cycles, locks.cas_failures);
+    println!(
+        "fine-grained locks : {:>10} cycles, {} CAS failures",
+        locks.cycles, locks.cas_failures
+    );
 
     // Transactions: txbegin / 4 accesses / txcommit. Under GETM each
     // access is conflict-checked eagerly, and commits stream off the
     // critical path.
-    let tm = run_workload(&atm, TmSystem::Getm, &cfg).expect("GETM run");
+    let tm = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&atm)
+        .expect("GETM run");
     tm.assert_correct();
     println!(
         "GETM transactions  : {:>10} cycles, {} commits, {} aborts ({:.0} per 1K commits)",

@@ -74,7 +74,10 @@ impl Workload for TicketWorkload {
         // The dispenser handed out exactly `threads` tickets...
         let issued = mem(DISPENSER);
         if issued != self.threads as u64 {
-            return Err(format!("{issued} tickets issued, expected {}", self.threads));
+            return Err(format!(
+                "{issued} tickets issued, expected {}",
+                self.threads
+            ));
         }
         // ...and every ticket slot below it was claimed exactly once.
         for t in 0..self.threads as u64 {
@@ -89,9 +92,17 @@ impl Workload for TicketWorkload {
 fn main() {
     let w = TicketWorkload { threads: 1536 };
     let cfg = GpuConfig::fermi_15core();
-    println!("{} threads all increment ONE shared dispenser word:\n", w.threads);
-    for system in [TmSystem::WarpTmLL, TmSystem::WarpTmEL, TmSystem::Eapg, TmSystem::Getm] {
-        let m = run_workload(&w, system, &cfg).expect("run");
+    println!(
+        "{} threads all increment ONE shared dispenser word:\n",
+        w.threads
+    );
+    for system in [
+        TmSystem::WarpTmLL,
+        TmSystem::WarpTmEL,
+        TmSystem::Eapg,
+        TmSystem::Getm,
+    ] {
+        let m = Sim::new(&cfg).system(system).run(&w).expect("run");
         m.assert_correct();
         println!(
             "{:<10} {:>10} cycles, {:>6} aborts ({:>5.0}/1K commits)",
@@ -101,5 +112,8 @@ fn main() {
             m.aborts_per_1k_commits()
         );
     }
-    println!("\nEvery system serialized {} increments correctly.", w.threads);
+    println!(
+        "\nEvery system serialized {} increments correctly.",
+        w.threads
+    );
 }

@@ -22,11 +22,13 @@ fn main() {
         "buckets", "load", "WarpTM cyc", "ab/1Kc", "GETM cyc", "ab/1Kc", "speedup"
     );
 
+    let warptm = Sim::new(&cfg).system(TmSystem::WarpTmLL);
+    let getm_sim = Sim::new(&cfg).system(TmSystem::Getm);
     for buckets in [256u64, 1024, 4096, 16384, 65536] {
         let w = HashTable::new("HT", buckets, inserts, 42);
-        let wtm = run_workload(&w, TmSystem::WarpTmLL, &cfg).expect("WarpTM");
+        let wtm = warptm.run(&w).expect("WarpTM");
         wtm.assert_correct();
-        let getm = run_workload(&w, TmSystem::Getm, &cfg).expect("GETM");
+        let getm = getm_sim.run(&w).expect("GETM");
         getm.assert_correct();
         println!(
             "{:<10} {:>8.2} | {:>10} {:>8.0} | {:>10} {:>8.0} | {:>6.2}x",

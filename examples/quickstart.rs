@@ -10,14 +10,23 @@ use getm_repro::prelude::*;
 fn main() {
     // A high-contention hashtable population (the paper's HT-H), scaled
     // down so this example finishes in seconds.
-    let workload = workloads::suite::by_name("HT-H", Scale::Fast);
+    let workload = Benchmark::HtH.build(Scale::Fast);
     let cfg = GpuConfig::fermi_15core();
 
-    println!("workload: {} ({} threads)", workload.name(), workload.thread_count());
-    println!("{:<10} {:>12} {:>10} {:>10} {:>14}", "system", "cycles", "commits", "aborts", "xbar bytes");
+    println!(
+        "workload: {} ({} threads)",
+        workload.name(),
+        workload.thread_count()
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>14}",
+        "system", "cycles", "commits", "aborts", "xbar bytes"
+    );
 
     for system in [TmSystem::FgLock, TmSystem::WarpTmLL, TmSystem::Getm] {
-        let m = run_workload(workload.as_ref(), system, &cfg)
+        let m = Sim::new(&cfg)
+            .system(system)
+            .run(workload.as_ref())
             .unwrap_or_else(|e| panic!("{system} failed: {e}"));
         // Fail loudly if the final memory image is inconsistent.
         m.assert_correct();

@@ -92,16 +92,15 @@ fn getm_commit_traffic_is_write_log_only() {
     let getm = run_workload(&w, TmSystem::Getm, &cfg).expect("getm");
     let wtm = run_workload(&w, TmSystem::WarpTmLL, &cfg).expect("wtm");
     assert_eq!(
-        getm.xbar_by_category.get("validation").copied().unwrap_or(0),
+        getm.xbar_by_category
+            .get("validation")
+            .copied()
+            .unwrap_or(0),
         0,
         "GETM performs no commit-time validation"
     );
     let getm_commit = getm.xbar_by_category.get("commit").copied().unwrap_or(0);
-    let wtm_validation = wtm
-        .xbar_by_category
-        .get("validation")
-        .copied()
-        .unwrap_or(0);
+    let wtm_validation = wtm.xbar_by_category.get("validation").copied().unwrap_or(0);
     assert!(
         getm_commit < wtm_validation,
         "GETM write-only commit ({getm_commit}B) should undercut WarpTM's \
@@ -177,8 +176,7 @@ fn tcd_silently_commits_read_only_transactions() {
         }
     }
 
-    let m = run_workload(&ReadOnlyWorkload, TmSystem::WarpTmLL, &quick_cfg())
-        .expect("run");
+    let m = run_workload(&ReadOnlyWorkload, TmSystem::WarpTmLL, &quick_cfg()).expect("run");
     m.assert_correct();
     assert_eq!(
         m.silent_commits, m.commits,

@@ -1,0 +1,263 @@
+//! A minimal, dependency-free shim of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in implements the subset of the criterion API the workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, and `BatchSize`.
+//!
+//! Measurement is deliberately simple: each benchmark is auto-calibrated
+//! to a target per-sample duration, timed for `sample_size` samples, and
+//! the median ns/iter is printed. There are no plots, no statistical
+//! regression, and no saved baselines — just honest wall-clock medians.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// How a batched benchmark amortizes its setup (ignored by the shim; the
+/// variants exist for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` under `id` and prints the median ns/iter.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Times `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group (printing already happened incrementally).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the hot loop.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by `iter*`.
+    median_ns: Option<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            median_ns: None,
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Times `routine`, auto-calibrating the per-sample iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(samples, iters);
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let iters = calibrate(|| {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        });
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(samples, iters);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>, iters: u64) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+        self.iters_per_sample = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match self.median_ns {
+            Some(ns) => println!(
+                "{group}/{id:<32} {:>12.1} ns/iter  ({} samples x {} iters)",
+                ns, self.sample_size, self.iters_per_sample
+            ),
+            None => println!("{group}/{id:<32} (no measurement recorded)"),
+        }
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly `SAMPLE_TARGET`.
+fn calibrate(mut once: impl FnMut()) -> u64 {
+    let start = Instant::now();
+    once();
+    let first = start.elapsed().max(Duration::from_nanos(20));
+    (SAMPLE_TARGET.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_median() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}
