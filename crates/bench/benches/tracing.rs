@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the tracing layer: what the disabled gate
+//! costs on the hot path (the zero-cost-when-off claim), what recording
+//! into the ring costs, and the end-to-end disabled-vs-enabled gap on a
+//! real simulated cell.
+
+use bench::traceview;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::sweep::CellSpec;
+use sim_core::{Recorder, SimEvent, Stamp};
+use std::hint::black_box;
+use workloads::suite::{Benchmark, Scale};
+
+fn small_cell() -> CellSpec {
+    CellSpec::new(
+        Benchmark::Atm,
+        Scale::Fast,
+        TmSystem::Getm,
+        GpuConfig::tiny_test(),
+    )
+}
+
+/// The per-event cost of `Recorder::emit`: disabled (a branch on `None`,
+/// the closure never built) versus recording into the ring.
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emit");
+
+    g.bench_function("disabled", |b| {
+        let rec = Recorder::off();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            rec.emit(|| {
+                (
+                    Stamp::warp(black_box(cycle), 3, 17),
+                    SimEvent::TxAbort {
+                        cause: sim_core::AbortCause::War,
+                        lanes: 32,
+                    },
+                )
+            });
+        });
+    });
+
+    g.bench_function("recording", |b| {
+        let rec = Recorder::recording(1 << 16);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            rec.emit(|| {
+                (
+                    Stamp::warp(black_box(cycle), 3, 17),
+                    SimEvent::TxAbort {
+                        cause: sim_core::AbortCause::War,
+                        lanes: 32,
+                    },
+                )
+            });
+        });
+    });
+    g.finish();
+}
+
+/// End-to-end: the same small cell untraced (recorder off throughout the
+/// engine) versus traced into a large ring. The `untraced` number is the
+/// one the <2% disabled-overhead budget is stated against.
+fn bench_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell");
+    g.sample_size(10);
+    let cell = small_cell();
+
+    g.bench_function("untraced", |b| {
+        b.iter(|| black_box(cell.run().expect("run")));
+    });
+
+    g.bench_function("traced", |b| {
+        b.iter(|| black_box(traceview::capture(&cell, 1 << 20)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_cell);
+criterion_main!(benches);

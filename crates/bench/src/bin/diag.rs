@@ -50,8 +50,12 @@ fn main() {
     );
     for system in TmSystem::ALL {
         let m = harness.run_optimal(bench, system, &cfg);
+        let mdacc = match m.mean_metadata_access_cycles {
+            Some(v) => format!("{v:.2}"),
+            None => "-".into(),
+        };
         println!(
-            "{:<10} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7.2} {:>7} {:>6.2}",
+            "{:<10} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6.2}",
             system.label(),
             m.cycles,
             m.commits,
@@ -60,10 +64,20 @@ fn main() {
             m.tx_exec_cycles,
             m.tx_wait_cycles,
             m.xbar_bytes / 1024,
-            m.mean_metadata_access_cycles,
+            mdacc,
             m.max_stall_occupancy,
             m.llc_hit_rate,
         );
+        if m.metadata_latency.count() > 0 {
+            println!(
+                "    metadata latency p50={} p95={} p99={} max={} (n={})",
+                m.metadata_latency.p50(),
+                m.metadata_latency.p95(),
+                m.metadata_latency.p99(),
+                m.metadata_latency.max().unwrap_or(0),
+                m.metadata_latency.count()
+            );
+        }
         for (k, v) in &m.xbar_by_category {
             print!("    {k}={v} ");
         }

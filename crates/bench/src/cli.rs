@@ -11,6 +11,12 @@
 //! --cache-dir PATH   result-cache location (default: $GETM_SWEEP_CACHE
 //!                    or target/sweep-cache)
 //! --quiet            suppress per-cell progress lines on stderr
+//! --trace PATH       re-run the figure's representative cell with event
+//!                    tracing on and write a Chrome trace-event JSON file
+//!                    (open in Perfetto / chrome://tracing)
+//! --probe METRIC     with tracing, print the windowed time series of one
+//!                    probe gauge (vu-backlog, cu-backlog,
+//!                    stall-occupancy, up-xbar-backlog)
 //! ```
 //!
 //! Remaining non-flag arguments are collected as positionals (the `diag`
@@ -33,6 +39,11 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// Per-cell progress lines on stderr.
     pub progress: bool,
+    /// Write a Chrome trace-event JSON of the representative cell here.
+    pub trace: Option<PathBuf>,
+    /// Print the windowed time series of this probe gauge (implies a
+    /// traced re-run, like [`Args::trace`]).
+    pub probe: Option<String>,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -45,6 +56,8 @@ impl Default for Args {
             cache: true,
             cache_dir: None,
             progress: true,
+            trace: None,
+            probe: None,
             positional: Vec::new(),
         }
     }
@@ -88,6 +101,14 @@ impl Args {
                     let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                     out.cache_dir = Some(PathBuf::from(v));
                 }
+                "--trace" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    out.trace = Some(PathBuf::from(v));
+                }
+                "--probe" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    out.probe = Some(v);
+                }
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
@@ -121,7 +142,12 @@ common flags (all figure binaries):
   --no-cache         don't read or write the on-disk result cache
   --cache-dir PATH   result-cache location (default: $GETM_SWEEP_CACHE
                      or target/sweep-cache)
-  --quiet            suppress per-cell progress lines on stderr";
+  --quiet            suppress per-cell progress lines on stderr
+  --trace PATH       write a Chrome trace-event JSON of the figure's
+                     representative cell (open in Perfetto)
+  --probe METRIC     print the windowed time series of one probe gauge
+                     (vu-backlog, cu-backlog, stall-occupancy,
+                     up-xbar-backlog)";
 
 #[cfg(test)]
 mod tests {
@@ -166,6 +192,18 @@ mod tests {
     #[test]
     fn serial_means_one_job() {
         assert_eq!(parse(&["--serial"]).unwrap().jobs, 1);
+    }
+
+    #[test]
+    fn trace_and_probe_parse() {
+        let a = parse(&["--trace", "/tmp/t.json", "--probe", "vu-backlog"]).unwrap();
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert_eq!(a.probe.as_deref(), Some("vu-backlog"));
+        assert!(parse(&["--trace"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--probe"]).unwrap_err().contains("needs a value"));
     }
 
     #[test]

@@ -106,8 +106,10 @@ pub fn by_id(id: &str) -> Option<&'static Figure> {
 pub fn run_standalone(id: &str) {
     let f = by_id(id).unwrap_or_else(|| panic!("unknown figure id {id:?}"));
     let h = Harness::from_cli();
-    h.prefetch(&(f.spec)(h.scale()));
+    let spec = (f.spec)(h.scale());
+    h.prefetch(&spec);
     (f.render)(&h);
+    h.emit_trace_artifacts(&spec);
 }
 
 /// The six concurrency limits the paper sweeps, with their display names.
@@ -432,7 +434,8 @@ fn fig12(h: &Harness) {
 
 /// Fig. 13: mean validation-unit cycles per metadata-table access under
 /// GETM (>= 1.0; the cuckoo table plus stash keeps insertions cheap even
-/// at high load factors).
+/// at high load factors), with the distribution tail (p50/p95/p99) from
+/// the latency histogram.
 fn fig13(h: &Harness) {
     let base = GpuConfig::fermi_15core();
     banner("Fig. 13", "mean GETM metadata access latency (cycles)");
@@ -440,16 +443,44 @@ fn fig13(h: &Harness) {
     print_header("", false);
     print!("{:<14}", "GETM");
     let mut vals = Vec::new();
+    let mut tail = sim_core::LogHistogram::default();
     for b in Benchmark::ALL {
         let m = h.run_optimal(b, TmSystem::Getm, &base);
-        vals.push(m.mean_metadata_access_cycles);
-        print!(" {:>8.2}", m.mean_metadata_access_cycles);
+        vals.extend(m.mean_metadata_access_cycles);
+        print!(" {:>8}", fmt_opt(m.mean_metadata_access_cycles));
+        tail.merge(&m.metadata_latency);
     }
-    println!(" {:>8.2}", vals.iter().sum::<f64>() / vals.len() as f64);
+    println!(
+        " {:>8.2}",
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    );
+
+    println!("\n-- latency distribution tail (log-2 buckets) --");
+    print!("{:<14}", "percentile");
+    for b in Benchmark::ALL {
+        print!(" {:>8}", b.name());
+    }
+    println!(" {:>8}", "ALL");
+    for (label, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        print!("{label:<14}");
+        for b in Benchmark::ALL {
+            let m = h.run_optimal(b, TmSystem::Getm, &base);
+            print!(" {:>8}", m.metadata_latency.percentile(p));
+        }
+        println!(" {:>8}", tail.percentile(p));
+    }
     println!(
         "\nPaper shape: close to 1.0 everywhere — long insertion chains are \
          rare because unlocked entries evict to the approximate table."
     );
+}
+
+/// Renders an optional mean: two decimals, or `-` for "not measured".
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "-".into(),
+    }
 }
 
 // --------------------------------------------------------------- Fig. 14
@@ -562,10 +593,13 @@ fn fig16(h: &Harness) {
     let mut vals = Vec::new();
     for b in Benchmark::ALL {
         let m = h.run_optimal(b, TmSystem::Getm, &base);
-        vals.push(m.mean_stall_waiters_per_addr);
-        print!(" {:>8.2}", m.mean_stall_waiters_per_addr);
+        vals.extend(m.mean_stall_waiters_per_addr);
+        print!(" {:>8}", fmt_opt(m.mean_stall_waiters_per_addr));
     }
-    println!(" {:>8.2}", vals.iter().sum::<f64>() / vals.len() as f64);
+    println!(
+        " {:>8.2}",
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    );
     println!("\nPaper shape: close to 1 — addresses rarely have multiple waiters.");
 }
 
@@ -686,6 +720,7 @@ fn table4(h: &Harness) {
     }
     println!();
 
+    let mut best_limits: Vec<(Benchmark, Vec<Option<u32>>)> = Vec::new();
     for b in Benchmark::ALL {
         let mut best: Vec<(Option<u32>, u64, f64)> = Vec::new();
         for system in TABLE4_SYSTEMS {
@@ -718,11 +753,39 @@ fn table4(h: &Harness) {
             print!(" {:>9}", rate);
         }
         println!();
+        best_limits.push((b, best.into_iter().map(|(l, _, _)| l).collect()));
     }
     println!(
         "\nPaper shape: GETM tolerates higher concurrency than WarpTM on \
          contended benchmarks and sustains higher abort rates profitably."
     );
+
+    // Companion breakdown: where the aborts above came from, per 1K
+    // commits, at each system's best concurrency. Causes are counted
+    // where they are detected (see `Metrics::aborts_by_cause`); `approx`
+    // overlaps war/lock-conflict rather than adding to the total.
+    println!("\n-- abort causes per 1K commits (at best concurrency) --");
+    print!("{:<8} {:<10}", "bench", "system");
+    for cause in sim_core::AbortCause::ALL {
+        print!(" {:>13}", cause.label());
+    }
+    println!();
+    for (b, limits) in &best_limits {
+        for (system, limit) in TABLE4_SYSTEMS.iter().zip(limits) {
+            let cfg = base.clone().with_concurrency(*limit);
+            let m = h.run(*b, *system, &cfg);
+            let per_1k = |n: u64| n as f64 * 1000.0 / m.commits.max(1) as f64;
+            print!(
+                "{:<8} {:<10}",
+                b.name(),
+                system.label().replace("WarpTM", "WTM")
+            );
+            for cause in sim_core::AbortCause::ALL {
+                print!(" {:>13.0}", per_1k(m.aborts_by_cause(cause)));
+            }
+            println!();
+        }
+    }
 }
 
 // --------------------------------------------------------------- Table V

@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod figures;
+pub mod traceview;
 
 use gputm::config::{GpuConfig, TmSystem};
 use gputm::metrics::Metrics;
@@ -77,15 +78,19 @@ pub fn optimal_concurrency(system: TmSystem, bench: Benchmark) -> Option<u32> {
 pub struct Harness {
     scale: Scale,
     opts: SweepOptions,
+    trace: Option<std::path::PathBuf>,
+    probe: Option<String>,
     memo: Mutex<HashMap<String, Metrics>>,
 }
 
 impl Harness {
-    /// A harness with explicit settings.
+    /// A harness with explicit settings (no trace or probe request).
     pub fn new(scale: Scale, opts: SweepOptions) -> Self {
         Harness {
             scale,
             opts,
+            trace: None,
+            probe: None,
             memo: Mutex::new(HashMap::new()),
         }
     }
@@ -93,7 +98,10 @@ impl Harness {
     /// A harness configured from the process's command line (see [`cli`]).
     pub fn from_cli() -> Self {
         let args = cli::Args::parse();
-        Harness::new(args.scale, args.sweep_options())
+        let mut h = Harness::new(args.scale, args.sweep_options());
+        h.trace = args.trace;
+        h.probe = args.probe;
+        h
     }
 
     /// The benchmark scale every run uses.
@@ -149,6 +157,37 @@ impl Harness {
             .clone()
             .with_concurrency(optimal_concurrency(system, bench));
         self.run(bench, system, &cfg)
+    }
+
+    /// Honors `--trace` / `--probe`: re-runs the figure's representative
+    /// cell (its first GETM cell) with tracing attached, writes the Chrome
+    /// trace-event JSON, and prints the requested probe's time series.
+    /// No-op when neither flag was given.
+    pub fn emit_trace_artifacts(&self, spec: &ExperimentSpec) {
+        if self.trace.is_none() && self.probe.is_none() {
+            return;
+        }
+        let Some(cell) = traceview::representative_cell(spec.cells()) else {
+            eprintln!("trace: this figure runs no cells; nothing to trace");
+            return;
+        };
+        let (bus, metrics) = traceview::capture(cell, 1 << 20);
+        if let Some(path) = &self.trace {
+            traceview::write_chrome(&bus, cell, path);
+            let h = &metrics.metadata_latency;
+            if h.count() > 0 {
+                eprintln!(
+                    "trace: metadata latency p50/p95/p99 = {}/{}/{} cycles over {} accesses",
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.count()
+                );
+            }
+        }
+        if let Some(probe) = &self.probe {
+            traceview::print_probe(&bus, probe);
+        }
     }
 }
 

@@ -1,0 +1,188 @@
+//! Consumers of a recorded event stream: file exports and terminal views.
+//!
+//! The simulator side of tracing lives in `sim_core::trace` (the bus and
+//! the exporters); this module is the harness side — picking the
+//! representative cell of a figure, re-running it traced, and turning the
+//! captured bus into the artifacts the user asked for (`--trace`,
+//! `--probe`, and the `trace` binary).
+
+use gputm::config::TmSystem;
+use gputm::metrics::Metrics;
+use gputm::sweep::CellSpec;
+use sim_core::trace::{export_chrome_trace, export_flame_summary, EventBus, SimEvent};
+use sim_core::{Recorder, TimeSeries};
+use std::io::Write;
+use std::path::Path;
+
+/// The probe gauges the engine samples (every 64 cycles, per partition).
+pub const PROBES: [&str; 4] = [
+    "vu-backlog",
+    "cu-backlog",
+    "stall-occupancy",
+    "up-xbar-backlog",
+];
+
+/// The cell a figure's trace represents: its first GETM cell, or failing
+/// that its first cell (FGLock-only figures still produce a trace — just
+/// without validation-unit events).
+pub fn representative_cell(cells: &[CellSpec]) -> Option<&CellSpec> {
+    cells
+        .iter()
+        .find(|c| c.system == TmSystem::Getm)
+        .or_else(|| cells.first())
+}
+
+/// Re-runs `cell` with tracing attached and returns the captured bus plus
+/// the run's metrics.
+///
+/// # Panics
+///
+/// Panics if the run fails or violates workload invariants — a trace of a
+/// broken run would mislead.
+pub fn capture(cell: &CellSpec, capacity: usize) -> (EventBus, Metrics) {
+    let rec = Recorder::recording(capacity);
+    let metrics = cell
+        .run_traced(rec.clone())
+        .unwrap_or_else(|e| panic!("traced run of {} failed: {e}", cell.label()));
+    metrics.assert_correct();
+    let bus = rec.bus().expect("recording recorder has a bus");
+    drop(rec);
+    let bus = std::rc::Rc::try_unwrap(bus)
+        .expect("engine dropped its recorder clones")
+        .into_inner();
+    (bus, metrics)
+}
+
+/// Writes the bus as Chrome trace-event JSON to `path` and reports what
+/// landed there.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_chrome(bus: &EventBus, cell: &CellSpec, path: &Path) {
+    let mut out = Vec::new();
+    export_chrome_trace(bus, &mut out).expect("in-memory export cannot fail");
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!(
+        "trace: {} events of {} ({} dropped by the ring) -> {}",
+        bus.len(),
+        cell.label(),
+        bus.dropped(),
+        path.display()
+    );
+    eprintln!("trace: open in https://ui.perfetto.dev or chrome://tracing");
+}
+
+/// Prints the flame-style text summary of the bus to `w`.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_flame(bus: &EventBus, w: &mut impl Write) -> std::io::Result<()> {
+    export_flame_summary(bus, w)
+}
+
+/// Folds one probe gauge out of the bus into per-partition windowed time
+/// series (window = `window` cycles, keeping the per-window maximum).
+pub fn probe_series(bus: &EventBus, probe: &str, window: u64) -> Vec<(u32, TimeSeries)> {
+    let mut series: Vec<(u32, TimeSeries)> = Vec::new();
+    for (stamp, event) in bus.iter() {
+        let SimEvent::Probe { name, value } = event else {
+            continue;
+        };
+        if *name != probe {
+            continue;
+        }
+        let p = stamp.partition;
+        let ts = match series.iter_mut().find(|(q, _)| *q == p) {
+            Some((_, ts)) => ts,
+            None => {
+                series.push((p, TimeSeries::new(window)));
+                &mut series.last_mut().expect("just pushed").1
+            }
+        };
+        ts.record(stamp.cycle, *value);
+    }
+    series.sort_by_key(|(p, _)| *p);
+    series
+}
+
+/// Prints a probe's per-partition time series as sparkline-style rows.
+pub fn print_probe(bus: &EventBus, probe: &str) {
+    let window = 4096;
+    let series = probe_series(bus, probe, window);
+    if series.is_empty() {
+        println!(
+            "probe {probe:?}: no samples (known probes: {})",
+            PROBES.join(", ")
+        );
+        return;
+    }
+    println!("\n-- probe {probe} (per-window max, window = {window} cycles) --");
+    for (p, ts) in &series {
+        let peak = ts.peak();
+        print!("p{p:<3} peak {peak:>8.1} |");
+        for v in ts.points() {
+            // A 0..9 digit per window, scaled to the partition's peak.
+            let d = if peak > 0.0 {
+                ((v / peak) * 9.0).round() as u32
+            } else {
+                0
+            };
+            print!("{d}");
+        }
+        println!("|");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputm::config::GpuConfig;
+    use workloads::suite::{Benchmark, Scale};
+
+    fn cell() -> CellSpec {
+        CellSpec::new(
+            Benchmark::Atm,
+            Scale::Fast,
+            TmSystem::Getm,
+            GpuConfig::tiny_test(),
+        )
+    }
+
+    #[test]
+    fn capture_produces_events_and_probe_series() {
+        let (bus, metrics) = capture(&cell(), 1 << 20);
+        assert!(!bus.is_empty());
+        assert!(metrics.commits > 0);
+        let series = probe_series(&bus, "vu-backlog", 1024);
+        assert!(!series.is_empty(), "engine must sample vu-backlog");
+        let unknown = probe_series(&bus, "no-such-probe", 1024);
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
+    fn representative_cell_prefers_getm() {
+        let other = CellSpec::new(
+            Benchmark::Atm,
+            Scale::Fast,
+            TmSystem::FgLock,
+            GpuConfig::tiny_test(),
+        );
+        let cells = vec![other.clone(), cell()];
+        assert_eq!(representative_cell(&cells).unwrap().system, TmSystem::Getm);
+        let only = vec![other];
+        assert_eq!(representative_cell(&only).unwrap().system, TmSystem::FgLock);
+        assert!(representative_cell(&[]).is_none());
+    }
+
+    #[test]
+    fn chrome_export_is_written() {
+        let (bus, _) = capture(&cell(), 1 << 20);
+        let path = std::env::temp_dir().join(format!("getm-traceview-{}.json", std::process::id()));
+        write_chrome(&bus, &cell(), &path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,85 @@
+//! The zero-cost-when-off guard: with tracing disabled, the instrumented
+//! hot paths must cost the simulator less than 2% of a run.
+//!
+//! Directly timing two builds against each other isn't possible inside
+//! one binary (the disabled gate is compiled in everywhere), so the guard
+//! bounds the overhead from its parts: it measures (a) how long one
+//! untraced run takes, (b) how many events that run would emit, and
+//! (c) the wall-clock cost of that many disabled `emit` calls. The
+//! disabled instrumentation cost of the run is (c) — every gate the
+//! engine passes is one disabled `emit` — and the test asserts
+//! (c) < 2% of (a), with real margin to spare (a disabled emit is a
+//! branch on `None`; (c) is typically well under 0.1% of (a)).
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::sweep::CellSpec;
+use sim_core::{AbortCause, Recorder, SimEvent, Stamp};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn cell() -> CellSpec {
+    CellSpec::new(
+        workloads::suite::Benchmark::Atm,
+        workloads::suite::Scale::Fast,
+        TmSystem::Getm,
+        GpuConfig::tiny_test(),
+    )
+}
+
+/// Minimum over `reps` timings of `f` — the least-noise estimator for
+/// "how fast can this go", which is what a budget comparison wants.
+fn min_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+#[test]
+fn disabled_tracing_costs_less_than_two_percent_of_a_run() {
+    let cell = cell();
+
+    // (a) One untraced run (recorder off — the production configuration).
+    let run_time = min_time(3, || {
+        black_box(cell.run().expect("run"));
+    });
+
+    // (b) How many emit gates that run passes. A recording run fires every
+    // gate exactly once per event, so the captured count is the gate count
+    // (use a ring big enough that nothing is dropped-but-still-counted;
+    // dropped events still passed their gate, so add them back).
+    let rec = Recorder::recording(1 << 20);
+    cell.run_traced(rec.clone()).expect("traced run");
+    let bus = rec.bus().expect("bus");
+    let events = bus.borrow().len() as u64 + bus.borrow().dropped();
+    assert!(events > 0, "instrumented engine must emit events");
+
+    // (c) That many disabled emits, measured on the same machine. The
+    // closure mirrors a real site: it captures locals and builds an event,
+    // but must never run.
+    let off = Recorder::off();
+    let emit_time = min_time(3, || {
+        for i in 0..events {
+            off.emit(|| {
+                (
+                    Stamp::warp(black_box(i), 2, 11),
+                    SimEvent::TxAbort {
+                        cause: AbortCause::War,
+                        lanes: 32,
+                    },
+                )
+            });
+        }
+    });
+
+    let budget = run_time.mul_f64(0.02);
+    assert!(
+        emit_time < budget,
+        "disabled tracing overhead {emit_time:?} exceeds 2% of a run \
+         ({run_time:?} for {events} events; budget {budget:?})"
+    );
+}

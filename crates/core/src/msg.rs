@@ -7,6 +7,7 @@
 
 use gpu_mem::{Addr, Granule};
 use gpu_simt::GlobalWarpId;
+use sim_core::trace::AbortCause;
 
 /// Whether a transactional access reads or writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,10 +52,13 @@ pub enum ReplyKind {
     /// The access passed eager conflict detection.
     Success,
     /// The transaction must abort; `cause_ts` is the newest conflicting
-    /// timestamp observed, so the core can restart at `cause_ts + 1`.
+    /// timestamp observed, so the core can restart at `cause_ts + 1`, and
+    /// `cause` says which Fig. 6 check lost (feeds the abort taxonomy).
     Abort {
         /// Newest conflicting logical timestamp.
         cause_ts: u64,
+        /// Which conflict check produced the abort.
+        cause: AbortCause,
     },
 }
 
@@ -115,10 +119,16 @@ mod tests {
 
     #[test]
     fn reply_kinds() {
-        let r = ReplyKind::Abort { cause_ts: 9 };
+        let r = ReplyKind::Abort {
+            cause_ts: 9,
+            cause: AbortCause::War,
+        };
         assert_ne!(r, ReplyKind::Success);
         match r {
-            ReplyKind::Abort { cause_ts } => assert_eq!(cause_ts, 9),
+            ReplyKind::Abort { cause_ts, cause } => {
+                assert_eq!(cause_ts, 9);
+                assert_eq!(cause, AbortCause::War);
+            }
             ReplyKind::Success => unreachable!(),
         }
     }

@@ -24,6 +24,7 @@
 use crate::meta::TxMetadata;
 use crate::msg::{AccessKind, AccessReply, AccessRequest, ReplyKind};
 use gpu_mem::Granule;
+use sim_core::trace::AbortCause;
 use sim_core::DetRng;
 use tm_structs::{CuckooConfig, CuckooTable, RecencyBloom, StallBuffer, StallConfig};
 
@@ -221,9 +222,16 @@ impl ValidationUnit {
                 self.stats.aborts_approx += 1;
             }
             self.stats.max_cause_ts = self.stats.max_cause_ts.max(cause_ts);
+            let cause = if from_approx {
+                AbortCause::Approx
+            } else if req.kind == AccessKind::Load {
+                AbortCause::War
+            } else {
+                AbortCause::LockConflict
+            };
             return AccessOutcome {
                 reply: Some(AccessReply {
-                    kind: ReplyKind::Abort { cause_ts },
+                    kind: ReplyKind::Abort { cause_ts, cause },
                     observed_wts: meta.wts,
                     observed_rts: meta.rts,
                     token: req.token,
@@ -242,7 +250,10 @@ impl ValidationUnit {
                 let cause_ts = meta.wts.max(meta.rts).max(req.warpts);
                 return AccessOutcome {
                     reply: Some(AccessReply {
-                        kind: ReplyKind::Abort { cause_ts },
+                        kind: ReplyKind::Abort {
+                            cause_ts,
+                            cause: AbortCause::StallFull,
+                        },
                         observed_wts: meta.wts,
                         observed_rts: meta.rts,
                         token: req.token,
@@ -267,7 +278,10 @@ impl ValidationUnit {
                     let cause_ts = meta.wts.max(meta.rts).max(req.warpts);
                     return AccessOutcome {
                         reply: Some(AccessReply {
-                            kind: ReplyKind::Abort { cause_ts },
+                            kind: ReplyKind::Abort {
+                                cause_ts,
+                                cause: AbortCause::StallFull,
+                            },
                             observed_wts: meta.wts,
                             observed_rts: meta.rts,
                             token: req.token,
@@ -495,8 +509,12 @@ mod tests {
     }
 
     fn assert_abort(out: &AccessOutcome) -> u64 {
+        abort_details(out).0
+    }
+
+    fn abort_details(out: &AccessOutcome) -> (u64, AbortCause) {
         match out.reply.expect("expected a reply").kind {
-            ReplyKind::Abort { cause_ts } => cause_ts,
+            ReplyKind::Abort { cause_ts, cause } => (cause_ts, cause),
             ReplyKind::Success => panic!("expected abort"),
         }
     }
@@ -682,8 +700,37 @@ mod tests {
         // A fresh granule's store at a modest timestamp now aborts off the
         // inflated global registers.
         let out = v.access(store(2, 10, 5_000), || 0);
-        let cause = assert_abort(&out);
-        assert!(cause >= 1_000_000);
+        let (cause_ts, cause) = abort_details(&out);
+        assert!(cause_ts >= 1_000_000);
+        assert_eq!(
+            cause,
+            AbortCause::Approx,
+            "metadata came from the registers"
+        );
+    }
+
+    #[test]
+    fn abort_causes_follow_the_taxonomy() {
+        let mut v = vu();
+        assert_success(&v.access(store(1, 20, 7), || 0)); // wts = 21, locked
+                                                          // Stale load against the precise entry: eager WAR detection.
+        assert_eq!(
+            abort_details(&v.access(load(2, 10, 7), || 0)).1,
+            AbortCause::War
+        );
+        // Stale store against the precise entry: lost the lock check.
+        assert_eq!(
+            abort_details(&v.access(store(3, 10, 7), || 0)).1,
+            AbortCause::LockConflict
+        );
+        // Fill granule 7's stall-buffer line, then overflow it.
+        for wid in 4..8 {
+            assert!(v.access(load(wid, 50, 7), || 0).reply.is_none());
+        }
+        assert_eq!(
+            abort_details(&v.access(load(9, 60, 7), || 0)).1,
+            AbortCause::StallFull
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ fn figure7_walkthrough() {
         .unwrap()
         .kind
     {
-        ReplyKind::Abort { cause_ts } => assert_eq!(cause_ts, 21),
+        ReplyKind::Abort { cause_ts, cause } => {
+            assert_eq!(cause_ts, 21);
+            assert_eq!(cause, sim_core::AbortCause::War);
+        }
         ReplyKind::Success => panic!("tx2's stale load must abort"),
     }
 

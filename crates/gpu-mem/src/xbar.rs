@@ -8,6 +8,7 @@
 //! arrives `latency` cycles after it wins the port. Per-category byte
 //! counters feed the Fig. 12 traffic comparison.
 
+use sim_core::trace::{Recorder, SimEvent, Stamp};
 use sim_core::{Counter, Cycle, EventWheel};
 use std::collections::BTreeMap;
 
@@ -60,6 +61,8 @@ pub struct Crossbar<T> {
     wheel: EventWheel<Delivery<T>>,
     total_bytes: Counter,
     by_category: BTreeMap<&'static str, u64>,
+    recorder: Recorder,
+    dst_is_partition: bool,
 }
 
 impl<T> Crossbar<T> {
@@ -77,7 +80,24 @@ impl<T> Crossbar<T> {
             wheel: EventWheel::new(),
             total_bytes: Counter::new(),
             by_category: BTreeMap::new(),
+            recorder: Recorder::off(),
+            dst_is_partition: true,
         }
+    }
+
+    /// Attaches an event recorder so every injected packet emits a
+    /// [`SimEvent::Flit`]. `dst_is_partition` says which coordinate the
+    /// destination port index maps to in the event stamp (memory partitions
+    /// for the up direction, cores for the down direction).
+    pub fn attach_recorder(&mut self, recorder: Recorder, dst_is_partition: bool) {
+        self.recorder = recorder;
+        self.dst_is_partition = dst_is_partition;
+    }
+
+    /// Cycles of injection backlog on port `dst` at time `now` (0 when the
+    /// port is idle) — the crossbar-occupancy gauge the engine probes.
+    pub fn port_backlog(&self, dst: usize, now: Cycle) -> u64 {
+        self.port_free[dst].raw().saturating_sub(now.raw())
     }
 
     /// Injects a packet of `bytes` bytes for destination port `dst`,
@@ -105,6 +125,16 @@ impl<T> Crossbar<T> {
         self.wheel.schedule(arrive, Delivery { dst, payload });
         self.total_bytes.add(bytes);
         *self.by_category.entry(category).or_insert(0) += bytes;
+        self.recorder.emit(|| {
+            let stamp = if self.dst_is_partition {
+                Stamp::partition(start.raw(), dst as u32)
+            } else {
+                let mut s = Stamp::partition(start.raw(), Stamp::NONE);
+                s.core = dst as u32;
+                s
+            };
+            (stamp, SimEvent::Flit { bytes, category })
+        });
         arrive
     }
 
@@ -217,6 +247,29 @@ mod tests {
         assert_eq!(x.next_arrival(), Some(Cycle(6)));
         x.deliver(Cycle(100));
         assert_eq!(x.in_flight(), 0);
+    }
+
+    #[test]
+    fn flits_are_recorded_and_backlog_is_visible() {
+        let mut x = xbar();
+        let rec = Recorder::recording(16);
+        x.attach_recorder(rec.clone(), true);
+        x.send(Cycle(0), 2, 64, 1, "tm-access"); // 2 cycles of port time
+        assert_eq!(x.port_backlog(2, Cycle(0)), 2);
+        assert_eq!(x.port_backlog(2, Cycle(2)), 0);
+        assert_eq!(x.port_backlog(0, Cycle(0)), 0);
+        let bus = rec.bus().unwrap();
+        let bus = bus.borrow();
+        assert_eq!(bus.len(), 1);
+        let (stamp, event) = bus.iter().next().unwrap();
+        assert_eq!(stamp.partition, 2);
+        assert_eq!(
+            *event,
+            SimEvent::Flit {
+                bytes: 64,
+                category: "tm-access"
+            }
+        );
     }
 
     #[test]

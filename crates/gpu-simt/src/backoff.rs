@@ -28,6 +28,7 @@ pub struct Backoff {
     base_window: u64,
     max_exponent: u32,
     attempts: u32,
+    lifetime_aborts: u64,
 }
 
 impl Backoff {
@@ -43,6 +44,7 @@ impl Backoff {
             base_window,
             max_exponent,
             attempts: 0,
+            lifetime_aborts: 0,
         }
     }
 
@@ -57,6 +59,7 @@ impl Backoff {
     /// Records an abort, widening the next delay window.
     pub fn note_abort(&mut self) {
         self.attempts = self.attempts.saturating_add(1);
+        self.lifetime_aborts += 1;
     }
 
     /// Resets after a successful commit.
@@ -67,6 +70,17 @@ impl Backoff {
     /// Number of consecutive aborts recorded.
     pub fn attempts(&self) -> u32 {
         self.attempts
+    }
+
+    /// Aborts recorded over the warp's whole lifetime (never reset) — the
+    /// backoff-pressure gauge the trace layer reads.
+    pub fn lifetime_aborts(&self) -> u64 {
+        self.lifetime_aborts
+    }
+
+    /// The width in cycles of the current delay window.
+    pub fn current_window(&self) -> u64 {
+        self.base_window << self.attempts.min(self.max_exponent)
     }
 
     /// Draws a uniformly random delay from the current window.
@@ -105,8 +119,11 @@ mod tests {
         b.note_abort();
         b.note_abort();
         assert_eq!(b.attempts(), 2);
+        assert_eq!(b.current_window(), 16);
         b.reset();
         assert_eq!(b.attempts(), 0);
+        assert_eq!(b.lifetime_aborts(), 2, "lifetime count survives reset");
+        assert_eq!(b.current_window(), 4);
         for _ in 0..50 {
             assert!(b.next_delay(&mut rng) < 4);
         }

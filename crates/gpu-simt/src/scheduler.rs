@@ -21,6 +21,8 @@
 pub struct GtoScheduler {
     n: usize,
     last: Option<usize>,
+    picks: u64,
+    greedy_hits: u64,
 }
 
 impl GtoScheduler {
@@ -31,7 +33,12 @@ impl GtoScheduler {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "scheduler needs at least one warp slot");
-        GtoScheduler { n, last: None }
+        GtoScheduler {
+            n,
+            last: None,
+            picks: 0,
+            greedy_hits: 0,
+        }
     }
 
     /// Picks the next warp to issue from, where `ready(w)` reports whether
@@ -39,12 +46,15 @@ impl GtoScheduler {
     pub fn pick(&mut self, mut ready: impl FnMut(usize) -> bool) -> Option<usize> {
         if let Some(last) = self.last {
             if ready(last) {
+                self.picks += 1;
+                self.greedy_hits += 1;
                 return Some(last);
             }
         }
         for w in 0..self.n {
             if ready(w) {
                 self.last = Some(w);
+                self.picks += 1;
                 return Some(w);
             }
         }
@@ -54,6 +64,17 @@ impl GtoScheduler {
     /// Number of slots.
     pub fn slots(&self) -> usize {
         self.n
+    }
+
+    /// Total successful picks (cycles where some warp issued).
+    pub fn picks(&self) -> u64 {
+        self.picks
+    }
+
+    /// Picks that stayed greedily with the previous warp — the GTO "greedy
+    /// hit rate" numerator, an issue-locality gauge for the trace layer.
+    pub fn greedy_hits(&self) -> u64 {
+        self.greedy_hits
     }
 
     /// Forgets the greedy warp (e.g. when it finished its thread block).
@@ -93,6 +114,17 @@ mod tests {
     fn none_when_nothing_ready() {
         let mut s = GtoScheduler::new(4);
         assert_eq!(s.pick(|_| false), None);
+        assert_eq!(s.picks(), 0);
+    }
+
+    #[test]
+    fn pick_counters_track_greedy_locality() {
+        let mut s = GtoScheduler::new(4);
+        assert_eq!(s.pick(|w| w == 1), Some(1)); // cold pick
+        assert_eq!(s.pick(|w| w == 1), Some(1)); // greedy hit
+        assert_eq!(s.pick(|w| w == 2), Some(2)); // fallback
+        assert_eq!(s.picks(), 3);
+        assert_eq!(s.greedy_hits(), 1);
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub struct TxStack {
     open: bool,
     /// How many times the current region has restarted (for stats/backoff).
     rounds: u32,
+    /// Restart rounds accumulated across every region this warp ever ran.
+    lifetime_rounds: u64,
 }
 
 impl TxStack {
@@ -90,6 +92,12 @@ impl TxStack {
     /// Restart count of the current region.
     pub fn rounds(&self) -> u32 {
         self.rounds
+    }
+
+    /// Restart rounds accumulated across all regions (never reset) — the
+    /// SIMT-stack retry-pressure gauge the trace layer reads.
+    pub fn lifetime_rounds(&self) -> u64 {
+        self.lifetime_rounds
     }
 
     /// Marks `lane` aborted: it stops executing and waits for the warp-level
@@ -155,6 +163,7 @@ impl TxStack {
         } else {
             self.active = restart;
             self.rounds += 1;
+            self.lifetime_rounds += 1;
         }
         restart
     }
@@ -217,6 +226,11 @@ mod tests {
         }
         s.lane_at_commit(0);
         assert_eq!(s.finish_round(), 0);
+        assert_eq!(s.lifetime_rounds(), 3);
+        // A fresh region resets per-region rounds but not the lifetime sum.
+        s.begin(0b1);
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.lifetime_rounds(), 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use getm::{AccessKind as GetmKind, AccessRequest, CommitEntry, ReplyKind};
 use gpu_mem::{Addr, Granule};
 use gpu_simt::program::OpKind as K;
 use gpu_simt::{Op, OpResult, ThreadStatus};
+use sim_core::trace::{AbortCause, SimEvent, Stamp};
 use std::collections::BTreeMap;
 use warptm::eapg::EapgDecision;
 use warptm::ValidationJob;
@@ -160,7 +161,7 @@ impl Engine {
 
     fn issue_tx_begin(&mut self, c: usize, w: usize, group: &[u32]) {
         let now = self.now;
-        {
+        let gwid = {
             let core = &mut self.cores[c];
             let slot = core.warps[w].as_mut().expect("warp");
             assert!(
@@ -187,7 +188,10 @@ impl Engine {
             }
             slot.obs_max_ts = 0;
             slot.warp.abort_cause_ts = 0;
-        }
+            slot.gwid.0
+        };
+        self.rec
+            .emit(|| (Stamp::warp(now.raw(), c as u32, gwid), SimEvent::TxBegin));
     }
 
     /// Transactional loads and stores: intra-warp conflict check, logging,
@@ -197,7 +201,7 @@ impl Engine {
         // Phase 1: intra-warp conflict detection + logging (core-local).
         let mut survivors: Vec<(u32, Addr, u64)> = Vec::new();
         let mut lanes_aborted = false;
-        {
+        let gwid = {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
                 let (addr, value) = match slot.warp.threads[l as usize].staged_op {
@@ -234,9 +238,22 @@ impl Engine {
                 }
                 survivors.push((l, addr, value));
             }
-            if lanes_aborted {
-                self.stats.aborts += group.len() as u64 - survivors.len() as u64;
-            }
+            slot.gwid.0
+        };
+        if lanes_aborted {
+            let n = group.len() as u64 - survivors.len() as u64;
+            self.stats.aborts += n;
+            self.stats.aborts_intra_warp += n;
+            let now = self.now.raw();
+            self.rec.emit(|| {
+                (
+                    Stamp::warp(now, c as u32, gwid),
+                    SimEvent::TxAbort {
+                        cause: AbortCause::IntraWarp,
+                        lanes: n as u32,
+                    },
+                )
+            });
         }
 
         // Phase 2: protocol routing.
@@ -553,6 +570,7 @@ impl Engine {
         };
         self.stats.access_rt.observe(self.now.since(issued) as f64);
         let geom = self.geom;
+        let now = self.now.raw();
         let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
         slot.warp.outstanding -= 1;
         if is_store {
@@ -587,8 +605,10 @@ impl Engine {
                     }
                 }
             }
-            ReplyKind::Abort { cause_ts } => {
+            ReplyKind::Abort { cause_ts, cause } => {
                 slot.warp.abort_cause_ts = slot.warp.abort_cause_ts.max(cause_ts);
+                let gwid = slot.gwid.0;
+                let mut aborted = 0u32;
                 for &(l, a) in &lanes {
                     let li = l as usize;
                     if is_store {
@@ -604,6 +624,18 @@ impl Engine {
                     t.status = ThreadStatus::Aborted;
                     t.aborts += 1;
                     self.stats.aborts += 1;
+                    aborted += 1;
+                }
+                if aborted > 0 {
+                    self.rec.emit(|| {
+                        (
+                            Stamp::warp(now, core as u32, gwid),
+                            SimEvent::TxAbort {
+                                cause,
+                                lanes: aborted,
+                            },
+                        )
+                    });
                 }
             }
         }
@@ -633,8 +665,8 @@ impl Engine {
         }
         let el = self.system == TmSystem::WarpTmEL;
         let mut el_lanes: Vec<u32> = Vec::new();
-        let mut any_abort = false;
-        {
+        let mut doomed_aborts = 0u32;
+        let gwid = {
             let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
             slot.warp.outstanding -= 1;
             for (i, &(l, a)) in lanes.iter().enumerate() {
@@ -648,7 +680,7 @@ impl Engine {
                     t.status = ThreadStatus::Aborted;
                     t.aborts += 1;
                     self.stats.aborts += 1;
-                    any_abort = true;
+                    doomed_aborts += 1;
                     continue;
                 }
                 let t = &mut slot.warp.threads[li];
@@ -674,12 +706,25 @@ impl Engine {
                     el_lanes.push(l);
                 }
             }
+            slot.gwid.0
+        };
+        if doomed_aborts > 0 {
+            let now = self.now.raw();
+            self.rec.emit(|| {
+                (
+                    Stamp::warp(now, core as u32, gwid),
+                    SimEvent::TxAbort {
+                        cause: AbortCause::EarlyAbort,
+                        lanes: doomed_aborts,
+                    },
+                )
+            });
         }
         if el && !el_lanes.is_empty() {
             // Idealized per-access validation on the fresh read log.
             self.el_validate_lanes(core, warp, &el_lanes);
         }
-        if any_abort {
+        if doomed_aborts > 0 {
             self.maybe_warp_commit(core, warp);
         }
     }
@@ -698,8 +743,8 @@ impl Engine {
     /// WarpTM-EL idealized validation: compare the lanes' read logs against
     /// the committed image, aborting stale lanes at zero cost.
     fn el_validate_lanes(&mut self, c: usize, w: usize, lanes: &[u32]) {
-        let mut aborted = false;
-        {
+        let mut aborted = 0u32;
+        let gwid = {
             let mem = &self.mem;
             let slot = self.cores[c].warps[w].as_mut().expect("warp alive");
             for &l in lanes {
@@ -717,11 +762,23 @@ impl Engine {
                     t.status = ThreadStatus::Aborted;
                     t.aborts += 1;
                     self.stats.aborts += 1;
-                    aborted = true;
+                    aborted += 1;
                 }
             }
-        }
-        if aborted {
+            slot.gwid.0
+        };
+        if aborted > 0 {
+            self.stats.aborts_validation += aborted as u64;
+            let now = self.now.raw();
+            self.rec.emit(|| {
+                (
+                    Stamp::warp(now, c as u32, gwid),
+                    SimEvent::TxAbort {
+                        cause: AbortCause::Validation,
+                        lanes: aborted,
+                    },
+                )
+            });
             self.maybe_warp_commit(c, w);
         }
     }
@@ -730,9 +787,10 @@ impl Engine {
     /// the committed write set; mark blocked lanes doomed.
     fn on_broadcast(&mut self, c: usize, writes: &[Granule]) {
         let mut to_check: Vec<usize> = Vec::new();
+        let now = self.now.raw();
         for w in 0..self.cores[c].warps.len() {
-            let mut any = false;
-            {
+            let mut aborted = 0u32;
+            let gwid = {
                 let core = &mut self.cores[c];
                 let Some(slot) = core.warps[w].as_mut() else {
                     continue;
@@ -753,14 +811,24 @@ impl Engine {
                             t.status = ThreadStatus::Aborted;
                             t.aborts += 1;
                             self.stats.aborts += 1;
-                            any = true;
+                            aborted += 1;
                         } else {
                             slot.doomed[l] = true;
                         }
                     }
                 }
-            }
-            if any {
+                slot.gwid.0
+            };
+            if aborted > 0 {
+                self.rec.emit(|| {
+                    (
+                        Stamp::warp(now, c as u32, gwid),
+                        SimEvent::TxAbort {
+                            cause: AbortCause::EarlyAbort,
+                            lanes: aborted,
+                        },
+                    )
+                });
                 to_check.push(w);
             }
         }
@@ -1009,14 +1077,28 @@ impl Engine {
             }
             if failed_mask != 0 {
                 slot.warp.tx_stack.fail_commit_lanes(failed_mask);
+                let gwid = slot.gwid.0;
+                let mut aborted = 0u32;
                 for l in 0..slot.warp.threads.len() {
                     if failed_mask & (1 << l) != 0 {
                         let t = &mut slot.warp.threads[l];
                         t.status = ThreadStatus::Aborted;
                         t.aborts += 1;
                         self.stats.aborts += 1;
+                        aborted += 1;
                     }
                 }
+                self.stats.aborts_validation += aborted as u64;
+                let now = self.now.raw();
+                self.rec.emit(|| {
+                    (
+                        Stamp::warp(now, c as u32, gwid),
+                        SimEvent::TxAbort {
+                            cause: AbortCause::Validation,
+                            lanes: aborted,
+                        },
+                    )
+                });
             }
         }
         let survivors = commit_mask & !failed_mask;
@@ -1134,12 +1216,24 @@ impl Engine {
                 mask |= 1 << l;
             }
             slot.warp.tx_stack.fail_commit_lanes(mask);
+            let gwid = slot.gwid.0;
             for &l in &failing {
                 let t = &mut slot.warp.threads[l as usize];
                 t.status = ThreadStatus::Aborted;
                 t.aborts += 1;
                 self.stats.aborts += 1;
             }
+            self.stats.aborts_validation += failing.len() as u64;
+            let lanes = failing.len() as u32;
+            self.rec.emit(|| {
+                (
+                    Stamp::warp(now.raw(), core as u32, gwid),
+                    SimEvent::TxAbort {
+                        cause: AbortCause::Validation,
+                        lanes,
+                    },
+                )
+            });
         }
         if surviving.is_empty() {
             // Whole warp transaction failed: abort at every partition and
@@ -1239,6 +1333,13 @@ impl Engine {
             slot.warp.backoff.note_abort();
             let delay = slot.warp.backoff.next_delay(&mut slot.rng);
             slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1 + delay);
+            let gwid = slot.gwid.0;
+            self.rec.emit(|| {
+                (
+                    Stamp::warp(now.raw(), c as u32, gwid),
+                    SimEvent::BackoffSleep { delay },
+                )
+            });
             for l in 0..slot.warp.threads.len() {
                 if restart & (1 << l) != 0 {
                     let t = &mut slot.warp.threads[l];
@@ -1252,6 +1353,11 @@ impl Engine {
             }
         } else {
             // Region closed.
+            if committed {
+                let gwid = slot.gwid.0;
+                self.rec
+                    .emit(|| (Stamp::warp(now.raw(), c as u32, gwid), SimEvent::TxCommit));
+            }
             if is_getm && committed {
                 slot.warp.warpts = slot.warp.warpts.max(slot.obs_max_ts) + 1;
             }

@@ -29,6 +29,7 @@ use getm::vu::GetmConfig;
 use getm::{AccessRequest, CommitEntry, CommitUnit, ValidationUnit};
 use gpu_mem::{Addr, Crossbar, Geometry, Granule, SetAssocCache};
 use gpu_simt::{Backoff, GtoScheduler, Warp};
+use sim_core::trace::{Recorder, SimEvent, Stamp};
 use sim_core::{Cycle, DetRng, SimError};
 use std::collections::{HashMap, VecDeque};
 use warptm::{EapgFilter, TcdTable, ValidationJob, WarptmValidator};
@@ -224,6 +225,12 @@ pub(crate) struct EngineStats {
     pub max_stall_total: u64,
     pub eapg_broadcasts: u64,
     pub rollovers: u64,
+    /// Distribution of VU metadata access latency (Fig. 13's percentiles).
+    pub meta_latency: sim_core::LogHistogram,
+    /// Lanes aborted by intra-warp conflict detection at issue.
+    pub aborts_intra_warp: u64,
+    /// Lanes aborted by commit-time validation (lazy systems).
+    pub aborts_validation: u64,
 }
 
 /// The engine itself.
@@ -242,6 +249,9 @@ pub struct Engine {
     pub(crate) commits_in_flight: HashMap<u64, CommitCtx>,
     pub(crate) next_token: u64,
     pub(crate) stats: EngineStats,
+    /// Event-trace gate: off by default (a branch on `None` per emit site),
+    /// shared with both crossbars when attached.
+    pub(crate) rec: Recorder,
     /// Live warps that still have unfinished threads.
     pub(crate) live_warps: usize,
     /// A logical clock hit `ts_limit`: new transactions are held while the
@@ -346,9 +356,20 @@ impl Engine {
             commits_in_flight: HashMap::new(),
             next_token: 1,
             stats: EngineStats::default(),
+            rec: Recorder::off(),
             live_warps,
             rollover_pending: false,
         })
+    }
+
+    /// Attaches an event recorder to the engine and both crossbars. Events
+    /// are only constructed while the recorder is on; a run with the
+    /// default (off) recorder takes exactly the instrumented branches but
+    /// never evaluates an event closure.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.up.attach_recorder(rec.clone(), true);
+        self.down.attach_recorder(rec.clone(), false);
+        self.rec = rec;
     }
 
     /// Runs the simulation to completion and returns the metrics.
@@ -551,6 +572,29 @@ impl Engine {
         if total > self.stats.max_stall_total {
             self.stats.max_stall_total = total;
         }
+        // Gauge probes every 64 cycles (counter tracks in the Perfetto
+        // export). The whole block is skipped when tracing is off.
+        if self.rec.is_on() && now.raw().is_multiple_of(64) {
+            for (p, part) in self.parts.iter().enumerate() {
+                let vu_backlog = part.vu_free.raw().saturating_sub(now.raw()) as f64;
+                let cu_backlog = part.cu_free.raw().saturating_sub(now.raw()) as f64;
+                let stalled = part.vu.stalled_requests() as f64;
+                let up_backlog = self.up.port_backlog(p, now) as f64;
+                for (name, value) in [
+                    ("vu-backlog", vu_backlog),
+                    ("cu-backlog", cu_backlog),
+                    ("stall-occupancy", stalled),
+                    ("up-xbar-backlog", up_backlog),
+                ] {
+                    self.rec.emit(|| {
+                        (
+                            Stamp::partition(now.raw(), p as u32),
+                            SimEvent::Probe { name, value },
+                        )
+                    });
+                }
+            }
+        }
     }
 
     fn collect_metrics(&self) -> Metrics {
@@ -598,8 +642,11 @@ impl Engine {
             m.atomics += cas.cas_success + cas.cas_fail + cas.adds;
             m.cas_failures += cas.cas_fail;
         }
-        m.mean_metadata_access_cycles = if wn == 0 { 0.0 } else { wsum / wn as f64 };
-        m.mean_stall_waiters_per_addr = stall_ratio.mean();
+        m.mean_metadata_access_cycles = (wn > 0).then(|| wsum / wn as f64);
+        m.mean_stall_waiters_per_addr = (stall_ratio.count() > 0).then(|| stall_ratio.mean());
+        m.metadata_latency = self.stats.meta_latency.clone();
+        m.aborts_intra_warp = self.stats.aborts_intra_warp;
+        m.aborts_validation = self.stats.aborts_validation;
         let (mut l1h, mut l1m, mut llch, mut llcm) = (0, 0, 0, 0);
         for c in &self.cores {
             l1h += c.l1.hits();

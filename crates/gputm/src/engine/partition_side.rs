@@ -13,6 +13,7 @@
 use super::{DownMsg, Engine, Pending, UpMsg};
 use fglock::AtomicOp;
 use gpu_mem::{AccessKind, Addr, CacheResult, Granule, LineAddr};
+use sim_core::trace::{SimEvent, Stamp};
 use sim_core::Cycle;
 
 impl Engine {
@@ -39,12 +40,21 @@ impl Engine {
     /// returning the extra service cycles.
     fn data_cycles(&mut self, p: usize, line: LineAddr, kind: AccessKind) -> u64 {
         let part = &mut self.parts[p];
-        match part.llc.access(line, kind) {
-            CacheResult::Hit => self.cfg.llc_service,
-            CacheResult::Miss { .. } => {
-                part.dram_accesses += 1;
-                self.cfg.llc_service + self.cfg.dram.latency
-            }
+        let dram = matches!(part.llc.access(line, kind), CacheResult::Miss { .. });
+        if dram {
+            part.dram_accesses += 1;
+        }
+        let now = self.now.raw();
+        self.rec.emit(|| {
+            (
+                Stamp::partition(now, p as u32),
+                SimEvent::MemAccess { dram },
+            )
+        });
+        if dram {
+            self.cfg.llc_service + self.cfg.dram.latency
+        } else {
+            self.cfg.llc_service
         }
     }
 
@@ -89,13 +99,20 @@ impl Engine {
             .vu_queue_delay
             .observe(self.parts[p].vu_free.raw().saturating_sub(self.now.raw()) as f64);
         let out = self.parts[p].vu.access(req, || 0);
+        self.stats.meta_latency.observe(out.cycles as u64);
         // Table II: validation bandwidth is one request per cycle per
         // partition — the metadata banks are pipelined, so multi-cycle
         // table walks add latency to this reply without throttling the
         // unit's throughput.
         let vu_done = self.vu_slot(p, 1) + out.cycles.saturating_sub(1) as u64;
+        let now = self.now.raw();
         match out.reply {
             Some(reply) => {
+                // A successful store placed (or renewed) the reservation.
+                if reply.kind == getm::ReplyKind::Success && req.kind == getm::AccessKind::Store {
+                    self.rec
+                        .emit(|| (Stamp::partition(now, p as u32), SimEvent::LockAcquire));
+                }
                 // Successful loads also touch the LLC line for data; a
                 // store reservation is metadata-only (the write data only
                 // arrives with the commit log).
@@ -119,6 +136,8 @@ impl Engine {
             None => {
                 // Queued in the stall buffer; the reply will surface when
                 // the owning transaction commits or aborts.
+                self.rec
+                    .emit(|| (Stamp::partition(now, p as u32), SimEvent::StallPark));
             }
         }
     }
@@ -142,6 +161,16 @@ impl Engine {
             // CU regions are keyed by granule in the GETM path.
             *merged.entry(r.granule).or_insert(0) += r.writes;
         }
+        if !merged.is_empty() {
+            let now = self.now.raw();
+            let granules = merged.len() as u32;
+            self.rec.emit(|| {
+                (
+                    Stamp::partition(now, p as u32),
+                    SimEvent::LockRelease { granules },
+                )
+            });
+        }
         for (g, count) in merged {
             // The release consumes VU cycles, but the VU clock must not be
             // chained to the commit unit's backlog — only the *visibility*
@@ -158,6 +187,9 @@ impl Engine {
                 (woken, start + cycles.max(1) as u64)
             };
             for wk in woken {
+                let now = self.now.raw();
+                self.rec
+                    .emit(|| (Stamp::partition(now, p as u32), SimEvent::StallWake));
                 let extra =
                     self.data_cycles(p, self.geom.line_of(wk.request.addr), AccessKind::Read);
                 let (core, values) = self.capture_values(wk.reply.token);

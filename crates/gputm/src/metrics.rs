@@ -4,6 +4,7 @@
 //! combines metrics from multiple runs into the paper's figures and
 //! tables. Field docs note which experiment consumes each number.
 
+use sim_core::LogHistogram;
 use std::collections::BTreeMap;
 
 /// Measurements from one simulated kernel execution.
@@ -34,11 +35,18 @@ pub struct Metrics {
     /// Crossbar bytes by traffic category.
     pub xbar_by_category: BTreeMap<&'static str, u64>,
     /// Mean validation-unit metadata access latency, cycles (Fig. 13).
-    pub mean_metadata_access_cycles: f64,
+    /// `None` when the system has no validation units (non-GETM runs) —
+    /// distinguishing "not measured" from a true zero.
+    pub mean_metadata_access_cycles: Option<f64>,
+    /// Full distribution of validation-unit metadata access latency in
+    /// log-2 buckets (Fig. 13's p50/p95/p99 companion). Empty for systems
+    /// without validation units.
+    pub metadata_latency: LogHistogram,
     /// Maximum total stall-buffer occupancy across the GPU (Fig. 15).
     pub max_stall_occupancy: u64,
-    /// Mean queued requests per stalled address (Fig. 16).
-    pub mean_stall_waiters_per_addr: f64,
+    /// Mean queued requests per stalled address (Fig. 16). `None` when no
+    /// address ever had a waiter (or the system has no stall buffers).
+    pub mean_stall_waiters_per_addr: Option<f64>,
     /// GETM stall-buffer-full aborts.
     pub stall_full_aborts: u64,
     /// GETM requests that were parked in stall buffers.
@@ -49,6 +57,10 @@ pub struct Metrics {
     pub getm_aborts_store: u64,
     /// GETM aborts whose metadata came from the approximate table.
     pub getm_aborts_approx: u64,
+    /// Lanes aborted by intra-warp conflict detection at issue.
+    pub aborts_intra_warp: u64,
+    /// Lanes aborted by value/hazard validation at commit (lazy systems).
+    pub aborts_validation: u64,
     /// Largest conflicting timestamp reported by any GETM abort.
     pub getm_max_cause_ts: u64,
     /// GETM precise-table overflow high-water mark (expected 0).
@@ -94,6 +106,25 @@ impl Metrics {
         self.tx_exec_cycles + self.tx_wait_cycles
     }
 
+    /// The abort tally attributed to one cause — the Table IV companion
+    /// breakdown. Causes are counted where they are detected, so WAR and
+    /// lock-conflict are VU reply counts (per request, possibly covering
+    /// several lanes) while intra-warp/validation/early-abort are lane
+    /// counts; `approx` overlaps WAR/lock-conflict (it marks which table
+    /// the losing timestamp came from).
+    pub fn aborts_by_cause(&self, cause: sim_core::AbortCause) -> u64 {
+        use sim_core::AbortCause as C;
+        match cause {
+            C::War => self.getm_aborts_load,
+            C::LockConflict => self.getm_aborts_store,
+            C::StallFull => self.stall_full_aborts,
+            C::Approx => self.getm_aborts_approx,
+            C::IntraWarp => self.aborts_intra_warp,
+            C::Validation => self.aborts_validation,
+            C::EarlyAbort => self.eapg_early_aborts,
+        }
+    }
+
     /// Whether the run's final memory satisfied the workload invariants.
     ///
     /// # Panics
@@ -122,6 +153,25 @@ mod tests {
         };
         assert_eq!(m.aborts_per_1k_commits(), 250.0);
         assert_eq!(Metrics::default().aborts_per_1k_commits(), 0.0);
+    }
+
+    #[test]
+    fn abort_cause_breakdown_covers_every_cause() {
+        let m = Metrics {
+            getm_aborts_load: 1,
+            getm_aborts_store: 2,
+            stall_full_aborts: 3,
+            getm_aborts_approx: 4,
+            aborts_intra_warp: 5,
+            aborts_validation: 6,
+            eapg_early_aborts: 7,
+            ..Metrics::default()
+        };
+        let tallies: Vec<u64> = sim_core::AbortCause::ALL
+            .iter()
+            .map(|&c| m.aborts_by_cause(c))
+            .collect();
+        assert_eq!(tallies, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

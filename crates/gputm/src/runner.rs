@@ -62,6 +62,30 @@ impl<'a> Sim<'a> {
         metrics.check = Some(workload.check(&engine.memory_reader()));
         Ok(metrics)
     }
+
+    /// Like [`Sim::run`], but with `recorder` attached to the engine so
+    /// every [`sim_core::SimEvent`] of the run lands in the recorder's
+    /// event bus. The caller keeps a clone of the recorder and reads the
+    /// bus afterwards (see [`sim_core::Recorder::bus`]).
+    ///
+    /// Tracing is observational only: for a given workload, system, and
+    /// config the returned metrics are identical to an untraced
+    /// [`Sim::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::run`].
+    pub fn run_traced(
+        &self,
+        workload: &dyn Workload,
+        recorder: sim_core::Recorder,
+    ) -> Result<Metrics, SimError> {
+        let mut engine = Engine::new(workload, self.system, self.cfg)?;
+        engine.attach_recorder(recorder);
+        let mut metrics = engine.run()?;
+        metrics.check = Some(workload.check(&engine.memory_reader()));
+        Ok(metrics)
+    }
 }
 
 /// Runs `workload` to completion under `system` on the machine described
@@ -97,5 +121,19 @@ mod tests {
         assert_eq!(sim.selected_system(), TmSystem::Getm);
         let sim = sim.system(TmSystem::FgLock);
         assert_eq!(sim.selected_system(), TmSystem::FgLock);
+    }
+
+    #[test]
+    fn tracing_is_observational() {
+        use workloads::suite::{Benchmark, Scale};
+        let cfg = GpuConfig::tiny_test();
+        let w = Benchmark::Atm.build(Scale::Fast);
+        let sim = Sim::new(&cfg);
+        let plain = sim.run(w.as_ref()).expect("untraced run");
+        let rec = sim_core::Recorder::recording(1 << 16);
+        let traced = sim.run_traced(w.as_ref(), rec.clone()).expect("traced run");
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let bus = rec.bus().expect("recording recorder has a bus");
+        assert!(!bus.borrow().is_empty(), "the run must emit events");
     }
 }

@@ -17,7 +17,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// First line of every cache file; bump on incompatible format changes.
-const FORMAT: &str = "getm-metrics-v1";
+/// v2 added optional means (`none` markers), the metadata-latency
+/// histogram, and the intra-warp/validation abort tallies.
+const FORMAT: &str = "getm-metrics-v2";
 
 /// An on-disk cache mapping [`super::CellSpec::cache_key`] to [`Metrics`].
 #[derive(Debug, Clone)]
@@ -154,6 +156,8 @@ pub fn serialize_metrics(m: &Metrics) -> String {
         ("getm_aborts_load", m.getm_aborts_load),
         ("getm_aborts_store", m.getm_aborts_store),
         ("getm_aborts_approx", m.getm_aborts_approx),
+        ("aborts_intra_warp", m.aborts_intra_warp),
+        ("aborts_validation", m.aborts_validation),
         ("getm_max_cause_ts", m.getm_max_cause_ts),
         ("metadata_overflow_peak", m.metadata_overflow_peak as u64),
         ("eapg_early_aborts", m.eapg_early_aborts),
@@ -164,10 +168,18 @@ pub fn serialize_metrics(m: &Metrics) -> String {
     ] {
         s.push_str(&format!("{k}={v}\n"));
     }
-    // f64 fields: `{:?}` is Rust's shortest exact round-trip rendering.
+    // Optional f64 fields: `none` keeps "not measured" distinct from 0.0.
     for (k, v) in [
         ("mean_metadata_access_cycles", m.mean_metadata_access_cycles),
         ("mean_stall_waiters_per_addr", m.mean_stall_waiters_per_addr),
+    ] {
+        match v {
+            Some(x) => s.push_str(&format!("{k}={x:?}\n")),
+            None => s.push_str(&format!("{k}=none\n")),
+        }
+    }
+    // f64 fields: `{:?}` is Rust's shortest exact round-trip rendering.
+    for (k, v) in [
         ("l1_hit_rate", m.l1_hit_rate),
         ("llc_hit_rate", m.llc_hit_rate),
         ("mean_access_rt", m.mean_access_rt),
@@ -176,6 +188,25 @@ pub fn serialize_metrics(m: &Metrics) -> String {
         ("mean_data_latency", m.mean_data_latency),
     ] {
         s.push_str(&format!("{k}={v:?}\n"));
+    }
+    // The latency histogram round-trips from (buckets, sum, max);
+    // `from_parts` recomputes the count and trims trailing zeros.
+    if m.metadata_latency.count() > 0 {
+        let buckets: Vec<String> = m
+            .metadata_latency
+            .raw_buckets()
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        s.push_str(&format!("metadata_latency/buckets={}\n", buckets.join(",")));
+        s.push_str(&format!(
+            "metadata_latency/sum={}\n",
+            m.metadata_latency.sum()
+        ));
+        s.push_str(&format!(
+            "metadata_latency/max={}\n",
+            m.metadata_latency.max().unwrap_or(0)
+        ));
     }
     for (cat, bytes) in &m.xbar_by_category {
         s.push_str(&format!("xbar_by_category/{cat}={bytes}\n"));
@@ -196,6 +227,7 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
     }
     let mut m = Metrics::default();
     let mut map: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let (mut hist_buckets, mut hist_sum, mut hist_max) = (None, 0u64, 0u64);
     for line in lines {
         if line.is_empty() {
             continue;
@@ -204,6 +236,26 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
         if let Some(cat) = key.strip_prefix("xbar_by_category/") {
             map.insert(intern_category(cat), value.parse().ok()?);
             continue;
+        }
+        match key {
+            "metadata_latency/buckets" => {
+                hist_buckets = Some(
+                    value
+                        .split(',')
+                        .map(|v| v.parse().ok())
+                        .collect::<Option<Vec<u64>>>()?,
+                );
+                continue;
+            }
+            "metadata_latency/sum" => {
+                hist_sum = value.parse().ok()?;
+                continue;
+            }
+            "metadata_latency/max" => {
+                hist_max = value.parse().ok()?;
+                continue;
+            }
+            _ => {}
         }
         match key {
             "cycles" => m.cycles = value.parse().ok()?,
@@ -219,6 +271,8 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             "getm_aborts_load" => m.getm_aborts_load = value.parse().ok()?,
             "getm_aborts_store" => m.getm_aborts_store = value.parse().ok()?,
             "getm_aborts_approx" => m.getm_aborts_approx = value.parse().ok()?,
+            "aborts_intra_warp" => m.aborts_intra_warp = value.parse().ok()?,
+            "aborts_validation" => m.aborts_validation = value.parse().ok()?,
             "getm_max_cause_ts" => m.getm_max_cause_ts = value.parse().ok()?,
             "metadata_overflow_peak" => m.metadata_overflow_peak = value.parse().ok()?,
             "eapg_early_aborts" => m.eapg_early_aborts = value.parse().ok()?,
@@ -226,8 +280,8 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             "atomics" => m.atomics = value.parse().ok()?,
             "cas_failures" => m.cas_failures = value.parse().ok()?,
             "rollovers" => m.rollovers = value.parse().ok()?,
-            "mean_metadata_access_cycles" => m.mean_metadata_access_cycles = value.parse().ok()?,
-            "mean_stall_waiters_per_addr" => m.mean_stall_waiters_per_addr = value.parse().ok()?,
+            "mean_metadata_access_cycles" => m.mean_metadata_access_cycles = parse_opt_f64(value)?,
+            "mean_stall_waiters_per_addr" => m.mean_stall_waiters_per_addr = parse_opt_f64(value)?,
             "l1_hit_rate" => m.l1_hit_rate = value.parse().ok()?,
             "llc_hit_rate" => m.llc_hit_rate = value.parse().ok()?,
             "mean_access_rt" => m.mean_access_rt = value.parse().ok()?,
@@ -247,7 +301,20 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
         }
     }
     m.xbar_by_category = map;
+    if let Some(buckets) = hist_buckets {
+        m.metadata_latency = sim_core::LogHistogram::from_parts(buckets, hist_sum, hist_max);
+    }
     Some(m)
+}
+
+/// `none` → `Ok(None)`; otherwise the value must parse as an f64 (outer
+/// `None` = corrupt line = cache miss).
+fn parse_opt_f64(value: &str) -> Option<Option<f64>> {
+    if value == "none" {
+        Some(None)
+    } else {
+        Some(Some(value.parse().ok()?))
+    }
 }
 
 #[cfg(test)]
@@ -263,14 +330,16 @@ mod tests {
             tx_exec_cycles: 99_000,
             tx_wait_cycles: 1_234,
             xbar_bytes: 5_555_555,
-            mean_metadata_access_cycles: 1.0625,
+            mean_metadata_access_cycles: Some(1.0625),
             max_stall_occupancy: 7,
-            mean_stall_waiters_per_addr: 1.000_000_1,
+            mean_stall_waiters_per_addr: Some(1.000_000_1),
             stall_full_aborts: 2,
             stall_queued: 40,
             getm_aborts_load: 100,
             getm_aborts_store: 200,
             getm_aborts_approx: 3,
+            aborts_intra_warp: 11,
+            aborts_validation: 13,
             getm_max_cause_ts: 888,
             metadata_overflow_peak: 1,
             eapg_early_aborts: 4,
@@ -289,6 +358,9 @@ mod tests {
         };
         m.xbar_by_category.insert("commit", 1024);
         m.xbar_by_category.insert("tm-access", 2048);
+        for v in [1, 1, 2, 3, 300, 70_000] {
+            m.metadata_latency.observe(v);
+        }
         m
     }
 
@@ -312,15 +384,53 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_miss() {
         let mut text = serialize_metrics(&Metrics::default());
-        text = text.replacen("v1", "v0", 1);
+        text = text.replacen("v2", "v0", 1);
         assert!(parse_metrics(&text).is_none());
     }
 
     #[test]
     fn garbage_is_a_miss() {
         assert!(parse_metrics("").is_none());
-        assert!(parse_metrics("getm-metrics-v1\ncycles=abc\n").is_none());
-        assert!(parse_metrics("getm-metrics-v1\nnot a line\n").is_none());
+        assert!(parse_metrics("getm-metrics-v2\ncycles=abc\n").is_none());
+        assert!(parse_metrics("getm-metrics-v2\nnot a line\n").is_none());
+    }
+
+    #[test]
+    fn none_means_round_trip() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_metadata_access_cycles, None);
+        let text = serialize_metrics(&m);
+        assert!(text.contains("mean_metadata_access_cycles=none"));
+        assert_eq!(parse_metrics(&text), Some(m));
+    }
+
+    #[test]
+    fn stale_version_entry_is_transparently_recomputed() {
+        // A cache directory seeded with a previous-format entry must
+        // behave as if the entry were absent: the store-after-miss path
+        // overwrites it with a current-format entry.
+        let dir = std::env::temp_dir().join(format!(
+            "getm-cache-stale-{}-{:p}",
+            std::process::id(),
+            &FORMAT
+        ));
+        let cache = ResultCache::new(&dir);
+        let m = sample_metrics();
+        // Write a v1-era file directly under the key's path.
+        let old = serialize_metrics(&m).replacen("v2", "v1", 1);
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.dir().join("cafef00d.metrics"), old).unwrap();
+        assert_eq!(cache.entry_count(), 1);
+
+        // The stale entry reads as a miss...
+        assert!(cache.load("cafef00d").is_none());
+        // ...and re-storing (what the sweep does after recomputing the
+        // cell) upgrades it in place.
+        cache.store("cafef00d", &m).expect("store");
+        assert_eq!(cache.load("cafef00d"), Some(m));
+        assert_eq!(cache.entry_count(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

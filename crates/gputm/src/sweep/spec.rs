@@ -73,6 +73,20 @@ impl CellSpec {
             .system(self.system)
             .run(workload.as_ref())
     }
+
+    /// Like [`CellSpec::run`], but with `recorder` capturing the cell's
+    /// event stream (see [`Sim::run_traced`]). Cache lookups never serve
+    /// traced runs — call this directly when a trace is wanted.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::run`].
+    pub fn run_traced(&self, recorder: sim_core::Recorder) -> Result<Metrics, SimError> {
+        let workload = self.benchmark.build(self.scale);
+        Sim::new(&self.cfg)
+            .system(self.system)
+            .run_traced(workload.as_ref(), recorder)
+    }
 }
 
 /// Bump to invalidate every on-disk cache entry (simulator behaviour

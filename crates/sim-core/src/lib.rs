@@ -25,10 +25,12 @@ pub mod events;
 pub mod hash;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use cycle::Cycle;
 pub use error::SimError;
 pub use events::EventWheel;
 pub use hash::StableHasher;
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, MaxTracker, RatioStat, StatSet};
+pub use stats::{Counter, Histogram, LogHistogram, MaxTracker, RatioStat, StatSet, TimeSeries};
+pub use trace::{AbortCause, EventBus, Recorder, SimEvent, Stamp, TraceSink};
