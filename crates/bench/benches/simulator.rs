@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::runner::run_workload;
+use gputm::runner::Sim;
 use workloads::hashtable::HashTable;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -24,7 +24,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             |b, &system| {
                 b.iter(|| {
                     let w = HashTable::new("HT-B", 512, 512, 17);
-                    let m = run_workload(&w, system, &cfg).expect("run");
+                    let m = Sim::new(&cfg).system(system).run(&w).expect("run");
                     m.assert_correct();
                     std::hint::black_box(m.cycles)
                 });

@@ -10,7 +10,7 @@
 //! cargo run -p bench --release --bin all_figures [--paper-scale] [--jobs N]
 //! ```
 
-use gputm::sweep::ExperimentSpec;
+use gputm::prelude::*;
 
 fn main() {
     let harness = bench::Harness::from_cli();

@@ -5,9 +5,7 @@
 //! ```
 
 use bench::{cli, Harness};
-use gputm::config::{GpuConfig, TmSystem};
-use gputm::sweep::{CellSpec, ExperimentSpec};
-use workloads::suite::Benchmark;
+use gputm::prelude::*;
 
 fn main() {
     let args = cli::Args::parse();

@@ -12,10 +12,8 @@
 //! narrows it) print to stdout.
 
 use bench::traceview;
-use gputm::config::{GpuConfig, TmSystem};
-use gputm::sweep::CellSpec;
+use gputm::prelude::*;
 use std::path::PathBuf;
-use workloads::suite::Benchmark;
 
 fn parse_system(name: &str) -> TmSystem {
     TmSystem::ALL

@@ -23,6 +23,8 @@ pub struct CuStats {
     pub abort_entries: u64,
     /// Coalesced regions written to the LLC.
     pub regions_written: u64,
+    /// Log batches accepted (one per warp commit/abort region shipped here).
+    pub batches: u64,
 }
 
 /// One partition's commit unit.
@@ -39,7 +41,16 @@ impl CommitUnit {
     }
 
     /// Accepts a batch of commit/abort log entries from one warp.
-    pub fn receive(&mut self, entries: &[CommitEntry]) {
+    ///
+    /// Returns this partition's batch stamp: a per-unit monotonic sequence
+    /// number identifying the order in which log regions were accepted.
+    /// Because a commit unit applies batches in acceptance order, the stamp
+    /// fixes the local apply order of committed writes — history recording
+    /// and traces use it to correlate commit application with core-side
+    /// commit decisions.
+    pub fn receive(&mut self, entries: &[CommitEntry]) -> u64 {
+        let stamp = self.stats.batches;
+        self.stats.batches += 1;
         for e in entries {
             if e.data.is_some() {
                 self.stats.commit_entries += 1;
@@ -48,6 +59,7 @@ impl CommitUnit {
             }
             self.buffer.push(e.granule.raw(), e.data, e.writes);
         }
+        stamp
     }
 
     /// Drains every coalesced region, ready to be applied to the LLC and
@@ -97,7 +109,8 @@ mod tests {
     #[test]
     fn coalesces_commit_entries() {
         let mut cu = CommitUnit::new();
-        cu.receive(&[commit(1, 10, 1), commit(1, 20, 2), commit(2, 30, 1)]);
+        let stamp = cu.receive(&[commit(1, 10, 1), commit(1, 20, 2), commit(2, 30, 1)]);
+        assert_eq!(stamp, 0);
         assert!(cu.has_pending());
         let out = cu.drain();
         assert_eq!(out.len(), 2);
@@ -128,5 +141,15 @@ mod tests {
         assert_eq!(s.commit_entries, 2);
         assert_eq!(s.abort_entries, 1);
         assert_eq!(s.regions_written, 3);
+        assert_eq!(s.batches, 1);
+    }
+
+    #[test]
+    fn batch_stamps_are_monotonic() {
+        let mut cu = CommitUnit::new();
+        assert_eq!(cu.receive(&[commit(1, 1, 1)]), 0);
+        assert_eq!(cu.receive(&[cleanup(2, 1)]), 1);
+        assert_eq!(cu.receive(&[]), 2);
+        assert_eq!(cu.stats().batches, 3);
     }
 }

@@ -44,6 +44,33 @@ impl TmSystem {
         !matches!(self, TmSystem::FgLock)
     }
 
+    /// Whether the system guarantees *opacity*: every transactional
+    /// attempt — aborted ones included — observes a consistent snapshot.
+    ///
+    /// No TM system here makes that promise, each for its own reason.
+    /// Value-based validation (WarpTM-LL, and EAPG which layers broadcasts
+    /// over it) only checks at commit; even the idealized eager-lazy
+    /// variant (WarpTM-EL) re-validates at the *next* access, so a commit
+    /// landing between two reads is discovered one access too late. GETM
+    /// comes closest — eager access-time locks squash most doomed attempts
+    /// before a conflicting write can land — but its WAR aborts are
+    /// *asynchronous*: when a logically-earlier writer invalidates a
+    /// later reader's reservation, the doomed reader keeps issuing reads
+    /// until the abort notification reaches its core, and those reads can
+    /// observe logically-future state (the paper, like all GPU HTMs,
+    /// relies on sandboxing doomed lanes rather than claiming opacity).
+    /// The verifier therefore *waives* (but still counts, see
+    /// [`crate::verify::Verdict::opacity_waived`]) torn aborted snapshots
+    /// for every TM system; committed transactions are always held to full
+    /// serializability.
+    pub fn guarantees_opacity(self) -> bool {
+        match self {
+            TmSystem::Getm | TmSystem::WarpTmLL | TmSystem::WarpTmEL | TmSystem::Eapg => false,
+            // No transactions at all: vacuously opaque.
+            TmSystem::FgLock => true,
+        }
+    }
+
     /// Display label used by the benchmark harness.
     pub fn label(self) -> &'static str {
         match self {
@@ -60,6 +87,25 @@ impl std::fmt::Display for TmSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// Deliberate protocol faults for exercising the verification oracle.
+///
+/// Every variant other than [`Sabotage::None`] is inert unless the crate is
+/// built with the `sabotage` feature; release builds carry only the enum so
+/// configurations hash and cache identically across feature sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sabotage {
+    /// Faithful protocol execution.
+    #[default]
+    None,
+    /// GETM cores treat load-conflict abort replies as successes, so a
+    /// doomed transaction keeps running on stale data and commits.
+    GetmIgnoreLoadAborts,
+    /// WarpTM partitions forge logged read values to the current committed
+    /// values during validation, so stale snapshots always pass and push
+    /// their writes through commit (manufactured lost updates).
+    WtmForgeReadValidation,
 }
 
 /// Full machine + protocol configuration.
@@ -99,6 +145,8 @@ pub struct GpuConfig {
     pub max_cycles: u64,
     /// Root seed for every random stream in the run.
     pub seed: u64,
+    /// Fault-injection selector (a no-op without the `sabotage` feature).
+    pub sabotage: Sabotage,
 }
 
 impl GpuConfig {
@@ -122,6 +170,7 @@ impl GpuConfig {
             ts_limit: 1 << 48,
             max_cycles: 200_000_000,
             seed: 0x6E7A,
+            sabotage: Sabotage::None,
         }
     }
 

@@ -9,7 +9,9 @@ use getm::{AccessKind as GetmKind, AccessRequest, CommitEntry, ReplyKind};
 use gpu_mem::{Addr, Granule};
 use gpu_simt::program::OpKind as K;
 use gpu_simt::{Op, OpResult, ThreadStatus};
+use sim_core::history::NO_TXN;
 use sim_core::trace::{AbortCause, SimEvent, Stamp};
+use sim_core::SimError;
 use std::collections::BTreeMap;
 use warptm::eapg::EapgDecision;
 use warptm::ValidationJob;
@@ -34,14 +36,23 @@ impl Engine {
             if slot.warp.status(now) != gpu_simt::WarpStatus::Ready || slot.committing.is_some() {
                 continue;
             }
-            // Peek the leader op to apply the concurrency throttle.
-            let leader = slot
-                .warp
-                .threads
-                .iter_mut()
-                .find(|t| t.status == ThreadStatus::Ready);
-            let Some(leader) = leader else { continue };
-            let op = leader.fetch_op();
+            // Peek the leader op to apply the concurrency throttle. A lane
+            // staging TxBegin while the warp's region is still open is not
+            // issuable: lanes drift through non-transactional ops with
+            // divergent memory latencies, so early arrivals must wait for
+            // the open region to drain before opening the next one.
+            let region_open = slot.warp.tx_stack.is_open();
+            let leader = slot.warp.threads.iter_mut().find_map(|t| {
+                if t.status != ThreadStatus::Ready {
+                    return None;
+                }
+                let op = t.fetch_op();
+                if region_open && op == Op::TxBegin {
+                    return None;
+                }
+                Some(op)
+            });
+            let Some(op) = leader else { continue };
             if op == Op::TxBegin {
                 if self.rollover_pending {
                     continue; // hold new transactions during rollover
@@ -96,13 +107,24 @@ impl Engine {
     fn issue_warp(&mut self, c: usize, w: usize) {
         let kind = {
             let slot = self.cores[c].warps[w].as_mut().expect("scheduled warp");
-            let leader = slot
-                .warp
+            // Mirror the readiness scan: TxBegin lanes are not issuable
+            // while the region is open, so the leader is the first ready
+            // lane that actually can go.
+            let region_open = slot.warp.tx_stack.is_open();
+            slot.warp
                 .threads
                 .iter_mut()
-                .find(|t| t.status == ThreadStatus::Ready)
-                .expect("ready warp has a ready lane");
-            leader.fetch_op().kind()
+                .find_map(|t| {
+                    if t.status != ThreadStatus::Ready {
+                        return None;
+                    }
+                    let op = t.fetch_op();
+                    if region_open && op == Op::TxBegin {
+                        return None;
+                    }
+                    Some(op.kind())
+                })
+                .expect("ready warp has an issuable lane")
         };
         // Group: every ready lane whose next op has the same kind.
         let group: Vec<u32> = {
@@ -185,6 +207,7 @@ impl Engine {
                 slot.tcd_clean[l as usize] = true;
                 slot.tx_begin[l as usize] = now;
                 slot.doomed[l as usize] = false;
+                self.hist.begin(c, slot.gwid.0, l, now.raw());
             }
             slot.obs_max_ts = 0;
             slot.warp.abort_cause_ts = 0;
@@ -229,6 +252,7 @@ impl Engine {
                     t.status = ThreadStatus::Aborted;
                     t.aborts += 1;
                     lanes_aborted = true;
+                    self.hist.abort(slot.gwid.0, l, self.now.raw());
                     continue;
                 }
                 if is_store {
@@ -474,8 +498,8 @@ impl Engine {
     fn issue_plain_store(&mut self, c: usize, w: usize, group: &[u32]) {
         let geom = self.geom;
         let now = self.now;
-        let mut sends: Vec<(usize, Addr, u64)> = Vec::new();
-        {
+        let mut sends: Vec<(usize, Addr, u64, u32)> = Vec::new();
+        let gwid = {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
                 let Some(Op::Store(a, v)) = slot.warp.threads[l as usize].staged_op else {
@@ -483,12 +507,14 @@ impl Engine {
                 };
                 slot.warp.threads[l as usize].consume_op();
                 let part = geom.partition_of(a) as usize;
-                sends.push((part, a, v));
+                sends.push((part, a, v, l));
             }
             slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1);
-        }
-        for (part, a, v) in sends {
+            slot.gwid.0
+        };
+        for (part, a, v, l) in sends {
             self.mem.insert(a.0, v);
+            self.hist.singleton_write(c, gwid, l, a.0, v, now.raw());
             if self.system.is_tm() {
                 self.cores[c].l1.invalidate(geom.line_of(a));
             }
@@ -538,7 +564,7 @@ impl Engine {
     // ===================== replies =====================
 
     /// Handles one down-crossbar delivery at core `c`.
-    pub(crate) fn handle_down(&mut self, c: usize, msg: DownMsg) {
+    pub(crate) fn handle_down(&mut self, c: usize, msg: DownMsg) -> Result<(), SimError> {
         match msg {
             DownMsg::GetmReply(reply, values) => self.on_getm_reply(c, reply, values),
             DownMsg::LoadReply {
@@ -552,11 +578,46 @@ impl Engine {
                 failed_lanes,
             } => self.on_verdict(token, failed_lanes),
             DownMsg::CommitAck { token } => self.on_commit_ack(token),
-            DownMsg::Broadcast { writes } => self.on_broadcast(c, &writes),
+            DownMsg::Broadcast { writes } => {
+                self.on_broadcast(c, &writes);
+                Ok(())
+            }
         }
     }
 
-    fn on_getm_reply(&mut self, _c: usize, reply: getm::AccessReply, values: Vec<u64>) {
+    fn on_getm_reply(
+        &mut self,
+        _c: usize,
+        reply: getm::AccessReply,
+        values: Vec<u64>,
+    ) -> Result<(), SimError> {
+        // Feature-gated engine mutation for the verifier's own tests: treat
+        // every GETM *load* conflict as if eager detection had passed, so
+        // lanes observe values their logical timestamps forbid. Store
+        // aborts are left intact (faking them would desynchronize the VU
+        // reservation counts, a different bug than the one under test).
+        #[cfg(feature = "sabotage")]
+        let reply = {
+            let mut reply = reply;
+            if self.cfg.sabotage == crate::config::Sabotage::GetmIgnoreLoadAborts
+                && matches!(reply.kind, ReplyKind::Abort { .. })
+                && matches!(
+                    self.pending.get(&reply.token),
+                    Some(Pending::Access {
+                        is_store: false,
+                        ..
+                    })
+                )
+            {
+                reply.kind = ReplyKind::Success;
+            }
+            reply
+        };
+        let hist_versions = if self.hist.is_on() {
+            self.hist_reads.remove(&reply.token)
+        } else {
+            None
+        };
         let Some(Pending::Access {
             core,
             warp,
@@ -566,7 +627,11 @@ impl Engine {
             ..
         }) = self.pending.remove(&reply.token)
         else {
-            panic!("GETM reply for unknown token");
+            return Err(SimError::ProtocolViolation {
+                what: "GETM access reply routed to unknown token",
+                token: reply.token,
+                cycle: self.now.raw(),
+            });
         };
         self.stats.access_rt.observe(self.now.since(issued) as f64);
         let geom = self.geom;
@@ -594,14 +659,18 @@ impl Engine {
                             continue;
                         }
                         // Read-own-writes forwarding beats the LLC value.
-                        let v = t
-                            .logs
-                            .forwarded_value(a)
-                            .or_else(|| values.get(i).copied())
-                            .unwrap_or(0);
+                        let fwd = t.logs.forwarded_value(a);
+                        let v = fwd.or_else(|| values.get(i).copied()).unwrap_or(0);
                         t.logs.update_read_value(a, v);
                         t.pending_result = OpResult::Value(v);
                         t.status = ThreadStatus::Ready;
+                        // Forwarded reads never touched shared memory; only
+                        // LLC-served values constrain serializability.
+                        if fwd.is_none() {
+                            if let Some(hv) = &hist_versions {
+                                self.hist.read_observed(slot.gwid.0, l, a.0, v, hv[i]);
+                            }
+                        }
                     }
                 }
             }
@@ -625,6 +694,7 @@ impl Engine {
                     t.aborts += 1;
                     self.stats.aborts += 1;
                     aborted += 1;
+                    self.hist.abort(gwid, l, now);
                 }
                 if aborted > 0 {
                     self.rec.emit(|| {
@@ -640,6 +710,7 @@ impl Engine {
             }
         }
         self.maybe_warp_commit(core, warp);
+        Ok(())
     }
 
     fn on_load_reply(
@@ -648,7 +719,12 @@ impl Engine {
         token: u64,
         values: Vec<u64>,
         last_write: Option<sim_core::Cycle>,
-    ) {
+    ) -> Result<(), SimError> {
+        let hist_versions = if self.hist.is_on() {
+            self.hist_reads.remove(&token)
+        } else {
+            None
+        };
         let Some(Pending::Access {
             core,
             warp,
@@ -658,7 +734,11 @@ impl Engine {
             ..
         }) = self.pending.remove(&token)
         else {
-            panic!("load reply for unknown token");
+            return Err(SimError::ProtocolViolation {
+                what: "load reply routed to unknown token",
+                token,
+                cycle: self.now.raw(),
+            });
         };
         if is_tx {
             self.stats.access_rt.observe(self.now.since(issued) as f64);
@@ -681,15 +761,18 @@ impl Engine {
                     t.aborts += 1;
                     self.stats.aborts += 1;
                     doomed_aborts += 1;
+                    self.hist.abort(slot.gwid.0, l, self.now.raw());
                     continue;
                 }
                 let t = &mut slot.warp.threads[li];
-                let v = t
-                    .logs
-                    .forwarded_value(a)
-                    .or_else(|| values.get(i).copied())
-                    .unwrap_or(0);
+                let fwd = t.logs.forwarded_value(a);
+                let v = fwd.or_else(|| values.get(i).copied()).unwrap_or(0);
                 if is_tx {
+                    if fwd.is_none() {
+                        if let Some(hv) = &hist_versions {
+                            self.hist.read_observed(slot.gwid.0, l, a.0, v, hv[i]);
+                        }
+                    }
                     t.logs.update_read_value(a, v);
                     if let Some(lw) = last_write {
                         // Cycle 0 means "never written" — the TCD table
@@ -727,17 +810,26 @@ impl Engine {
         if doomed_aborts > 0 {
             self.maybe_warp_commit(core, warp);
         }
+        Ok(())
     }
 
-    fn on_atomic_reply(&mut self, token: u64, old: u64) {
+    fn on_atomic_reply(&mut self, token: u64, old: u64) -> Result<(), SimError> {
         let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(&token) else {
-            panic!("atomic reply for unknown token");
+            return Err(SimError::ProtocolViolation {
+                what: "atomic reply routed to unknown token",
+                token,
+                cycle: self.now.raw(),
+            });
         };
         let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
         slot.warp.outstanding -= 1;
         let t = &mut slot.warp.threads[lane as usize];
         t.pending_result = OpResult::Value(old);
         t.status = ThreadStatus::Ready;
+        // Lanes drift through non-transactional ops, so this atomic can be
+        // the last in-flight access holding up a sibling region's commit.
+        self.maybe_warp_commit(core, warp);
+        Ok(())
     }
 
     /// WarpTM-EL idealized validation: compare the lanes' read logs against
@@ -763,6 +855,7 @@ impl Engine {
                     t.aborts += 1;
                     self.stats.aborts += 1;
                     aborted += 1;
+                    self.hist.abort(slot.gwid.0, l, self.now.raw());
                 }
             }
             slot.gwid.0
@@ -812,6 +905,7 @@ impl Engine {
                             t.aborts += 1;
                             self.stats.aborts += 1;
                             aborted += 1;
+                            self.hist.abort(slot.gwid.0, l as u32, now);
                         } else {
                             slot.doomed[l] = true;
                         }
@@ -870,12 +964,26 @@ impl Engine {
         let geom = self.geom;
         let parts = self.cfg.partitions as usize;
         let mut per_part: Vec<Vec<CommitEntry>> = vec![Vec::new(); parts];
+        // Parallel to `per_part`: the history-attempt id behind each entry,
+        // so the partition can attribute the write when it applies. Filled
+        // only while recording (the protocol never reads it).
+        let mut per_part_ids: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let recording = self.hist.is_on();
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             let commit_mask = slot.warp.tx_stack.commit_mask();
             let retry_mask = slot.warp.tx_stack.retry_mask();
+            let gwid = slot.gwid.0;
+            let now = self.now.raw();
             for l in 0..slot.warp.threads.len() {
                 let bit = 1u64 << l;
+                // Snapshot the attempt id before the commit hook closes it;
+                // the write log applies at the partitions later.
+                let attempt = if recording && commit_mask & bit != 0 {
+                    self.hist.current_txn(gwid, l as u32)
+                } else {
+                    NO_TXN
+                };
                 let t = &mut slot.warp.threads[l];
                 if commit_mask & bit != 0 {
                     // Per-word last value + per-word write count.
@@ -887,12 +995,16 @@ impl Engine {
                     }
                     for (a, (v, n)) in words {
                         let g = geom.granule_of(Addr(a));
-                        per_part[geom.partition_of_granule(g) as usize].push(CommitEntry {
+                        let p = geom.partition_of_granule(g) as usize;
+                        per_part[p].push(CommitEntry {
                             granule: g,
                             addr: Addr(a),
                             data: Some(v),
                             writes: n,
                         });
+                        if recording {
+                            per_part_ids[p].push(attempt);
+                        }
                     }
                     t.commits += 1;
                     self.stats.commits += 1;
@@ -901,15 +1013,20 @@ impl Engine {
                     // conflicts for lanes retrying in later rounds.
                     t.logs.clear();
                     t.in_tx = false;
+                    self.hist.commit(gwid, l as u32, now);
                 } else if retry_mask & bit != 0 {
                     // Abort cleanup: address + count per reserved granule.
                     for (g, n) in t.logs.write_counts() {
-                        per_part[geom.partition_of_granule(g) as usize].push(CommitEntry {
+                        let p = geom.partition_of_granule(g) as usize;
+                        per_part[p].push(CommitEntry {
                             granule: g,
                             addr: geom.granule_base(g),
                             data: None,
                             writes: n,
                         });
+                        if recording {
+                            per_part_ids[p].push(NO_TXN);
+                        }
                     }
                 }
             }
@@ -920,8 +1037,9 @@ impl Engine {
                 continue;
             }
             let bytes = CommitEntry::batch_bytes(&entries);
+            let ids = std::mem::take(&mut per_part_ids[p]);
             self.up
-                .send(now, p, bytes, UpMsg::GetmLog(entries), "commit");
+                .send(now, p, bytes, UpMsg::GetmLog(entries, ids), "commit");
         }
         self.finish_round(c, w, true);
     }
@@ -945,6 +1063,7 @@ impl Engine {
                     self.stats.silent_commits += 1;
                     slot.warp.threads[l].logs.clear();
                     slot.warp.threads[l].in_tx = false;
+                    self.hist.commit(slot.gwid.0, l as u32, self.now.raw());
                 } else {
                     validate_lanes.push(l as u32);
                 }
@@ -1024,6 +1143,7 @@ impl Engine {
             for &l in &validate_lanes {
                 slot.warp.threads[l as usize].commits += 1;
                 self.stats.commits += 1;
+                self.hist.commit(slot.gwid.0, l, self.now.raw());
             }
             self.finish_round(c, w, true);
             return;
@@ -1086,6 +1206,7 @@ impl Engine {
                         t.aborts += 1;
                         self.stats.aborts += 1;
                         aborted += 1;
+                        self.hist.abort(gwid, l as u32, self.now.raw());
                     }
                 }
                 self.stats.aborts_validation += aborted as u64;
@@ -1108,17 +1229,20 @@ impl Engine {
         let mut committed_lanes: Vec<u32> = Vec::new();
         {
             let slot = self.cores[c].warps[w].as_ref().expect("warp");
+            let gwid = slot.gwid.0;
             for l in 0..slot.warp.threads.len() {
                 if survivors & (1 << l) == 0 {
                     continue;
                 }
                 committed_lanes.push(l as u32);
+                let attempt = self.hist.current_txn(gwid, l as u32);
                 let mut words: BTreeMap<u64, u64> = BTreeMap::new();
                 for e in slot.warp.threads[l].logs.writes() {
                     words.insert(e.addr.0, e.value);
                 }
                 for (a, v) in words {
                     per_part[geom.partition_of(Addr(a)) as usize].push((Addr(a), v));
+                    self.hist.write_applied(attempt, a, v, self.now.raw());
                 }
             }
         }
@@ -1147,6 +1271,7 @@ impl Engine {
             for &l in &committed_lanes {
                 slot.warp.threads[l as usize].commits += 1;
                 self.stats.commits += 1;
+                self.hist.commit(slot.gwid.0, l, self.now.raw());
             }
             self.finish_round(c, w, true);
             return;
@@ -1174,18 +1299,21 @@ impl Engine {
         }
     }
 
-    fn on_verdict(&mut self, token: u64, failed_lanes: u64) {
+    fn on_verdict(&mut self, token: u64, failed_lanes: u64) -> Result<(), SimError> {
         let finished = {
-            let ctx = self
-                .commits_in_flight
-                .get_mut(&token)
-                .expect("verdict for unknown commit");
+            let Some(ctx) = self.commits_in_flight.get_mut(&token) else {
+                return Err(SimError::ProtocolViolation {
+                    what: "validation verdict for unknown commit",
+                    token,
+                    cycle: self.now.raw(),
+                });
+            };
             ctx.failed_lanes |= failed_lanes;
             ctx.pending_verdicts -= 1;
             ctx.pending_verdicts == 0
         };
         if !finished {
-            return;
+            return Ok(());
         }
         let (core, warp, lanes, failed, parts) = {
             let ctx = &self.commits_in_flight[&token];
@@ -1222,6 +1350,7 @@ impl Engine {
                 t.status = ThreadStatus::Aborted;
                 t.aborts += 1;
                 self.stats.aborts += 1;
+                self.hist.abort(gwid, l, now.raw());
             }
             self.stats.aborts_validation += failing.len() as u64;
             let lanes = failing.len() as u32;
@@ -1275,19 +1404,23 @@ impl Engine {
             ctx.pending_acks = parts.len() as u32;
             ctx.lanes = surviving;
         }
+        Ok(())
     }
 
-    fn on_commit_ack(&mut self, token: u64) {
+    fn on_commit_ack(&mut self, token: u64) -> Result<(), SimError> {
         let done = {
-            let ctx = self
-                .commits_in_flight
-                .get_mut(&token)
-                .expect("ack for unknown commit");
+            let Some(ctx) = self.commits_in_flight.get_mut(&token) else {
+                return Err(SimError::ProtocolViolation {
+                    what: "commit acknowledgement for unknown commit",
+                    token,
+                    cycle: self.now.raw(),
+                });
+            };
             ctx.pending_acks -= 1;
             ctx.pending_acks == 0
         };
         if !done {
-            return;
+            return Ok(());
         }
         let ctx = self.commits_in_flight.remove(&token).expect("ctx present");
         {
@@ -1296,9 +1429,11 @@ impl Engine {
             for &l in &ctx.lanes {
                 slot.warp.threads[l as usize].commits += 1;
                 self.stats.commits += 1;
+                self.hist.commit(slot.gwid.0, l, self.now.raw());
             }
         }
         self.finish_round(ctx.core, ctx.warp, true);
+        Ok(())
     }
 
     /// Closes one commit round: restart aborted lanes (with backoff and —
@@ -1349,6 +1484,9 @@ impl Engine {
                     slot.doomed[l] = false;
                     slot.tcd_clean[l] = true;
                     slot.tx_begin[l] = now;
+                    // The runtime re-enters the region without re-issuing
+                    // TxBegin, so the retry attempt opens here.
+                    self.hist.begin(c, gwid, l as u32, now.raw());
                 }
             }
         } else {

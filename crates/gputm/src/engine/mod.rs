@@ -29,6 +29,7 @@ use getm::vu::GetmConfig;
 use getm::{AccessRequest, CommitEntry, CommitUnit, ValidationUnit};
 use gpu_mem::{Addr, Crossbar, Geometry, Granule, SetAssocCache};
 use gpu_simt::{Backoff, GtoScheduler, Warp};
+use sim_core::history::HistoryRecorder;
 use sim_core::trace::{Recorder, SimEvent, Stamp};
 use sim_core::{Cycle, DetRng, SimError};
 use std::collections::{HashMap, VecDeque};
@@ -40,8 +41,12 @@ use workloads::{SyncMode, Workload};
 pub(crate) enum UpMsg {
     /// GETM eager conflict check.
     GetmAccess(AccessRequest),
-    /// GETM commit/abort log (no reply — off the critical path).
-    GetmLog(Vec<CommitEntry>),
+    /// GETM commit/abort log (no reply — off the critical path). The
+    /// second vector tags each entry with the history-attempt id of the
+    /// committing lane (aligned with the entries; `history::NO_TXN` for
+    /// abort cleanup). It is empty when history recording is off; the
+    /// protocol itself never looks at it.
+    GetmLog(Vec<CommitEntry>, Vec<u32>),
     /// WarpTM transactional load: value fetch plus TCD last-write query.
     TxLoadWtm {
         /// Representative address.
@@ -252,6 +257,14 @@ pub struct Engine {
     /// Event-trace gate: off by default (a branch on `None` per emit site),
     /// shared with both crossbars when attached.
     pub(crate) rec: Recorder,
+    /// Transaction-history gate for the serializability checker, following
+    /// the same zero-cost-when-off discipline as `rec`.
+    pub(crate) hist: HistoryRecorder,
+    /// Per-token memory versions captured when a transactional load was
+    /// served at its partition, aligned with the pending lane list; drained
+    /// when the reply is delivered at the core. Only populated while `hist`
+    /// is on.
+    pub(crate) hist_reads: HashMap<u64, Vec<u32>>,
     /// Live warps that still have unfinished threads.
     pub(crate) live_warps: usize,
     /// A logical clock hit `ts_limit`: new transactions are held while the
@@ -357,6 +370,8 @@ impl Engine {
             next_token: 1,
             stats: EngineStats::default(),
             rec: Recorder::off(),
+            hist: HistoryRecorder::off(),
+            hist_reads: HashMap::new(),
             live_warps,
             rollover_pending: false,
         })
@@ -372,12 +387,38 @@ impl Engine {
         self.rec = rec;
     }
 
+    /// Attaches a transaction-history recorder. Every transactional
+    /// attempt, observed read (with its memory version), applied write,
+    /// and commit/abort decision of the run lands in the recorder's
+    /// [`sim_core::History`] for offline serializability and opacity
+    /// checking. Like tracing, recording is observational: it never
+    /// changes what the simulation does.
+    pub fn attach_history(&mut self, hist: HistoryRecorder) {
+        self.hist = hist;
+    }
+
+    /// Detaches the history recorder (leaving recording off). If the
+    /// caller holds no other clone, `HistoryRecorder::take` then yields
+    /// the recorded history.
+    pub fn detach_history(&mut self) -> HistoryRecorder {
+        std::mem::take(&mut self.hist)
+    }
+
+    /// A snapshot of the committed memory image, keyed by word address
+    /// (for the verifier's sequential-oracle comparison).
+    pub fn memory_image(&self) -> HashMap<u64, u64> {
+        self.mem.clone()
+    }
+
     /// Runs the simulation to completion and returns the metrics.
     ///
     /// # Errors
     ///
     /// [`SimError::CycleLimitExceeded`] if the run does not drain within
-    /// the configured budget (protocol livelock).
+    /// the configured budget (protocol livelock), or
+    /// [`SimError::ProtocolViolation`] if a reply cannot be routed to any
+    /// outstanding request (an engine/protocol-model bug, not modelled
+    /// behaviour).
     pub fn run(&mut self) -> Result<Metrics, SimError> {
         while !self.drained() {
             if self.now.raw() >= self.cfg.max_cycles {
@@ -385,24 +426,24 @@ impl Engine {
                     limit: self.cfg.max_cycles,
                 });
             }
-            self.step();
+            self.step()?;
         }
         Ok(self.collect_metrics())
     }
 
     /// Advances the simulation by one cycle.
-    pub(crate) fn step(&mut self) {
+    pub(crate) fn step(&mut self) -> Result<(), SimError> {
         if self.rollover_pending {
             self.try_complete_rollover();
         }
         let now = self.now;
         // 1. Up deliveries -> partitions.
         for d in self.up.deliver(now) {
-            self.handle_up(d.dst, d.payload);
+            self.handle_up(d.dst, d.payload)?;
         }
         // 2. Down deliveries -> cores.
         for d in self.down.deliver(now) {
-            self.handle_down(d.dst, d.payload);
+            self.handle_down(d.dst, d.payload)?;
         }
         // 3. Issue.
         for c in 0..self.cores.len() {
@@ -411,6 +452,7 @@ impl Engine {
         // 4. Stats sampling.
         self.sample_stats();
         self.now += 1;
+        Ok(())
     }
 
     /// Completes a pending timestamp rollover once the machine quiesces:

@@ -14,17 +14,20 @@ use super::{DownMsg, Engine, Pending, UpMsg};
 use fglock::AtomicOp;
 use gpu_mem::{AccessKind, Addr, CacheResult, Granule, LineAddr};
 use sim_core::trace::{SimEvent, Stamp};
-use sim_core::Cycle;
+use sim_core::{Cycle, SimError};
 
 impl Engine {
     /// Handles one up-crossbar delivery at partition `p`.
-    pub(crate) fn handle_up(&mut self, p: usize, msg: UpMsg) {
+    pub(crate) fn handle_up(&mut self, p: usize, msg: UpMsg) -> Result<(), SimError> {
         match msg {
             UpMsg::GetmAccess(req) => self.getm_access(p, req),
-            UpMsg::GetmLog(entries) => self.getm_log(p, &entries),
+            UpMsg::GetmLog(entries, attempts) => self.getm_log(p, &entries, &attempts),
             UpMsg::TxLoadWtm { addr, token } => self.wtm_tx_load(p, addr, token),
             UpMsg::PlainLoad { addr, token } => self.plain_load(p, addr, token),
-            UpMsg::PlainStore { addr, .. } => self.plain_store(p, addr),
+            UpMsg::PlainStore { addr, .. } => {
+                self.plain_store(p, addr);
+                Ok(())
+            }
             UpMsg::Atomic { op, token } => self.atomic(p, op, token),
             UpMsg::Validate(job) => self.wtm_validate(p, job),
             UpMsg::CommitCmd {
@@ -77,24 +80,44 @@ impl Engine {
     }
 
     /// Per-lane values for a pending access token, read from the committed
-    /// image *now*.
-    fn capture_values(&self, token: u64) -> (usize, Vec<u64>) {
+    /// image *now*. When history recording is on, the committed version tag
+    /// observed by each transactional load lane is captured alongside the
+    /// value (keyed by token) so the core side can attribute the read once
+    /// the reply is delivered.
+    fn capture_values(&mut self, token: u64) -> Result<(usize, Vec<u64>), SimError> {
         match self.pending.get(&token) {
-            Some(Pending::Access { core, lanes, .. }) => (
-                *core,
-                lanes
+            Some(Pending::Access {
+                core,
+                lanes,
+                is_store,
+                is_tx,
+                ..
+            }) => {
+                let values: Vec<u64> = lanes
                     .iter()
                     .map(|&(_, a)| self.mem.get(&a.0).copied().unwrap_or(0))
-                    .collect(),
-            ),
-            Some(Pending::AtomicOp { core, .. }) => (*core, Vec::new()),
-            None => panic!("reply for unknown token {token}"),
+                    .collect();
+                if self.hist.is_on() && *is_tx && !*is_store {
+                    let versions = lanes
+                        .iter()
+                        .map(|&(_, a)| self.hist.version_of(a.0))
+                        .collect();
+                    self.hist_reads.insert(token, versions);
+                }
+                Ok((*core, values))
+            }
+            Some(Pending::AtomicOp { core, .. }) => Ok((*core, Vec::new())),
+            None => Err(SimError::ProtocolViolation {
+                what: "memory reply for unknown token",
+                token,
+                cycle: self.now.raw(),
+            }),
         }
     }
 
     // ----- GETM ----------------------------------------------------------
 
-    fn getm_access(&mut self, p: usize, req: getm::AccessRequest) {
+    fn getm_access(&mut self, p: usize, req: getm::AccessRequest) -> Result<(), SimError> {
         self.stats
             .vu_queue_delay
             .observe(self.parts[p].vu_free.raw().saturating_sub(self.now.raw()) as f64);
@@ -124,7 +147,7 @@ impl Engine {
                     0
                 };
                 self.stats.data_latency.observe(extra as f64);
-                let (core, values) = self.capture_values(reply.token);
+                let (core, values) = self.capture_values(reply.token)?;
                 self.send_down(
                     vu_done + extra,
                     core,
@@ -140,18 +163,42 @@ impl Engine {
                     .emit(|| (Stamp::partition(now, p as u32), SimEvent::StallPark));
             }
         }
+        Ok(())
     }
 
-    fn getm_log(&mut self, p: usize, entries: &[getm::CommitEntry]) {
-        self.parts[p].cu.receive(entries);
+    fn getm_log(
+        &mut self,
+        p: usize,
+        entries: &[getm::CommitEntry],
+        attempts: &[u32],
+    ) -> Result<(), SimError> {
+        let batch = self.parts[p].cu.receive(entries);
         let regions = self.parts[p].cu.drain();
         let cu_done = self.cu_slot(p, regions.len().max(1) as u64);
+        {
+            let now = self.now.raw();
+            self.rec.emit(|| {
+                (
+                    Stamp::partition(now, p as u32),
+                    SimEvent::Probe {
+                        name: "cu-batch",
+                        value: batch as f64,
+                    },
+                )
+            });
+        }
 
         // Apply word data before any lock release, so woken readers see
-        // the committed values.
-        for e in entries {
+        // the committed values. `attempts` (when recording) runs parallel
+        // to `entries` and names the history attempt that produced each
+        // committed word, letting the history attribute the version chain.
+        let apply_cycle = self.now.raw();
+        for (i, e) in entries.iter().enumerate() {
             if let Some(v) = e.data {
                 self.mem.insert(e.addr.0, v);
+                if let Some(&attempt) = attempts.get(i) {
+                    self.hist.write_applied(attempt, e.addr.0, v, apply_cycle);
+                }
                 self.data_cycles(p, self.geom.line_of(e.addr), AccessKind::Write);
             }
         }
@@ -192,7 +239,7 @@ impl Engine {
                     .emit(|| (Stamp::partition(now, p as u32), SimEvent::StallWake));
                 let extra =
                     self.data_cycles(p, self.geom.line_of(wk.request.addr), AccessKind::Read);
-                let (core, values) = self.capture_values(wk.reply.token);
+                let (core, values) = self.capture_values(wk.reply.token)?;
                 let at = vu_done.max(cu_done) + wk.cycles as u64 + extra;
                 self.send_down(
                     at,
@@ -203,16 +250,17 @@ impl Engine {
                 );
             }
         }
+        Ok(())
     }
 
     // ----- WarpTM --------------------------------------------------------
 
-    fn wtm_tx_load(&mut self, p: usize, addr: Addr, token: u64) {
+    fn wtm_tx_load(&mut self, p: usize, addr: Addr, token: u64) -> Result<(), SimError> {
         let g = self.geom.granule_of(addr);
         let last_write = self.parts[p].tcd.last_write(g);
         let extra = self.data_cycles(p, self.geom.line_of(addr), AccessKind::Read);
         let done = self.vu_slot(p, 1) + extra;
-        let (core, values) = self.capture_values(token);
+        let (core, values) = self.capture_values(token)?;
         self.send_down(
             done,
             core,
@@ -224,10 +272,23 @@ impl Engine {
             },
             "tx-load",
         );
+        Ok(())
     }
 
-    fn wtm_validate(&mut self, p: usize, job: warptm::ValidationJob) {
+    #[allow(unused_mut)]
+    fn wtm_validate(&mut self, p: usize, mut job: warptm::ValidationJob) -> Result<(), SimError> {
         let token = job.token;
+        // Fault-injection hook: forge every logged read value to the
+        // *current* committed value so value-based validation always
+        // passes, even for stale snapshots. Stale lanes then push their
+        // writes through commit, manufacturing lost updates the history
+        // checker must flag.
+        #[cfg(feature = "sabotage")]
+        if self.cfg.sabotage == crate::config::Sabotage::WtmForgeReadValidation {
+            for e in job.reads.iter_mut() {
+                e.value = self.mem.get(&e.addr.0).copied().unwrap_or(0);
+            }
+        }
         // Value-based validation reads the *current* value of every logged
         // line from the LLC: charge the (pipelined) LLC latency once plus
         // a DRAM access per missing line.
@@ -260,7 +321,7 @@ impl Engine {
                 .validate(job, |a| mem.get(&a.0).copied().unwrap_or(0))
         };
         let done = self.vu_slot(p, verdict.cycles as u64) + extra;
-        let core = self.commit_core(token);
+        let core = self.commit_core(token)?;
         self.send_down(
             done,
             core,
@@ -271,26 +332,47 @@ impl Engine {
             },
             "verdict",
         );
+        Ok(())
     }
 
-    fn wtm_commit_cmd(&mut self, p: usize, token: u64, commit: bool, failed_lanes: u64) {
+    fn wtm_commit_cmd(
+        &mut self,
+        p: usize,
+        token: u64,
+        commit: bool,
+        failed_lanes: u64,
+    ) -> Result<(), SimError> {
         if !commit {
             self.parts[p].wtm.abort(token);
-            return;
+            return Ok(());
         }
         let (writes, cycles) = self.parts[p].wtm.commit(token, failed_lanes);
         let done = self.cu_slot(p, cycles as u64);
+        let core = self.commit_core(token)?;
+        // Committed-write attribution: surviving lane entries carry their
+        // lane id, and the in-flight commit context names the warp, so the
+        // history can chain each applied word to its transaction attempt.
+        let gwid = self
+            .commits_in_flight
+            .get(&token)
+            .and_then(|ctx| self.cores[ctx.core].warps[ctx.warp].as_ref())
+            .map(|slot| slot.gwid.0);
+        let apply_cycle = self.now.raw();
         let mut granules: Vec<Granule> = Vec::new();
-        for (a, v) in writes {
-            self.mem.insert(a.0, v);
-            self.data_cycles(p, self.geom.line_of(a), AccessKind::Write);
-            let g = self.geom.granule_of(a);
+        for e in writes {
+            self.mem.insert(e.addr.0, e.value);
+            if let Some(gwid) = gwid {
+                let attempt = self.hist.current_txn(gwid, e.lane);
+                self.hist
+                    .write_applied(attempt, e.addr.0, e.value, apply_cycle);
+            }
+            self.data_cycles(p, self.geom.line_of(e.addr), AccessKind::Write);
+            let g = self.geom.granule_of(e.addr);
             self.parts[p].tcd.note_write(g, done);
             if !granules.contains(&g) {
                 granules.push(g);
             }
         }
-        let core = self.commit_core(token);
         self.send_down(done, core, 8, DownMsg::CommitAck { token }, "commit-ack");
         // EAPG: broadcast the committed write set to every core.
         if self.system == crate::config::TmSystem::Eapg && !granules.is_empty() {
@@ -307,9 +389,15 @@ impl Engine {
                 );
             }
         }
+        Ok(())
     }
 
-    fn el_write_log(&mut self, p: usize, token: u64, writes: Vec<(Addr, u64)>) {
+    fn el_write_log(
+        &mut self,
+        p: usize,
+        token: u64,
+        writes: Vec<(Addr, u64)>,
+    ) -> Result<(), SimError> {
         // WarpTM-EL idealization: the writes were applied atomically at
         // commit initiation (core side); here we only charge the commit
         // bandwidth and acknowledge.
@@ -317,16 +405,17 @@ impl Engine {
         for (a, _) in &writes {
             self.data_cycles(p, self.geom.line_of(*a), AccessKind::Write);
         }
-        let core = self.commit_core(token);
+        let core = self.commit_core(token)?;
         self.send_down(done, core, 8, DownMsg::CommitAck { token }, "commit-ack");
+        Ok(())
     }
 
     // ----- Plain memory and atomics ---------------------------------------
 
-    fn plain_load(&mut self, p: usize, addr: Addr, token: u64) {
+    fn plain_load(&mut self, p: usize, addr: Addr, token: u64) -> Result<(), SimError> {
         let extra = self.data_cycles(p, self.geom.line_of(addr), AccessKind::Read);
         let done = self.now + 1 + extra;
-        let (core, values) = self.capture_values(token);
+        let (core, values) = self.capture_values(token)?;
         self.send_down(
             done,
             core,
@@ -338,6 +427,7 @@ impl Engine {
             },
             "load",
         );
+        Ok(())
     }
 
     /// Plain stores were applied at issue (GPU store-buffer semantics);
@@ -346,11 +436,11 @@ impl Engine {
         self.data_cycles(p, self.geom.line_of(addr), AccessKind::Write);
     }
 
-    fn atomic(&mut self, p: usize, op: AtomicOp, token: u64) {
+    fn atomic(&mut self, p: usize, op: AtomicOp, token: u64) -> Result<(), SimError> {
         let extra = self.data_cycles(p, self.geom.line_of(op.addr()), AccessKind::Write);
         // Atomics serialize at the partition (one per cycle, like the VU).
         let done = self.vu_slot(p, 1) + extra;
-        let old = {
+        let (old, new_value) = {
             // Split read and write phases to satisfy the borrow checker;
             // the unit's closures are invoked sequentially anyway.
             let current = self.mem.get(&op.addr().0).copied().unwrap_or(0);
@@ -361,12 +451,36 @@ impl Engine {
             if let Some(v) = new_value {
                 self.mem.insert(op.addr().0, v);
             }
-            old
+            (old, new_value)
         };
-        let core = match self.pending.get(&token) {
-            Some(Pending::AtomicOp { core, .. }) => *core,
-            _ => panic!("atomic reply for unknown token {token}"),
+        let (core, warp, lane) = match self.pending.get(&token) {
+            Some(Pending::AtomicOp { core, warp, lane }) => (*core, *warp, *lane),
+            _ => {
+                return Err(SimError::ProtocolViolation {
+                    what: "atomic reply for unknown token",
+                    token,
+                    cycle: self.now.raw(),
+                })
+            }
         };
+        if self.hist.is_on() {
+            // An atomic is a committed singleton transaction: it observes
+            // `old` and (for mutating ops) installs a new version in the
+            // same indivisible step.
+            let gwid = self.cores[core].warps[warp]
+                .as_ref()
+                .map(|s| s.gwid.0)
+                .unwrap_or(u32::MAX);
+            self.hist.singleton_rmw(
+                core,
+                gwid,
+                lane,
+                op.addr().0,
+                old,
+                new_value,
+                self.now.raw(),
+            );
+        }
         self.send_down(
             done,
             core,
@@ -374,6 +488,7 @@ impl Engine {
             DownMsg::AtomicReply { token, old },
             "atomic",
         );
+        Ok(())
     }
 
     // ----- Helpers ---------------------------------------------------------
@@ -391,10 +506,14 @@ impl Engine {
     }
 
     /// The destination core of an in-flight commit token.
-    fn commit_core(&self, token: u64) -> usize {
+    fn commit_core(&self, token: u64) -> Result<usize, SimError> {
         self.commits_in_flight
             .get(&token)
             .map(|c| c.core)
-            .unwrap_or_else(|| panic!("verdict/ack for unknown commit {token}"))
+            .ok_or(SimError::ProtocolViolation {
+                what: "validation or commit traffic for unknown commit",
+                token,
+                cycle: self.now.raw(),
+            })
     }
 }

@@ -28,8 +28,10 @@
 //! * [`engine`] — the cycle-level engine that moves messages between cores
 //!   and memory partitions and drives each TM protocol.
 //! * [`metrics`] — everything measured during a run.
-//! * [`runner`] — the [`runner::Sim`] builder plus the one-call
-//!   [`runner::run_workload`] wrapper, with invariant checking.
+//! * [`runner`] — the [`runner::Sim`] builder (`run`, `run_traced`,
+//!   `run_verified`) with invariant checking.
+//! * [`verify`] — the serializability/opacity oracle behind
+//!   [`runner::Sim::run_verified`].
 //! * [`sweep`] — parallel grid execution with deterministic result caching.
 //! * [`silicon`] — the analytical SRAM area/power model behind Table V.
 
@@ -41,19 +43,23 @@ pub mod metrics;
 pub mod runner;
 pub mod silicon;
 pub mod sweep;
+pub mod verify;
 
-pub use config::{GpuConfig, TmSystem};
+pub use config::{GpuConfig, Sabotage, TmSystem};
 pub use metrics::Metrics;
-pub use runner::{run_workload, Sim};
+pub use runner::Sim;
+pub use verify::{Verdict, VerifiedRun};
 
 /// Common imports for examples and benchmarks.
 pub mod prelude {
-    pub use crate::config::{GpuConfig, TmSystem};
+    pub use crate::config::{GpuConfig, Sabotage, TmSystem};
     pub use crate::metrics::Metrics;
-    pub use crate::runner::{run_workload, Sim};
+    pub use crate::runner::Sim;
     pub use crate::sweep::{
         run_sweep, CellSpec, ExperimentSpec, ResultCache, SweepOptions, SweepOutcome,
     };
+    pub use crate::verify::{Verdict, VerifiedRun, Violation, ViolationKind};
+    pub use sim_core::SimError;
     pub use workloads::suite::{Benchmark, Scale};
     pub use workloads::{SyncMode, Workload};
 }

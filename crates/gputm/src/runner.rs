@@ -1,10 +1,12 @@
-//! Workload execution: the [`Sim`] builder and the one-call
-//! [`run_workload`] convenience wrapper.
+//! Workload execution: the [`Sim`] builder.
 
 use crate::config::{GpuConfig, TmSystem};
 use crate::engine::Engine;
 use crate::metrics::Metrics;
+use crate::verify::{self, VerifiedRun};
+use sim_core::history::HistoryRecorder;
 use sim_core::SimError;
+use std::collections::HashMap;
 use workloads::Workload;
 
 /// Builder-style entry point for running workloads on the simulated GPU.
@@ -24,6 +26,7 @@ use workloads::Workload;
 pub struct Sim<'a> {
     cfg: &'a GpuConfig,
     system: TmSystem,
+    require_opacity: Option<bool>,
 }
 
 impl<'a> Sim<'a> {
@@ -32,6 +35,7 @@ impl<'a> Sim<'a> {
         Sim {
             cfg,
             system: TmSystem::Getm,
+            require_opacity: None,
         }
     }
 
@@ -39,6 +43,23 @@ impl<'a> Sim<'a> {
     #[must_use]
     pub fn system(mut self, system: TmSystem) -> Self {
         self.system = system;
+        self
+    }
+
+    /// Overrides the opacity policy used by [`Sim::run_verified`].
+    ///
+    /// By default a torn snapshot in an *aborted* attempt is a violation
+    /// only for systems that promise opaque aborts
+    /// ([`TmSystem::guarantees_opacity`]); for the rest it is waived and
+    /// counted in [`verify::Verdict::opacity_waived`]. Passing `true` turns
+    /// every torn doomed snapshot into a hard violation regardless of the
+    /// system's promise — useful when a test knows the workload's doomed
+    /// reads stay consistent on a deterministic machine and wants to pin
+    /// that down (e.g. the sabotage mutation tests). Passing `false` waives
+    /// them even for systems that do promise opacity.
+    #[must_use]
+    pub fn require_opacity(mut self, require: bool) -> Self {
+        self.require_opacity = Some(require);
         self
     }
 
@@ -86,28 +107,63 @@ impl<'a> Sim<'a> {
         metrics.check = Some(workload.check(&engine.memory_reader()));
         Ok(metrics)
     }
-}
 
-/// Runs `workload` to completion under `system` on the machine described
-/// by `cfg` — a thin wrapper over [`Sim`] kept for one-off calls.
-///
-/// # Errors
-///
-/// See [`Sim::run`].
-///
-/// ```no_run
-/// use gputm::prelude::*;
-///
-/// let w = Benchmark::HtH.build(Scale::Fast);
-/// let m = run_workload(w.as_ref(), TmSystem::Getm, &GpuConfig::fermi_15core()).unwrap();
-/// m.assert_correct();
-/// ```
-pub fn run_workload(
-    workload: &dyn Workload,
-    system: TmSystem,
-    cfg: &GpuConfig,
-) -> Result<Metrics, SimError> {
-    Sim::new(cfg).system(system).run(workload)
+    /// Like [`Sim::run`], but with a transaction-history recorder attached
+    /// and the serializability/opacity checker run over the completed
+    /// history (see [`crate::verify`]). Recording is observational: the
+    /// returned metrics are identical to an unverified [`Sim::run`].
+    ///
+    /// Engine-detected protocol violations ([`SimError::ProtocolViolation`])
+    /// are converted into a failing [`verify::Verdict`] (with no metrics)
+    /// rather than an error, so harnesses report them alongside checker
+    /// findings.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors and [`SimError::CycleLimitExceeded`], as for
+    /// [`Sim::run`].
+    pub fn run_verified(&self, workload: &dyn Workload) -> Result<VerifiedRun, SimError> {
+        let mut engine = Engine::new(workload, self.system, self.cfg)?;
+        engine.attach_history(HistoryRecorder::recording());
+        let initial: HashMap<u64, u64> = workload
+            .initial_memory()
+            .into_iter()
+            .map(|(a, v)| (a.0, v))
+            .collect();
+        match engine.run() {
+            Ok(mut metrics) => {
+                metrics.check = Some(workload.check(&engine.memory_reader()));
+                let final_mem = engine.memory_image();
+                let hist = engine
+                    .detach_history()
+                    .take()
+                    .expect("engine held the sole history handle");
+                let verdict = verify::check_history(
+                    &hist,
+                    &initial,
+                    &final_mem,
+                    self.require_opacity
+                        .unwrap_or_else(|| self.system.guarantees_opacity()),
+                );
+                Ok(VerifiedRun {
+                    metrics: Some(metrics),
+                    verdict,
+                })
+            }
+            Err(SimError::ProtocolViolation { what, token, cycle }) => {
+                let stats = engine
+                    .detach_history()
+                    .take()
+                    .map(|h| h.stats())
+                    .unwrap_or_default();
+                Ok(VerifiedRun {
+                    metrics: None,
+                    verdict: verify::protocol_verdict(what, token, cycle, stats),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +191,24 @@ mod tests {
         assert_eq!(plain, traced, "tracing must not perturb the simulation");
         let bus = rec.bus().expect("recording recorder has a bus");
         assert!(!bus.borrow().is_empty(), "the run must emit events");
+    }
+
+    #[test]
+    fn verification_is_observational_and_certifies() {
+        use workloads::suite::{Benchmark, Scale};
+        let cfg = GpuConfig::tiny_test();
+        let w = Benchmark::Atm.build(Scale::Fast);
+        for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
+            let sim = Sim::new(&cfg).system(system);
+            let plain = sim.run(w.as_ref()).expect("unverified run");
+            let verified = sim.run_verified(w.as_ref()).expect("verified run");
+            assert_eq!(
+                Some(&plain),
+                verified.metrics.as_ref(),
+                "history recording must not perturb the simulation ({system})"
+            );
+            verified.verdict.assert_ok();
+            assert!(verified.verdict.stats.committed > 0);
+        }
     }
 }

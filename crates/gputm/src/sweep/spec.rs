@@ -87,6 +87,21 @@ impl CellSpec {
             .system(self.system)
             .run_traced(workload.as_ref(), recorder)
     }
+
+    /// Like [`CellSpec::run`], but with history recording on and the
+    /// serializability/opacity checker applied (see [`Sim::run_verified`]).
+    /// Cache lookups never serve verified runs — call this directly when a
+    /// certificate is wanted.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::run_verified`].
+    pub fn run_verified(&self) -> Result<crate::verify::VerifiedRun, SimError> {
+        let workload = self.benchmark.build(self.scale);
+        Sim::new(&self.cfg)
+            .system(self.system)
+            .run_verified(workload.as_ref())
+    }
 }
 
 /// Bump to invalidate every on-disk cache entry (simulator behaviour

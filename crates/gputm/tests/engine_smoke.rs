@@ -3,7 +3,7 @@
 //! final memory image and determinism verified.
 
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::runner::run_workload;
+use gputm::runner::Sim;
 use workloads::apriori::Apriori;
 use workloads::atm::Atm;
 use workloads::barneshut::BarnesHut;
@@ -23,7 +23,9 @@ fn small_cfg() -> GpuConfig {
 
 fn run_all_systems(w: &dyn Workload) {
     for system in TmSystem::ALL {
-        let m = run_workload(w, system, &small_cfg())
+        let m = Sim::new(&small_cfg())
+            .system(system)
+            .run(w)
             .unwrap_or_else(|e| panic!("{} under {system}: {e}", w.name()));
         assert!(m.cycles > 0);
         match &m.check {
@@ -77,8 +79,8 @@ fn deterministic_across_runs() {
     let w = Atm::new(32, 64, 2, 5);
     let cfg = small_cfg();
     for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::FgLock] {
-        let a = run_workload(&w, system, &cfg).unwrap();
-        let b = run_workload(&w, system, &cfg).unwrap();
+        let a = Sim::new(&cfg).system(system).run(&w).unwrap();
+        let b = Sim::new(&cfg).system(system).run(&w).unwrap();
         assert_eq!(a.cycles, b.cycles, "{system} not deterministic");
         assert_eq!(a.commits, b.commits);
         assert_eq!(a.aborts, b.aborts);
@@ -93,8 +95,8 @@ fn contention_drives_aborts() {
     let hot = Apriori::new(2, 64, 2, 7);
     let cold = HashTable::new("HT-C", 4096, 128, 9);
     let cfg = small_cfg();
-    let m_hot = run_workload(&hot, TmSystem::Getm, &cfg).unwrap();
-    let m_cold = run_workload(&cold, TmSystem::Getm, &cfg).unwrap();
+    let m_hot = Sim::new(&cfg).system(TmSystem::Getm).run(&hot).unwrap();
+    let m_cold = Sim::new(&cfg).system(TmSystem::Getm).run(&cold).unwrap();
     assert!(
         m_hot.aborts_per_1k_commits() > m_cold.aborts_per_1k_commits(),
         "hot {} <= cold {}",
@@ -107,7 +109,7 @@ fn contention_drives_aborts() {
 fn concurrency_throttle_respected() {
     let w = Atm::new(64, 96, 2, 5);
     let cfg = small_cfg().with_concurrency(Some(1));
-    let m = run_workload(&w, TmSystem::Getm, &cfg).unwrap();
+    let m = Sim::new(&cfg).system(TmSystem::Getm).run(&w).unwrap();
     m.assert_correct();
     // Severe throttling should show up as wait cycles.
     assert!(m.tx_wait_cycles > 0);
@@ -116,7 +118,10 @@ fn concurrency_throttle_respected() {
 #[test]
 fn getm_uses_tm_access_traffic() {
     let w = Atm::new(64, 96, 2, 5);
-    let m = run_workload(&w, TmSystem::Getm, &small_cfg()).unwrap();
+    let m = Sim::new(&small_cfg())
+        .system(TmSystem::Getm)
+        .run(&w)
+        .unwrap();
     assert!(m.xbar_by_category.get("tm-access").copied().unwrap_or(0) > 0);
     assert!(m.xbar_by_category.get("commit").copied().unwrap_or(0) > 0);
     // GETM never validates at commit time.
@@ -129,14 +134,20 @@ fn getm_uses_tm_access_traffic() {
 #[test]
 fn warptm_validates_at_commit() {
     let w = Atm::new(64, 96, 2, 5);
-    let m = run_workload(&w, TmSystem::WarpTmLL, &small_cfg()).unwrap();
+    let m = Sim::new(&small_cfg())
+        .system(TmSystem::WarpTmLL)
+        .run(&w)
+        .unwrap();
     assert!(m.xbar_by_category.get("validation").copied().unwrap_or(0) > 0);
 }
 
 #[test]
 fn eapg_broadcasts() {
     let w = Apriori::new(4, 64, 2, 7);
-    let m = run_workload(&w, TmSystem::Eapg, &small_cfg()).unwrap();
+    let m = Sim::new(&small_cfg())
+        .system(TmSystem::Eapg)
+        .run(&w)
+        .unwrap();
     assert!(m.eapg_broadcasts > 0);
     assert!(
         m.xbar_by_category

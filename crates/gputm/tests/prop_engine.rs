@@ -4,7 +4,7 @@
 //! repository has to a model checker for the protocols.
 
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::runner::run_workload;
+use gputm::runner::Sim;
 use proptest::prelude::*;
 use workloads::atm::Atm;
 use workloads::hashtable::HashTable;
@@ -39,7 +39,7 @@ proptest! {
         let w = Atm::new(accounts, threads, 2, seed);
         let machine = cfg(cores, 4, 8, parts, limit);
         for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
-            let m = run_workload(&w, system, &machine)
+            let m = Sim::new(&machine).system(system).run(&w)
                 .unwrap_or_else(|e| panic!("{system}: {e}"));
             prop_assert!(
                 matches!(m.check, Some(Ok(()))),
@@ -61,7 +61,7 @@ proptest! {
         let w = HashTable::new("HT-P", buckets, inserts, seed);
         let machine = cfg(2, 4, 8, 2, Some(4));
         for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::FgLock] {
-            let m = run_workload(&w, system, &machine)
+            let m = Sim::new(&machine).system(system).run(&w)
                 .unwrap_or_else(|e| panic!("{system}: {e}"));
             prop_assert!(
                 matches!(m.check, Some(Ok(()))),
@@ -80,7 +80,7 @@ proptest! {
     ) {
         let w = Atm::new(64, 64, 2, seed);
         let machine = cfg(2, 4, 8, 2, Some(4)).with_granularity(1 << granule_log2);
-        let m = run_workload(&w, TmSystem::Getm, &machine).expect("run");
+        let m = Sim::new(&machine).system(TmSystem::Getm).run(&w).expect("run");
         prop_assert!(matches!(m.check, Some(Ok(()))));
     }
 }

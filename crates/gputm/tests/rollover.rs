@@ -3,7 +3,7 @@
 //! table, restart the clocks, and still finish the workload correctly.
 
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::runner::run_workload;
+use gputm::runner::Sim;
 use workloads::atm::Atm;
 
 fn tiny_limit_cfg(limit: u64) -> GpuConfig {
@@ -21,7 +21,10 @@ fn rollover_fires_and_preserves_correctness() {
     // Contended transfers push logical clocks up quickly; a limit of 96
     // forces several rollovers (initial warpts already reach 0..63).
     let w = Atm::new(64, 64, 4, 11);
-    let m = run_workload(&w, TmSystem::Getm, &tiny_limit_cfg(96)).expect("run");
+    let m = Sim::new(&tiny_limit_cfg(96))
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("run");
     m.assert_correct();
     assert!(
         m.rollovers > 0,
@@ -33,7 +36,10 @@ fn rollover_fires_and_preserves_correctness() {
 #[test]
 fn generous_limit_never_rolls_over() {
     let w = Atm::new(64, 64, 2, 11);
-    let m = run_workload(&w, TmSystem::Getm, &tiny_limit_cfg(1 << 48)).expect("run");
+    let m = Sim::new(&tiny_limit_cfg(1 << 48))
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("run");
     m.assert_correct();
     assert_eq!(m.rollovers, 0);
 }
@@ -42,8 +48,14 @@ fn generous_limit_never_rolls_over() {
 fn repeated_rollovers_are_deterministic() {
     let w = Atm::new(32, 48, 4, 3);
     let cfg = tiny_limit_cfg(80);
-    let a = run_workload(&w, TmSystem::Getm, &cfg).expect("first");
-    let b = run_workload(&w, TmSystem::Getm, &cfg).expect("second");
+    let a = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("first");
+    let b = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("second");
     a.assert_correct();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.rollovers, b.rollovers);

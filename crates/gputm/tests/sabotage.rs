@@ -1,0 +1,96 @@
+//! Mutation testing for the verification oracle: build with the `sabotage`
+//! feature and deliberately break each protocol, then insist the checker
+//! catches the damage with a minimized counterexample. A verifier that
+//! certifies a sabotaged engine is worthless — these tests are the
+//! oracle's own oracle.
+//!
+//! Run with `cargo test -p gputm --features sabotage --test sabotage`.
+#![cfg(feature = "sabotage")]
+
+use gputm::config::{GpuConfig, Sabotage, TmSystem};
+use gputm::runner::Sim;
+use gputm::verify::export_counterexample;
+use workloads::fuzz::{Fuzz, FuzzShape};
+
+fn hot_machine(sabotage: Sabotage) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = 2;
+    cfg.warps_per_core = 4;
+    cfg.warp_width = 8;
+    cfg.partitions = 2;
+    cfg.sabotage = sabotage;
+    cfg
+}
+
+/// The sabotaged run must fail certification, and the violation must come
+/// with a non-empty, exportable counterexample trace.
+///
+/// Both this and [`assert_clean`] run the checker with
+/// `require_opacity(true)`: no TM system here promises opaque aborts in
+/// general (GETM's WAR aborts are asynchronous), but on these small
+/// deterministic machines the faithful engines *do* deliver consistent
+/// doomed snapshots — the clean baseline proves it — so a torn one is the
+/// mutation's fingerprint, not background noise.
+fn assert_caught(system: TmSystem, sabotage: Sabotage, w: &Fuzz) {
+    let cfg = hot_machine(sabotage);
+    let run = Sim::new(&cfg)
+        .system(system)
+        .require_opacity(true)
+        .run_verified(w)
+        .expect("sabotaged run still completes");
+    assert!(
+        !run.verdict.ok(),
+        "{system} with {sabotage:?} must fail certification, got: {}",
+        run.verdict.summary()
+    );
+    let v = &run.verdict.violations[0];
+    assert!(
+        !v.counterexample.is_empty(),
+        "violation must carry a minimized counterexample: {v:?}"
+    );
+    let mut json = Vec::new();
+    export_counterexample(v, &mut json).expect("counterexample exports");
+    let text = String::from_utf8(json).expect("chrome trace is utf-8");
+    assert!(
+        text.contains("traceEvents"),
+        "export must be a Chrome/Perfetto trace"
+    );
+}
+
+/// Same workload, faithful engine: the baseline must certify, proving the
+/// failures below come from the sabotage and not the workload.
+fn assert_clean(system: TmSystem, w: &Fuzz) {
+    let cfg = hot_machine(Sabotage::None);
+    let run = Sim::new(&cfg)
+        .system(system)
+        .require_opacity(true)
+        .run_verified(w)
+        .expect("clean run completes");
+    assert!(
+        run.verdict.ok(),
+        "{system} un-sabotaged must certify: {}",
+        run.verdict.summary()
+    );
+}
+
+#[test]
+fn getm_ignoring_load_aborts_is_caught() {
+    // The lock-steal shape loads cells it never stores, so a lane that
+    // ignores a load-conflict abort carries the forbidden value forward
+    // instead of having its own store conflict mask the damage (which is
+    // why the single-cell shape can NOT catch this mutation: there every
+    // poisoned load feeds a store on the same granule, and the store's own
+    // conflict abort discards the attempt).
+    let w = Fuzz::new(FuzzShape::LockSteal, 24, 3, 0xBAD1);
+    assert_clean(TmSystem::Getm, &w);
+    assert_caught(TmSystem::Getm, Sabotage::GetmIgnoreLoadAborts, &w);
+}
+
+#[test]
+fn wtm_forged_read_validation_is_caught() {
+    // Forged validation lets stale snapshots commit: classic lost updates
+    // on the hot cell, which the sequential-oracle replay flags.
+    let w = Fuzz::new(FuzzShape::SingleCell, 24, 3, 0xBAD2);
+    assert_clean(TmSystem::WarpTmLL, &w);
+    assert_caught(TmSystem::WarpTmLL, Sabotage::WtmForgeReadValidation, &w);
+}

@@ -1,0 +1,117 @@
+//! Transaction-history fuzzing: random adversarial plans from every
+//! [`FuzzShape`] run under every TM system, and every run must both pass
+//! the workload's final-state arithmetic and earn a serializability +
+//! opacity certificate from the verification oracle.
+//!
+//! Case counts are deliberately small (each case is a handful of full
+//! cycle-level simulations); `PROPTEST_CASES` scales them up for deeper
+//! soak runs.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::runner::Sim;
+use proptest::prelude::*;
+use workloads::fuzz::{Fuzz, FuzzShape};
+
+fn machine(cores: u32, parts: u32) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = cores;
+    cfg.warps_per_core = 4;
+    cfg.warp_width = 8;
+    cfg.partitions = parts;
+    cfg
+}
+
+fn shape_strategy() -> impl Strategy<Value = FuzzShape> {
+    prop_oneof![
+        Just(FuzzShape::SingleCell),
+        Just(FuzzShape::LockSteal),
+        Just(FuzzShape::MixedAliasing),
+        Just(FuzzShape::Scatter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case simulates three full systems
+        ..ProptestConfig::default()
+    })]
+
+    /// Every adversarial shape, under every TM system, certifies.
+    #[test]
+    fn fuzzed_histories_certify_on_all_systems(
+        shape in shape_strategy(),
+        threads in 8usize..48,
+        txns in 1usize..5,
+        seed in 0u64..10_000,
+        cores in 1u32..4,
+        parts in 1u32..4,
+    ) {
+        let w = Fuzz::new(shape, threads, txns, seed);
+        let cfg = machine(cores, parts);
+        for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
+            let run = Sim::new(&cfg)
+                .system(system)
+                .run_verified(&w)
+                .unwrap_or_else(|e| panic!("{shape} under {system}: {e}"));
+            let m = run.metrics.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "{shape} under {system} died on a protocol violation: {}",
+                    run.verdict.summary()
+                )
+            });
+            prop_assert!(
+                matches!(m.check, Some(Ok(()))),
+                "{shape} under {system} failed its arithmetic: {:?}",
+                m.check
+            );
+            prop_assert!(
+                run.verdict.ok(),
+                "{shape} under {system} failed certification: {}",
+                run.verdict.summary()
+            );
+            prop_assert!(run.verdict.stats.committed > 0);
+        }
+    }
+
+    /// The eager-lock (WarpTM-EL) variant also certifies on the
+    /// lock-stealing and single-cell shapes, where its conflict handling
+    /// differs most from lazy validation.
+    #[test]
+    fn eager_lock_variant_certifies(
+        hot in prop_oneof![Just(FuzzShape::SingleCell), Just(FuzzShape::LockSteal)],
+        threads in 8usize..32,
+        seed in 0u64..10_000,
+    ) {
+        let w = Fuzz::new(hot, threads, 2, seed);
+        let run = Sim::new(&machine(2, 2))
+            .system(TmSystem::WarpTmEL)
+            .run_verified(&w)
+            .expect("run");
+        prop_assert!(
+            run.verdict.ok(),
+            "{hot} under WarpTM-EL failed certification: {}",
+            run.verdict.summary()
+        );
+    }
+}
+
+/// One deterministic, seed-pinned case per shape so CI exercises every
+/// shape even at minimal proptest budgets.
+#[test]
+fn fixed_seed_cases_certify() {
+    let cfg = machine(2, 2);
+    for (i, shape) in FuzzShape::ALL.into_iter().enumerate() {
+        let w = Fuzz::new(shape, 24, 3, 0xFA_57 + i as u64);
+        for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
+            let run = Sim::new(&cfg)
+                .system(system)
+                .run_verified(&w)
+                .unwrap_or_else(|e| panic!("{shape} under {system}: {e}"));
+            assert!(
+                run.verdict.ok(),
+                "{shape} under {system}: {}",
+                run.verdict.summary()
+            );
+        }
+    }
+}

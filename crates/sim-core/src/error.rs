@@ -29,6 +29,19 @@ pub enum SimError {
         /// Which resource ran out.
         what: &'static str,
     },
+    /// A protocol message arrived for a request the engine has no record
+    /// of — a reply routed to an unknown token, an acknowledgement for a
+    /// commit that was never in flight, and so on. These always indicate an
+    /// engine or protocol-model bug rather than modelled behaviour; the
+    /// verifier surfaces them as verdicts instead of crashing the process.
+    ProtocolViolation {
+        /// Which routing step failed.
+        what: &'static str,
+        /// The correlation token that could not be routed.
+        token: u64,
+        /// The cycle at which the violation was detected.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +55,12 @@ impl fmt::Display for SimError {
             }
             SimError::ResourceExhausted { what } => {
                 write!(f, "simulated resource exhausted: {what}")
+            }
+            SimError::ProtocolViolation { what, token, cycle } => {
+                write!(
+                    f,
+                    "protocol violation at cycle {cycle}: {what} (token {token})"
+                )
             }
         }
     }
@@ -80,6 +99,15 @@ mod tests {
             }
             .to_string(),
             "simulated resource exhausted: stall buffer"
+        );
+        assert_eq!(
+            SimError::ProtocolViolation {
+                what: "load reply routed to unknown token",
+                token: 42,
+                cycle: 7
+            }
+            .to_string(),
+            "protocol violation at cycle 7: load reply routed to unknown token (token 42)"
         );
     }
 

@@ -1,0 +1,551 @@
+//! Transaction-history recording for offline serializability checking.
+//!
+//! A [`History`] is a complete record of one simulation run at the
+//! granularity a correctness checker needs: every transactional attempt
+//! (committed or aborted) with the exact values and memory *versions* each
+//! of its reads observed, every write in global apply order, and the
+//! engine's commit decisions as a monotonic sequence. Non-transactional
+//! stores and atomic read-modify-writes are recorded as committed singleton
+//! transactions so mixed tx/non-tx aliasing is visible to the checker;
+//! plain non-transactional loads are not constrained by any TM contract and
+//! are not recorded.
+//!
+//! [`HistoryRecorder`] follows the same zero-cost-when-off discipline as
+//! [`crate::trace::Recorder`]: a disabled recorder is a `None` handle and
+//! every hook is a single branch on it, so instrumented engine code pays
+//! nothing measurable when verification is off.
+//!
+//! This module is deliberately model-agnostic: addresses are raw `u64`
+//! words and transactions are identified by (core, warp, lane) coordinates.
+//! The conflict-graph construction and the serializability/opacity
+//! judgements live with the engine that owns the semantics (`gputm`'s
+//! `verify` module), not here.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Sentinel version id: the address's initial (pre-run) value.
+pub const INITIAL_VERSION: u32 = u32::MAX;
+
+/// Sentinel transaction id used where an attempt id is required on the wire
+/// but recording is off (or the entry is abort cleanup with no writer).
+pub const NO_TXN: u32 = u32::MAX;
+
+/// What kind of actor a recorded transaction is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// A programmer-visible transaction (`TxBegin … TxCommit`).
+    Tx,
+    /// A plain non-transactional store, recorded as a committed singleton.
+    PlainStore,
+    /// An atomic read-modify-write, recorded as a committed singleton.
+    Atomic,
+}
+
+/// How a recorded attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Still executing when the history was sealed (treated as aborted by
+    /// opacity checks: it must still have seen a consistent snapshot).
+    Open,
+    /// Reached its commit point; `seq` is the global commit-decision order.
+    Committed {
+        /// Monotonic commit-decision sequence number.
+        seq: u64,
+        /// Cycle of the commit decision.
+        cycle: u64,
+    },
+    /// Rolled back.
+    Aborted {
+        /// Cycle of the abort.
+        cycle: u64,
+    },
+}
+
+/// One observed read: the value a lane actually accepted, and the memory
+/// version that produced it (captured when the owning partition served the
+/// access). Reads satisfied by intra-transaction forwarding are *not*
+/// recorded — they never touch shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRec {
+    /// Word address.
+    pub addr: u64,
+    /// The value delivered to the lane.
+    pub value: u64,
+    /// Version id observed, or [`INITIAL_VERSION`].
+    pub version: u32,
+}
+
+/// One applied write, in the order it reached memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRec {
+    /// Word address.
+    pub addr: u64,
+    /// The value written.
+    pub value: u64,
+    /// The version this write created.
+    pub version: u32,
+}
+
+/// One transactional attempt (or non-tx singleton).
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// Actor kind.
+    pub kind: TxnKind,
+    /// Issuing core.
+    pub core: usize,
+    /// Global warp id of the issuing warp.
+    pub gwid: u32,
+    /// Lane within the warp.
+    pub lane: u32,
+    /// Cycle the attempt began.
+    pub begin_cycle: u64,
+    /// How the attempt ended.
+    pub outcome: TxnOutcome,
+    /// Reads in observation order.
+    pub reads: Vec<ReadRec>,
+    /// Writes in apply order.
+    pub writes: Vec<WriteRec>,
+}
+
+impl TxnRecord {
+    /// Whether the attempt committed.
+    pub fn committed(&self) -> bool {
+        matches!(self.outcome, TxnOutcome::Committed { .. })
+    }
+
+    /// Commit sequence number, if committed.
+    pub fn commit_seq(&self) -> Option<u64> {
+        match self.outcome {
+            TxnOutcome::Committed { seq, .. } => Some(seq),
+            _ => None,
+        }
+    }
+}
+
+/// One version of one address: the value some committed writer installed.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionRec {
+    /// Word address.
+    pub addr: u64,
+    /// Installed value.
+    pub value: u64,
+    /// The transaction that installed it.
+    pub writer: u32,
+    /// Previous version of the same address, or [`INITIAL_VERSION`].
+    pub prev: u32,
+    /// Cycle the write reached memory.
+    pub cycle: u64,
+}
+
+/// Aggregate counts over a sealed history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Transactional attempts recorded (committed + aborted + open).
+    pub attempts: u64,
+    /// Committed transactional attempts.
+    pub committed: u64,
+    /// Aborted transactional attempts.
+    pub aborted: u64,
+    /// Non-transactional singleton records (plain stores + atomics).
+    pub non_tx: u64,
+    /// Reads recorded across all attempts.
+    pub reads: u64,
+    /// Memory versions installed.
+    pub versions: u64,
+}
+
+/// The complete recorded history of a run.
+#[derive(Debug, Default)]
+pub struct History {
+    /// All recorded transactions, indexed by id.
+    pub txns: Vec<TxnRecord>,
+    /// All versions in global apply order.
+    pub versions: Vec<VersionRec>,
+    current: HashMap<u64, u32>,
+    open: HashMap<u64, u32>,
+    next_seq: u64,
+}
+
+fn slot_key(gwid: u32, lane: u32) -> u64 {
+    ((gwid as u64) << 8) | lane as u64
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// The current version id of `addr`, or [`INITIAL_VERSION`] if the run
+    /// has not written it yet.
+    pub fn version_of(&self, addr: u64) -> u32 {
+        self.current.get(&addr).copied().unwrap_or(INITIAL_VERSION)
+    }
+
+    /// Opens a new transactional attempt for `(gwid, lane)`.
+    pub fn begin(&mut self, core: usize, gwid: u32, lane: u32, cycle: u64) {
+        let id = self.txns.len() as u32;
+        self.txns.push(TxnRecord {
+            kind: TxnKind::Tx,
+            core,
+            gwid,
+            lane,
+            begin_cycle: cycle,
+            outcome: TxnOutcome::Open,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        });
+        let stale = self.open.insert(slot_key(gwid, lane), id);
+        debug_assert!(stale.is_none(), "attempt opened over an open attempt");
+    }
+
+    /// The open attempt for `(gwid, lane)`, if any.
+    pub fn current_txn(&self, gwid: u32, lane: u32) -> Option<u32> {
+        self.open.get(&slot_key(gwid, lane)).copied()
+    }
+
+    /// Records a read observed by the open attempt of `(gwid, lane)`.
+    pub fn read_observed(&mut self, gwid: u32, lane: u32, addr: u64, value: u64, version: u32) {
+        if let Some(&id) = self.open.get(&slot_key(gwid, lane)) {
+            self.txns[id as usize].reads.push(ReadRec {
+                addr,
+                value,
+                version,
+            });
+        } else {
+            debug_assert!(false, "read delivered to a lane with no open attempt");
+        }
+    }
+
+    /// Records a write by `txn` reaching memory, installing a new version.
+    pub fn write_applied(&mut self, txn: u32, addr: u64, value: u64, cycle: u64) {
+        if txn == NO_TXN {
+            return;
+        }
+        let version = self.versions.len() as u32;
+        let prev = self.version_of(addr);
+        self.versions.push(VersionRec {
+            addr,
+            value,
+            writer: txn,
+            prev,
+            cycle,
+        });
+        self.current.insert(addr, version);
+        self.txns[txn as usize].writes.push(WriteRec {
+            addr,
+            value,
+            version,
+        });
+    }
+
+    /// Closes the open attempt of `(gwid, lane)` as committed, assigning the
+    /// next commit-decision sequence number.
+    pub fn commit(&mut self, gwid: u32, lane: u32, cycle: u64) {
+        if let Some(id) = self.open.remove(&slot_key(gwid, lane)) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.txns[id as usize].outcome = TxnOutcome::Committed { seq, cycle };
+        } else {
+            debug_assert!(false, "commit for a lane with no open attempt");
+        }
+    }
+
+    /// Closes the open attempt of `(gwid, lane)` as aborted.
+    pub fn abort(&mut self, gwid: u32, lane: u32, cycle: u64) {
+        if let Some(id) = self.open.remove(&slot_key(gwid, lane)) {
+            self.txns[id as usize].outcome = TxnOutcome::Aborted { cycle };
+        } else {
+            debug_assert!(false, "abort for a lane with no open attempt");
+        }
+    }
+
+    /// Records a plain (non-transactional) store as a committed singleton.
+    pub fn singleton_write(
+        &mut self,
+        core: usize,
+        gwid: u32,
+        lane: u32,
+        addr: u64,
+        value: u64,
+        cycle: u64,
+    ) {
+        let id = self.push_singleton(TxnKind::PlainStore, core, gwid, lane, cycle);
+        self.write_applied(id, addr, value, cycle);
+    }
+
+    /// Records an atomic read-modify-write as a committed singleton: a read
+    /// of the current version (the value the atomic observed) plus the new
+    /// value if the atomic wrote one (a failed CAS reads but does not write).
+    #[allow(clippy::too_many_arguments)]
+    pub fn singleton_rmw(
+        &mut self,
+        core: usize,
+        gwid: u32,
+        lane: u32,
+        addr: u64,
+        observed: u64,
+        wrote: Option<u64>,
+        cycle: u64,
+    ) {
+        let version = self.version_of(addr);
+        let id = self.push_singleton(TxnKind::Atomic, core, gwid, lane, cycle);
+        self.txns[id as usize].reads.push(ReadRec {
+            addr,
+            value: observed,
+            version,
+        });
+        if let Some(v) = wrote {
+            self.write_applied(id, addr, v, cycle);
+        }
+    }
+
+    fn push_singleton(
+        &mut self,
+        kind: TxnKind,
+        core: usize,
+        gwid: u32,
+        lane: u32,
+        cycle: u64,
+    ) -> u32 {
+        let id = self.txns.len() as u32;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.txns.push(TxnRecord {
+            kind,
+            core,
+            gwid,
+            lane,
+            begin_cycle: cycle,
+            outcome: TxnOutcome::Committed { seq, cycle },
+            reads: Vec::new(),
+            writes: Vec::new(),
+        });
+        id
+    }
+
+    /// Aggregate counts.
+    pub fn stats(&self) -> HistoryStats {
+        let mut s = HistoryStats::default();
+        for t in &self.txns {
+            match t.kind {
+                TxnKind::Tx => {
+                    s.attempts += 1;
+                    match t.outcome {
+                        TxnOutcome::Committed { .. } => s.committed += 1,
+                        TxnOutcome::Aborted { .. } | TxnOutcome::Open => s.aborted += 1,
+                    }
+                }
+                TxnKind::PlainStore | TxnKind::Atomic => s.non_tx += 1,
+            }
+            s.reads += t.reads.len() as u64;
+        }
+        s.versions = self.versions.len() as u64;
+        s
+    }
+}
+
+/// A cheaply clonable handle to an optional [`History`], mirroring the
+/// [`crate::trace::Recorder`] pattern: when constructed with
+/// [`HistoryRecorder::off`] every method is a no-op behind one branch.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryRecorder {
+    log: Option<Rc<RefCell<History>>>,
+}
+
+impl HistoryRecorder {
+    /// A disabled recorder; all hooks are no-ops.
+    pub fn off() -> Self {
+        HistoryRecorder { log: None }
+    }
+
+    /// A recorder that captures into a fresh [`History`].
+    pub fn recording() -> Self {
+        HistoryRecorder {
+            log: Some(Rc::new(RefCell::new(History::new()))),
+        }
+    }
+
+    /// Whether recording is enabled.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Extracts the recorded history, if this handle is the last one.
+    /// Returns `None` for a disabled recorder or if other clones are alive.
+    pub fn take(self) -> Option<History> {
+        self.log
+            .and_then(|rc| Rc::try_unwrap(rc).ok())
+            .map(RefCell::into_inner)
+    }
+
+    /// See [`History::version_of`]. Returns [`INITIAL_VERSION`] when off.
+    #[inline]
+    pub fn version_of(&self, addr: u64) -> u32 {
+        match &self.log {
+            Some(l) => l.borrow().version_of(addr),
+            None => INITIAL_VERSION,
+        }
+    }
+
+    /// See [`History::current_txn`]. Returns [`NO_TXN`] when off or absent.
+    #[inline]
+    pub fn current_txn(&self, gwid: u32, lane: u32) -> u32 {
+        match &self.log {
+            Some(l) => l.borrow().current_txn(gwid, lane).unwrap_or(NO_TXN),
+            None => NO_TXN,
+        }
+    }
+
+    /// See [`History::begin`].
+    #[inline]
+    pub fn begin(&self, core: usize, gwid: u32, lane: u32, cycle: u64) {
+        if let Some(l) = &self.log {
+            l.borrow_mut().begin(core, gwid, lane, cycle);
+        }
+    }
+
+    /// See [`History::read_observed`].
+    #[inline]
+    pub fn read_observed(&self, gwid: u32, lane: u32, addr: u64, value: u64, version: u32) {
+        if let Some(l) = &self.log {
+            l.borrow_mut()
+                .read_observed(gwid, lane, addr, value, version);
+        }
+    }
+
+    /// See [`History::write_applied`].
+    #[inline]
+    pub fn write_applied(&self, txn: u32, addr: u64, value: u64, cycle: u64) {
+        if let Some(l) = &self.log {
+            l.borrow_mut().write_applied(txn, addr, value, cycle);
+        }
+    }
+
+    /// See [`History::commit`].
+    #[inline]
+    pub fn commit(&self, gwid: u32, lane: u32, cycle: u64) {
+        if let Some(l) = &self.log {
+            l.borrow_mut().commit(gwid, lane, cycle);
+        }
+    }
+
+    /// See [`History::abort`].
+    #[inline]
+    pub fn abort(&self, gwid: u32, lane: u32, cycle: u64) {
+        if let Some(l) = &self.log {
+            l.borrow_mut().abort(gwid, lane, cycle);
+        }
+    }
+
+    /// See [`History::singleton_write`].
+    #[inline]
+    pub fn singleton_write(
+        &self,
+        core: usize,
+        gwid: u32,
+        lane: u32,
+        addr: u64,
+        value: u64,
+        cycle: u64,
+    ) {
+        if let Some(l) = &self.log {
+            l.borrow_mut()
+                .singleton_write(core, gwid, lane, addr, value, cycle);
+        }
+    }
+
+    /// See [`History::singleton_rmw`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn singleton_rmw(
+        &self,
+        core: usize,
+        gwid: u32,
+        lane: u32,
+        addr: u64,
+        observed: u64,
+        wrote: Option<u64>,
+        cycle: u64,
+    ) {
+        if let Some(l) = &self.log {
+            l.borrow_mut()
+                .singleton_rmw(core, gwid, lane, addr, observed, wrote, cycle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_is_inert() {
+        let r = HistoryRecorder::off();
+        assert!(!r.is_on());
+        r.begin(0, 1, 2, 10);
+        r.read_observed(1, 2, 64, 7, INITIAL_VERSION);
+        r.commit(1, 2, 20);
+        assert_eq!(r.version_of(64), INITIAL_VERSION);
+        assert_eq!(r.current_txn(1, 2), NO_TXN);
+        assert!(r.take().is_none());
+    }
+
+    #[test]
+    fn records_versioned_lifecycle() {
+        let r = HistoryRecorder::recording();
+        assert!(r.is_on());
+
+        // Writer transaction installs version 0 of addr 64.
+        r.begin(0, 1, 0, 5);
+        let w = r.current_txn(1, 0);
+        assert_ne!(w, NO_TXN);
+        r.commit(1, 0, 9);
+        r.write_applied(w, 64, 111, 12); // GETM-style late apply after commit
+
+        // Reader observes that version.
+        r.begin(0, 2, 3, 10);
+        assert_eq!(r.version_of(64), 0);
+        r.read_observed(2, 3, 64, 111, r.version_of(64));
+        r.abort(2, 3, 15);
+
+        // Non-tx traffic is recorded as committed singletons.
+        r.singleton_write(1, 9, 1, 128, 5, 20);
+        r.singleton_rmw(1, 9, 2, 64, 111, Some(112), 21);
+
+        let h = r.take().expect("sole handle");
+        let s = h.stats();
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.non_tx, 2);
+        assert_eq!(s.reads, 2); // tx read + atomic's implicit read
+        assert_eq!(s.versions, 3);
+
+        assert_eq!(h.versions[0].prev, INITIAL_VERSION);
+        assert_eq!(h.versions[0].writer, w);
+        assert_eq!(h.versions[2].addr, 64);
+        assert_eq!(h.versions[2].prev, 0);
+        let aborted = &h.txns[1];
+        assert_eq!(aborted.reads[0].version, 0);
+        assert!(matches!(aborted.outcome, TxnOutcome::Aborted { cycle: 15 }));
+
+        // Commit-decision sequence numbers are dense and ordered.
+        let seqs: Vec<u64> = h.txns.iter().filter_map(TxnRecord::commit_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clone_shares_the_log() {
+        let r = HistoryRecorder::recording();
+        let c = r.clone();
+        c.begin(0, 4, 4, 1);
+        c.commit(4, 4, 2);
+        assert!(c.take().is_none(), "two handles alive");
+        let h = r.take().expect("last handle");
+        assert_eq!(h.stats().committed, 1);
+    }
+}

@@ -23,6 +23,7 @@ pub mod cycle;
 pub mod error;
 pub mod events;
 pub mod hash;
+pub mod history;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -31,6 +32,7 @@ pub use cycle::Cycle;
 pub use error::SimError;
 pub use events::EventWheel;
 pub use hash::StableHasher;
+pub use history::{History, HistoryRecorder};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, LogHistogram, MaxTracker, RatioStat, StatSet, TimeSeries};
 pub use trace::{AbortCause, EventBus, Recorder, SimEvent, Stamp, TraceSink};

@@ -194,23 +194,24 @@ impl WarptmValidator {
 
     /// Applies the writes of a previously validated job, excluding lanes
     /// in `global_failed` (lanes that failed at *another* partition).
-    /// Returns the surviving writes for the engine to apply plus the apply
-    /// cycles.
+    /// Returns the surviving writes — still tagged with the lane that
+    /// issued them, so the engine can attribute each applied word to the
+    /// right thread when recording histories — plus the apply cycles.
     ///
     /// # Panics
     ///
     /// Panics if the token was never validated (an engine bug).
-    pub fn commit(&mut self, token: u64, global_failed: u64) -> (Vec<(Addr, u64)>, u32) {
+    pub fn commit(&mut self, token: u64, global_failed: u64) -> (Vec<LaneEntry>, u32) {
         let retained = self
             .limbo
             .remove(&token)
             .expect("commit for unknown validation token");
         self.release_granules(&retained);
         self.release_reads(token);
-        let survivors: Vec<(Addr, u64)> = retained
+        let survivors: Vec<LaneEntry> = retained
             .iter()
             .filter(|e| global_failed & (1 << e.lane) == 0)
-            .map(|e| (e.addr, e.value))
+            .copied()
             .collect();
         let cycles = survivors.len().max(1) as u32;
         (survivors, cycles)
@@ -325,9 +326,9 @@ mod tests {
             |a| if a.0 == 256 { 7 } else { 0 },
         );
         assert_eq!(verdict.failed_lanes, 0b01);
-        // Only lane 1's write survives the commit.
+        // Only lane 1's write survives the commit, still lane-tagged.
         let (writes, _) = v.commit(1, verdict.failed_lanes);
-        assert_eq!(writes, vec![(Addr(1024), 2)]);
+        assert_eq!(writes, vec![entry(1, 1024, 2)]);
         assert_eq!(v.failed(), 1);
     }
 
@@ -341,7 +342,7 @@ mod tests {
         assert!(verdict.all_ok());
         // Lane 1 failed at some other partition.
         let (writes, _) = v.commit(1, 0b10);
-        assert_eq!(writes, vec![(Addr(8), 1)]);
+        assert_eq!(writes, vec![entry(0, 8, 1)]);
         assert!(v.limbo_granule_set().is_empty());
     }
 

@@ -29,6 +29,7 @@ pub mod atm;
 pub mod barneshut;
 pub mod cloth;
 pub mod cudacuts;
+pub mod fuzz;
 pub mod hashtable;
 pub mod suite;
 pub mod testutil;

@@ -172,18 +172,6 @@ pub const NAMES: [&str; 9] = [
     "HT-H", "HT-M", "HT-L", "ATM", "CL", "CLto", "BH", "CC", "AP",
 ];
 
-/// Builds one benchmark by name.
-///
-/// # Panics
-///
-/// Panics on an unknown name.
-#[deprecated(note = "parse a `Benchmark` and call `.build(scale)` instead")]
-pub fn by_name(name: &str, scale: Scale) -> Box<dyn Workload> {
-    name.parse::<Benchmark>()
-        .unwrap_or_else(|e| panic!("unknown benchmark: {e}"))
-        .build(scale)
-}
-
 /// The full nine-benchmark suite at the given scale, in the paper's order.
 pub fn full_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
     Benchmark::ALL.iter().map(|b| b.build(scale)).collect()
@@ -237,12 +225,5 @@ mod tests {
         for b in Benchmark::ALL {
             assert_eq!(b.build(Scale::Fast).name(), b.name());
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown benchmark")]
-    fn by_name_wrapper_panics_on_unknown() {
-        #[allow(deprecated)]
-        by_name("nope", Scale::Fast);
     }
 }

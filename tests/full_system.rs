@@ -33,7 +33,9 @@ fn every_workload_under_every_system_is_correct() {
     let cfg = quick_cfg();
     for w in small_suite() {
         for system in TmSystem::ALL {
-            let m = run_workload(w.as_ref(), system, &cfg)
+            let m = Sim::new(&cfg)
+                .system(system)
+                .run(w.as_ref())
                 .unwrap_or_else(|e| panic!("{} under {system}: {e}", w.name()));
             match &m.check {
                 Some(Ok(())) => {}
@@ -56,8 +58,8 @@ fn runs_are_cycle_exact_deterministic() {
     let cfg = quick_cfg();
     let w = workloads::atm::Atm::new(512, 192, 2, 9);
     for system in TmSystem::ALL {
-        let a = run_workload(&w, system, &cfg).expect("first run");
-        let b = run_workload(&w, system, &cfg).expect("second run");
+        let a = Sim::new(&cfg).system(system).run(&w).expect("first run");
+        let b = Sim::new(&cfg).system(system).run(&w).expect("second run");
         assert_eq!(a.cycles, b.cycles, "{system} cycles diverged");
         assert_eq!(a.commits, b.commits);
         assert_eq!(a.aborts, b.aborts);
@@ -70,9 +72,12 @@ fn runs_are_cycle_exact_deterministic() {
 fn seed_changes_the_execution_but_not_correctness() {
     let mut cfg = quick_cfg();
     let w = workloads::hashtable::HashTable::new("HT-S2", 64, 256, 3);
-    let base = run_workload(&w, TmSystem::Getm, &cfg).expect("base");
+    let base = Sim::new(&cfg).system(TmSystem::Getm).run(&w).expect("base");
     cfg.seed ^= 0xDEAD;
-    let other = run_workload(&w, TmSystem::Getm, &cfg).expect("other seed");
+    let other = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("other seed");
     other.assert_correct();
     // Different hash functions / backoff draws virtually always shift the
     // cycle count at least slightly.
@@ -89,8 +94,11 @@ fn getm_commit_traffic_is_write_log_only() {
     // be well below WarpTM's validation bytes (which carry read logs too).
     let cfg = quick_cfg();
     let w = workloads::atm::Atm::new(1024, 256, 2, 4);
-    let getm = run_workload(&w, TmSystem::Getm, &cfg).expect("getm");
-    let wtm = run_workload(&w, TmSystem::WarpTmLL, &cfg).expect("wtm");
+    let getm = Sim::new(&cfg).system(TmSystem::Getm).run(&w).expect("getm");
+    let wtm = Sim::new(&cfg)
+        .system(TmSystem::WarpTmLL)
+        .run(&w)
+        .expect("wtm");
     assert_eq!(
         getm.xbar_by_category
             .get("validation")
@@ -113,8 +121,14 @@ fn concurrency_throttle_trades_wait_for_conflicts() {
     let w = workloads::hashtable::HashTable::new("HT-S3", 64, 512, 7);
     let strict = quick_cfg().with_concurrency(Some(1));
     let loose = quick_cfg().with_concurrency(None);
-    let m_strict = run_workload(&w, TmSystem::Getm, &strict).expect("strict");
-    let m_loose = run_workload(&w, TmSystem::Getm, &loose).expect("loose");
+    let m_strict = Sim::new(&strict)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("strict");
+    let m_loose = Sim::new(&loose)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("loose");
     m_strict.assert_correct();
     m_loose.assert_correct();
     assert!(
@@ -176,7 +190,10 @@ fn tcd_silently_commits_read_only_transactions() {
         }
     }
 
-    let m = run_workload(&ReadOnlyWorkload, TmSystem::WarpTmLL, &quick_cfg()).expect("run");
+    let m = Sim::new(&quick_cfg())
+        .system(TmSystem::WarpTmLL)
+        .run(&ReadOnlyWorkload)
+        .expect("run");
     m.assert_correct();
     assert_eq!(
         m.silent_commits, m.commits,
