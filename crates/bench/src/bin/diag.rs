@@ -91,5 +91,12 @@ fn main() {
                 m.getm_aborts_load, m.getm_aborts_store, m.getm_aborts_approx, m.getm_max_cause_ts
             );
         }
+        if m.degraded {
+            println!(
+                "    watchdog: DEGRADED run (backoff escalations={}, serialized commits={}) \
+                 — timing reflects the forward-progress fallback, not free-running execution",
+                m.watchdog_escalations, m.serialized_commits
+            );
+        }
     }
 }

@@ -11,6 +11,10 @@
 //! --cache-dir PATH   result-cache location (default: $GETM_SWEEP_CACHE
 //!                    or target/sweep-cache)
 //! --quiet            suppress per-cell progress lines on stderr
+//! --resume           honor the sweep journal: recall cells a killed run
+//!                    completed, recompute only the rest (needs the cache)
+//! --failures POLICY  fail-fast (default) | collect-all | retry:N
+//! --cell-timeout S   cancel any cell running longer than S wall seconds
 //! --trace PATH       re-run the figure's representative cell with event
 //!                    tracing on and write a Chrome trace-event JSON file
 //!                    (open in Perfetto / chrome://tracing)
@@ -22,8 +26,9 @@
 //! Remaining non-flag arguments are collected as positionals (the `diag`
 //! binary takes a benchmark name).
 
-use gputm::sweep::{ResultCache, SweepOptions};
+use gputm::sweep::{FailurePolicy, ResultCache, SweepOptions};
 use std::path::PathBuf;
+use std::time::Duration;
 use workloads::suite::Scale;
 
 /// Parsed common arguments.
@@ -39,6 +44,12 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// Per-cell progress lines on stderr.
     pub progress: bool,
+    /// Honor the sweep journal of a killed run (requires the cache).
+    pub resume: bool,
+    /// What the sweep does with failing cells.
+    pub failures: FailurePolicy,
+    /// Wall-clock budget per cell, if any.
+    pub cell_timeout: Option<Duration>,
     /// Write a Chrome trace-event JSON of the representative cell here.
     pub trace: Option<PathBuf>,
     /// Print the windowed time series of this probe gauge (implies a
@@ -56,6 +67,9 @@ impl Default for Args {
             cache: true,
             cache_dir: None,
             progress: true,
+            resume: false,
+            failures: FailurePolicy::FailFast,
+            cell_timeout: None,
             trace: None,
             probe: None,
             positional: Vec::new(),
@@ -89,6 +103,18 @@ impl Args {
                 "--serial" => out.jobs = 1,
                 "--no-cache" => out.cache = false,
                 "--quiet" => out.progress = false,
+                "--resume" => out.resume = true,
+                "--failures" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    out.failures = parse_failure_policy(&v)?;
+                }
+                "--cell-timeout" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    let secs = v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("{arg} needs a positive number of seconds, got {v:?}")
+                    })?;
+                    out.cell_timeout = Some(Duration::from_secs(secs));
+                }
                 "--jobs" | "-j" => {
                     let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                     out.jobs = v
@@ -115,6 +141,9 @@ impl Args {
                 _ => out.positional.push(arg),
             }
         }
+        if out.resume && !out.cache {
+            return Err("--resume needs the result cache (conflicts with --no-cache)".into());
+        }
         Ok(out)
     }
 
@@ -122,7 +151,12 @@ impl Args {
     pub fn sweep_options(&self) -> SweepOptions {
         let mut opts = SweepOptions::new()
             .threads(self.jobs)
-            .progress(self.progress);
+            .progress(self.progress)
+            .failure_policy(self.failures)
+            .resume(self.resume);
+        if let Some(limit) = self.cell_timeout {
+            opts = opts.cell_timeout(limit);
+        }
         if self.cache {
             opts = opts.cache(match &self.cache_dir {
                 Some(dir) => ResultCache::new(dir.clone()),
@@ -130,6 +164,24 @@ impl Args {
             });
         }
         opts
+    }
+}
+
+/// Parses `--failures` values: `fail-fast`, `collect-all`, or `retry:N`.
+fn parse_failure_policy(v: &str) -> Result<FailurePolicy, String> {
+    match v {
+        "fail-fast" => Ok(FailurePolicy::FailFast),
+        "collect-all" => Ok(FailurePolicy::CollectAll),
+        _ => {
+            let attempts = v
+                .strip_prefix("retry:")
+                .and_then(|n| n.parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    format!("--failures takes fail-fast, collect-all, or retry:N, got {v:?}")
+                })?;
+            Ok(FailurePolicy::Retry { attempts })
+        }
     }
 }
 
@@ -143,6 +195,10 @@ common flags (all figure binaries):
   --cache-dir PATH   result-cache location (default: $GETM_SWEEP_CACHE
                      or target/sweep-cache)
   --quiet            suppress per-cell progress lines on stderr
+  --resume           honor the sweep journal: recall cells a killed run
+                     completed, recompute only the rest (needs the cache)
+  --failures POLICY  fail-fast (default) | collect-all | retry:N
+  --cell-timeout S   cancel any cell running longer than S wall seconds
   --trace PATH       write a Chrome trace-event JSON of the figure's
                      representative cell (open in Perfetto)
   --probe METRIC     print the windowed time series of one probe gauge
@@ -214,6 +270,39 @@ mod tests {
             opts.result_cache.unwrap().dir(),
             std::path::Path::new("/tmp/xyz")
         );
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let a = parse(&["--resume", "--failures", "retry:3", "--cell-timeout", "120"]).unwrap();
+        assert!(a.resume);
+        assert_eq!(a.failures, FailurePolicy::Retry { attempts: 3 });
+        assert_eq!(a.cell_timeout, Some(Duration::from_secs(120)));
+        let opts = a.sweep_options();
+        assert!(opts.resume);
+        assert_eq!(opts.failure_policy, FailurePolicy::Retry { attempts: 3 });
+        assert_eq!(opts.cell_timeout, Some(Duration::from_secs(120)));
+
+        assert_eq!(
+            parse(&["--failures", "collect-all"]).unwrap().failures,
+            FailurePolicy::CollectAll
+        );
+        assert_eq!(
+            parse(&["--failures", "fail-fast"]).unwrap().failures,
+            FailurePolicy::FailFast
+        );
+        assert!(parse(&["--failures", "retry:0"])
+            .unwrap_err()
+            .contains("retry:N"));
+        assert!(parse(&["--failures", "shrug"])
+            .unwrap_err()
+            .contains("retry:N"));
+        assert!(parse(&["--cell-timeout", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--resume", "--no-cache"])
+            .unwrap_err()
+            .contains("--resume needs the result cache"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod traceview;
 
 use gputm::config::{GpuConfig, TmSystem};
 use gputm::metrics::Metrics;
-use gputm::sweep::{run_sweep, CellSpec, ExperimentSpec, SweepOptions};
+use gputm::sweep::{run_sweep, run_sweep_report, CellSpec, ExperimentSpec, SweepOptions};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use workloads::suite::{Benchmark, Scale};
@@ -115,11 +115,24 @@ impl Harness {
     /// # Panics
     ///
     /// Panics if any cell fails or violates its workload's invariants — a
-    /// figure must never be built from a broken run.
+    /// figure must never be built from a broken run. Before panicking,
+    /// every cell failure (not just the first) is printed to stderr, so a
+    /// long sweep's postmortem starts with the full casualty list.
     pub fn prefetch(&self, spec: &ExperimentSpec) {
-        let outcomes = run_sweep(spec, &self.opts).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+        let report = run_sweep_report(spec, &self.opts);
+        if !report.is_complete() {
+            for f in &report.failures {
+                eprintln!("sweep: {f}");
+            }
+            panic!(
+                "sweep failed: {} of {} cells failed ({} skipped)",
+                report.failures.len(),
+                spec.len(),
+                report.skipped
+            );
+        }
         let mut memo = self.memo.lock().expect("memo lock");
-        for o in outcomes {
+        for o in report.outcomes {
             o.metrics.assert_correct();
             memo.insert(o.cell.cache_key(), o.metrics);
         }

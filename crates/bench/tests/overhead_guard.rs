@@ -12,10 +12,20 @@
 //! branch on `None`; (c) is typically well under 0.1% of (a)).
 
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::sweep::CellSpec;
+use gputm::sweep::{run_sweep_report, CellSpec, ExperimentSpec, SweepOptions};
 use sim_core::{AbortCause, Recorder, SimEvent, Stamp};
 use std::hint::black_box;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Timing tests must not contend with each other for cores: a concurrent
+/// sibling skews a 2% budget comparison far more than the overhead under
+/// test. Every guard takes this lock for its whole body.
+static TIMING: Mutex<()> = Mutex::new(());
+
+fn timing_lock() -> MutexGuard<'static, ()> {
+    TIMING.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn cell() -> CellSpec {
     CellSpec::new(
@@ -41,6 +51,7 @@ fn min_time(reps: usize, mut f: impl FnMut()) -> Duration {
 
 #[test]
 fn disabled_tracing_costs_less_than_two_percent_of_a_run() {
+    let _serial = timing_lock();
     let cell = cell();
 
     // (a) One untraced run (recorder off — the production configuration).
@@ -81,5 +92,38 @@ fn disabled_tracing_costs_less_than_two_percent_of_a_run() {
         emit_time < budget,
         "disabled tracing overhead {emit_time:?} exceeds 2% of a run \
          ({run_time:?} for {events} events; budget {budget:?})"
+    );
+}
+
+/// The same budget for the sweep executor's robustness machinery: with
+/// everything off (no progress reporter, fail-fast policy so the retry
+/// loop is a single pass, no per-cell timeout, no cache/journal), routing
+/// a cell through the fault-isolated executor — `catch_unwind`, policy
+/// dispatch, worker scope, result channel — must cost less than 2% over
+/// calling the cell directly. The guard measures both paths min-of-3 on
+/// the same cell; the fixed per-sweep cost (one thread spawn, one
+/// channel) is sub-millisecond against a multi-hundred-millisecond run.
+#[test]
+fn disabled_sweep_robustness_costs_less_than_two_percent_of_a_run() {
+    let _serial = timing_lock();
+    let cell = cell();
+    let direct = min_time(3, || {
+        black_box(cell.run().expect("run"));
+    });
+
+    let spec = ExperimentSpec::from_cells(vec![cell]);
+    let opts = SweepOptions::new().threads(1);
+    let swept = min_time(3, || {
+        let report = run_sweep_report(&spec, &opts);
+        assert!(report.is_complete());
+        black_box(&report.outcomes);
+    });
+
+    let budget = direct.mul_f64(1.02);
+    assert!(
+        swept < budget,
+        "fault-isolated executor took {swept:?} against a direct run's \
+         {direct:?} (budget {budget:?}) — the disabled robustness path \
+         must stay within 2%"
     );
 }

@@ -62,6 +62,20 @@ impl Backoff {
         self.lifetime_aborts += 1;
     }
 
+    /// Raises the window cap by one doubling (up to a hard ceiling of
+    /// 2^16 x base). The forward-progress watchdog calls this when a
+    /// whole progress window elapses without a commit: wider maximum
+    /// windows spread retries of the contending warps further apart,
+    /// which is often all a near-livelock needs.
+    pub fn escalate(&mut self) {
+        self.max_exponent = (self.max_exponent + 1).min(16);
+    }
+
+    /// The current window-growth cap (exponent of the maximum doubling).
+    pub fn max_exponent(&self) -> u32 {
+        self.max_exponent
+    }
+
     /// Resets after a successful commit.
     pub fn reset(&mut self) {
         self.attempts = 0;
@@ -127,6 +141,22 @@ mod tests {
         for _ in 0..50 {
             assert!(b.next_delay(&mut rng) < 4);
         }
+    }
+
+    #[test]
+    fn escalate_raises_the_cap_and_saturates() {
+        let mut b = Backoff::new(4, 3);
+        for _ in 0..10 {
+            b.note_abort();
+        }
+        assert_eq!(b.current_window(), 4 << 3);
+        b.escalate();
+        assert_eq!(b.max_exponent(), 4);
+        assert_eq!(b.current_window(), 4 << 4);
+        for _ in 0..100 {
+            b.escalate();
+        }
+        assert_eq!(b.max_exponent(), 16, "escalation must saturate");
     }
 
     #[test]

@@ -108,6 +108,72 @@ pub enum Sabotage {
     WtmForgeReadValidation,
 }
 
+/// Forward-progress watchdog configuration.
+///
+/// The watchdog samples GPU-wide commit progress once per `window` cycles.
+/// A window in which transactional warps were live but *nothing committed*
+/// counts as starved; consecutive starved windows walk a degradation
+/// ladder — widen every warp's backoff (cheap, often enough), then enter
+/// *serialization fallback* (one starving warp is granted priority while
+/// the rest are throttled, the software analogue of the serial-irrevocable
+/// fallback hardware TMs use), and finally give up with a diagnostic
+/// [`sim_core::LivelockReport`] instead of burning the whole
+/// [`GpuConfig::max_cycles`] budget.
+///
+/// Healthy workloads commit every window, so an enabled watchdog never
+/// fires on them and the simulation is bit-identical to one without it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Master switch; `false` restores the bare `max_cycles` bail.
+    pub enabled: bool,
+    /// Progress window in cycles.
+    pub window: u64,
+    /// Consecutive starved windows before backoff escalation.
+    pub escalate_after: u32,
+    /// Consecutive starved windows before serialization fallback. Set
+    /// above `livelock_after` to disable the fallback entirely (the
+    /// watchdog then reports livelock without trying to degrade).
+    pub serialize_after: u32,
+    /// Consecutive starved windows before declaring livelock.
+    pub livelock_after: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            window: 250_000,
+            escalate_after: 2,
+            serialize_after: 4,
+            livelock_after: 16,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A disabled watchdog (bare `max_cycles` behaviour).
+    pub fn disabled() -> Self {
+        WatchdogConfig {
+            enabled: false,
+            ..WatchdogConfig::default()
+        }
+    }
+
+    /// A watchdog that never serializes: starvation escalates backoff and
+    /// then reports livelock directly. Used to *diagnose* pathological
+    /// workloads rather than push them through.
+    #[must_use]
+    pub fn without_fallback(mut self) -> Self {
+        self.serialize_after = self.livelock_after + 1;
+        self
+    }
+
+    /// Whether serialization fallback can ever engage.
+    pub fn fallback_enabled(&self) -> bool {
+        self.serialize_after <= self.livelock_after
+    }
+}
+
 /// Full machine + protocol configuration.
 #[derive(Debug, Clone)]
 pub struct GpuConfig {
@@ -143,6 +209,8 @@ pub struct GpuConfig {
     pub ts_limit: u64,
     /// Simulation cycle budget before a run is declared livelocked.
     pub max_cycles: u64,
+    /// Forward-progress watchdog (starvation detection + degradation).
+    pub watchdog: WatchdogConfig,
     /// Root seed for every random stream in the run.
     pub seed: u64,
     /// Fault-injection selector (a no-op without the `sabotage` feature).
@@ -169,6 +237,7 @@ impl GpuConfig {
             tcd_entries: 1024,
             ts_limit: 1 << 48,
             max_cycles: 200_000_000,
+            watchdog: WatchdogConfig::default(),
             seed: 0x6E7A,
             sabotage: Sabotage::None,
         }
@@ -264,6 +333,26 @@ impl GpuConfig {
                 "use None for unlimited, not zero",
             ));
         }
+        if self.watchdog.enabled {
+            if self.watchdog.window == 0 {
+                return Err(SimError::invalid_config(
+                    "watchdog",
+                    "window must be nonzero when the watchdog is enabled",
+                ));
+            }
+            if self.watchdog.escalate_after == 0 || self.watchdog.livelock_after == 0 {
+                return Err(SimError::invalid_config(
+                    "watchdog",
+                    "escalate_after and livelock_after must be nonzero",
+                ));
+            }
+            if self.watchdog.escalate_after > self.watchdog.livelock_after {
+                return Err(SimError::invalid_config(
+                    "watchdog",
+                    "escalate_after must not exceed livelock_after",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -326,6 +415,34 @@ mod tests {
         let mut c = GpuConfig::tiny_test();
         c.warp_width = 65;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn watchdog_defaults_and_validation() {
+        let d = WatchdogConfig::default();
+        assert!(d.enabled && d.fallback_enabled());
+        assert!(!WatchdogConfig::disabled().enabled);
+        let no_fb = WatchdogConfig::default().without_fallback();
+        assert!(!no_fb.fallback_enabled());
+        // A disabled-fallback watchdog still validates.
+        let mut c = GpuConfig::tiny_test();
+        c.watchdog = no_fb;
+        c.validate().unwrap();
+
+        let mut c = GpuConfig::tiny_test();
+        c.watchdog.window = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.watchdog.escalate_after = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.watchdog.escalate_after = c.watchdog.livelock_after + 1;
+        assert!(c.validate().is_err());
+        // Everything goes when the watchdog is off.
+        let mut c = GpuConfig::tiny_test();
+        c.watchdog = WatchdogConfig::disabled();
+        c.watchdog.window = 0;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -20,12 +20,22 @@ impl Engine {
     // ===================== issue =====================
 
     /// Refills finished warp slots and issues one instruction on core `c`.
-    pub(crate) fn issue_core(&mut self, c: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ProtocolViolation`] if a scheduled lane's staged op does
+    /// not match its op-kind group (a program/engine bug, not modelled
+    /// behaviour).
+    pub(crate) fn issue_core(&mut self, c: usize) -> Result<(), SimError> {
         self.retire_and_refill(c);
 
         // Compute readiness, including the TxBegin throttle.
         let now = self.now;
         let limit = self.cfg.tx_concurrency;
+        // Serialization fallback: while the watchdog has the machine
+        // serialized, only the priority warp may open new regions.
+        let serialized = self.wd.mode == super::WdMode::Serialized;
+        let priority = self.wd.priority;
         let nwarps = self.cores[c].warps.len();
         let mut ready = vec![false; nwarps];
         for (w, ready_slot) in ready.iter_mut().enumerate() {
@@ -57,6 +67,9 @@ impl Engine {
                 if self.rollover_pending {
                     continue; // hold new transactions during rollover
                 }
+                if serialized && priority != Some(slot.gwid.0 as u64) {
+                    continue; // serialization fallback: one warp at a time
+                }
                 if !slot.warp.holds_tx_token {
                     if let Some(limit) = limit {
                         if tokens >= limit {
@@ -75,8 +88,9 @@ impl Engine {
         let pick = sched.pick(|w| ready[w]);
         self.cores[c].sched = sched;
         if let Some(w) = pick {
-            self.issue_warp(c, w);
+            self.issue_warp(c, w)?;
         }
+        Ok(())
     }
 
     fn retire_and_refill(&mut self, c: usize) {
@@ -104,7 +118,7 @@ impl Engine {
         }
     }
 
-    fn issue_warp(&mut self, c: usize, w: usize) {
+    fn issue_warp(&mut self, c: usize, w: usize) -> Result<(), SimError> {
         let kind = {
             let slot = self.cores[c].warps[w].as_mut().expect("scheduled warp");
             // Mirror the readiness scan: TxBegin lanes are not issuable
@@ -139,8 +153,8 @@ impl Engine {
         match kind {
             K::Compute => self.issue_compute(c, w, &group),
             K::TxBegin => self.issue_tx_begin(c, w, &group),
-            K::TxLoad => self.issue_tx_access(c, w, &group, false),
-            K::TxStore => self.issue_tx_access(c, w, &group, true),
+            K::TxLoad => self.issue_tx_access(c, w, &group, false)?,
+            K::TxStore => self.issue_tx_access(c, w, &group, true)?,
             K::TxCommit => {
                 let slot = self.cores[c].warps[w].as_mut().expect("warp");
                 for &l in &group {
@@ -156,9 +170,9 @@ impl Engine {
                 }
                 self.maybe_warp_commit(c, w);
             }
-            K::Load => self.issue_plain_load(c, w, &group),
-            K::Store => self.issue_plain_store(c, w, &group),
-            K::Atomic => self.issue_atomic(c, w, &group),
+            K::Load => self.issue_plain_load(c, w, &group)?,
+            K::Store => self.issue_plain_store(c, w, &group)?,
+            K::Atomic => self.issue_atomic(c, w, &group)?,
             K::Done => {
                 let slot = self.cores[c].warps[w].as_mut().expect("warp");
                 for &l in &group {
@@ -167,6 +181,7 @@ impl Engine {
                 }
             }
         }
+        Ok(())
     }
 
     fn issue_compute(&mut self, c: usize, w: usize, group: &[u32]) {
@@ -219,7 +234,13 @@ impl Engine {
 
     /// Transactional loads and stores: intra-warp conflict check, logging,
     /// and protocol-specific routing.
-    fn issue_tx_access(&mut self, c: usize, w: usize, group: &[u32], is_store: bool) {
+    fn issue_tx_access(
+        &mut self,
+        c: usize,
+        w: usize,
+        group: &[u32],
+        is_store: bool,
+    ) -> Result<(), SimError> {
         let geom = self.geom;
         // Phase 1: intra-warp conflict detection + logging (core-local).
         let mut survivors: Vec<(u32, Addr, u64)> = Vec::new();
@@ -230,7 +251,13 @@ impl Engine {
                 let (addr, value) = match slot.warp.threads[l as usize].staged_op {
                     Some(Op::TxLoad(a)) => (a, 0),
                     Some(Op::TxStore(a, v)) => (a, v),
-                    other => panic!("expected tx access, found {other:?}"),
+                    _ => {
+                        return Err(SimError::ProtocolViolation {
+                            what: "staged op is not a transactional access at issue",
+                            token: slot.gwid.0 as u64,
+                            cycle: self.now.raw(),
+                        })
+                    }
                 };
                 let g = geom.granule_of(addr);
                 // First-accessor-wins: only *live* lanes (still executing
@@ -308,6 +335,7 @@ impl Engine {
         if lanes_aborted {
             self.maybe_warp_commit(c, w);
         }
+        Ok(())
     }
 
     /// GETM: one eager-check request per distinct granule.
@@ -429,7 +457,7 @@ impl Engine {
         }
     }
 
-    fn issue_plain_load(&mut self, c: usize, w: usize, group: &[u32]) {
+    fn issue_plain_load(&mut self, c: usize, w: usize, group: &[u32]) -> Result<(), SimError> {
         let geom = self.geom;
         let use_l1 = self.system.is_tm();
         let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
@@ -437,7 +465,11 @@ impl Engine {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
                 let Some(Op::Load(a)) = slot.warp.threads[l as usize].staged_op else {
-                    panic!("expected Load");
+                    return Err(SimError::ProtocolViolation {
+                        what: "staged op is not a plain load at issue",
+                        token: slot.gwid.0 as u64,
+                        cycle: self.now.raw(),
+                    });
                 };
                 slot.warp.threads[l as usize].consume_op();
                 let g = geom.granule_of(a);
@@ -490,12 +522,13 @@ impl Engine {
             self.up
                 .send(now, part, 16, UpMsg::PlainLoad { addr, token }, "load");
         }
+        Ok(())
     }
 
     /// Plain stores apply to the memory image immediately (GPU stores are
     /// fire-and-forget through a store buffer); the message only charges
     /// crossbar and LLC bandwidth.
-    fn issue_plain_store(&mut self, c: usize, w: usize, group: &[u32]) {
+    fn issue_plain_store(&mut self, c: usize, w: usize, group: &[u32]) -> Result<(), SimError> {
         let geom = self.geom;
         let now = self.now;
         let mut sends: Vec<(usize, Addr, u64, u32)> = Vec::new();
@@ -503,7 +536,11 @@ impl Engine {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
                 let Some(Op::Store(a, v)) = slot.warp.threads[l as usize].staged_op else {
-                    panic!("expected Store");
+                    return Err(SimError::ProtocolViolation {
+                        what: "staged op is not a plain store at issue",
+                        token: slot.gwid.0 as u64,
+                        cycle: self.now.raw(),
+                    });
                 };
                 slot.warp.threads[l as usize].consume_op();
                 let part = geom.partition_of(a) as usize;
@@ -526,9 +563,10 @@ impl Engine {
                 "store",
             );
         }
+        Ok(())
     }
 
-    fn issue_atomic(&mut self, c: usize, w: usize, group: &[u32]) {
+    fn issue_atomic(&mut self, c: usize, w: usize, group: &[u32]) -> Result<(), SimError> {
         let geom = self.geom;
         let now = self.now;
         for &l in group {
@@ -543,7 +581,13 @@ impl Engine {
                         AtomicOp::Cas { addr, expect, new }
                     }
                     Some(Op::AtomicAdd { addr, delta }) => AtomicOp::Add { addr, delta },
-                    other => panic!("expected atomic, found {other:?}"),
+                    _ => {
+                        return Err(SimError::ProtocolViolation {
+                            what: "staged op is not an atomic at issue",
+                            token: slot.gwid.0 as u64,
+                            cycle: self.now.raw(),
+                        })
+                    }
                 }
             };
             let token = self.fresh_token();
@@ -559,6 +603,7 @@ impl Engine {
             self.up
                 .send(now, part, 16, UpMsg::Atomic { op, token }, "atomic");
         }
+        Ok(())
     }
 
     // ===================== replies =====================
@@ -678,6 +723,9 @@ impl Engine {
                 slot.warp.abort_cause_ts = slot.warp.abort_cause_ts.max(cause_ts);
                 let gwid = slot.gwid.0;
                 let mut aborted = 0u32;
+                // Hot-spot attribution for the livelock report, tallied
+                // only while the watchdog is alert (zero cost otherwise).
+                let wd_alert = self.wd.alert();
                 for &(l, a) in &lanes {
                     let li = l as usize;
                     if is_store {
@@ -694,6 +742,9 @@ impl Engine {
                     t.aborts += 1;
                     self.stats.aborts += 1;
                     aborted += 1;
+                    if wd_alert {
+                        self.wd.note_abort_addr(a.0);
+                    }
                     self.hist.abort(gwid, l, now);
                 }
                 if aborted > 0 {
@@ -1466,7 +1517,15 @@ impl Engine {
                 }
             }
             slot.warp.backoff.note_abort();
-            let delay = slot.warp.backoff.next_delay(&mut slot.rng);
+            let mut delay = slot.warp.backoff.next_delay(&mut slot.rng);
+            // Serialization fallback: non-priority warps park for a full
+            // watchdog window so the priority warp retries alone. (The rng
+            // draw above happens either way, keeping replay deterministic.)
+            if self.wd.mode == super::WdMode::Serialized
+                && self.wd.priority != Some(slot.gwid.0 as u64)
+            {
+                delay = delay.max(self.wd.window);
+            }
             slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1 + delay);
             let gwid = slot.gwid.0;
             self.rec.emit(|| {

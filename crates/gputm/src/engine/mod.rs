@@ -21,6 +21,7 @@
 
 mod core_side;
 mod partition_side;
+mod watchdog;
 
 use crate::config::{GpuConfig, TmSystem};
 use crate::metrics::Metrics;
@@ -30,10 +31,11 @@ use getm::{AccessRequest, CommitEntry, CommitUnit, ValidationUnit};
 use gpu_mem::{Addr, Crossbar, Geometry, Granule, SetAssocCache};
 use gpu_simt::{Backoff, GtoScheduler, Warp};
 use sim_core::history::HistoryRecorder;
-use sim_core::trace::{Recorder, SimEvent, Stamp};
-use sim_core::{Cycle, DetRng, SimError};
+use sim_core::trace::{Recorder, SimEvent, Stamp, WatchdogStage};
+use sim_core::{CancelToken, Cycle, DetRng, LivelockReport, SimError};
 use std::collections::{HashMap, VecDeque};
 use warptm::{EapgFilter, TcdTable, ValidationJob, WarptmValidator};
+use watchdog::{WatchdogState, WdMode};
 use workloads::{SyncMode, Workload};
 
 /// Messages travelling core -> partition.
@@ -270,6 +272,10 @@ pub struct Engine {
     /// A logical clock hit `ts_limit`: new transactions are held while the
     /// machine quiesces, then every clock and metadata table resets.
     pub(crate) rollover_pending: bool,
+    /// Forward-progress watchdog (inactive for FGLock and disabled configs).
+    pub(crate) wd: WatchdogState,
+    /// Cooperative cancellation flag, polled every few thousand cycles.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl Engine {
@@ -374,6 +380,8 @@ impl Engine {
             hist_reads: HashMap::new(),
             live_warps,
             rollover_pending: false,
+            wd: WatchdogState::new(&cfg.watchdog, system.is_tm()),
+            cancel: None,
         })
     }
 
@@ -385,6 +393,14 @@ impl Engine {
         self.up.attach_recorder(rec.clone(), true);
         self.down.attach_recorder(rec.clone(), false);
         self.rec = rec;
+    }
+
+    /// Attaches a cooperative cancellation token. The engine polls it
+    /// every few thousand simulated cycles and returns
+    /// [`SimError::Interrupted`] once it is cancelled — the hook the sweep
+    /// executor's wall-clock watchdog uses to reclaim a runaway cell.
+    pub fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Attaches a transaction-history recorder. Every transactional
@@ -415,20 +431,218 @@ impl Engine {
     /// # Errors
     ///
     /// [`SimError::CycleLimitExceeded`] if the run does not drain within
-    /// the configured budget (protocol livelock), or
-    /// [`SimError::ProtocolViolation`] if a reply cannot be routed to any
-    /// outstanding request (an engine/protocol-model bug, not modelled
-    /// behaviour).
+    /// the configured budget, [`SimError::Livelock`] if the forward-progress
+    /// watchdog exhausts its degradation ladder without restoring commit
+    /// progress, [`SimError::Interrupted`] if an attached [`CancelToken`]
+    /// fires, or [`SimError::ProtocolViolation`] if a reply cannot be
+    /// routed to any outstanding request (an engine/protocol-model bug, not
+    /// modelled behaviour).
     pub fn run(&mut self) -> Result<Metrics, SimError> {
         while !self.drained() {
-            if self.now.raw() >= self.cfg.max_cycles {
+            let now = self.now.raw();
+            if now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimitExceeded {
                     limit: self.cfg.max_cycles,
                 });
             }
+            if now >= self.wd.next_check {
+                self.watchdog_tick()?;
+            }
+            // Poll the cancel flag on a coarse cycle mask: one atomic load
+            // per 8192 cycles keeps the cost unmeasurable.
+            if now & 0x1FFF == 0 {
+                if let Some(tok) = &self.cancel {
+                    if tok.is_cancelled() {
+                        return Err(SimError::Interrupted { cycle: now });
+                    }
+                }
+            }
             self.step()?;
         }
+        self.wd.finalize(self.stats.commits);
         Ok(self.collect_metrics())
+    }
+
+    /// One forward-progress check, run once per watchdog window.
+    ///
+    /// The degradation ladder: commit progress resets everything; a starved
+    /// window (no commits while transactional work is pending) first widens
+    /// every live warp's backoff cap, then hands commit priority to the
+    /// most-aborted warp while holding everyone else at `TxBegin`
+    /// (serialization fallback), and finally — if even a serialized machine
+    /// cannot commit — declares livelock with a diagnostic report.
+    fn watchdog_tick(&mut self) -> Result<(), SimError> {
+        let now = self.now.raw();
+        self.wd.next_check = now + self.wd.window;
+        let commits = self.stats.commits;
+        let aborts = self.stats.aborts;
+        let progressed = commits > self.wd.commits_seen;
+        let aborting = aborts > self.wd.aborts_seen;
+        let committed_delta = commits - self.wd.commits_seen;
+        self.wd.commits_seen = commits;
+        self.wd.aborts_seen = aborts;
+
+        if progressed {
+            self.wd.last_progress_cycle = now;
+            if self.wd.mode == WdMode::Serialized {
+                self.wd.serialized_commits += committed_delta;
+                self.leave_serialized(now);
+            }
+            self.wd.starved_windows = 0;
+            self.wd.abort_addrs.clear();
+            return Ok(());
+        }
+
+        // Starvation needs transactional work to be starving: either the
+        // machine is actively aborting, or some warp sits in an open region
+        // (possibly asleep in an escalated backoff window). A quiet
+        // non-transactional phase is neither and must not trip anything.
+        let tx_pending = self.cores.iter().any(|core| {
+            core.warps
+                .iter()
+                .flatten()
+                .any(|s| s.warp.tx_stack.is_open() || s.committing.is_some())
+        });
+        if !aborting && !tx_pending {
+            if self.wd.mode == WdMode::Serialized {
+                self.leave_serialized(now);
+            }
+            self.wd.starved_windows = 0;
+            return Ok(());
+        }
+
+        self.wd.starved_windows += 1;
+        let sw = self.wd.starved_windows;
+
+        if sw >= self.wd.escalate_after {
+            self.escalate_backoff();
+            if sw == self.wd.escalate_after {
+                self.rec.emit(|| {
+                    (
+                        Stamp::global(now),
+                        SimEvent::Watchdog {
+                            stage: WatchdogStage::Escalated,
+                        },
+                    )
+                });
+            }
+        }
+        if self.wd.fallback_enabled() && sw >= self.wd.serialize_after {
+            if self.wd.mode != WdMode::Serialized {
+                self.wd.mode = WdMode::Serialized;
+                self.wd.priority = self.pick_priority(None);
+                self.rec.emit(|| {
+                    (
+                        Stamp::global(now),
+                        SimEvent::Watchdog {
+                            stage: WatchdogStage::Serialized,
+                        },
+                    )
+                });
+            } else {
+                // Still starved while serialized: the priority warp itself
+                // is stuck. Rotate priority so every starving warp gets a
+                // solo window before livelock is declared.
+                self.wd.priority = self.pick_priority(self.wd.priority);
+            }
+            if let Some(p) = self.wd.priority {
+                self.wake_warp(p);
+            }
+        }
+        if sw >= self.wd.livelock_after {
+            return Err(SimError::Livelock(Box::new(self.livelock_report(now))));
+        }
+        Ok(())
+    }
+
+    /// Exits serialization fallback (progress returned or tx work drained).
+    fn leave_serialized(&mut self, now: u64) {
+        self.wd.mode = WdMode::Normal;
+        self.wd.priority = None;
+        self.rec.emit(|| {
+            (
+                Stamp::global(now),
+                SimEvent::Watchdog {
+                    stage: WatchdogStage::Recovered,
+                },
+            )
+        });
+    }
+
+    /// Widens every live warp's backoff cap by one doubling.
+    fn escalate_backoff(&mut self) {
+        for core in &mut self.cores {
+            for slot in core.warps.iter_mut().flatten() {
+                if !slot.warp.all_finished() {
+                    slot.warp.backoff.escalate();
+                }
+            }
+        }
+        self.wd.escalations += 1;
+    }
+
+    /// Picks the warp to grant commit priority: among warps with
+    /// transactional work outstanding, the one with the most lifetime
+    /// aborts (ties broken by lowest global warp id). With `after` set,
+    /// rotates instead: the next candidate by global warp id, wrapping.
+    fn pick_priority(&self, after: Option<u64>) -> Option<u64> {
+        let mut candidates: Vec<(u64, u64)> = Vec::new();
+        for core in &self.cores {
+            for slot in core.warps.iter().flatten() {
+                if slot.warp.all_finished() {
+                    continue;
+                }
+                candidates.push((slot.gwid.0 as u64, slot.warp.backoff.lifetime_aborts()));
+            }
+        }
+        candidates.sort_by_key(|&(gwid, _)| gwid);
+        if let Some(prev) = after {
+            let next = candidates
+                .iter()
+                .find(|&&(gwid, _)| gwid > prev)
+                .or_else(|| candidates.first());
+            return next.map(|&(gwid, _)| gwid);
+        }
+        candidates
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(gwid, _)| gwid)
+    }
+
+    /// Clears a warp's backoff sleep so it can retry immediately.
+    fn wake_warp(&mut self, gwid: u64) {
+        let now = self.now;
+        for core in &mut self.cores {
+            for slot in core.warps.iter_mut().flatten() {
+                if slot.gwid.0 as u64 == gwid {
+                    slot.warp.sleep_until = slot.warp.sleep_until.min(now);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Builds the diagnostic report for a declared livelock.
+    fn livelock_report(&self, now: u64) -> LivelockReport {
+        let mut starving: Vec<u64> = Vec::new();
+        for core in &self.cores {
+            for slot in core.warps.iter().flatten() {
+                if slot.warp.tx_stack.is_open() || slot.committing.is_some() {
+                    starving.push(slot.gwid.0 as u64);
+                }
+            }
+        }
+        starving.sort_unstable();
+        starving.truncate(64);
+        LivelockReport {
+            detected_cycle: now,
+            last_progress_cycle: self.wd.last_progress_cycle,
+            commits: self.stats.commits,
+            aborts: self.stats.aborts,
+            window: self.wd.window,
+            hot_addrs: self.wd.hot_addrs(8),
+            starving_warps: starving,
+        }
     }
 
     /// Advances the simulation by one cycle.
@@ -447,7 +661,7 @@ impl Engine {
         }
         // 3. Issue.
         for c in 0..self.cores.len() {
-            self.issue_core(c);
+            self.issue_core(c)?;
         }
         // 4. Stats sampling.
         self.sample_stats();
@@ -655,6 +869,9 @@ impl Engine {
             mean_vu_queue_delay: self.stats.vu_queue_delay.mean(),
             mean_data_latency: self.stats.data_latency.mean(),
             max_stall_occupancy: self.stats.max_stall_total,
+            degraded: self.wd.degraded(),
+            watchdog_escalations: self.wd.escalations,
+            serialized_commits: self.wd.serialized_commits,
             ..Metrics::default()
         };
         for (k, v) in self.up.categories() {

@@ -1,0 +1,160 @@
+//! The forward-progress watchdog: starvation bookkeeping and the
+//! degradation ladder's state.
+//!
+//! The engine samples GPU-wide commit progress once per configured window
+//! (see [`crate::config::WatchdogConfig`]). The state here is pure
+//! bookkeeping — every decision is made from deterministic cycle counts
+//! and engine statistics, so an enabled watchdog keeps runs bit-identical
+//! for a given seed, and a watchdog that never fires (every healthy
+//! workload) leaves the simulation untouched.
+
+use crate::config::WatchdogConfig;
+use std::collections::HashMap;
+
+/// Degradation mode the machine is currently running in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WdMode {
+    /// Normal concurrent execution (possibly with escalated backoff caps).
+    Normal,
+    /// Serialization fallback: one priority warp runs, the rest hold
+    /// their `TxBegin`s and park for a full window on every retry.
+    Serialized,
+}
+
+/// Watchdog state carried by the engine.
+pub(crate) struct WatchdogState {
+    /// Progress window in cycles.
+    pub window: u64,
+    pub escalate_after: u32,
+    pub serialize_after: u32,
+    pub livelock_after: u32,
+    /// Cycle of the next progress check (`u64::MAX` when inactive).
+    pub next_check: u64,
+    /// Commit/abort totals at the previous check.
+    pub commits_seen: u64,
+    pub aborts_seen: u64,
+    /// Consecutive starved windows.
+    pub starved_windows: u32,
+    /// Cycle of the last check that observed commit progress.
+    pub last_progress_cycle: u64,
+    pub mode: WdMode,
+    /// Global warp id holding commit priority while serialized.
+    pub priority: Option<u64>,
+    /// Backoff-cap escalations performed (one sweep over all warps each).
+    pub escalations: u64,
+    /// Commits that landed while the machine was serialized.
+    pub serialized_commits: u64,
+    /// Abort counts per word address, tracked only while the watchdog is
+    /// alert (at least one starved window) — the diagnostic window that
+    /// matters for the livelock report, at zero cost to healthy runs.
+    pub abort_addrs: HashMap<u64, u64>,
+}
+
+impl WatchdogState {
+    /// Fresh state; `active` already folds in "is this a TM run".
+    pub fn new(cfg: &WatchdogConfig, active: bool) -> Self {
+        let active = active && cfg.enabled;
+        WatchdogState {
+            window: cfg.window,
+            escalate_after: cfg.escalate_after,
+            serialize_after: cfg.serialize_after,
+            livelock_after: cfg.livelock_after,
+            next_check: if active { cfg.window } else { u64::MAX },
+            commits_seen: 0,
+            aborts_seen: 0,
+            starved_windows: 0,
+            last_progress_cycle: 0,
+            mode: WdMode::Normal,
+            priority: None,
+            escalations: 0,
+            serialized_commits: 0,
+            abort_addrs: HashMap::new(),
+        }
+    }
+
+    /// Whether the watchdog will ever check progress on this run.
+    #[cfg(test)]
+    pub fn is_active(&self) -> bool {
+        self.next_check != u64::MAX
+    }
+
+    /// Whether abort addresses should be tallied for a future report.
+    #[inline]
+    pub fn alert(&self) -> bool {
+        self.starved_windows > 0 || self.mode == WdMode::Serialized
+    }
+
+    /// Records one aborted access address (caller gates on [`Self::alert`]).
+    pub fn note_abort_addr(&mut self, addr: u64) {
+        *self.abort_addrs.entry(addr).or_insert(0) += 1;
+    }
+
+    /// Whether serialization fallback is configured to engage at all.
+    pub fn fallback_enabled(&self) -> bool {
+        self.serialize_after <= self.livelock_after
+    }
+
+    /// Folds the tail of a run into `serialized_commits`: commits that
+    /// landed after the last check while the machine was still serialized.
+    pub fn finalize(&mut self, total_commits: u64) {
+        if self.mode == WdMode::Serialized {
+            self.serialized_commits += total_commits - self.commits_seen;
+            self.commits_seen = total_commits;
+        }
+    }
+
+    /// Whether any degradation happened: metrics flag runs whose timing was
+    /// perturbed by the watchdog (escalated backoff or serialized commits).
+    pub fn degraded(&self) -> bool {
+        self.escalations > 0 || self.serialized_commits > 0
+    }
+
+    /// The hottest abort addresses, `(addr, count)`, most-aborted first
+    /// (count desc, address asc), capped to `top`.
+    pub fn hot_addrs(&self, top: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.abort_addrs.iter().map(|(&a, &n)| (a, n)).collect();
+        v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        v.truncate(top);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_state_never_checks() {
+        let wd = WatchdogState::new(&WatchdogConfig::default(), false);
+        assert!(!wd.is_active());
+        assert_eq!(wd.next_check, u64::MAX);
+        let wd = WatchdogState::new(&WatchdogConfig::disabled(), true);
+        assert!(!wd.is_active());
+        let wd = WatchdogState::new(&WatchdogConfig::default(), true);
+        assert!(wd.is_active());
+    }
+
+    #[test]
+    fn hot_addrs_sort_deterministically() {
+        let mut wd = WatchdogState::new(&WatchdogConfig::default(), true);
+        wd.starved_windows = 1;
+        for _ in 0..3 {
+            wd.note_abort_addr(0x20);
+        }
+        for _ in 0..3 {
+            wd.note_abort_addr(0x10);
+        }
+        wd.note_abort_addr(0x30);
+        assert_eq!(wd.hot_addrs(2), vec![(0x10, 3), (0x20, 3)]);
+    }
+
+    #[test]
+    fn finalize_counts_the_serialized_tail() {
+        let mut wd = WatchdogState::new(&WatchdogConfig::default(), true);
+        wd.mode = WdMode::Serialized;
+        wd.commits_seen = 5;
+        wd.finalize(9);
+        assert_eq!(wd.serialized_commits, 4);
+        assert!(wd.degraded());
+    }
+}

@@ -45,18 +45,19 @@ pub mod silicon;
 pub mod sweep;
 pub mod verify;
 
-pub use config::{GpuConfig, Sabotage, TmSystem};
+pub use config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
 pub use metrics::Metrics;
 pub use runner::Sim;
 pub use verify::{Verdict, VerifiedRun};
 
 /// Common imports for examples and benchmarks.
 pub mod prelude {
-    pub use crate::config::{GpuConfig, Sabotage, TmSystem};
+    pub use crate::config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
     pub use crate::metrics::Metrics;
     pub use crate::runner::Sim;
     pub use crate::sweep::{
-        run_sweep, CellSpec, ExperimentSpec, ResultCache, SweepOptions, SweepOutcome,
+        run_sweep, run_sweep_report, CellFailure, CellSpec, ExperimentSpec, FailureKind,
+        FailurePolicy, ResultCache, SweepOptions, SweepOutcome, SweepReport,
     };
     pub use crate::verify::{Verdict, VerifiedRun, Violation, ViolationKind};
     pub use sim_core::SimError;

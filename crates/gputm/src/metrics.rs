@@ -89,6 +89,14 @@ pub struct Metrics {
     pub mean_data_latency: f64,
     /// Workload invariant check outcome (`None` = not run).
     pub check: Option<Result<(), String>>,
+    /// The forward-progress watchdog intervened (escalated backoff caps or
+    /// serialized commits): the run completed, but its timing reflects
+    /// degraded execution rather than the steady-state protocol.
+    pub degraded: bool,
+    /// Backoff-cap escalation sweeps the watchdog performed.
+    pub watchdog_escalations: u64,
+    /// Commits that landed while the machine was in serialization fallback.
+    pub serialized_commits: u64,
 }
 
 impl Metrics {

@@ -84,6 +84,28 @@ impl<'a> Sim<'a> {
         Ok(metrics)
     }
 
+    /// Like [`Sim::run`], but with a cooperative [`sim_core::CancelToken`]
+    /// attached: the engine polls the token every few thousand simulated
+    /// cycles and bails with [`SimError::Interrupted`] once it is
+    /// cancelled. The sweep executor's wall-clock watchdog cancels through
+    /// this hook; an uncancelled token changes nothing about the run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Interrupted`] on cancellation, plus everything
+    /// [`Sim::run`] can return.
+    pub fn run_cancellable(
+        &self,
+        workload: &dyn Workload,
+        token: sim_core::CancelToken,
+    ) -> Result<Metrics, SimError> {
+        let mut engine = Engine::new(workload, self.system, self.cfg)?;
+        engine.attach_cancel(token);
+        let mut metrics = engine.run()?;
+        metrics.check = Some(workload.check(&engine.memory_reader()));
+        Ok(metrics)
+    }
+
     /// Like [`Sim::run`], but with `recorder` attached to the engine so
     /// every [`sim_core::SimEvent`] of the run lands in the recorder's
     /// event bus. The caller keeps a clone of the recorder and reads the

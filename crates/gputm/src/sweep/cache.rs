@@ -18,8 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// First line of every cache file; bump on incompatible format changes.
 /// v2 added optional means (`none` markers), the metadata-latency
-/// histogram, and the intra-warp/validation abort tallies.
-const FORMAT: &str = "getm-metrics-v2";
+/// histogram, and the intra-warp/validation abort tallies. v3 added the
+/// watchdog fields (`degraded`, `watchdog_escalations`,
+/// `serialized_commits`).
+const FORMAT: &str = "getm-metrics-v3";
 
 /// An on-disk cache mapping [`super::CellSpec::cache_key`] to [`Metrics`].
 #[derive(Debug, Clone)]
@@ -48,9 +50,23 @@ impl ResultCache {
     }
 
     /// Looks up a key; any read or parse problem is a miss.
+    ///
+    /// Version-mismatched entries (old format, new code) are silent misses
+    /// — that is the designed upgrade path. A *current-format* entry that
+    /// still fails to parse means on-disk corruption (torn write from a
+    /// pre-atomic writer, disk damage, manual edit); those are logged to
+    /// stderr before being treated as misses, so an operator learns the
+    /// cache is unhealthy instead of silently paying recompute time.
     pub fn load(&self, key: &str) -> Option<Metrics> {
         let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        parse_metrics(&text)
+        let parsed = parse_metrics(&text);
+        if parsed.is_none() && text.lines().next() == Some(FORMAT) {
+            eprintln!(
+                "sweep cache: corrupt entry {} (current format, unparseable); recomputing",
+                self.entry_path(key).display()
+            );
+        }
+        parsed
     }
 
     /// Stores metrics under a key (atomic: temp file + rename).
@@ -165,9 +181,12 @@ pub fn serialize_metrics(m: &Metrics) -> String {
         ("atomics", m.atomics),
         ("cas_failures", m.cas_failures),
         ("rollovers", m.rollovers),
+        ("watchdog_escalations", m.watchdog_escalations),
+        ("serialized_commits", m.serialized_commits),
     ] {
         s.push_str(&format!("{k}={v}\n"));
     }
+    s.push_str(&format!("degraded={}\n", m.degraded));
     // Optional f64 fields: `none` keeps "not measured" distinct from 0.0.
     for (k, v) in [
         ("mean_metadata_access_cycles", m.mean_metadata_access_cycles),
@@ -211,6 +230,8 @@ pub fn serialize_metrics(m: &Metrics) -> String {
     for (cat, bytes) in &m.xbar_by_category {
         s.push_str(&format!("xbar_by_category/{cat}={bytes}\n"));
     }
+    // `check` is always last: the parser treats it as an end-of-entry
+    // marker, so truncation at any earlier line boundary is detected.
     match &m.check {
         None => s.push_str("check=none\n"),
         Some(Ok(())) => s.push_str("check=ok\n"),
@@ -228,6 +249,7 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
     let mut m = Metrics::default();
     let mut map: BTreeMap<&'static str, u64> = BTreeMap::new();
     let (mut hist_buckets, mut hist_sum, mut hist_max) = (None, 0u64, 0u64);
+    let mut saw_check = false;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -280,6 +302,9 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             "atomics" => m.atomics = value.parse().ok()?,
             "cas_failures" => m.cas_failures = value.parse().ok()?,
             "rollovers" => m.rollovers = value.parse().ok()?,
+            "watchdog_escalations" => m.watchdog_escalations = value.parse().ok()?,
+            "serialized_commits" => m.serialized_commits = value.parse().ok()?,
+            "degraded" => m.degraded = value.parse().ok()?,
             "mean_metadata_access_cycles" => m.mean_metadata_access_cycles = parse_opt_f64(value)?,
             "mean_stall_waiters_per_addr" => m.mean_stall_waiters_per_addr = parse_opt_f64(value)?,
             "l1_hit_rate" => m.l1_hit_rate = value.parse().ok()?,
@@ -289,6 +314,7 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             "mean_vu_queue_delay" => m.mean_vu_queue_delay = value.parse().ok()?,
             "mean_data_latency" => m.mean_data_latency = value.parse().ok()?,
             "check" => {
+                saw_check = true;
                 m.check = match value {
                     "none" => None,
                     "ok" => Some(Ok(())),
@@ -299,6 +325,12 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             // the FORMAT line is what gates compatibility.
             _ => {}
         }
+    }
+    // The `check` line doubles as an end-of-entry marker: an entry cut at
+    // a line boundary (losing only trailing lines) must not round-trip as
+    // a half-filled Metrics.
+    if !saw_check {
+        return None;
     }
     m.xbar_by_category = map;
     if let Some(buckets) = hist_buckets {
@@ -354,6 +386,9 @@ mod tests {
             mean_vu_queue_delay: 0.25,
             mean_data_latency: f64::MAX / 3.0, // exercises extreme floats
             check: Some(Ok(())),
+            degraded: true,
+            watchdog_escalations: 2,
+            serialized_commits: 17,
             ..Metrics::default()
         };
         m.xbar_by_category.insert("commit", 1024);
@@ -384,15 +419,57 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_miss() {
         let mut text = serialize_metrics(&Metrics::default());
-        text = text.replacen("v2", "v0", 1);
+        text = text.replacen("v3", "v0", 1);
         assert!(parse_metrics(&text).is_none());
     }
 
     #[test]
     fn garbage_is_a_miss() {
         assert!(parse_metrics("").is_none());
-        assert!(parse_metrics("getm-metrics-v2\ncycles=abc\n").is_none());
-        assert!(parse_metrics("getm-metrics-v2\nnot a line\n").is_none());
+        assert!(parse_metrics("getm-metrics-v3\ncycles=abc\n").is_none());
+        assert!(parse_metrics("getm-metrics-v3\nnot a line\n").is_none());
+    }
+
+    #[test]
+    fn truncated_entry_is_a_logged_miss_not_a_wrong_answer() {
+        // A torn write (e.g. from a crashed pre-atomic writer, or disk
+        // corruption) can cut an entry mid-line. The parser must reject
+        // the whole entry rather than return half-filled metrics, and the
+        // cache must then recompute-and-overwrite cleanly.
+        let dir = std::env::temp_dir().join(format!(
+            "getm-cache-trunc-{}-{:p}",
+            std::process::id(),
+            &FORMAT
+        ));
+        let cache = ResultCache::new(&dir);
+        let m = sample_metrics();
+        let full = serialize_metrics(&m);
+        // Cut in the middle of a `key=value` line: the tail line loses its
+        // '=' or its digits, so split_once/parse fails.
+        let cut = full.len() - 7;
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.dir().join("0badc0de.metrics"), &full[..cut]).unwrap();
+
+        assert!(
+            parse_metrics(&full[..cut]).is_none(),
+            "torn text must not parse"
+        );
+        // Truncation at a clean line boundary (whole trailing lines lost)
+        // must also be rejected — `check` is the end-of-entry marker.
+        let boundary = full[..full.len() - 1].rfind('\n').unwrap() + 1;
+        assert!(full[..boundary].ends_with('\n'));
+        assert!(
+            parse_metrics(&full[..boundary]).is_none(),
+            "line-boundary truncation must not parse"
+        );
+        assert!(
+            cache.load("0badc0de").is_none(),
+            "torn entry must be a miss"
+        );
+        cache.store("0badc0de", &m).expect("store");
+        assert_eq!(cache.load("0badc0de"), Some(m));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -416,8 +493,8 @@ mod tests {
         ));
         let cache = ResultCache::new(&dir);
         let m = sample_metrics();
-        // Write a v1-era file directly under the key's path.
-        let old = serialize_metrics(&m).replacen("v2", "v1", 1);
+        // Write a v2-era file directly under the key's path.
+        let old = serialize_metrics(&m).replacen("v3", "v2", 1);
         std::fs::create_dir_all(cache.dir()).unwrap();
         std::fs::write(cache.dir().join("cafef00d.metrics"), old).unwrap();
         assert_eq!(cache.entry_count(), 1);

@@ -1,4 +1,4 @@
-//! The work-stealing cell executor.
+//! The work-stealing, fault-isolated cell executor.
 //!
 //! Cells are distributed block-cyclically over per-worker deques; an idle
 //! worker first drains its own queue from the front, then steals from the
@@ -6,41 +6,112 @@
 //! the caller's thread, which slots them by index — so the returned
 //! vector is in spec order no matter which worker finished first.
 //!
+//! Each cell attempt runs inside `catch_unwind` with an optional
+//! wall-clock watchdog thread holding a [`CancelToken`]: a panicking or
+//! runaway cell is contained to its slot and reported as a
+//! [`CellFailure`], per the sweep's [`FailurePolicy`]. Completed cells
+//! are journaled next to the result cache so a killed sweep resumes.
+//!
 //! Everything is built from `std` scoped threads and channels; the
 //! determinism argument needs no synchronization help because each cell
 //! is a pure function of its [`CellSpec`].
 
-use super::{CellSpec, SweepOptions, SweepOutcome};
-use sim_core::SimError;
+use super::journal::{sweep_digest, SweepJournal};
+use super::{
+    CellFailure, CellSpec, FailureKind, FailurePolicy, SweepOptions, SweepOutcome, SweepReport,
+};
+use crate::metrics::Metrics;
+use sim_core::{CancelToken, SimError};
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// Runs `cells` on `opts.resolved_threads()` workers, returning outcomes
-/// in input order; the first (in input order) failure surfaces.
-pub(super) fn run(cells: &[CellSpec], opts: &SweepOptions) -> Result<Vec<SweepOutcome>, SimError> {
-    if cells.is_empty() {
-        return Ok(Vec::new());
+/// Signature of an injected cell execution (see [`CellRunner`]).
+type CellRunnerFn =
+    dyn Fn(&CellSpec, Option<CancelToken>) -> Result<Metrics, SimError> + Send + Sync;
+
+/// Test-only cell execution override: fault injection for the executor's
+/// own tests (panics, hangs, flaky failures) without needing a real
+/// workload that misbehaves. `None` token means no timeout was armed.
+#[derive(Clone)]
+pub(crate) struct CellRunner(pub(crate) Arc<CellRunnerFn>);
+
+impl std::fmt::Debug for CellRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CellRunner(..)")
     }
-    let workers = opts.resolved_threads().min(cells.len()).max(1);
+}
+
+/// Legacy error-surfacing wrapper around [`run_report`]: every cell
+/// executes (fail-fast is widened to collect-all so behaviour matches the
+/// pre-report executor), and the first spec-order failure surfaces — a
+/// simulation error as `Err`, a panic by resuming it on this thread.
+pub(super) fn run(cells: &[CellSpec], opts: &SweepOptions) -> Result<Vec<SweepOutcome>, SimError> {
+    let mut opts = opts.clone();
+    if opts.failure_policy == FailurePolicy::FailFast {
+        opts.failure_policy = FailurePolicy::CollectAll;
+    }
+    let report = run_report(cells, &opts);
+    if let Some(first) = report.failures.into_iter().next() {
+        return Err(match first.error {
+            FailureKind::Sim(e) => e,
+            FailureKind::Panic(msg) => std::panic::resume_unwind(Box::new(msg)),
+            FailureKind::TimedOut { cycle, .. } => SimError::Interrupted { cycle },
+        });
+    }
+    Ok(report.outcomes)
+}
+
+/// Runs `cells` on `opts.resolved_threads()` workers under the options'
+/// failure policy, returning a [`SweepReport`] in input order.
+pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport {
+    let total = cells.len();
+    if total == 0 {
+        return SweepReport {
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+            skipped: 0,
+        };
+    }
+    let mut journal = open_journal(cells, opts);
+    if let Some(j) = &journal {
+        let done = j.completed();
+        if opts.progress && done > 0 {
+            eprintln!(
+                "sweep: resuming {} — {done}/{total} cells already complete",
+                j.path().display()
+            );
+        }
+    }
+
+    let workers = opts.resolved_threads().min(total).max(1);
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new((w..cells.len()).step_by(workers).collect()))
+        .map(|w| Mutex::new((w..total).step_by(workers).collect()))
         .collect();
 
-    let total = cells.len();
-    let mut slots: Vec<Option<Result<SweepOutcome, SimError>>> = vec![None; total];
+    let fail_fast = opts.failure_policy == FailurePolicy::FailFast;
+    let stop = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<SweepOutcome, CellFailure>>> =
+        std::iter::repeat_with(|| None).take(total).collect();
     let started = Instant::now();
 
     std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, Result<SweepOutcome, SimError>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<SweepOutcome, CellFailure>)>();
         for me in 0..workers {
             let tx = tx.clone();
-            let queues = &queues;
+            let (queues, stop) = (&queues, &stop);
             scope.spawn(move || {
                 while let Some(idx) = claim(queues, me) {
-                    let outcome = run_cell(&cells[idx], opts);
-                    if tx.send((idx, outcome)).is_err() {
+                    if stop.load(Ordering::Relaxed) {
+                        break; // fail-fast: leave the rest unclaimed
+                    }
+                    let result = run_cell(&cells[idx], opts).map_err(|f| *f);
+                    if result.is_err() && fail_fast {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((idx, result)).is_err() {
                         return; // collector gone; nothing left to do
                     }
                 }
@@ -49,20 +120,57 @@ pub(super) fn run(cells: &[CellSpec], opts: &SweepOptions) -> Result<Vec<SweepOu
         drop(tx);
 
         let mut done = 0usize;
-        for (idx, outcome) in rx {
+        for (idx, result) in rx {
             done += 1;
             if opts.progress {
-                report(done, total, &outcome, started);
+                report(done, total, &result, started);
             }
-            slots[idx] = Some(outcome);
+            if result.is_ok() {
+                if let Some(j) = journal.as_mut() {
+                    let key = cells[idx].cache_key();
+                    if let Err(e) = j.record(&key) {
+                        eprintln!("sweep: could not journal {}: {e}", cells[idx].label());
+                    }
+                }
+            }
+            slots[idx] = Some(result);
         }
     });
 
-    let mut out = Vec::with_capacity(total);
+    let mut out = SweepReport {
+        outcomes: Vec::new(),
+        failures: Vec::new(),
+        skipped: 0,
+    };
     for slot in slots {
-        out.push(slot.expect("every cell index was claimed exactly once")?);
+        match slot {
+            Some(Ok(o)) => out.outcomes.push(o),
+            Some(Err(f)) => out.failures.push(f),
+            None => out.skipped += 1,
+        }
     }
-    Ok(out)
+    if out.is_complete() {
+        if let Some(j) = journal {
+            // A completed campaign needs no journal: an existing journal
+            // file always means "unfinished, resumable".
+            j.finish().ok();
+        }
+    }
+    out
+}
+
+/// Opens the campaign journal next to the result cache. Journaling is
+/// best-effort: a cache-less sweep has nothing durable to resume from,
+/// and an unopenable journal only costs crash accounting.
+fn open_journal(cells: &[CellSpec], opts: &SweepOptions) -> Option<SweepJournal> {
+    let cache = opts.result_cache.as_ref()?;
+    match SweepJournal::open(cache.dir(), &sweep_digest(cells), opts.resume) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("sweep: journal unavailable ({e}); crash resume disabled");
+            None
+        }
+    }
 }
 
 /// Pops the next cell index: own queue front first, then the largest
@@ -78,8 +186,10 @@ fn claim(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
     queues[victim].lock().unwrap().pop_back()
 }
 
-/// Runs one cell, consulting the cache first when one is attached.
-fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, SimError> {
+/// Runs one cell to a verdict: cache, then up to the policy's attempt
+/// count of fault-isolated executions. The failure is boxed to keep the
+/// happy path's return slot small.
+fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, Box<CellFailure>> {
     let start = Instant::now();
     let key = opts.result_cache.as_ref().map(|c| (c, cell.cache_key()));
     if let Some((cache, key)) = &key {
@@ -92,25 +202,103 @@ fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, SimErr
             });
         }
     }
-    let metrics = cell.run()?;
-    if let Some((cache, key)) = &key {
-        if let Err(e) = cache.store(key, &metrics) {
-            // A failed store costs a recomputation next run, nothing more.
-            eprintln!("sweep: could not cache {}: {e}", cell.label());
+    let attempts = match opts.failure_policy {
+        FailurePolicy::Retry { attempts } => attempts.max(1),
+        _ => 1,
+    };
+    let mut last = None;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            std::thread::sleep(retry_backoff(attempt));
+        }
+        match run_attempt(cell, opts) {
+            Ok(metrics) => {
+                if let Some((cache, key)) = &key {
+                    if let Err(e) = cache.store(key, &metrics) {
+                        // A failed store costs a recomputation next run.
+                        eprintln!("sweep: could not cache {}: {e}", cell.label());
+                    }
+                }
+                return Ok(SweepOutcome {
+                    cell: cell.clone(),
+                    metrics,
+                    cached: false,
+                    elapsed: start.elapsed(),
+                });
+            }
+            Err(kind) => last = Some(kind),
         }
     }
-    Ok(SweepOutcome {
+    Err(Box::new(CellFailure {
         cell: cell.clone(),
-        metrics,
-        cached: false,
+        error: last.expect("at least one attempt ran"),
+        attempts,
         elapsed: start.elapsed(),
-    })
+    }))
+}
+
+/// Doubling backoff before retry `attempt` (the second try waits 50ms),
+/// capped at one second.
+fn retry_backoff(attempt: u32) -> Duration {
+    Duration::from_millis((50u64 << (attempt.saturating_sub(2)).min(10)).min(1000))
+}
+
+/// One fault-isolated execution: `catch_unwind` around the run, with a
+/// detached wall-clock watchdog cancelling the engine's [`CancelToken`]
+/// when a per-cell timeout is configured.
+fn run_attempt(cell: &CellSpec, opts: &SweepOptions) -> Result<Metrics, FailureKind> {
+    let armed = opts.cell_timeout.map(|limit| {
+        let token = CancelToken::new();
+        let (disarm, expiry) = mpsc::channel::<()>();
+        let watch = token.clone();
+        let monitor = std::thread::spawn(move || {
+            // A disarm message (or a dropped sender) ends the wait; only
+            // a true timeout raises the token.
+            if expiry.recv_timeout(limit) == Err(mpsc::RecvTimeoutError::Timeout) {
+                watch.cancel();
+            }
+        });
+        (token, disarm, monitor, limit)
+    });
+    let token = armed.as_ref().map(|(t, ..)| t.clone());
+    let result = catch_unwind(AssertUnwindSafe(|| match &opts.runner {
+        Some(r) => (r.0)(cell, token),
+        None => match token {
+            Some(t) => cell.run_cancellable(t),
+            None => cell.run(),
+        },
+    }));
+    let timed_out = armed.is_some_and(|(token, disarm, monitor, _)| {
+        drop(disarm);
+        monitor.join().ok();
+        token.is_cancelled()
+    });
+    let limit = opts.cell_timeout.unwrap_or_default();
+    match result {
+        Ok(Ok(metrics)) => Ok(metrics),
+        Ok(Err(SimError::Interrupted { cycle })) if timed_out => {
+            Err(FailureKind::TimedOut { limit, cycle })
+        }
+        Ok(Err(e)) => Err(FailureKind::Sim(e)),
+        Err(payload) => Err(FailureKind::Panic(panic_text(payload.as_ref()))),
+    }
+}
+
+/// Renders a panic payload the way the default hook does.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One progress line per finished cell, on stderr.
-fn report(done: usize, total: usize, outcome: &Result<SweepOutcome, SimError>, started: Instant) {
+fn report(done: usize, total: usize, result: &Result<SweepOutcome, CellFailure>, started: Instant) {
     let t = started.elapsed();
-    match outcome {
+    match result {
         Ok(o) if o.cached => eprintln!(
             "[{done:>3}/{total}] {:<18} cached            (t={:.1?})",
             o.cell.label(),
@@ -123,13 +311,16 @@ fn report(done: usize, total: usize, outcome: &Result<SweepOutcome, SimError>, s
             o.elapsed,
             t
         ),
-        Err(e) => eprintln!("[{done:>3}/{total}] FAILED: {e}"),
+        Err(f) => eprintln!("[{done:>3}/{total}] FAILED: {f}"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{GpuConfig, TmSystem};
+    use std::sync::atomic::AtomicUsize;
+    use workloads::suite::{Benchmark, Scale};
 
     fn queues_of(sizes: &[Vec<usize>]) -> Vec<Mutex<VecDeque<usize>>> {
         sizes
@@ -172,5 +363,155 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        assert_eq!(retry_backoff(2), Duration::from_millis(50));
+        assert_eq!(retry_backoff(3), Duration::from_millis(100));
+        assert_eq!(retry_backoff(4), Duration::from_millis(200));
+        assert_eq!(retry_backoff(40), Duration::from_millis(1000));
+    }
+
+    // --- fault-injection harness -------------------------------------
+
+    fn cells(n: usize) -> Vec<CellSpec> {
+        Benchmark::ALL
+            .into_iter()
+            .take(n)
+            .map(|b| CellSpec::new(b, Scale::Fast, TmSystem::Getm, GpuConfig::tiny_test()))
+            .collect()
+    }
+
+    /// Options with an injected runner; serial so claim order is the
+    /// spec order and fail-fast skip counts are deterministic.
+    fn injected(
+        policy: FailurePolicy,
+        f: impl Fn(&CellSpec, Option<CancelToken>) -> Result<Metrics, SimError> + Send + Sync + 'static,
+    ) -> SweepOptions {
+        let mut o = SweepOptions::new().threads(1).failure_policy(policy);
+        o.runner = Some(CellRunner(Arc::new(f)));
+        o
+    }
+
+    #[test]
+    fn a_panicking_cell_is_contained_under_collect_all() {
+        let opts = injected(FailurePolicy::CollectAll, |cell, _| {
+            if cell.benchmark == Benchmark::HtM {
+                panic!("injected fault in {}", cell.label());
+            }
+            Ok(Metrics::default())
+        });
+        let report = run_report(&cells(3), &opts); // HtH, HtM, HtL
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.skipped, 0);
+        assert!(!report.is_complete());
+        let f = &report.failures[0];
+        assert_eq!(f.cell.benchmark, Benchmark::HtM);
+        assert_eq!(f.attempts, 1);
+        assert!(
+            matches!(&f.error, FailureKind::Panic(msg) if msg.contains("injected fault")),
+            "{:?}",
+            f.error
+        );
+        // Siblings kept their spec order.
+        assert_eq!(report.outcomes[0].cell.benchmark, Benchmark::HtH);
+        assert_eq!(report.outcomes[1].cell.benchmark, Benchmark::HtL);
+    }
+
+    #[test]
+    fn fail_fast_stops_claiming_after_the_first_failure() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let seen = ran.clone();
+        let opts = injected(FailurePolicy::FailFast, move |_, _| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            Err(SimError::Interrupted { cycle: 1 })
+        });
+        let report = run_report(&cells(4), &opts);
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "one attempt, then stop");
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.skipped, 3);
+        assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_cell_and_counts_exhausted_attempts() {
+        // Flaky: fails twice, then succeeds.
+        let tries = Arc::new(AtomicUsize::new(0));
+        let seen = tries.clone();
+        let opts = injected(FailurePolicy::Retry { attempts: 3 }, move |_, _| {
+            if seen.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("flaky");
+            }
+            Ok(Metrics::default())
+        });
+        let report = run_report(&cells(1), &opts);
+        assert!(report.is_complete(), "{:?}", report.failures);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+
+        // Deterministic failure: exhausts its tries and records them.
+        let opts = injected(FailurePolicy::Retry { attempts: 2 }, |_, _| {
+            Err(SimError::Interrupted { cycle: 9 })
+        });
+        let report = run_report(&cells(1), &opts);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].attempts, 2);
+        assert!(matches!(
+            report.failures[0].error,
+            FailureKind::Sim(SimError::Interrupted { cycle: 9 })
+        ));
+    }
+
+    #[test]
+    fn a_hanging_cell_times_out_via_the_cancel_token() {
+        let mut opts = injected(FailurePolicy::CollectAll, |_, token| {
+            let token = token.expect("timeout must arm a token");
+            // A cooperative hang: spins until the watchdog cancels.
+            while !token.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(SimError::Interrupted { cycle: 4242 })
+        });
+        opts.cell_timeout = Some(Duration::from_millis(40));
+        let report = run_report(&cells(1), &opts);
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            matches!(
+                report.failures[0].error,
+                FailureKind::TimedOut { cycle: 4242, .. }
+            ),
+            "{:?}",
+            report.failures[0].error
+        );
+    }
+
+    #[test]
+    fn a_fast_cell_never_sees_its_timeout() {
+        let mut opts = injected(FailurePolicy::CollectAll, |_, _| Ok(Metrics::default()));
+        opts.cell_timeout = Some(Duration::from_secs(3600));
+        let report = run_report(&cells(2), &opts);
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn legacy_run_surfaces_the_first_spec_order_failure() {
+        let opts = injected(FailurePolicy::CollectAll, |cell, _| {
+            if cell.benchmark == Benchmark::HtM {
+                Err(SimError::Interrupted { cycle: 7 })
+            } else {
+                Ok(Metrics::default())
+            }
+        });
+        let err = run(&cells(3), &opts).expect_err("failure must surface");
+        assert!(matches!(err, SimError::Interrupted { cycle: 7 }));
+    }
+
+    #[test]
+    fn legacy_run_resumes_a_contained_panic() {
+        let opts = injected(FailurePolicy::CollectAll, |_, _| panic!("through"));
+        let caught = catch_unwind(AssertUnwindSafe(|| run(&cells(1), &opts)));
+        let payload = caught.expect_err("panic must resume");
+        assert_eq!(panic_text(payload.as_ref()), "through");
     }
 }

@@ -18,6 +18,13 @@
 //!   FNV-1a digest of the cell description), so re-running a harness
 //!   skips every cell it has ever completed.
 //!
+//! Sweeps are also fault-isolated: [`run_sweep_report`] contains a
+//! panicking, livelocking, or runaway cell as a structured
+//! [`CellFailure`] (per the configured [`FailurePolicy`] and optional
+//! per-cell wall-clock timeout) instead of killing the campaign, and a
+//! [`SweepJournal`] written next to the cache makes a killed sweep
+//! resumable ([`SweepOptions::resume`]) with bit-identical results.
+//!
 //! ```no_run
 //! use gputm::prelude::*;
 //! use gputm::sweep::{run_sweep, ExperimentSpec, ResultCache, SweepOptions};
@@ -35,17 +42,118 @@
 
 mod cache;
 mod exec;
+mod journal;
 mod spec;
 
 pub use cache::ResultCache;
+pub use journal::{sweep_digest, SweepJournal};
 pub use spec::{CellSpec, ExperimentSpec, GridBuilder};
 
 use crate::metrics::Metrics;
 use sim_core::SimError;
 use std::time::Duration;
 
-/// How a sweep executes: thread count, caching, progress reporting.
-#[derive(Debug, Default)]
+/// What the executor does with cells that fail (simulation error, panic,
+/// or per-cell timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stop claiming new cells after the first failure; cells already in
+    /// flight finish, unclaimed cells are counted as skipped. The
+    /// default: a broken sweep should not burn hours on doomed work.
+    #[default]
+    FailFast,
+    /// Attempt every cell regardless of failures and report them all —
+    /// the mode for overnight campaigns, where one poisoned cell must not
+    /// cost the other thousand.
+    CollectAll,
+    /// Like [`FailurePolicy::CollectAll`], but each failing cell is
+    /// retried up to `attempts` total tries with doubling wall-clock
+    /// backoff in between (for environmental flakes: OOM kills, full
+    /// disks). Deterministic simulation errors fail identically every
+    /// try and simply record their attempt count.
+    Retry {
+        /// Total tries per cell (clamped to at least 1).
+        attempts: u32,
+    },
+}
+
+/// Why a cell failed.
+#[derive(Debug)]
+pub enum FailureKind {
+    /// The simulation returned a typed error (including
+    /// [`SimError::Livelock`] from the forward-progress watchdog).
+    Sim(SimError),
+    /// The cell panicked; the payload is rendered to a string. The panic
+    /// is contained to the cell — sibling cells and the sweep survive.
+    Panic(String),
+    /// The cell exceeded [`SweepOptions::cell_timeout`] and was cancelled
+    /// cooperatively at `cycle`.
+    TimedOut {
+        /// The configured wall-clock limit that was exceeded.
+        limit: Duration,
+        /// Simulated cycle at which the engine observed the cancellation.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Sim(e) => write!(f, "{e}"),
+            FailureKind::Panic(msg) => write!(f, "panicked: {msg}"),
+            FailureKind::TimedOut { limit, cycle } => {
+                write!(f, "timed out after {limit:?} (cancelled at cycle {cycle})")
+            }
+        }
+    }
+}
+
+/// One failed cell of a sweep: the cell, what went wrong, and how hard
+/// the executor tried.
+#[derive(Debug)]
+pub struct CellFailure {
+    /// The cell that failed.
+    pub cell: CellSpec,
+    /// The final failure (of the last attempt).
+    pub error: FailureKind,
+    /// How many times the cell was attempted.
+    pub attempts: u32,
+    /// Wall-clock time spent on the cell across all attempts.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.cell.label(), self.error)?;
+        if self.attempts > 1 {
+            write!(f, " ({} attempts)", self.attempts)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything a sweep produced: completed cells, failed cells, and the
+/// count of cells never attempted (fail-fast stop), all in spec order.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Cells that completed, in spec order.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Cells that failed, in spec order.
+    pub failures: Vec<CellFailure>,
+    /// Cells never attempted because the sweep stopped early.
+    pub skipped: usize,
+}
+
+impl SweepReport {
+    /// Whether every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.skipped == 0
+    }
+}
+
+/// How a sweep executes: thread count, caching, progress reporting, and
+/// the failure-handling policy.
+#[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
     /// Worker threads; 0 means one per available core.
     pub threads: usize,
@@ -53,6 +161,20 @@ pub struct SweepOptions {
     pub result_cache: Option<ResultCache>,
     /// Print one line per completed cell to stderr.
     pub progress: bool,
+    /// What to do when a cell fails (see [`FailurePolicy`]).
+    pub failure_policy: FailurePolicy,
+    /// Wall-clock budget per cell; a cell past it is cancelled
+    /// cooperatively and reported as [`FailureKind::TimedOut`]. `None`
+    /// (the default) lets cells run to the engine's own cycle limit.
+    pub cell_timeout: Option<Duration>,
+    /// Honor an existing sweep journal: report previously completed cells
+    /// and recompute only the rest. Off, an existing journal for this
+    /// sweep is discarded and the campaign starts over (the result cache,
+    /// if attached, still serves whatever it holds). Journaling itself is
+    /// automatic whenever a cache is attached.
+    pub resume: bool,
+    /// Test-only override of how a cell is executed (fault injection).
+    pub(crate) runner: Option<exec::CellRunner>,
 }
 
 impl SweepOptions {
@@ -80,6 +202,27 @@ impl SweepOptions {
     #[must_use]
     pub fn progress(mut self, on: bool) -> Self {
         self.progress = on;
+        self
+    }
+
+    /// Sets the failure-handling policy (default: fail fast).
+    #[must_use]
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Sets a wall-clock budget per cell.
+    #[must_use]
+    pub fn cell_timeout(mut self, limit: Duration) -> Self {
+        self.cell_timeout = Some(limit);
+        self
+    }
+
+    /// Honors an existing sweep journal (see [`SweepOptions::resume`]).
+    #[must_use]
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
         self
     }
 
@@ -119,12 +262,28 @@ pub struct SweepOutcome {
 /// # Errors
 ///
 /// Returns the first (in spec order) cell failure. Cells after a failing
-/// cell still execute; only the error surfaces.
+/// cell still execute; only the error surfaces. A panicking cell resumes
+/// its panic on the calling thread (use [`run_sweep_report`] to contain
+/// failures instead).
 pub fn run_sweep(
     spec: &ExperimentSpec,
     opts: &SweepOptions,
 ) -> Result<Vec<SweepOutcome>, SimError> {
     exec::run(spec.cells(), opts)
+}
+
+/// Runs every cell of `spec` under the options' [`FailurePolicy`],
+/// returning a full [`SweepReport`] instead of an error: a panicking,
+/// livelocking, or timed-out cell becomes a structured [`CellFailure`]
+/// and the rest of the campaign survives.
+///
+/// With a result cache attached, completed cells are additionally
+/// journaled (append-only, fsynced) next to the cache, so a killed
+/// process can be resumed with [`SweepOptions::resume`]: previously
+/// completed cells are recalled, unfinished cells recompute, and the
+/// combined outcomes are bit-identical to an uninterrupted run.
+pub fn run_sweep_report(spec: &ExperimentSpec, opts: &SweepOptions) -> SweepReport {
+    exec::run_report(spec.cells(), opts)
 }
 
 #[cfg(test)]
@@ -135,12 +294,49 @@ mod tests {
 
     #[test]
     fn options_builder_chains() {
-        let o = SweepOptions::new().threads(3).progress(true);
+        let o = SweepOptions::new()
+            .threads(3)
+            .progress(true)
+            .failure_policy(FailurePolicy::Retry { attempts: 3 })
+            .cell_timeout(Duration::from_secs(30))
+            .resume(true);
         assert_eq!(o.threads, 3);
         assert!(o.progress);
         assert!(o.result_cache.is_none());
+        assert_eq!(o.failure_policy, FailurePolicy::Retry { attempts: 3 });
+        assert_eq!(o.cell_timeout, Some(Duration::from_secs(30)));
+        assert!(o.resume);
         assert_eq!(o.resolved_threads(), 3);
-        assert!(SweepOptions::new().resolved_threads() >= 1);
+        let d = SweepOptions::new();
+        assert_eq!(d.failure_policy, FailurePolicy::FailFast);
+        assert_eq!(d.cell_timeout, None);
+        assert!(!d.resume);
+        assert!(d.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn failure_kinds_render_for_operators() {
+        let cell = CellSpec::new(
+            Benchmark::HtH,
+            Scale::Fast,
+            TmSystem::Getm,
+            crate::config::GpuConfig::tiny_test(),
+        );
+        let f = CellFailure {
+            cell,
+            error: FailureKind::Panic("boom".into()),
+            attempts: 3,
+            elapsed: Duration::from_millis(5),
+        };
+        let msg = f.to_string();
+        assert!(msg.contains("HT-H"), "{msg}");
+        assert!(msg.contains("panicked: boom"), "{msg}");
+        assert!(msg.contains("3 attempts"), "{msg}");
+        let t = FailureKind::TimedOut {
+            limit: Duration::from_secs(2),
+            cycle: 77,
+        };
+        assert!(t.to_string().contains("timed out after 2s"), "{t}");
     }
 
     #[test]

@@ -74,6 +74,22 @@ impl CellSpec {
             .run(workload.as_ref())
     }
 
+    /// Like [`CellSpec::run`], but polling `token` so a watchdog thread can
+    /// interrupt a runaway cell (see [`Sim::run_cancellable`]). The sweep
+    /// executor uses this when a per-cell timeout is configured; an
+    /// uncancelled token changes nothing about the run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Interrupted`] on cancellation, plus everything
+    /// [`CellSpec::run`] can return.
+    pub fn run_cancellable(&self, token: sim_core::CancelToken) -> Result<Metrics, SimError> {
+        let workload = self.benchmark.build(self.scale);
+        Sim::new(&self.cfg)
+            .system(self.system)
+            .run_cancellable(workload.as_ref(), token)
+    }
+
     /// Like [`CellSpec::run`], but with `recorder` capturing the cell's
     /// event stream (see [`Sim::run_traced`]). Cache lookups never serve
     /// traced runs — call this directly when a trace is wanted.

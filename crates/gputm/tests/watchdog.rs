@@ -1,0 +1,181 @@
+//! Forward-progress watchdog behaviour: graceful degradation on the
+//! designed-livelock workload, typed livelock reports when degradation is
+//! disabled, and strict no-op behaviour on healthy runs.
+
+use gputm::config::{GpuConfig, TmSystem, WatchdogConfig};
+use gputm::runner::Sim;
+use sim_core::{CancelToken, SimError};
+use workloads::fuzz::{Fuzz, FuzzShape};
+use workloads::suite::{Benchmark, Scale};
+
+fn tiny() -> GpuConfig {
+    GpuConfig::tiny_test()
+}
+
+/// The AB/BA crossfire workload (16 threads = 4 tiny-config warps).
+fn crossfire() -> Fuzz {
+    Fuzz::new(FuzzShape::Livelock, 16, 3, 0xD06)
+}
+
+/// A watchdog wound so tight that the start-of-run window (before any
+/// transaction can possibly commit: every access is a ~100-cycle LLC round
+/// trip) counts as starvation. Deterministic by construction.
+fn hair_trigger() -> WatchdogConfig {
+    WatchdogConfig {
+        enabled: true,
+        window: 50,
+        escalate_after: 1,
+        serialize_after: 2,
+        livelock_after: 5,
+    }
+}
+
+#[test]
+fn without_fallback_reports_typed_livelock() {
+    let mut cfg = tiny();
+    cfg.watchdog = hair_trigger().without_fallback();
+    let err = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&crossfire())
+        .expect_err("a hair-trigger watchdog with no fallback must give up");
+    let SimError::Livelock(report) = err else {
+        panic!("expected SimError::Livelock, got {err:?}");
+    };
+    assert_eq!(report.window, 50);
+    assert!(report.detected_cycle >= 5 * 50);
+    assert!(
+        report.detected_cycle < 1_000,
+        "livelock must be declared promptly, not at max_cycles"
+    );
+    assert!(
+        report.last_progress_cycle < report.detected_cycle,
+        "progress stopped before the declaration"
+    );
+    assert!(
+        report.aborts > report.commits,
+        "a livelock report implies an abort storm ({} aborts, {} commits)",
+        report.aborts,
+        report.commits
+    );
+    assert!(
+        !report.hot_addrs.is_empty(),
+        "the crossfire cells must show up as hot spots"
+    );
+    assert!(
+        !report.starving_warps.is_empty(),
+        "open regions mean starving warps"
+    );
+    // The report must render its numbers for operators.
+    let msg = report.to_string();
+    assert!(msg.contains("livelock at cycle"), "message: {msg}");
+}
+
+#[test]
+fn fallback_completes_the_crossfire_degraded_and_correct() {
+    let mut cfg = tiny();
+    cfg.watchdog = WatchdogConfig {
+        livelock_after: 100_000,
+        ..hair_trigger()
+    };
+    let w = crossfire();
+    let m = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("fallback must push the crossfire through");
+    m.assert_correct();
+    assert!(m.commits > 0);
+    assert!(m.degraded, "the watchdog intervened; metrics must say so");
+    assert!(m.watchdog_escalations > 0);
+    assert!(
+        m.serialized_commits > 0,
+        "the machine was serialized before the first commit could land"
+    );
+}
+
+#[test]
+fn degraded_run_still_certifies() {
+    let mut cfg = tiny();
+    cfg.watchdog = WatchdogConfig {
+        livelock_after: 100_000,
+        ..hair_trigger()
+    };
+    let verified = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run_verified(&crossfire())
+        .expect("verified run");
+    let m = verified.metrics.as_ref().expect("run completed");
+    assert!(m.degraded);
+    m.assert_correct();
+    verified.verdict.assert_ok();
+    assert!(verified.verdict.stats.committed > 0);
+}
+
+#[test]
+fn healthy_run_is_bit_identical_with_watchdog_on_or_off() {
+    let w = Benchmark::Atm.build(Scale::Fast);
+    let on = tiny();
+    let mut off = tiny();
+    off.watchdog = WatchdogConfig::disabled();
+    for system in [TmSystem::Getm, TmSystem::WarpTmLL] {
+        let a = Sim::new(&on).system(system).run(w.as_ref()).unwrap();
+        let b = Sim::new(&off).system(system).run(w.as_ref()).unwrap();
+        assert_eq!(a, b, "an untripped watchdog must be invisible ({system})");
+        assert!(!a.degraded);
+        assert_eq!(a.watchdog_escalations, 0);
+    }
+}
+
+#[test]
+fn fglock_runs_ignore_the_watchdog() {
+    // FGLock never produces transactional commits, so a naive watchdog
+    // would declare every lock-mode run livelocked. It must be inert.
+    let mut cfg = tiny();
+    cfg.watchdog = WatchdogConfig {
+        enabled: true,
+        window: 10,
+        escalate_after: 1,
+        serialize_after: 1,
+        livelock_after: 1,
+    };
+    let m = Sim::new(&cfg)
+        .system(TmSystem::FgLock)
+        .run(&crossfire())
+        .expect("lock mode must be exempt from the watchdog");
+    m.assert_correct();
+    assert!(!m.degraded);
+}
+
+#[test]
+fn livelock_shape_completes_under_the_default_watchdog() {
+    // The default 250k-cycle window is far wider than GETM's real
+    // inter-commit gaps even on the crossfire, so the stock config
+    // completes it without degradation on this small machine.
+    let m = Sim::new(&tiny())
+        .system(TmSystem::Getm)
+        .run(&crossfire())
+        .expect("crossfire completes under the default watchdog");
+    m.assert_correct();
+    assert!(m.commits > 0);
+}
+
+#[test]
+fn cancelled_token_interrupts_the_run() {
+    let token = CancelToken::new();
+    token.cancel();
+    let err = Sim::new(&tiny())
+        .system(TmSystem::Getm)
+        .run_cancellable(&crossfire(), token)
+        .expect_err("a pre-cancelled token must interrupt");
+    assert!(matches!(err, SimError::Interrupted { .. }), "got {err:?}");
+}
+
+#[test]
+fn uncancelled_token_is_observational() {
+    let w = crossfire();
+    let plain = Sim::new(&tiny()).system(TmSystem::Getm).run(&w).unwrap();
+    let cancellable = Sim::new(&tiny())
+        .system(TmSystem::Getm)
+        .run_cancellable(&w, CancelToken::new())
+        .unwrap();
+    assert_eq!(plain, cancellable);
+}

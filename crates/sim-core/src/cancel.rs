@@ -1,0 +1,86 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A simulation cell can run for hundreds of millions of cycles, and Rust
+//! threads cannot be killed from outside. [`CancelToken`] is the
+//! cooperative alternative: the sweep executor (or any external watchdog)
+//! holds one clone and raises it; the engine polls its own clone on a
+//! coarse cycle mask and bails out with a typed
+//! [`SimError::Interrupted`](crate::SimError::Interrupted) — leaving the
+//! process, the result cache, and every other in-flight cell intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag.
+///
+/// Cheap to clone (one `Arc`), cheap to poll (one relaxed atomic load —
+/// the engine checks it once every few thousand cycles, so even that is
+/// amortized to nothing). Raising is sticky: there is no un-cancel.
+///
+/// ```
+/// use sim_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-raised token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the token. Every clone observes the cancellation; raising
+    /// an already-raised token is a no-op.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether any clone of this token has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let token = CancelToken::new();
+        let seen = token.clone();
+        let h = std::thread::spawn(move || {
+            while !seen.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(h.join().unwrap());
+    }
+}

@@ -3,6 +3,54 @@
 use std::error::Error;
 use std::fmt;
 
+/// Diagnosis of a run the forward-progress watchdog gave up on.
+///
+/// Returned inside [`SimError::Livelock`] when a simulation makes no
+/// commit progress for long enough that even the degradation ladder
+/// (backoff escalation, serialized commits) could not restart it. Unlike
+/// the bare [`SimError::CycleLimitExceeded`], the report says *where* the
+/// contention was: the hottest addresses by abort count and the warps that
+/// were starving when the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivelockReport {
+    /// Cycle at which the watchdog declared livelock.
+    pub detected_cycle: u64,
+    /// Cycle of the last observed commit (0 if nothing ever committed).
+    pub last_progress_cycle: u64,
+    /// Commits observed over the whole run before detection.
+    pub commits: u64,
+    /// Aborts observed over the whole run before detection.
+    pub aborts: u64,
+    /// The watchdog's progress window, in cycles.
+    pub window: u64,
+    /// Hottest conflict addresses, `(address, abort count)`, most-aborted
+    /// first (capped to a small top-N by the producer).
+    pub hot_addrs: Vec<(u64, u64)>,
+    /// Global warp ids that held an open, uncommitted transaction region
+    /// when the watchdog fired.
+    pub starving_warps: Vec<u64>,
+}
+
+impl fmt::Display for LivelockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "livelock at cycle {} (last progress {}; {} commits, {} aborts; \
+             {} starving warp(s); window {})",
+            self.detected_cycle,
+            self.last_progress_cycle,
+            self.commits,
+            self.aborts,
+            self.starving_warps.len(),
+            self.window
+        )?;
+        if let Some((addr, n)) = self.hot_addrs.first() {
+            write!(f, "; hottest addr {addr:#x} with {n} abort(s)")?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors surfaced by simulator construction and execution.
 ///
 /// Most simulator-internal conditions (aborted transactions, full queues)
@@ -42,6 +90,17 @@ pub enum SimError {
         /// The cycle at which the violation was detected.
         cycle: u64,
     },
+    /// The forward-progress watchdog observed no commits for long enough
+    /// to declare the run livelocked, even after graceful degradation.
+    /// Carries a full diagnosis (boxed: the report is much larger than the
+    /// other variants).
+    Livelock(Box<LivelockReport>),
+    /// The run was cancelled from outside (a sweep-level watchdog or
+    /// shutdown request raised the engine's cancel token).
+    Interrupted {
+        /// The cycle at which the engine noticed the cancellation.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +120,10 @@ impl fmt::Display for SimError {
                     f,
                     "protocol violation at cycle {cycle}: {what} (token {token})"
                 )
+            }
+            SimError::Livelock(report) => write!(f, "{report}"),
+            SimError::Interrupted { cycle } => {
+                write!(f, "simulation interrupted at cycle {cycle}")
             }
         }
     }
@@ -108,6 +171,31 @@ mod tests {
             }
             .to_string(),
             "protocol violation at cycle 7: load reply routed to unknown token (token 42)"
+        );
+    }
+
+    #[test]
+    fn livelock_display_names_the_hot_spot() {
+        let report = LivelockReport {
+            detected_cycle: 5000,
+            last_progress_cycle: 1000,
+            commits: 3,
+            aborts: 912,
+            window: 2000,
+            hot_addrs: vec![(0x7000_0000, 450), (0x7000_0008, 400)],
+            starving_warps: vec![0, 1, 5],
+        };
+        let msg = SimError::Livelock(Box::new(report)).to_string();
+        assert!(msg.contains("livelock at cycle 5000"), "{msg}");
+        assert!(msg.contains("3 starving warp(s)"), "{msg}");
+        assert!(msg.contains("0x70000000"), "{msg}");
+    }
+
+    #[test]
+    fn interrupted_display() {
+        assert_eq!(
+            SimError::Interrupted { cycle: 99 }.to_string(),
+            "simulation interrupted at cycle 99"
         );
     }
 

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod cycle;
 pub mod error;
 pub mod events;
@@ -28,11 +29,12 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use cycle::Cycle;
-pub use error::SimError;
+pub use error::{LivelockReport, SimError};
 pub use events::EventWheel;
 pub use hash::StableHasher;
 pub use history::{History, HistoryRecorder};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, LogHistogram, MaxTracker, RatioStat, StatSet, TimeSeries};
-pub use trace::{AbortCause, EventBus, Recorder, SimEvent, Stamp, TraceSink};
+pub use trace::{AbortCause, EventBus, Recorder, SimEvent, Stamp, TraceSink, WatchdogStage};

@@ -125,6 +125,18 @@ impl Stamp {
         }
     }
 
+    /// A stamp carrying only the cycle — for GPU-wide events (watchdog
+    /// stage changes) that belong to no core, warp, or partition.
+    pub fn global(cycle: u64) -> Self {
+        Stamp {
+            cycle,
+            core: Stamp::NONE,
+            warp: Stamp::NONE,
+            lane: Stamp::NONE,
+            partition: Stamp::NONE,
+        }
+    }
+
     /// A stamp locating an event on a memory partition.
     pub fn partition(cycle: u64, partition: u32) -> Self {
         Stamp {
@@ -206,6 +218,43 @@ pub enum SimEvent {
         /// Sampled value.
         value: f64,
     },
+    /// The forward-progress watchdog changed degradation stage (GPU-wide;
+    /// the stamp carries only the cycle).
+    Watchdog {
+        /// The stage the machine entered.
+        stage: WatchdogStage,
+    },
+}
+
+/// Degradation stages the forward-progress watchdog steps through when a
+/// run stops committing (see `gputm`'s engine watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WatchdogStage {
+    /// Backoff windows were widened for every warp (first escalation).
+    Escalated,
+    /// Serialization fallback: one starving warp gets priority, the rest
+    /// are throttled (the software analogue of serial-irrevocable HTM).
+    Serialized,
+    /// A priority commit landed and the machine stepped back toward
+    /// normal concurrent execution.
+    Recovered,
+}
+
+impl WatchdogStage {
+    /// A short fixed label for trace names and tallies.
+    pub fn label(self) -> &'static str {
+        match self {
+            WatchdogStage::Escalated => "escalated",
+            WatchdogStage::Serialized => "serialized",
+            WatchdogStage::Recovered => "recovered",
+        }
+    }
+}
+
+impl fmt::Display for WatchdogStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Anything that can absorb a stream of stamped events.
@@ -382,6 +431,9 @@ fn partition_pid(partition: u32) -> u64 {
     1000 + partition as u64
 }
 
+/// Synthetic process id for the GPU-wide watchdog track.
+const WATCHDOG_PID: u64 = 999;
+
 /// Writes a captured bus as Chrome trace-event JSON.
 ///
 /// The layout Perfetto shows: one process per SIMT core with one thread
@@ -471,6 +523,14 @@ pub fn export_chrome_trace(bus: &EventBus, w: &mut impl Write) -> io::Result<()>
                     "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":0{args}}}"
                 ));
             }
+            SimEvent::Watchdog { stage } => {
+                let pid = WATCHDOG_PID;
+                named.insert((pid, None), "watchdog".to_string());
+                lines.push(format!(
+                    "{{\"name\":\"watchdog:{}\",\"cat\":\"wd\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":{pid},\"tid\":0}}",
+                    stage.label()
+                ));
+            }
             SimEvent::Probe { name, value } => {
                 let pid = if s.partition != Stamp::NONE {
                     named.insert(
@@ -542,6 +602,7 @@ pub fn export_flame_summary(bus: &EventBus, w: &mut impl Write) -> io::Result<()
             SimEvent::MemAccess { dram: false } => "mem-llc",
             SimEvent::BackoffSleep { .. } => "backoff-sleep",
             SimEvent::Probe { .. } => "probe",
+            SimEvent::Watchdog { .. } => "watchdog",
         };
         *counts.entry(kind.to_string()).or_insert(0) += 1;
         match e {
@@ -677,6 +738,34 @@ mod tests {
             "unbalanced JSON objects"
         );
         assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn watchdog_events_export_to_their_own_track() {
+        let mut bus = EventBus::new(8);
+        bus.record(
+            Stamp::global(500),
+            SimEvent::Watchdog {
+                stage: WatchdogStage::Escalated,
+            },
+        );
+        bus.record(
+            Stamp::global(900),
+            SimEvent::Watchdog {
+                stage: WatchdogStage::Serialized,
+            },
+        );
+        let mut out = Vec::new();
+        export_chrome_trace(&bus, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("watchdog:escalated"), "{text}");
+        assert!(text.contains("watchdog:serialized"), "{text}");
+        assert!(text.contains("\"name\":\"watchdog\""), "{text}");
+
+        let mut out = Vec::new();
+        export_flame_summary(&bus, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("watchdog"), "{text}");
     }
 
     #[test]

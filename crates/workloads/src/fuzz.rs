@@ -62,15 +62,21 @@ pub enum FuzzShape {
     /// Many cells, low contention, mixed op types: volume rather than
     /// conflicts.
     Scatter,
+    /// Designed near-livelock: every transaction read-modify-writes the
+    /// same two cells, with the access *order* flipped by thread parity
+    /// (AB vs. BA crossfire). This is the canonical mutual-kill pattern —
+    /// the workload the forward-progress watchdog exists for.
+    Livelock,
 }
 
 impl FuzzShape {
     /// All shapes, in definition order.
-    pub const ALL: [FuzzShape; 4] = [
+    pub const ALL: [FuzzShape; 5] = [
         FuzzShape::SingleCell,
         FuzzShape::LockSteal,
         FuzzShape::MixedAliasing,
         FuzzShape::Scatter,
+        FuzzShape::Livelock,
     ];
 
     /// A short name, used in workload labels and CLI flags.
@@ -80,6 +86,7 @@ impl FuzzShape {
             FuzzShape::LockSteal => "lock-steal",
             FuzzShape::MixedAliasing => "mixed-aliasing",
             FuzzShape::Scatter => "scatter",
+            FuzzShape::Livelock => "livelock",
         }
     }
 }
@@ -181,6 +188,7 @@ impl Fuzz {
             FuzzShape::LockSteal => 4,
             FuzzShape::MixedAliasing => 4,
             FuzzShape::Scatter => (self.threads as u64 / 2).max(16),
+            FuzzShape::Livelock => 2,
         }
     }
 
@@ -313,6 +321,27 @@ impl Fuzz {
                         ops.push(Micro::Store {
                             addr: STORE.at(drng.below(self.store_cells())),
                             value: Self::store_tag(tid, t),
+                        });
+                    }
+                    steps.push(Step::Tx(ops));
+                }
+                FuzzShape::Livelock => {
+                    // Both cells, every transaction, access order flipped
+                    // by thread parity: even threads RMW A then B, odd
+                    // threads B then A. Every pair of opposite-parity
+                    // transactions conflicts twice per attempt, in both
+                    // directions — maximal mutual-kill pressure. The
+                    // structure (LDLD) is parity-independent, so plans stay
+                    // warp-uniform; only addresses and deltas diverge.
+                    let n = self.rmw_cells();
+                    let flip = tid as u64 % 2;
+                    let mut ops = Vec::new();
+                    for k in 0..n {
+                        let a = RMW.at((k + flip * (n - 1)) % n);
+                        ops.push(Micro::Load(a));
+                        ops.push(Micro::StoreDelta {
+                            addr: a,
+                            delta: 1 + drng.below(4),
                         });
                     }
                     steps.push(Step::Tx(ops));
