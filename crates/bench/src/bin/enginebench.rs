@@ -1,0 +1,156 @@
+//! Wall-clock gate for the engine hot loop.
+//!
+//! Runs two workloads — a high-contention benchmark and a sparse
+//! idle-heavy synthetic — once with the engine walking every cycle and
+//! once with idle skip-ahead, asserts the metrics are identical, and
+//! reports the wall-clock speedup of the skip path.
+//!
+//! The committed baseline (`crates/bench/BENCH_engine.json`) stores the
+//! speedups this machine class is expected to reach. The gate compares
+//! *ratios*, not absolute times, so it is stable across host speeds:
+//!
+//! ```text
+//! cargo run -p bench --release --bin enginebench                  # print
+//! cargo run -p bench --release --bin enginebench -- --write FILE  # rebase
+//! cargo run -p bench --release --bin enginebench -- --check FILE  # gate
+//! ```
+//!
+//! `--check` fails (exit 1) if any workload's speedup drops below 80% of
+//! the baseline's. The slack absorbs scheduler noise on shared CI hosts; a
+//! genuine skip-path regression collapses the idle-sparse ratio to ~1x,
+//! far below any plausible jitter.
+
+use bench::idle::IdleHeavy;
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::engine::Engine;
+use gputm::metrics::Metrics;
+use std::time::Instant;
+use workloads::suite::{Benchmark, Scale};
+use workloads::Workload;
+
+/// Best-of-N wall-clock for one loop path, plus the metrics it produced.
+fn time_path(w: &dyn Workload, cfg: &GpuConfig, idle_skip: bool, reps: u32) -> (Metrics, f64) {
+    let mut best = f64::INFINITY;
+    let mut metrics = None;
+    for _ in 0..reps {
+        let mut e = Engine::new(w, TmSystem::Getm, cfg).expect("engine builds");
+        e.set_idle_skip(idle_skip);
+        let t0 = Instant::now();
+        let m = e.run().expect("run completes");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        metrics = Some(m);
+    }
+    (metrics.expect("at least one rep"), best)
+}
+
+struct Row {
+    name: &'static str,
+    walk_ms: f64,
+    skip_ms: f64,
+    speedup: f64,
+}
+
+fn measure(name: &'static str, w: &dyn Workload, cfg: &GpuConfig) -> Row {
+    let (m_walk, walk_ms) = time_path(w, cfg, false, 3);
+    let (m_skip, skip_ms) = time_path(w, cfg, true, 3);
+    assert_eq!(
+        m_walk, m_skip,
+        "{name}: loop paths disagree on metrics — refusing to benchmark a broken engine"
+    );
+    Row {
+        name,
+        walk_ms,
+        skip_ms,
+        speedup: walk_ms / skip_ms,
+    }
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut s = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"walk_ms\": {:.3}, \"skip_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.walk_ms,
+            r.skip_ms,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pulls `"speedup": <num>` out of the baseline row named `name`. The
+/// baseline is written only by `--write` above, so a two-key scan is all
+/// the parsing it needs.
+fn baseline_speedup(json: &str, name: &str) -> Option<f64> {
+    let row = json
+        .split('{')
+        .find(|s| s.contains(&format!("\"name\": \"{name}\"")))?;
+    let tail = row.split("\"speedup\":").nth(1)?;
+    tail.trim()
+        .trim_end_matches(|c: char| !c.is_ascii_digit())
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = GpuConfig::tiny_test();
+    let atm = Benchmark::Atm.build(Scale::Fast);
+    let idle = IdleHeavy {
+        threads: 32,
+        rounds: 40,
+        spin: 5000,
+    };
+    let fz = workloads::fuzz::Fuzz::new(workloads::fuzz::FuzzShape::SingleCell, 32, 6, 7);
+    let rows = vec![
+        measure("atm-contended", atm.as_ref(), &cfg),
+        measure("fuzz-singlecell", &fz, &cfg),
+        measure("idle-sparse", &idle, &cfg),
+    ];
+    for r in &rows {
+        println!(
+            "{:<14} walk {:>9.3} ms   skip {:>9.3} ms   speedup {:>6.2}x",
+            r.name, r.walk_ms, r.skip_ms, r.speedup
+        );
+    }
+
+    match args.first().map(String::as_str) {
+        Some("--write") => {
+            let path = args.get(1).expect("--write FILE");
+            std::fs::write(path, render(&rows)).expect("write baseline");
+            println!("baseline written to {path}");
+        }
+        Some("--check") => {
+            let path = args.get(1).expect("--check FILE");
+            let json = std::fs::read_to_string(path).expect("read baseline");
+            let mut failed = false;
+            for r in &rows {
+                let base = baseline_speedup(&json, r.name)
+                    .unwrap_or_else(|| panic!("baseline {path} has no row named {}", r.name));
+                let floor = base * 0.8;
+                let ok = r.speedup >= floor;
+                println!(
+                    "{:<14} baseline {:>6.2}x   floor {:>6.2}x   now {:>6.2}x   {}",
+                    r.name,
+                    base,
+                    floor,
+                    r.speedup,
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                failed |= !ok;
+            }
+            if failed {
+                eprintln!("engine loop speedup regressed below 80% of baseline");
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown flag {other}; use --write FILE or --check FILE");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+}

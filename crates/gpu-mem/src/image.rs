@@ -1,0 +1,182 @@
+//! The committed memory image: a page-granular flat store.
+//!
+//! The simulator's architectural memory was originally a
+//! `HashMap<u64, u64>` keyed by word address — one hash and one heap node
+//! per touched word, on a path the engine hits several times per simulated
+//! cycle (load value capture, store application, validation re-reads).
+//! `MemImage` replaces it with 4096-word zero-filled pages behind a dense
+//! page directory, making the common read/write a shift, a bounds check,
+//! and an array index.
+//!
+//! Semantics match the map-with-default it replaces: every word reads as
+//! zero until written, and writing zero is indistinguishable from never
+//! having written (no occupancy tracking — the engine's
+//! `get(...).unwrap_or(0)` idiom never distinguished them either).
+//!
+//! Pages with small page numbers (word addresses below 2^28) live in a
+//! directly indexed directory that grows on demand; the rare workload that
+//! scatters addresses beyond that falls back to an ordered spill map, so a
+//! single huge address cannot balloon the directory. Iteration
+//! ([`MemImage::iter_nonzero`]) is in ascending address order — directory
+//! pages first, spill pages after, both sorted — so everything downstream
+//! (the verifier's divergence reports in particular) is deterministic by
+//! construction, never at the mercy of hash iteration order.
+
+use std::collections::BTreeMap;
+
+/// Words per page (4096 words = 32 KiB of simulated memory per page).
+const PAGE_SHIFT: u32 = 12;
+const PAGE_WORDS: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_WORDS as u64) - 1;
+/// Page numbers below this live in the dense directory; the directory is
+/// grown lazily, so its worst case is `DIRECT_PAGES` pointers (512 KiB).
+const DIRECT_PAGES: u64 = 1 << 16;
+
+type Page = Box<[u64; PAGE_WORDS]>;
+
+fn blank_page() -> Page {
+    // `vec![0; N].into_boxed_slice()` keeps the 32 KiB allocation off the
+    // stack; the conversion to a fixed-size boxed array is free.
+    vec![0u64; PAGE_WORDS]
+        .into_boxed_slice()
+        .try_into()
+        .expect("length matches")
+}
+
+/// A page-granular flat image of simulated memory, keyed by word address.
+#[derive(Debug, Default, Clone)]
+pub struct MemImage {
+    /// Dense directory for page numbers below [`DIRECT_PAGES`].
+    direct: Vec<Option<Page>>,
+    /// Ordered spill store for far-flung page numbers.
+    spill: BTreeMap<u64, Page>,
+}
+
+impl MemImage {
+    /// An all-zero image.
+    pub fn new() -> Self {
+        MemImage::default()
+    }
+
+    /// An image pre-populated from `(word address, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut img = MemImage::new();
+        for (a, v) in pairs {
+            img.set(a, v);
+        }
+        img
+    }
+
+    /// The committed value of word `addr` (zero until written).
+    #[inline]
+    pub fn get(&self, addr: u64) -> u64 {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & OFFSET_MASK) as usize;
+        if page < DIRECT_PAGES {
+            match self.direct.get(page as usize) {
+                Some(Some(p)) => p[off],
+                _ => 0,
+            }
+        } else {
+            self.spill.get(&page).map_or(0, |p| p[off])
+        }
+    }
+
+    /// Writes word `addr`.
+    #[inline]
+    pub fn set(&mut self, addr: u64, value: u64) {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & OFFSET_MASK) as usize;
+        if page < DIRECT_PAGES {
+            let idx = page as usize;
+            if idx >= self.direct.len() {
+                self.direct.resize_with(idx + 1, || None);
+            }
+            self.direct[idx].get_or_insert_with(blank_page)[off] = value;
+        } else {
+            self.spill.entry(page).or_insert_with(blank_page)[off] = value;
+        }
+    }
+
+    /// Number of materialized pages (capacity gauge for tests and dumps).
+    pub fn page_count(&self) -> usize {
+        self.direct.iter().filter(|p| p.is_some()).count() + self.spill.len()
+    }
+
+    /// Iterates `(word address, value)` over every nonzero word, in
+    /// ascending address order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let direct = self
+            .direct
+            .iter()
+            .enumerate()
+            .filter_map(|(n, p)| Some((n as u64, p.as_ref()?)));
+        let spill = self.spill.iter().map(|(&n, p)| (n, p));
+        direct.chain(spill).flat_map(|(n, p)| {
+            p.iter().enumerate().filter_map(move |(off, &v)| {
+                (v != 0).then_some(((n << PAGE_SHIFT) | off as u64, v))
+            })
+        })
+    }
+}
+
+impl FromIterator<(u64, u64)> for MemImage {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        MemImage::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let img = MemImage::new();
+        assert_eq!(img.get(0), 0);
+        assert_eq!(img.get(u64::MAX), 0);
+        assert_eq!(img.page_count(), 0);
+    }
+
+    #[test]
+    fn writes_round_trip_within_and_across_pages() {
+        let mut img = MemImage::new();
+        img.set(0, 7);
+        img.set(4095, 8);
+        img.set(4096, 9); // next page
+        assert_eq!(img.get(0), 7);
+        assert_eq!(img.get(4095), 8);
+        assert_eq!(img.get(4096), 9);
+        assert_eq!(img.get(1), 0);
+        assert_eq!(img.page_count(), 2);
+        img.set(0, 1);
+        assert_eq!(img.get(0), 1);
+    }
+
+    #[test]
+    fn far_addresses_spill_without_growing_the_directory() {
+        let mut img = MemImage::new();
+        let far = 1u64 << 40;
+        img.set(far, 5);
+        img.set(far + 1, 6);
+        assert_eq!(img.get(far), 5);
+        assert_eq!(img.get(far + 1), 6);
+        assert_eq!(img.page_count(), 1);
+        assert!(img.direct.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_skips_zeros() {
+        let far = 1u64 << 40;
+        let img = MemImage::from_pairs([(far, 50), (9000, 3), (2, 1), (7, 0), (4096, 2)]);
+        let got: Vec<_> = img.iter_nonzero().collect();
+        assert_eq!(got, vec![(2, 1), (4096, 2), (9000, 3), (far, 50)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let img: MemImage = [(1u64, 10u64), (2, 20)].into_iter().collect();
+        assert_eq!(img.get(1), 10);
+        assert_eq!(img.get(2), 20);
+    }
+}

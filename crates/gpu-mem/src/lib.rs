@@ -15,9 +15,11 @@
 pub mod addr;
 pub mod cache;
 pub mod dram;
+pub mod image;
 pub mod xbar;
 
 pub use addr::{Addr, Geometry, Granule, LineAddr};
 pub use cache::{AccessKind, CacheConfig, CacheResult, SetAssocCache};
 pub use dram::{DramChannel, DramConfig};
+pub use image::MemImage;
 pub use xbar::{Crossbar, Delivery, XbarConfig};

@@ -141,10 +141,17 @@ impl<T> Crossbar<T> {
     /// Returns every packet that has arrived by `now`, in arrival order.
     pub fn deliver(&mut self, now: Cycle) -> Vec<Delivery<T>> {
         let mut out = Vec::new();
+        self.drain_due(now, &mut out);
+        out
+    }
+
+    /// Appends every packet that has arrived by `now` to `out`, in arrival
+    /// order. The allocation-free form of [`Crossbar::deliver`]: callers in
+    /// a cycle loop keep one buffer and reuse it.
+    pub fn drain_due(&mut self, now: Cycle, out: &mut Vec<Delivery<T>>) {
         while let Some(d) = self.wheel.pop_due(now) {
             out.push(d);
         }
-        out
     }
 
     /// The earliest pending arrival time, if any packet is in flight.

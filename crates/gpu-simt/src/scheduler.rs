@@ -118,6 +118,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_pick_is_stateless() {
+        // The engine's idle skip-ahead elides cycles where no warp is ready
+        // without consulting the scheduler. That is only sound because a
+        // pick with nothing ready leaves the scheduler untouched: same
+        // greedy warp, same counters, so skipping N such cycles is
+        // indistinguishable from calling `pick` N times in them.
+        let mut s = GtoScheduler::new(4);
+        assert_eq!(s.pick(|w| w == 2), Some(2));
+        for _ in 0..100 {
+            assert_eq!(s.pick(|_| false), None);
+        }
+        assert_eq!(s.picks(), 1);
+        assert_eq!(s.greedy_hits(), 0);
+        // Greedy state survived the dry spell.
+        assert_eq!(s.pick(|_| true), Some(2));
+        assert_eq!(s.greedy_hits(), 1);
+    }
+
+    #[test]
     fn pick_counters_track_greedy_locality() {
         let mut s = GtoScheduler::new(4);
         assert_eq!(s.pick(|w| w == 1), Some(1)); // cold pick

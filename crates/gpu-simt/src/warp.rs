@@ -208,6 +208,15 @@ impl Warp {
         self.tx_stack.is_open()
     }
 
+    /// If the warp is asleep at `now` (compute latency or backoff), the
+    /// cycle it wakes at. `None` for an awake warp. The engine's idle
+    /// skip-ahead uses this as a hop bound: nothing about a sleeping warp
+    /// changes before `sleep_until`, so cycles up to (exclusive) that point
+    /// can be elided wholesale.
+    pub fn sleeping_until(&self, now: Cycle) -> Option<Cycle> {
+        (now < self.sleep_until).then_some(self.sleep_until)
+    }
+
     /// Lanes that are currently `Ready`.
     pub fn ready_lanes(&self) -> Vec<u32> {
         self.threads

@@ -12,7 +12,6 @@ use gpu_simt::{Op, OpResult, ThreadStatus};
 use sim_core::history::NO_TXN;
 use sim_core::trace::{AbortCause, SimEvent, Stamp};
 use sim_core::SimError;
-use std::collections::BTreeMap;
 use warptm::eapg::EapgDecision;
 use warptm::ValidationJob;
 
@@ -37,7 +36,9 @@ impl Engine {
         let serialized = self.wd.mode == super::WdMode::Serialized;
         let priority = self.wd.priority;
         let nwarps = self.cores[c].warps.len();
-        let mut ready = vec![false; nwarps];
+        let mut ready = std::mem::take(&mut self.ready_buf);
+        ready.clear();
+        ready.resize(nwarps, false);
         for (w, ready_slot) in ready.iter_mut().enumerate() {
             let tokens = self.cores[c].tx_tokens;
             let Some(slot) = self.cores[c].warps[w].as_mut() else {
@@ -87,6 +88,7 @@ impl Engine {
         );
         let pick = sched.pick(|w| ready[w]);
         self.cores[c].sched = sched;
+        self.ready_buf = ready;
         if let Some(w) = pick {
             self.issue_warp(c, w)?;
         }
@@ -243,7 +245,10 @@ impl Engine {
     ) -> Result<(), SimError> {
         let geom = self.geom;
         // Phase 1: intra-warp conflict detection + logging (core-local).
-        let mut survivors: Vec<(u32, Addr, u64)> = Vec::new();
+        // The survivor list is engine-owned scratch, taken out for the call
+        // because the routing helpers below need `&mut self` alongside it.
+        let mut survivors = std::mem::take(&mut self.survivors_buf);
+        survivors.clear();
         let mut lanes_aborted = false;
         let gwid = {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
@@ -332,6 +337,7 @@ impl Engine {
             }
             TmSystem::FgLock => unreachable!("tx ops in lock mode"),
         }
+        self.survivors_buf = survivors;
         if lanes_aborted {
             self.maybe_warp_commit(c, w);
         }
@@ -355,17 +361,23 @@ impl Engine {
             (slot.gwid, slot.warp.warpts)
         };
         // Group survivors by granule, preserving first-appearance order.
-        let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
+        // Both the group list and the per-granule lane lists are recycled:
+        // a lane list travels inside `Pending::Access` and comes back to
+        // the pool when the reply retires the context.
+        let mut by_granule = std::mem::take(&mut self.group_buf);
         for &(l, a, _) in survivors {
             let g = geom.granule_of(a);
             match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
                 Some((_, lanes)) => lanes.push((l, a)),
-                None => by_granule.push((g, vec![(l, a)])),
+                None => {
+                    let mut lanes = self.lane_pool.pop().unwrap_or_default();
+                    lanes.push((l, a));
+                    by_granule.push((g, lanes));
+                }
             }
         }
         let now = self.now;
-        for (g, lanes) in by_granule {
-            let token = self.fresh_token();
+        for (g, lanes) in by_granule.drain(..) {
             let part = geom.partition_of_granule(g) as usize;
             let addr = lanes[0].1;
             {
@@ -383,17 +395,15 @@ impl Engine {
                 }
                 slot.warp.outstanding += 1;
             }
-            self.pending.insert(
-                token,
-                Pending::Access {
-                    core: c,
-                    warp: w,
-                    lanes,
-                    is_store,
-                    is_tx: true,
-                    issued: now,
-                },
-            );
+            let token = self.pending.insert(Pending::Access {
+                core: c,
+                warp: w,
+                lanes,
+                is_store,
+                is_tx: true,
+                issued: now,
+                versions: Vec::new(),
+            });
             self.up.send(
                 now,
                 part,
@@ -413,6 +423,7 @@ impl Engine {
                 "tm-access",
             );
         }
+        self.group_buf = by_granule;
     }
 
     /// WarpTM / EL: loads fetch values (and TCD stamps) from the LLC.
@@ -421,17 +432,20 @@ impl Engine {
             return;
         }
         let geom = self.geom;
-        let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
+        let mut by_granule = std::mem::take(&mut self.group_buf);
         for &(l, a, _) in survivors {
             let g = geom.granule_of(a);
             match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
                 Some((_, lanes)) => lanes.push((l, a)),
-                None => by_granule.push((g, vec![(l, a)])),
+                None => {
+                    let mut lanes = self.lane_pool.pop().unwrap_or_default();
+                    lanes.push((l, a));
+                    by_granule.push((g, lanes));
+                }
             }
         }
         let now = self.now;
-        for (g, lanes) in by_granule {
-            let token = self.fresh_token();
+        for (g, lanes) in by_granule.drain(..) {
             let part = geom.partition_of_granule(g) as usize;
             let addr = lanes[0].1;
             {
@@ -441,26 +455,25 @@ impl Engine {
                 }
                 slot.warp.outstanding += 1;
             }
-            self.pending.insert(
-                token,
-                Pending::Access {
-                    core: c,
-                    warp: w,
-                    lanes,
-                    is_store: false,
-                    is_tx: true,
-                    issued: now,
-                },
-            );
+            let token = self.pending.insert(Pending::Access {
+                core: c,
+                warp: w,
+                lanes,
+                is_store: false,
+                is_tx: true,
+                issued: now,
+                versions: Vec::new(),
+            });
             self.up
                 .send(now, part, 16, UpMsg::TxLoadWtm { addr, token }, "tm-access");
         }
+        self.group_buf = by_granule;
     }
 
     fn issue_plain_load(&mut self, c: usize, w: usize, group: &[u32]) -> Result<(), SimError> {
         let geom = self.geom;
         let use_l1 = self.system.is_tm();
-        let mut by_granule: Vec<(Granule, Vec<(u32, Addr)>)> = Vec::new();
+        let mut by_granule = std::mem::take(&mut self.group_buf);
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
@@ -475,12 +488,16 @@ impl Engine {
                 let g = geom.granule_of(a);
                 match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
                     Some((_, lanes)) => lanes.push((l, a)),
-                    None => by_granule.push((g, vec![(l, a)])),
+                    None => {
+                        let mut lanes = self.lane_pool.pop().unwrap_or_default();
+                        lanes.push((l, a));
+                        by_granule.push((g, lanes));
+                    }
                 }
             }
         }
         let now = self.now;
-        for (g, lanes) in by_granule {
+        for (g, mut lanes) in by_granule.drain(..) {
             let line = geom.line_of_granule(g);
             if use_l1
                 && self.cores[c]
@@ -491,14 +508,15 @@ impl Engine {
                 // L1 hit: values available next cycle.
                 let slot = self.cores[c].warps[w].as_mut().expect("warp");
                 for &(l, a) in &lanes {
-                    let v = self.mem.get(&a.0).copied().unwrap_or(0);
+                    let v = self.mem.get(a.0);
                     let t = &mut slot.warp.threads[l as usize];
                     t.pending_result = OpResult::Value(v);
                 }
                 slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1);
+                lanes.clear();
+                self.lane_pool.push(lanes);
                 continue;
             }
-            let token = self.fresh_token();
             let part = geom.partition_of_granule(g) as usize;
             let addr = lanes[0].1;
             {
@@ -508,20 +526,19 @@ impl Engine {
                 }
                 slot.warp.outstanding += 1;
             }
-            self.pending.insert(
-                token,
-                Pending::Access {
-                    core: c,
-                    warp: w,
-                    lanes,
-                    is_store: false,
-                    is_tx: false,
-                    issued: now,
-                },
-            );
+            let token = self.pending.insert(Pending::Access {
+                core: c,
+                warp: w,
+                lanes,
+                is_store: false,
+                is_tx: false,
+                issued: now,
+                versions: Vec::new(),
+            });
             self.up
                 .send(now, part, 16, UpMsg::PlainLoad { addr, token }, "load");
         }
+        self.group_buf = by_granule;
         Ok(())
     }
 
@@ -550,7 +567,7 @@ impl Engine {
             slot.gwid.0
         };
         for (part, a, v, l) in sends {
-            self.mem.insert(a.0, v);
+            self.mem.set(a.0, v);
             self.hist.singleton_write(c, gwid, l, a.0, v, now.raw());
             if self.system.is_tm() {
                 self.cores[c].l1.invalidate(geom.line_of(a));
@@ -590,15 +607,11 @@ impl Engine {
                     }
                 }
             };
-            let token = self.fresh_token();
-            self.pending.insert(
-                token,
-                Pending::AtomicOp {
-                    core: c,
-                    warp: w,
-                    lane: l,
-                },
-            );
+            let token = self.pending.insert(Pending::AtomicOp {
+                core: c,
+                warp: w,
+                lane: l,
+            });
             let part = geom.partition_of(op.addr()) as usize;
             self.up
                 .send(now, part, 16, UpMsg::Atomic { op, token }, "atomic");
@@ -647,7 +660,7 @@ impl Engine {
             if self.cfg.sabotage == crate::config::Sabotage::GetmIgnoreLoadAborts
                 && matches!(reply.kind, ReplyKind::Abort { .. })
                 && matches!(
-                    self.pending.get(&reply.token),
+                    self.pending.get(reply.token),
                     Some(Pending::Access {
                         is_store: false,
                         ..
@@ -658,19 +671,15 @@ impl Engine {
             }
             reply
         };
-        let hist_versions = if self.hist.is_on() {
-            self.hist_reads.remove(&reply.token)
-        } else {
-            None
-        };
         let Some(Pending::Access {
             core,
             warp,
             lanes,
             is_store,
             issued,
+            versions,
             ..
-        }) = self.pending.remove(&reply.token)
+        }) = self.pending.remove(reply.token)
         else {
             return Err(SimError::ProtocolViolation {
                 what: "GETM access reply routed to unknown token",
@@ -681,7 +690,13 @@ impl Engine {
         self.stats.access_rt.observe(self.now.since(issued) as f64);
         let geom = self.geom;
         let now = self.now.raw();
-        let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
+        let Some(slot) = self.cores[core].warps[warp].as_mut() else {
+            return Err(SimError::ProtocolViolation {
+                what: "GETM access reply routed to a retired warp",
+                token: reply.token,
+                cycle: now,
+            });
+        };
         slot.warp.outstanding -= 1;
         if is_store {
             for &(l, _) in &lanes {
@@ -711,9 +726,11 @@ impl Engine {
                         t.status = ThreadStatus::Ready;
                         // Forwarded reads never touched shared memory; only
                         // LLC-served values constrain serializability.
+                        // `versions` is non-empty exactly when the partition
+                        // captured versions (history recording on).
                         if fwd.is_none() {
-                            if let Some(hv) = &hist_versions {
-                                self.hist.read_observed(slot.gwid.0, l, a.0, v, hv[i]);
+                            if let Some(&ver) = versions.get(i) {
+                                self.hist.read_observed(slot.gwid.0, l, a.0, v, ver);
                             }
                         }
                     }
@@ -760,8 +777,18 @@ impl Engine {
                 }
             }
         }
+        self.recycle_reply_buffers(lanes, values);
         self.maybe_warp_commit(core, warp);
         Ok(())
+    }
+
+    /// Returns a retired pending context's lane list and its reply's value
+    /// vector to the engine's pools for reuse by later accesses.
+    fn recycle_reply_buffers(&mut self, mut lanes: Vec<(u32, Addr)>, mut values: Vec<u64>) {
+        lanes.clear();
+        self.lane_pool.push(lanes);
+        values.clear();
+        self.value_pool.push(values);
     }
 
     fn on_load_reply(
@@ -771,19 +798,15 @@ impl Engine {
         values: Vec<u64>,
         last_write: Option<sim_core::Cycle>,
     ) -> Result<(), SimError> {
-        let hist_versions = if self.hist.is_on() {
-            self.hist_reads.remove(&token)
-        } else {
-            None
-        };
         let Some(Pending::Access {
             core,
             warp,
             lanes,
             is_tx,
             issued,
+            versions,
             ..
-        }) = self.pending.remove(&token)
+        }) = self.pending.remove(token)
         else {
             return Err(SimError::ProtocolViolation {
                 what: "load reply routed to unknown token",
@@ -798,7 +821,13 @@ impl Engine {
         let mut el_lanes: Vec<u32> = Vec::new();
         let mut doomed_aborts = 0u32;
         let gwid = {
-            let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
+            let Some(slot) = self.cores[core].warps[warp].as_mut() else {
+                return Err(SimError::ProtocolViolation {
+                    what: "load reply routed to a retired warp",
+                    token,
+                    cycle: self.now.raw(),
+                });
+            };
             slot.warp.outstanding -= 1;
             for (i, &(l, a)) in lanes.iter().enumerate() {
                 let li = l as usize;
@@ -820,8 +849,8 @@ impl Engine {
                 let v = fwd.or_else(|| values.get(i).copied()).unwrap_or(0);
                 if is_tx {
                     if fwd.is_none() {
-                        if let Some(hv) = &hist_versions {
-                            self.hist.read_observed(slot.gwid.0, l, a.0, v, hv[i]);
+                        if let Some(&ver) = versions.get(i) {
+                            self.hist.read_observed(slot.gwid.0, l, a.0, v, ver);
                         }
                     }
                     t.logs.update_read_value(a, v);
@@ -858,6 +887,7 @@ impl Engine {
             // Idealized per-access validation on the fresh read log.
             self.el_validate_lanes(core, warp, &el_lanes);
         }
+        self.recycle_reply_buffers(lanes, values);
         if doomed_aborts > 0 {
             self.maybe_warp_commit(core, warp);
         }
@@ -865,14 +895,20 @@ impl Engine {
     }
 
     fn on_atomic_reply(&mut self, token: u64, old: u64) -> Result<(), SimError> {
-        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(&token) else {
+        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(token) else {
             return Err(SimError::ProtocolViolation {
                 what: "atomic reply routed to unknown token",
                 token,
                 cycle: self.now.raw(),
             });
         };
-        let slot = self.cores[core].warps[warp].as_mut().expect("warp alive");
+        let Some(slot) = self.cores[core].warps[warp].as_mut() else {
+            return Err(SimError::ProtocolViolation {
+                what: "atomic reply routed to a retired warp",
+                token,
+                cycle: self.now.raw(),
+            });
+        };
         slot.warp.outstanding -= 1;
         let t = &mut slot.warp.threads[lane as usize];
         t.pending_result = OpResult::Value(old);
@@ -895,10 +931,11 @@ impl Engine {
                 if t.status == ThreadStatus::Aborted || !t.in_tx {
                     continue;
                 }
-                let valid =
-                    t.logs.reads().iter().all(|e| {
-                        e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
-                    });
+                let valid = t
+                    .logs
+                    .reads()
+                    .iter()
+                    .all(|e| e.forwarded || mem.get(e.addr.0) == e.value);
                 if !valid {
                     slot.warp.tx_stack.abort_lane(l);
                     let t = &mut slot.warp.threads[l as usize];
@@ -1014,12 +1051,19 @@ impl Engine {
     fn commit_getm(&mut self, c: usize, w: usize) {
         let geom = self.geom;
         let parts = self.cfg.partitions as usize;
-        let mut per_part: Vec<Vec<CommitEntry>> = vec![Vec::new(); parts];
+        // Entry/id vectors are pooled: they travel inside `UpMsg::GetmLog`
+        // and come back to the pool once the partition applies the log.
+        let mut per_part: Vec<Vec<CommitEntry>> = (0..parts)
+            .map(|_| self.entry_pool.pop().unwrap_or_default())
+            .collect();
         // Parallel to `per_part`: the history-attempt id behind each entry,
         // so the partition can attribute the write when it applies. Filled
         // only while recording (the protocol never reads it).
-        let mut per_part_ids: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let mut per_part_ids: Vec<Vec<u32>> = (0..parts)
+            .map(|_| self.attempt_pool.pop().unwrap_or_default())
+            .collect();
         let recording = self.hist.is_on();
+        let mut word_buf = std::mem::take(&mut self.word_buf);
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             let commit_mask = slot.warp.tx_stack.commit_mask();
@@ -1037,25 +1081,33 @@ impl Engine {
                 };
                 let t = &mut slot.warp.threads[l];
                 if commit_mask & bit != 0 {
-                    // Per-word last value + per-word write count.
-                    let mut words: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
-                    for e in t.logs.writes() {
-                        let entry = words.entry(e.addr.0).or_insert((0, 0));
-                        entry.0 = e.value;
-                        entry.1 += 1;
-                    }
-                    for (a, (v, n)) in words {
+                    // Per-word last value + per-word write count, in
+                    // ascending address order: a stable sort groups the log
+                    // into per-address runs that preserve program order, so
+                    // the run's last element is the word's final value and
+                    // the run length its write count.
+                    word_buf.clear();
+                    word_buf.extend(t.logs.writes().iter().map(|e| (e.addr.0, e.value)));
+                    word_buf.sort_by_key(|&(a, _)| a);
+                    let mut i = 0;
+                    while i < word_buf.len() {
+                        let a = word_buf[i].0;
+                        let mut j = i + 1;
+                        while j < word_buf.len() && word_buf[j].0 == a {
+                            j += 1;
+                        }
                         let g = geom.granule_of(Addr(a));
                         let p = geom.partition_of_granule(g) as usize;
                         per_part[p].push(CommitEntry {
                             granule: g,
                             addr: Addr(a),
-                            data: Some(v),
-                            writes: n,
+                            data: Some(word_buf[j - 1].1),
+                            writes: (j - i) as u32,
                         });
                         if recording {
                             per_part_ids[p].push(attempt);
                         }
+                        i = j;
                     }
                     t.commits += 1;
                     self.stats.commits += 1;
@@ -1082,15 +1134,22 @@ impl Engine {
                 }
             }
         }
+        self.word_buf = word_buf;
         let now = self.now;
         for (p, entries) in per_part.into_iter().enumerate() {
             if entries.is_empty() {
+                self.entry_pool.push(entries);
                 continue;
             }
             let bytes = CommitEntry::batch_bytes(&entries);
             let ids = std::mem::take(&mut per_part_ids[p]);
             self.up
                 .send(now, p, bytes, UpMsg::GetmLog(entries, ids), "commit");
+        }
+        for ids in per_part_ids {
+            if ids.capacity() > 0 && ids.is_empty() {
+                self.attempt_pool.push(ids);
+            }
         }
         self.finish_round(c, w, true);
     }
@@ -1126,17 +1185,18 @@ impl Engine {
         }
         // Merge the surviving lanes' logs into one coalesced transaction;
         // entries stay tagged with their lane so validation can fail
-        // threads individually.
-        let token = self.fresh_token();
+        // threads individually. The routing token is minted only if a job
+        // actually ships (see below); until then the jobs carry the
+        // default placeholder.
         let parts = self.cfg.partitions as usize;
         let gwid = self.cores[c].warps[w].as_ref().expect("warp").gwid;
         let mut jobs: Vec<ValidationJob> = (0..parts)
             .map(|_| ValidationJob {
                 wid: gwid,
-                token,
                 ..ValidationJob::default()
             })
             .collect();
+        let mut word_buf = std::mem::take(&mut self.word_buf);
         {
             let slot = self.cores[c].warps[w].as_ref().expect("warp");
             for &l in &validate_lanes {
@@ -1156,21 +1216,29 @@ impl Engine {
                         value: e.value,
                     });
                 }
-                // Per-word last value.
-                let mut words: BTreeMap<u64, u64> = BTreeMap::new();
-                for e in logs.writes() {
-                    words.insert(e.addr.0, e.value);
-                }
-                for (a, v) in words {
+                // Per-word last value, ascending by address (stable sort:
+                // the last element of each address run is the final write).
+                word_buf.clear();
+                word_buf.extend(logs.writes().iter().map(|e| (e.addr.0, e.value)));
+                word_buf.sort_by_key(|&(a, _)| a);
+                let mut i = 0;
+                while i < word_buf.len() {
+                    let a = word_buf[i].0;
+                    let mut j = i + 1;
+                    while j < word_buf.len() && word_buf[j].0 == a {
+                        j += 1;
+                    }
                     let p = geom.partition_of(Addr(a)) as usize;
                     jobs[p].writes.push(warptm::LaneEntry {
                         lane: l,
                         addr: Addr(a),
-                        value: v,
+                        value: word_buf[j - 1].1,
                     });
+                    i = j;
                 }
             }
         }
+        self.word_buf = word_buf;
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in &validate_lanes {
@@ -1199,22 +1267,20 @@ impl Engine {
             self.finish_round(c, w, true);
             return;
         }
-        self.commits_in_flight.insert(
-            token,
-            CommitCtx {
-                core: c,
-                warp: w,
-                lanes: validate_lanes,
-                pending_verdicts: involved.len() as u32,
-                pending_acks: 0,
-                failed_lanes: 0,
-                parts: involved.clone(),
-            },
-        );
+        let token = self.commits_in_flight.insert(CommitCtx {
+            core: c,
+            warp: w,
+            lanes: validate_lanes,
+            pending_verdicts: involved.len() as u32,
+            pending_acks: 0,
+            failed_lanes: 0,
+            parts: involved.clone(),
+        });
         self.cores[c].warps[w].as_mut().expect("warp").committing = Some(token);
         let now = self.now;
         for p in involved {
-            let job = std::mem::take(&mut jobs[p]);
+            let mut job = std::mem::take(&mut jobs[p]);
+            job.token = token;
             let bytes = job.entries() as u64 * gpu_simt::log::LOG_ENTRY_BYTES;
             self.up
                 .send(now, p, bytes.max(8), UpMsg::Validate(job), "validation");
@@ -1238,10 +1304,11 @@ impl Engine {
                     continue;
                 }
                 let t = &slot.warp.threads[l];
-                let valid =
-                    t.logs.reads().iter().all(|e| {
-                        e.forwarded || mem.get(&e.addr.0).copied().unwrap_or(0) == e.value
-                    });
+                let valid = t
+                    .logs
+                    .reads()
+                    .iter()
+                    .all(|e| e.forwarded || mem.get(e.addr.0) == e.value);
                 if !valid {
                     failed_mask |= 1 << l;
                 }
@@ -1278,6 +1345,7 @@ impl Engine {
         let parts = self.cfg.partitions as usize;
         let mut per_part: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); parts];
         let mut committed_lanes: Vec<u32> = Vec::new();
+        let mut word_buf = std::mem::take(&mut self.word_buf);
         {
             let slot = self.cores[c].warps[w].as_ref().expect("warp");
             let gwid = slot.gwid.0;
@@ -1287,19 +1355,35 @@ impl Engine {
                 }
                 committed_lanes.push(l as u32);
                 let attempt = self.hist.current_txn(gwid, l as u32);
-                let mut words: BTreeMap<u64, u64> = BTreeMap::new();
-                for e in slot.warp.threads[l].logs.writes() {
-                    words.insert(e.addr.0, e.value);
-                }
-                for (a, v) in words {
+                // Per-word last value, ascending (stable sort keeps program
+                // order within an address run; last element wins).
+                word_buf.clear();
+                word_buf.extend(
+                    slot.warp.threads[l]
+                        .logs
+                        .writes()
+                        .iter()
+                        .map(|e| (e.addr.0, e.value)),
+                );
+                word_buf.sort_by_key(|&(a, _)| a);
+                let mut i = 0;
+                while i < word_buf.len() {
+                    let a = word_buf[i].0;
+                    let mut j = i + 1;
+                    while j < word_buf.len() && word_buf[j].0 == a {
+                        j += 1;
+                    }
+                    let v = word_buf[j - 1].1;
                     per_part[geom.partition_of(Addr(a)) as usize].push((Addr(a), v));
                     self.hist.write_applied(attempt, a, v, self.now.raw());
+                    i = j;
                 }
             }
         }
+        self.word_buf = word_buf;
         for writes in &per_part {
             for &(a, v) in writes {
-                self.mem.insert(a.0, v);
+                self.mem.set(a.0, v);
             }
         }
         {
@@ -1327,19 +1411,15 @@ impl Engine {
             self.finish_round(c, w, true);
             return;
         }
-        let token = self.fresh_token();
-        self.commits_in_flight.insert(
-            token,
-            CommitCtx {
-                core: c,
-                warp: w,
-                lanes: committed_lanes,
-                pending_verdicts: 0,
-                pending_acks: involved.len() as u32,
-                failed_lanes: 0,
-                parts: involved.clone(),
-            },
-        );
+        let token = self.commits_in_flight.insert(CommitCtx {
+            core: c,
+            warp: w,
+            lanes: committed_lanes,
+            pending_verdicts: 0,
+            pending_acks: involved.len() as u32,
+            failed_lanes: 0,
+            parts: involved.clone(),
+        });
         self.cores[c].warps[w].as_mut().expect("warp").committing = Some(token);
         let now = self.now;
         for p in involved {
@@ -1351,8 +1431,8 @@ impl Engine {
     }
 
     fn on_verdict(&mut self, token: u64, failed_lanes: u64) -> Result<(), SimError> {
-        let finished = {
-            let Some(ctx) = self.commits_in_flight.get_mut(&token) else {
+        let (core, warp, lanes, failed, parts) = {
+            let Some(ctx) = self.commits_in_flight.get_mut(token) else {
                 return Err(SimError::ProtocolViolation {
                     what: "validation verdict for unknown commit",
                     token,
@@ -1361,13 +1441,9 @@ impl Engine {
             };
             ctx.failed_lanes |= failed_lanes;
             ctx.pending_verdicts -= 1;
-            ctx.pending_verdicts == 0
-        };
-        if !finished {
-            return Ok(());
-        }
-        let (core, warp, lanes, failed, parts) = {
-            let ctx = &self.commits_in_flight[&token];
+            if ctx.pending_verdicts != 0 {
+                return Ok(());
+            }
             (
                 ctx.core,
                 ctx.warp,
@@ -1389,7 +1465,13 @@ impl Engine {
             .filter(|&l| failed & (1 << l) == 0)
             .collect();
         if !failing.is_empty() {
-            let slot = self.cores[core].warps[warp].as_mut().expect("warp");
+            let Some(slot) = self.cores[core].warps[warp].as_mut() else {
+                return Err(SimError::ProtocolViolation {
+                    what: "validation verdict for a retired warp",
+                    token,
+                    cycle: now.raw(),
+                });
+            };
             let mut mask = 0u64;
             for &l in &failing {
                 mask |= 1 << l;
@@ -1431,11 +1513,15 @@ impl Engine {
                     "commit",
                 );
             }
-            self.commits_in_flight.remove(&token);
-            self.cores[core].warps[warp]
-                .as_mut()
-                .expect("warp")
-                .committing = None;
+            self.commits_in_flight.remove(token);
+            let Some(slot) = self.cores[core].warps[warp].as_mut() else {
+                return Err(SimError::ProtocolViolation {
+                    what: "failed commit verdict for a retired warp",
+                    token,
+                    cycle: now.raw(),
+                });
+            };
+            slot.committing = None;
             self.finish_round(core, warp, false);
         } else {
             for &p in &parts {
@@ -1451,7 +1537,13 @@ impl Engine {
                     "commit",
                 );
             }
-            let ctx = self.commits_in_flight.get_mut(&token).expect("ctx present");
+            let Some(ctx) = self.commits_in_flight.get_mut(token) else {
+                return Err(SimError::ProtocolViolation {
+                    what: "commit context vanished while issuing commit commands",
+                    token,
+                    cycle: now.raw(),
+                });
+            };
             ctx.pending_acks = parts.len() as u32;
             ctx.lanes = surviving;
         }
@@ -1460,7 +1552,7 @@ impl Engine {
 
     fn on_commit_ack(&mut self, token: u64) -> Result<(), SimError> {
         let done = {
-            let Some(ctx) = self.commits_in_flight.get_mut(&token) else {
+            let Some(ctx) = self.commits_in_flight.get_mut(token) else {
                 return Err(SimError::ProtocolViolation {
                     what: "commit acknowledgement for unknown commit",
                     token,
@@ -1473,9 +1565,21 @@ impl Engine {
         if !done {
             return Ok(());
         }
-        let ctx = self.commits_in_flight.remove(&token).expect("ctx present");
+        let Some(ctx) = self.commits_in_flight.remove(token) else {
+            return Err(SimError::ProtocolViolation {
+                what: "commit context vanished between acknowledgements",
+                token,
+                cycle: self.now.raw(),
+            });
+        };
         {
-            let slot = self.cores[ctx.core].warps[ctx.warp].as_mut().expect("warp");
+            let Some(slot) = self.cores[ctx.core].warps[ctx.warp].as_mut() else {
+                return Err(SimError::ProtocolViolation {
+                    what: "commit acknowledgement for a retired warp",
+                    token,
+                    cycle: self.now.raw(),
+                });
+            };
             slot.committing = None;
             for &l in &ctx.lanes {
                 slot.warp.threads[l as usize].commits += 1;

@@ -28,12 +28,12 @@ use crate::metrics::Metrics;
 use fglock::{AtomicOp, AtomicUnit};
 use getm::vu::GetmConfig;
 use getm::{AccessRequest, CommitEntry, CommitUnit, ValidationUnit};
-use gpu_mem::{Addr, Crossbar, Geometry, Granule, SetAssocCache};
+use gpu_mem::{Addr, Crossbar, Delivery, Geometry, Granule, LineAddr, MemImage, SetAssocCache};
 use gpu_simt::{Backoff, GtoScheduler, Warp};
 use sim_core::history::HistoryRecorder;
 use sim_core::trace::{Recorder, SimEvent, Stamp, WatchdogStage};
-use sim_core::{CancelToken, Cycle, DetRng, LivelockReport, SimError};
-use std::collections::{HashMap, VecDeque};
+use sim_core::{CancelToken, Cycle, DetRng, LivelockReport, SimError, TokenSlab};
+use std::collections::VecDeque;
 use warptm::{EapgFilter, TcdTable, ValidationJob, WarptmValidator};
 use watchdog::{WatchdogState, WdMode};
 use workloads::{SyncMode, Workload};
@@ -141,6 +141,12 @@ pub(crate) enum Pending {
         is_tx: bool,
         /// Issue time (round-trip latency statistics).
         issued: Cycle,
+        /// Memory versions observed when the partition served the access,
+        /// aligned with `lanes`. Populated only while history recording is
+        /// on; living inside the pending context (rather than a side map
+        /// keyed by token) means dropping the context on any path —
+        /// success, abort, doom — can never leak a version list.
+        versions: Vec<u32>,
     },
     /// An atomic op for a single lane.
     AtomicOp { core: usize, warp: usize, lane: u32 },
@@ -247,14 +253,13 @@ pub struct Engine {
     pub(crate) geom: Geometry,
     pub(crate) now: Cycle,
     /// Committed memory image, keyed by word address.
-    pub(crate) mem: HashMap<u64, u64>,
+    pub(crate) mem: MemImage,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) parts: Vec<Partition>,
     pub(crate) up: Crossbar<UpMsg>,
     pub(crate) down: Crossbar<DownMsg>,
-    pub(crate) pending: HashMap<u64, Pending>,
-    pub(crate) commits_in_flight: HashMap<u64, CommitCtx>,
-    pub(crate) next_token: u64,
+    pub(crate) pending: TokenSlab<Pending>,
+    pub(crate) commits_in_flight: TokenSlab<CommitCtx>,
     pub(crate) stats: EngineStats,
     /// Event-trace gate: off by default (a branch on `None` per emit site),
     /// shared with both crossbars when attached.
@@ -262,11 +267,6 @@ pub struct Engine {
     /// Transaction-history gate for the serializability checker, following
     /// the same zero-cost-when-off discipline as `rec`.
     pub(crate) hist: HistoryRecorder,
-    /// Per-token memory versions captured when a transactional load was
-    /// served at its partition, aligned with the pending lane list; drained
-    /// when the reply is delivered at the core. Only populated while `hist`
-    /// is on.
-    pub(crate) hist_reads: HashMap<u64, Vec<u32>>,
     /// Live warps that still have unfinished threads.
     pub(crate) live_warps: usize,
     /// A logical clock hit `ts_limit`: new transactions are held while the
@@ -276,6 +276,39 @@ pub struct Engine {
     pub(crate) wd: WatchdogState,
     /// Cooperative cancellation flag, polled every few thousand cycles.
     pub(crate) cancel: Option<CancelToken>,
+    /// When set (the default), cycles in which provably nothing can happen
+    /// — every warp asleep or unissuable, both crossbars quiet — are elided
+    /// by jumping the clock to the next scheduled event. Purely a simulator
+    /// speedup: metrics and traces are bit-identical either way (the A/B
+    /// test suite pins this). The `legacy-loop` cargo feature flips the
+    /// default for pre-change comparison runs.
+    pub(crate) idle_skip: bool,
+    // --- reusable scratch, hoisted out of the per-cycle hot loop ---
+    /// Drain buffer for up-crossbar deliveries.
+    pub(crate) up_buf: Vec<Delivery<UpMsg>>,
+    /// Drain buffer for down-crossbar deliveries.
+    pub(crate) down_buf: Vec<Delivery<DownMsg>>,
+    /// Per-core warp-readiness scratch (`issue_core`).
+    pub(crate) ready_buf: Vec<bool>,
+    /// Intra-warp conflict survivor scratch (`issue_tx_access`).
+    pub(crate) survivors_buf: Vec<(u32, Addr, u64)>,
+    /// Granule-coalescing scratch: groups of `(lane, addr)` per granule.
+    pub(crate) group_buf: Vec<(Granule, Vec<(u32, Addr)>)>,
+    /// Recycled lane-list vectors (flow into `Pending::Access`, return
+    /// here when the reply retires the context).
+    pub(crate) lane_pool: Vec<Vec<(u32, Addr)>>,
+    /// Recycled load-value vectors (flow into `DownMsg` replies, return
+    /// here when the core consumes them).
+    pub(crate) value_pool: Vec<Vec<u64>>,
+    /// Recycled commit-entry vectors (flow into `UpMsg::GetmLog`, return
+    /// here after the partition applies them).
+    pub(crate) entry_pool: Vec<Vec<CommitEntry>>,
+    /// Recycled history-attempt-id vectors riding along `GetmLog`.
+    pub(crate) attempt_pool: Vec<Vec<u32>>,
+    /// Commit write-log dedup scratch: `(word address, value)` in log order.
+    pub(crate) word_buf: Vec<(u64, u64)>,
+    /// Validation-job line dedup scratch (`wtm_validate`).
+    pub(crate) line_buf: Vec<LineAddr>,
 }
 
 impl Engine {
@@ -293,7 +326,7 @@ impl Engine {
         let geom = Geometry::new(cfg.line_bytes, cfg.granule_bytes, cfg.partitions);
         let root_rng = DetRng::seeded(cfg.seed);
 
-        let mem: HashMap<u64, u64> = workload
+        let mem: MemImage = workload
             .initial_memory()
             .into_iter()
             .map(|(a, v)| (a.0, v))
@@ -371,18 +404,42 @@ impl Engine {
             parts,
             up: Crossbar::new(cfg.xbar, cfg.partitions as usize),
             down: Crossbar::new(cfg.xbar, cfg.cores as usize),
-            pending: HashMap::new(),
-            commits_in_flight: HashMap::new(),
-            next_token: 1,
+            pending: TokenSlab::new(),
+            commits_in_flight: TokenSlab::new(),
             stats: EngineStats::default(),
             rec: Recorder::off(),
             hist: HistoryRecorder::off(),
-            hist_reads: HashMap::new(),
             live_warps,
             rollover_pending: false,
             wd: WatchdogState::new(&cfg.watchdog, system.is_tm()),
             cancel: None,
+            idle_skip: !cfg!(feature = "legacy-loop"),
+            up_buf: Vec::new(),
+            down_buf: Vec::new(),
+            ready_buf: Vec::new(),
+            survivors_buf: Vec::new(),
+            group_buf: Vec::new(),
+            lane_pool: Vec::new(),
+            value_pool: Vec::new(),
+            entry_pool: Vec::new(),
+            attempt_pool: Vec::new(),
+            word_buf: Vec::new(),
+            line_buf: Vec::new(),
         })
+    }
+
+    /// Enables or disables idle skip-ahead (on by default unless the
+    /// `legacy-loop` feature is set). Exposed so the A/B equality tests and
+    /// the engine benchmark can run both paths in one binary.
+    pub fn set_idle_skip(&mut self, on: bool) {
+        self.idle_skip = on;
+    }
+
+    /// Number of in-flight request contexts the engine is tracking
+    /// (pending accesses plus commit attempts). Zero after a drained run —
+    /// the leak-regression tests pin that down.
+    pub fn outstanding_tokens(&self) -> usize {
+        self.pending.len() + self.commits_in_flight.len()
     }
 
     /// Attaches an event recorder to the engine and both crossbars. Events
@@ -420,10 +477,11 @@ impl Engine {
         std::mem::take(&mut self.hist)
     }
 
-    /// A snapshot of the committed memory image, keyed by word address
-    /// (for the verifier's sequential-oracle comparison).
-    pub fn memory_image(&self) -> HashMap<u64, u64> {
-        self.mem.clone()
+    /// The committed memory image, borrowed (for the verifier's
+    /// sequential-oracle comparison). Formerly cloned the whole map per
+    /// call; callers that need ownership can `.clone()` explicitly.
+    pub fn memory_image(&self) -> &MemImage {
+        &self.mem
     }
 
     /// Runs the simulation to completion and returns the metrics.
@@ -457,10 +515,85 @@ impl Engine {
                     }
                 }
             }
+            if self.try_idle_skip() {
+                continue;
+            }
             self.step()?;
         }
         self.wd.finalize(self.stats.commits);
         Ok(self.collect_metrics())
+    }
+
+    /// Attempts to elide a run of cycles in which provably nothing happens.
+    ///
+    /// A cycle is skippable when no warp can issue (each is asleep, waiting
+    /// on in-flight replies, or wedged with no ready lane) and no crossbar
+    /// packet arrives. The machine's next state change is then bounded by
+    /// the earliest of: a sleeping warp's wake cycle, a crossbar arrival,
+    /// the watchdog's next window check, the cancel-poll cadence boundary,
+    /// or the cycle budget — so the clock can jump straight there.
+    ///
+    /// Everything observable is re-synthesized so the jump is invisible:
+    /// per-warp exec/wait statistics accrue for the full span (the per-warp
+    /// classification is constant across it — that is exactly what the skip
+    /// conditions guarantee) and gauge probes are emitted at every 64-cycle
+    /// boundary inside the span with the values they would have had there.
+    /// The A/B tests run every workload both ways and require bit-identical
+    /// metrics and byte-identical traces.
+    ///
+    /// Returns `true` if the clock advanced (the caller re-enters the run
+    /// loop for watchdog/cancel checks at the new time).
+    fn try_idle_skip(&mut self) -> bool {
+        if !self.idle_skip || self.rollover_pending {
+            return false;
+        }
+        let now = self.now;
+        // Earliest future event; start from the hard caps that must not be
+        // jumped over even if no machine event precedes them.
+        let mut target = self
+            .cfg
+            .max_cycles
+            .min(self.wd.next_check)
+            .min((now.raw() | 0x1FFF) + 1);
+        for core in &self.cores {
+            for slot in core.warps.iter().flatten() {
+                let warp = &slot.warp;
+                if warp.all_finished() {
+                    // Retirement (and a possible refill from the pending
+                    // queue) happens on the next issue — not skippable.
+                    return false;
+                }
+                match warp.sleeping_until(now) {
+                    // Asleep: nothing changes before the wake cycle. Cap
+                    // the hop there so the warp's exec/wait classification
+                    // stays constant across the whole skipped span.
+                    Some(wake) => target = target.min(wake.raw()),
+                    // Awake with a ready lane: it can issue this cycle.
+                    None if warp.any_ready() => return false,
+                    // Awake but no ready lane: blocked on replies (bounded
+                    // by the crossbar arrival below) or wedged; either way
+                    // the warp does nothing until an external event.
+                    None => {}
+                }
+            }
+            if !core.pending_warps.is_empty() && core.warps.iter().any(|w| w.is_none()) {
+                // A queued warp could be placed into the free slot.
+                return false;
+            }
+        }
+        if let Some(arrive) = self.up.next_arrival() {
+            target = target.min(arrive.raw());
+        }
+        if let Some(arrive) = self.down.next_arrival() {
+            target = target.min(arrive.raw());
+        }
+        let span = target.saturating_sub(now.raw());
+        if span == 0 {
+            return false;
+        }
+        self.sample_stats(span);
+        self.now = Cycle(target);
+        true
     }
 
     /// One forward-progress check, run once per watchdog window.
@@ -651,20 +784,29 @@ impl Engine {
             self.try_complete_rollover();
         }
         let now = self.now;
-        // 1. Up deliveries -> partitions.
-        for d in self.up.deliver(now) {
+        // 1. Up deliveries -> partitions. The drain buffers are owned by
+        // the engine and reused every cycle; they are taken out for the
+        // duration of the dispatch because handlers borrow `self` mutably
+        // (a handler can inject new packets, never consume arrivals).
+        let mut up_buf = std::mem::take(&mut self.up_buf);
+        self.up.drain_due(now, &mut up_buf);
+        for d in up_buf.drain(..) {
             self.handle_up(d.dst, d.payload)?;
         }
+        self.up_buf = up_buf;
         // 2. Down deliveries -> cores.
-        for d in self.down.deliver(now) {
+        let mut down_buf = std::mem::take(&mut self.down_buf);
+        self.down.drain_due(now, &mut down_buf);
+        for d in down_buf.drain(..) {
             self.handle_down(d.dst, d.payload)?;
         }
+        self.down_buf = down_buf;
         // 3. Issue.
         for c in 0..self.cores.len() {
             self.issue_core(c)?;
         }
         // 4. Stats sampling.
-        self.sample_stats();
+        self.sample_stats(1);
         self.now += 1;
         Ok(())
     }
@@ -714,15 +856,9 @@ impl Engine {
             && self.commits_in_flight.is_empty()
     }
 
-    pub(crate) fn fresh_token(&mut self) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        t
-    }
-
     /// Reads the committed value of a word.
     pub(crate) fn read_mem(&self, a: Addr) -> u64 {
-        self.mem.get(&a.0).copied().unwrap_or(0)
+        self.mem.get(a.0)
     }
 
     /// A read-only view of the final memory (for invariant checks).
@@ -792,16 +928,22 @@ impl Engine {
         s
     }
 
-    fn sample_stats(&mut self) {
+    /// Accrues per-warp exec/wait statistics and gauge probes for the
+    /// `span` cycles starting at `now`. `step` calls this with `span == 1`;
+    /// idle skip-ahead calls it once for a whole elided span, which is
+    /// equivalent *because* the skip conditions guarantee every term below
+    /// is constant across the span (no warp wakes, issues, or retires, and
+    /// no message arrives inside it).
+    fn sample_stats(&mut self, span: u64) {
         let now = self.now;
         for core in &mut self.cores {
             for slot in core.warps.iter().flatten() {
                 if slot.warp.in_tx() || slot.committing.is_some() {
                     if now < slot.warp.sleep_until && slot.warp.outstanding == 0 {
                         // Abort backoff: waiting.
-                        self.stats.tx_wait_cycles += 1;
+                        self.stats.tx_wait_cycles += span;
                     } else {
-                        self.stats.tx_exec_cycles += 1;
+                        self.stats.tx_exec_cycles += span;
                     }
                 } else if slot.warp.any_ready() && !slot.warp.all_finished() {
                     // Throttled at TxBegin?
@@ -812,7 +954,7 @@ impl Engine {
                     if wants_tx {
                         if let Some(limit) = self.cfg.tx_concurrency {
                             if core.tx_tokens >= limit {
-                                self.stats.tx_wait_cycles += 1;
+                                self.stats.tx_wait_cycles += span;
                             }
                         }
                     }
@@ -829,26 +971,33 @@ impl Engine {
             self.stats.max_stall_total = total;
         }
         // Gauge probes every 64 cycles (counter tracks in the Perfetto
-        // export). The whole block is skipped when tracing is off.
-        if self.rec.is_on() && now.raw().is_multiple_of(64) {
-            for (p, part) in self.parts.iter().enumerate() {
-                let vu_backlog = part.vu_free.raw().saturating_sub(now.raw()) as f64;
-                let cu_backlog = part.cu_free.raw().saturating_sub(now.raw()) as f64;
-                let stalled = part.vu.stalled_requests() as f64;
-                let up_backlog = self.up.port_backlog(p, now) as f64;
-                for (name, value) in [
-                    ("vu-backlog", vu_backlog),
-                    ("cu-backlog", cu_backlog),
-                    ("stall-occupancy", stalled),
-                    ("up-xbar-backlog", up_backlog),
-                ] {
-                    self.rec.emit(|| {
-                        (
-                            Stamp::partition(now.raw(), p as u32),
-                            SimEvent::Probe { name, value },
-                        )
-                    });
+        // export). The whole block is skipped when tracing is off. Backlog
+        // gauges count down as wall-clock approaches the unit's busy-until
+        // cycle, so each boundary inside the span gets the value it would
+        // have had, not a stale snapshot from the span's start.
+        if self.rec.is_on() {
+            let mut m = now.raw().next_multiple_of(64);
+            while m < now.raw() + span {
+                for (p, part) in self.parts.iter().enumerate() {
+                    let vu_backlog = part.vu_free.raw().saturating_sub(m) as f64;
+                    let cu_backlog = part.cu_free.raw().saturating_sub(m) as f64;
+                    let stalled = part.vu.stalled_requests() as f64;
+                    let up_backlog = self.up.port_backlog(p, Cycle(m)) as f64;
+                    for (name, value) in [
+                        ("vu-backlog", vu_backlog),
+                        ("cu-backlog", cu_backlog),
+                        ("stall-occupancy", stalled),
+                        ("up-xbar-backlog", up_backlog),
+                    ] {
+                        self.rec.emit(|| {
+                            (
+                                Stamp::partition(m, p as u32),
+                                SimEvent::Probe { name, value },
+                            )
+                        });
+                    }
                 }
+                m += 64;
             }
         }
     }
@@ -962,5 +1111,31 @@ fn make_slot(
         obs_max_ts: 0,
         rng: root_rng.fork(0xAB0F ^ (gwid.0 as u64) << 8),
         gwid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::suite::{Benchmark, Scale};
+
+    /// `try_idle_skip` refuses to move the clock when the flag is off, and
+    /// refuses on a freshly built engine even when it is on: at cycle zero
+    /// every warp is awake with work ready (or queued behind a free slot),
+    /// so there is no idle span to jump.
+    #[test]
+    fn idle_skip_bails_when_disabled_or_work_is_ready() {
+        let cfg = GpuConfig::tiny_test();
+        let w = Benchmark::Atm.build(Scale::Fast);
+        let mut e = Engine::new(w.as_ref(), TmSystem::Getm, &cfg).expect("engine builds");
+        e.set_idle_skip(false);
+        assert!(!e.try_idle_skip(), "disabled skip must never fire");
+        assert_eq!(e.now, Cycle::ZERO);
+        e.set_idle_skip(true);
+        assert!(
+            !e.try_idle_skip(),
+            "skip must not fire while warps have ready work"
+        );
+        assert_eq!(e.now, Cycle::ZERO);
     }
 }

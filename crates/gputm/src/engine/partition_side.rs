@@ -21,7 +21,7 @@ impl Engine {
     pub(crate) fn handle_up(&mut self, p: usize, msg: UpMsg) -> Result<(), SimError> {
         match msg {
             UpMsg::GetmAccess(req) => self.getm_access(p, req),
-            UpMsg::GetmLog(entries, attempts) => self.getm_log(p, &entries, &attempts),
+            UpMsg::GetmLog(entries, attempts) => self.getm_log(p, entries, attempts),
             UpMsg::TxLoadWtm { addr, token } => self.wtm_tx_load(p, addr, token),
             UpMsg::PlainLoad { addr, token } => self.plain_load(p, addr, token),
             UpMsg::PlainStore { addr, .. } => {
@@ -82,27 +82,26 @@ impl Engine {
     /// Per-lane values for a pending access token, read from the committed
     /// image *now*. When history recording is on, the committed version tag
     /// observed by each transactional load lane is captured alongside the
-    /// value (keyed by token) so the core side can attribute the read once
-    /// the reply is delivered.
+    /// value — stored inside the pending context itself, so the core side
+    /// can attribute the read once the reply is delivered and no path can
+    /// leak the capture.
     fn capture_values(&mut self, token: u64) -> Result<(usize, Vec<u64>), SimError> {
-        match self.pending.get(&token) {
+        let hist_on = self.hist.is_on();
+        match self.pending.get_mut(token) {
             Some(Pending::Access {
                 core,
                 lanes,
                 is_store,
                 is_tx,
+                versions,
                 ..
             }) => {
-                let values: Vec<u64> = lanes
-                    .iter()
-                    .map(|&(_, a)| self.mem.get(&a.0).copied().unwrap_or(0))
-                    .collect();
-                if self.hist.is_on() && *is_tx && !*is_store {
-                    let versions = lanes
-                        .iter()
-                        .map(|&(_, a)| self.hist.version_of(a.0))
-                        .collect();
-                    self.hist_reads.insert(token, versions);
+                let mut values = self.value_pool.pop().unwrap_or_default();
+                values.clear();
+                values.extend(lanes.iter().map(|&(_, a)| self.mem.get(a.0)));
+                if hist_on && *is_tx && !*is_store {
+                    versions.clear();
+                    versions.extend(lanes.iter().map(|&(_, a)| self.hist.version_of(a.0)));
                 }
                 Ok((*core, values))
             }
@@ -169,10 +168,10 @@ impl Engine {
     fn getm_log(
         &mut self,
         p: usize,
-        entries: &[getm::CommitEntry],
-        attempts: &[u32],
+        entries: Vec<getm::CommitEntry>,
+        attempts: Vec<u32>,
     ) -> Result<(), SimError> {
-        let batch = self.parts[p].cu.receive(entries);
+        let batch = self.parts[p].cu.receive(&entries);
         let regions = self.parts[p].cu.drain();
         let cu_done = self.cu_slot(p, regions.len().max(1) as u64);
         {
@@ -195,19 +194,42 @@ impl Engine {
         let apply_cycle = self.now.raw();
         for (i, e) in entries.iter().enumerate() {
             if let Some(v) = e.data {
-                self.mem.insert(e.addr.0, v);
+                self.mem.set(e.addr.0, v);
                 if let Some(&attempt) = attempts.get(i) {
                     self.hist.write_applied(attempt, e.addr.0, v, apply_cycle);
                 }
                 self.data_cycles(p, self.geom.line_of(e.addr), AccessKind::Write);
             }
         }
-        // Release per-granule write counts, waking stalled requests.
-        let mut merged: std::collections::BTreeMap<u64, u32> = Default::default();
-        for r in regions {
-            // CU regions are keyed by granule in the GETM path.
-            *merged.entry(r.granule).or_insert(0) += r.writes;
+        // The log batch has been applied: return its buffers to the core
+        // side's pools for the next commit.
+        {
+            let mut entries = entries;
+            entries.clear();
+            self.entry_pool.push(entries);
+            let mut attempts = attempts;
+            attempts.clear();
+            self.attempt_pool.push(attempts);
         }
+        // Merge per-granule write counts (ascending granule order) into the
+        // scratch buffer, then release each, waking stalled requests.
+        let mut merged = std::mem::take(&mut self.word_buf);
+        merged.clear();
+        merged.extend(regions.iter().map(|r| (r.granule, r.writes as u64)));
+        merged.sort_unstable_by_key(|&(g, _)| g);
+        let mut m = 0;
+        let mut i = 0;
+        while i < merged.len() {
+            let g = merged[i].0;
+            let mut count = 0u64;
+            while i < merged.len() && merged[i].0 == g {
+                count += merged[i].1;
+                i += 1;
+            }
+            merged[m] = (g, count);
+            m += 1;
+        }
+        merged.truncate(m);
         if !merged.is_empty() {
             let now = self.now.raw();
             let granules = merged.len() as u32;
@@ -218,7 +240,7 @@ impl Engine {
                 )
             });
         }
-        for (g, count) in merged {
+        for &(g, count) in &merged {
             // The release consumes VU cycles, but the VU clock must not be
             // chained to the commit unit's backlog — only the *visibility*
             // of this release (and its woken replies) waits for the data
@@ -226,9 +248,9 @@ impl Engine {
             let (woken, vu_done) = {
                 let mem = &self.mem;
                 let part = &mut self.parts[p];
-                let (woken, cycles) = part.vu.release(Granule(g), count, |r| {
-                    mem.get(&r.addr.0).copied().unwrap_or(0)
-                });
+                let (woken, cycles) = part
+                    .vu
+                    .release(Granule(g), count as u32, |r| mem.get(r.addr.0));
                 let start = part.vu_free.max(self.now);
                 part.vu_free = start + 1; // pipelined: 1 request/cycle
                 (woken, start + cycles.max(1) as u64)
@@ -250,6 +272,7 @@ impl Engine {
                 );
             }
         }
+        self.word_buf = merged;
         Ok(())
     }
 
@@ -286,17 +309,15 @@ impl Engine {
         #[cfg(feature = "sabotage")]
         if self.cfg.sabotage == crate::config::Sabotage::WtmForgeReadValidation {
             for e in job.reads.iter_mut() {
-                e.value = self.mem.get(&e.addr.0).copied().unwrap_or(0);
+                e.value = self.mem.get(e.addr.0);
             }
         }
         // Value-based validation reads the *current* value of every logged
         // line from the LLC: charge the (pipelined) LLC latency once plus
         // a DRAM access per missing line.
-        let mut lines: Vec<LineAddr> = job
-            .reads
-            .iter()
-            .map(|e| self.geom.line_of(e.addr))
-            .collect();
+        let mut lines = std::mem::take(&mut self.line_buf);
+        lines.clear();
+        lines.extend(job.reads.iter().map(|e| self.geom.line_of(e.addr)));
         lines.sort_unstable();
         lines.dedup();
         let mut extra = if lines.is_empty() {
@@ -304,7 +325,7 @@ impl Engine {
         } else {
             self.cfg.llc_service
         };
-        for line in lines {
+        for &line in &lines {
             let hit = matches!(
                 self.parts[p].llc.access(line, AccessKind::Read),
                 CacheResult::Hit
@@ -314,11 +335,10 @@ impl Engine {
                 extra += self.cfg.dram.latency;
             }
         }
+        self.line_buf = lines;
         let verdict = {
             let mem = &self.mem;
-            self.parts[p]
-                .wtm
-                .validate(job, |a| mem.get(&a.0).copied().unwrap_or(0))
+            self.parts[p].wtm.validate(job, |a| mem.get(a.0))
         };
         let done = self.vu_slot(p, verdict.cycles as u64) + extra;
         let core = self.commit_core(token)?;
@@ -354,13 +374,13 @@ impl Engine {
         // history can chain each applied word to its transaction attempt.
         let gwid = self
             .commits_in_flight
-            .get(&token)
+            .get(token)
             .and_then(|ctx| self.cores[ctx.core].warps[ctx.warp].as_ref())
             .map(|slot| slot.gwid.0);
         let apply_cycle = self.now.raw();
         let mut granules: Vec<Granule> = Vec::new();
         for e in writes {
-            self.mem.insert(e.addr.0, e.value);
+            self.mem.set(e.addr.0, e.value);
             if let Some(gwid) = gwid {
                 let attempt = self.hist.current_txn(gwid, e.lane);
                 self.hist
@@ -443,17 +463,17 @@ impl Engine {
         let (old, new_value) = {
             // Split read and write phases to satisfy the borrow checker;
             // the unit's closures are invoked sequentially anyway.
-            let current = self.mem.get(&op.addr().0).copied().unwrap_or(0);
+            let current = self.mem.get(op.addr().0);
             let mut new_value: Option<u64> = None;
             let old = self.parts[p]
                 .atomic
                 .execute(op, |_| current, |_, v| new_value = Some(v));
             if let Some(v) = new_value {
-                self.mem.insert(op.addr().0, v);
+                self.mem.set(op.addr().0, v);
             }
             (old, new_value)
         };
-        let (core, warp, lane) = match self.pending.get(&token) {
+        let (core, warp, lane) = match self.pending.get(token) {
             Some(Pending::AtomicOp { core, warp, lane }) => (*core, *warp, *lane),
             _ => {
                 return Err(SimError::ProtocolViolation {
@@ -508,7 +528,7 @@ impl Engine {
     /// The destination core of an in-flight commit token.
     fn commit_core(&self, token: u64) -> Result<usize, SimError> {
         self.commits_in_flight
-            .get(&token)
+            .get(token)
             .map(|c| c.core)
             .ok_or(SimError::ProtocolViolation {
                 what: "validation or commit traffic for unknown commit",

@@ -155,7 +155,6 @@ impl<'a> Sim<'a> {
         match engine.run() {
             Ok(mut metrics) => {
                 metrics.check = Some(workload.check(&engine.memory_reader()));
-                let final_mem = engine.memory_image();
                 let hist = engine
                     .detach_history()
                     .take()
@@ -163,7 +162,7 @@ impl<'a> Sim<'a> {
                 let verdict = verify::check_history(
                     &hist,
                     &initial,
-                    &final_mem,
+                    engine.memory_image(),
                     self.require_opacity
                         .unwrap_or_else(|| self.system.guarantees_opacity()),
                 );

@@ -32,9 +32,10 @@
 //! the commit sequence only breaks ties and drives the fallback.
 
 use crate::metrics::Metrics;
+use gpu_mem::MemImage;
 use sim_core::history::{History, HistoryStats, TxnKind, TxnOutcome, TxnRecord, INITIAL_VERSION};
 use sim_core::trace::{EventBus, SimEvent, Stamp, TraceSink};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::io::{self, Write};
 
 /// One operation of a counterexample transaction.
@@ -314,7 +315,7 @@ pub fn protocol_verdict(what: &str, token: u64, cycle: u64, stats: HistoryStats)
 pub fn check_history(
     h: &History,
     initial_mem: &HashMap<u64, u64>,
-    final_mem: &HashMap<u64, u64>,
+    final_mem: &MemImage,
     require_opacity: bool,
 ) -> Verdict {
     let mut verdict = Verdict {
@@ -540,14 +541,18 @@ pub fn check_history(
 
 /// Replays `witness` (dense node indices into `nodes`) against a sequential
 /// memory oracle, checking every recorded read and the final state.
+///
+/// The oracle memory is a `BTreeMap` and the engine image is walked in
+/// ascending address order, so when several words diverge the violation
+/// always names the lowest address — independent of hasher seeding.
 fn replay(
     h: &History,
     nodes: &[u32],
     witness: &[usize],
     initial_mem: &HashMap<u64, u64>,
-    final_mem: &HashMap<u64, u64>,
+    final_mem: &MemImage,
 ) -> Result<(), Violation> {
-    let mut mem = initial_mem.clone();
+    let mut mem: BTreeMap<u64, u64> = initial_mem.iter().map(|(&a, &v)| (a, v)).collect();
     let mut last_writer: HashMap<u64, u32> = HashMap::new();
     for &nd in witness {
         let id = nodes[nd];
@@ -581,15 +586,15 @@ fn replay(
         }
     }
     // The replayed image must match the engine's committed memory on the
-    // union of touched addresses.
-    for (&addr, &v) in final_mem {
+    // union of touched addresses (unlisted words are zero on both sides).
+    for (addr, v) in final_mem.iter_nonzero() {
         let o = mem.get(&addr).copied().unwrap_or(0);
         if o != v {
             return Err(diverged(h, &last_writer, addr, v, o));
         }
     }
     for (&addr, &o) in &mem {
-        let v = final_mem.get(&addr).copied().unwrap_or(0);
+        let v = final_mem.get(addr);
         if o != v {
             return Err(diverged(h, &last_writer, addr, v, o));
         }
@@ -815,6 +820,10 @@ mod tests {
         pairs.iter().copied().collect()
     }
 
+    fn img_of(pairs: &[(u64, u64)]) -> MemImage {
+        pairs.iter().copied().collect()
+    }
+
     /// writer installs 5 at 0x40; reader sees it; serial and opaque.
     #[test]
     fn serializable_history_passes() {
@@ -826,7 +835,7 @@ mod tests {
         h.begin(0, 1, 0, 7);
         h.read_observed(1, 0, 0x40, 5, 0);
         h.commit(1, 0, 9);
-        let v = check_history(&h, &empty_mem(), &mem_of(&[(0x40, 5)]), true);
+        let v = check_history(&h, &empty_mem(), &img_of(&[(0x40, 5)]), true);
         assert!(v.ok(), "{}", v.summary());
         assert_eq!(v.witness_len, 2);
         assert!(!v.aba_fallback);
@@ -849,7 +858,7 @@ mod tests {
         h.write_applied(t0, 0x40, 1, 6);
         h.commit(1, 0, 7);
         h.write_applied(t1, 0x40, 1, 8);
-        let v = check_history(&h, &empty_mem(), &mem_of(&[(0x40, 1)]), true);
+        let v = check_history(&h, &empty_mem(), &img_of(&[(0x40, 1)]), true);
         assert!(!v.ok());
         assert!(matches!(
             v.violations[0].kind,
@@ -882,7 +891,7 @@ mod tests {
         h.read_observed(2, 0, 0x48, 0, INITIAL_VERSION);
         h.read_observed(2, 0, 0x40, 0, 1);
         h.commit(2, 0, 9);
-        let v = check_history(&h, &empty_mem(), &mem_of(&[(0x40, 0)]), true);
+        let v = check_history(&h, &empty_mem(), &img_of(&[(0x40, 0)]), true);
         // Commit order t0, t1, t2: t2's reads then see 0 at both cells —
         // consistent. (Its INITIAL-version read of 0x40 matches by value.)
         assert!(v.ok(), "{}", v.summary());
@@ -906,7 +915,7 @@ mod tests {
         h.read_observed(1, 0, 0x48, 10, INITIAL_VERSION);
         h.abort(1, 0, 8);
         let init = mem_of(&[(0x40, 10), (0x48, 10)]);
-        let v = check_history(&h, &init, &mem_of(&[(0x40, 11), (0x48, 11)]), true);
+        let v = check_history(&h, &init, &img_of(&[(0x40, 11), (0x48, 11)]), true);
         assert!(!v.ok());
         assert!(matches!(
             v.violations[0].kind,
@@ -915,7 +924,7 @@ mod tests {
         assert!(!v.violations[0].counterexample.is_empty());
         // Without the opacity requirement the same torn snapshot is waived:
         // certified, but counted.
-        let v = check_history(&h, &init, &mem_of(&[(0x40, 11), (0x48, 11)]), false);
+        let v = check_history(&h, &init, &img_of(&[(0x40, 11), (0x48, 11)]), false);
         assert!(v.ok());
         assert_eq!(v.opacity_waived, 1);
         assert!(v.summary().contains("waived"), "{}", v.summary());
@@ -935,7 +944,7 @@ mod tests {
         h.read_observed(1, 0, 0x48, 11, 1);
         h.abort(1, 0, 8);
         let init = mem_of(&[(0x40, 10), (0x48, 10)]);
-        let v = check_history(&h, &init, &mem_of(&[(0x40, 11), (0x48, 11)]), true);
+        let v = check_history(&h, &init, &img_of(&[(0x40, 11), (0x48, 11)]), true);
         assert!(v.ok(), "{}", v.summary());
         assert_eq!(v.opacity_checked, 1);
     }
@@ -948,7 +957,7 @@ mod tests {
         let w = h.current_txn(0, 0).unwrap();
         h.commit(0, 0, 3);
         h.write_applied(w, 0x40, 5, 4);
-        let v = check_history(&h, &empty_mem(), &mem_of(&[(0x40, 6)]), true);
+        let v = check_history(&h, &empty_mem(), &img_of(&[(0x40, 6)]), true);
         assert!(!v.ok());
         assert!(matches!(
             v.violations[0].kind,
@@ -968,7 +977,7 @@ mod tests {
         let w = h.current_txn(0, 0).unwrap();
         h.write_applied(w, 0x40, 5, 2);
         h.abort(0, 0, 3);
-        let v = check_history(&h, &empty_mem(), &mem_of(&[(0x40, 5)]), true);
+        let v = check_history(&h, &empty_mem(), &img_of(&[(0x40, 5)]), true);
         assert!(!v.ok());
         assert!(matches!(
             v.violations[0].kind,
@@ -989,7 +998,7 @@ mod tests {
         h.write_applied(t0, 0x40, 1, 6);
         h.commit(1, 0, 7);
         h.write_applied(t1, 0x40, 1, 8);
-        let v = check_history(&h, &empty_mem(), &mem_of(&[(0x40, 1)]), true);
+        let v = check_history(&h, &empty_mem(), &img_of(&[(0x40, 1)]), true);
         let mut out = Vec::new();
         export_counterexample(&v.violations[0], &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();

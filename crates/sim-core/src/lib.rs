@@ -26,6 +26,7 @@ pub mod events;
 pub mod hash;
 pub mod history;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod trace;
 
@@ -36,5 +37,6 @@ pub use events::EventWheel;
 pub use hash::StableHasher;
 pub use history::{History, HistoryRecorder};
 pub use rng::DetRng;
+pub use slab::TokenSlab;
 pub use stats::{Counter, Histogram, LogHistogram, MaxTracker, RatioStat, StatSet, TimeSeries};
 pub use trace::{AbortCause, EventBus, Recorder, SimEvent, Stamp, TraceSink, WatchdogStage};

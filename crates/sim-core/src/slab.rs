@@ -1,0 +1,189 @@
+//! A generation-checked slab for in-flight request contexts.
+//!
+//! The engine keys every in-flight message context (pending memory
+//! accesses, commit attempts) by an opaque `u64` token that travels inside
+//! the message and routes the reply back to its context. A `HashMap<u64, T>`
+//! works, but hashes on every hot-path lookup and allocates as it grows;
+//! the slab replaces it with a dense `Vec` indexed by the token's low bits,
+//! which makes insert/lookup/remove a bounds-checked array access.
+//!
+//! Tokens are `(generation << 32) | index`. The generation starts at 1 (so
+//! a token is never zero — zero stays available as a sentinel) and is
+//! bumped every time a slot is vacated, which makes stale tokens — a reply
+//! arriving after its context was removed — detectably invalid instead of
+//! silently aliasing a recycled slot.
+//!
+//! Allocation order is deterministic: freed slots are reused LIFO, so a
+//! run's token sequence is a pure function of its insert/remove sequence.
+//! Nothing in the simulator may *order* work by token value (replies are
+//! routed by exact-match lookup only); the engine's A/B equality tests pin
+//! that down.
+
+/// A slab of `T` keyed by generation-checked `u64` tokens.
+#[derive(Debug)]
+pub struct TokenSlab<T> {
+    slots: Vec<Slot<T>>,
+    /// Vacant slot indices, reused LIFO.
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    /// Generation of the *current or next* occupancy; bumped on removal.
+    gen: u32,
+    val: Option<T>,
+}
+
+impl<T> Default for TokenSlab<T> {
+    fn default() -> Self {
+        TokenSlab::new()
+    }
+}
+
+impl<T> TokenSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        TokenSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `val`, returning its token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab exceeds `u32::MAX` slots (the engine keeps at
+    /// most a few thousand contexts in flight).
+    pub fn insert(&mut self, val: T) -> u64 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.val.is_none());
+            slot.val = Some(val);
+            return compose(slot.gen, idx);
+        }
+        let idx = u32::try_from(self.slots.len()).expect("slab exceeded u32::MAX slots");
+        self.slots.push(Slot {
+            gen: 1,
+            val: Some(val),
+        });
+        compose(1, idx)
+    }
+
+    /// The entry behind `token`, if it is still live.
+    pub fn get(&self, token: u64) -> Option<&T> {
+        let (gen, idx) = decompose(token);
+        let slot = self.slots.get(idx)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.val.as_ref()
+    }
+
+    /// Mutable access to the entry behind `token`, if it is still live.
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        let (gen, idx) = decompose(token);
+        let slot = self.slots.get_mut(idx)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.val.as_mut()
+    }
+
+    /// Removes and returns the entry behind `token`. The slot's generation
+    /// is bumped, so the token (and any copy of it still in flight) is dead
+    /// from here on.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let (gen, idx) = decompose(token);
+        let slot = self.slots.get_mut(idx)?;
+        if slot.gen != gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        slot.gen = slot.gen.wrapping_add(1).max(1);
+        self.free.push(idx as u32);
+        self.len -= 1;
+        Some(val)
+    }
+}
+
+#[inline]
+fn compose(gen: u32, idx: u32) -> u64 {
+    (u64::from(gen) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn decompose(token: u64) -> (u32, usize) {
+    ((token >> 32) as u32, (token & 0xFFFF_FFFF) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_nonzero_and_roundtrip() {
+        let mut s = TokenSlab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_tokens_do_not_alias_recycled_slots() {
+        let mut s = TokenSlab::new();
+        let a = s.insert(1u32);
+        assert_eq!(s.remove(a), Some(1));
+        let b = s.insert(2u32);
+        // Same slot, new generation: the old token is dead.
+        assert_eq!(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF);
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn free_slots_are_reused_lifo_deterministically() {
+        let mut s = TokenSlab::new();
+        let toks: Vec<u64> = (0..4).map(|i| s.insert(i)).collect();
+        s.remove(toks[1]);
+        s.remove(toks[3]);
+        // LIFO: slot 3 first, then slot 1; no new slots grown.
+        let x = s.insert(10);
+        let y = s.insert(11);
+        assert_eq!(x & 0xFFFF_FFFF, 3);
+        assert_eq!(y & 0xFFFF_FFFF, 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn double_remove_is_none_and_len_is_stable() {
+        let mut s = TokenSlab::new();
+        let a = s.insert(());
+        assert_eq!(s.remove(a), Some(()));
+        assert_eq!(s.remove(a), None);
+        assert!(s.is_empty());
+    }
+}
