@@ -13,12 +13,14 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod bank;
 pub mod cache;
 pub mod dram;
 pub mod image;
 pub mod xbar;
 
 pub use addr::{Addr, Geometry, Granule, LineAddr};
+pub use bank::{BankSlice, BankedMem};
 pub use cache::{AccessKind, CacheConfig, CacheResult, SetAssocCache};
 pub use dram::{DramChannel, DramConfig};
 pub use image::MemImage;

@@ -1,8 +1,13 @@
 //! Core-side execution: warp scheduling, instruction issue, transactional
 //! access handling per TM system, reply processing, and the per-protocol
 //! warp commit sequences.
+//!
+//! Everything here runs on a [`CoreCtx`] — a (possibly whole-machine) core
+//! window with effect sinks — so the same code serves both the serial loop
+//! and each shard of a parallel issue phase.
 
-use super::{CommitCtx, DownMsg, Engine, Pending, UpMsg};
+use super::ctx::{CoreCtx, FxOp, FxSink, TokenPatch};
+use super::{CommitCtx, DownMsg, Pending, UpMsg};
 use crate::config::TmSystem;
 use fglock::AtomicOp;
 use getm::{AccessKind as GetmKind, AccessRequest, CommitEntry, ReplyKind};
@@ -15,7 +20,7 @@ use sim_core::SimError;
 use warptm::eapg::EapgDecision;
 use warptm::ValidationJob;
 
-impl Engine {
+impl CoreCtx<'_> {
     // ===================== issue =====================
 
     /// Refills finished warp slots and issues one instruction on core `c`.
@@ -36,7 +41,7 @@ impl Engine {
         let serialized = self.wd.mode == super::WdMode::Serialized;
         let priority = self.wd.priority;
         let nwarps = self.cores[c].warps.len();
-        let mut ready = std::mem::take(&mut self.ready_buf);
+        let mut ready = std::mem::take(self.ready_buf);
         ready.clear();
         ready.resize(nwarps, false);
         for (w, ready_slot) in ready.iter_mut().enumerate() {
@@ -88,7 +93,7 @@ impl Engine {
         );
         let pick = sched.pick(|w| ready[w]);
         self.cores[c].sched = sched;
-        self.ready_buf = ready;
+        *self.ready_buf = ready;
         if let Some(w) = pick {
             self.issue_warp(c, w)?;
         }
@@ -106,13 +111,13 @@ impl Engine {
             let slot = self.cores[c].warps[w].take().expect("checked above");
             self.cores[c].retired_commits += slot.warp.total_commits();
             self.cores[c].retired_aborts += slot.warp.total_aborts();
-            self.live_warps -= 1;
+            self.retired += 1;
             if let Some(progs) = self.cores[c].pending_warps.pop_front() {
                 let new_slot = super::make_slot(
                     progs,
                     c,
                     w,
-                    &self.cfg,
+                    self.cfg,
                     &sim_core::DetRng::seeded(self.cfg.seed ^ 0x517A),
                 );
                 self.cores[c].warps[w] = Some(new_slot);
@@ -247,7 +252,7 @@ impl Engine {
         // Phase 1: intra-warp conflict detection + logging (core-local).
         // The survivor list is engine-owned scratch, taken out for the call
         // because the routing helpers below need `&mut self` alongside it.
-        let mut survivors = std::mem::take(&mut self.survivors_buf);
+        let mut survivors = std::mem::take(self.survivors_buf);
         survivors.clear();
         let mut lanes_aborted = false;
         let gwid = {
@@ -337,7 +342,7 @@ impl Engine {
             }
             TmSystem::FgLock => unreachable!("tx ops in lock mode"),
         }
-        self.survivors_buf = survivors;
+        *self.survivors_buf = survivors;
         if lanes_aborted {
             self.maybe_warp_commit(c, w);
         }
@@ -364,7 +369,7 @@ impl Engine {
         // Both the group list and the per-granule lane lists are recycled:
         // a lane list travels inside `Pending::Access` and comes back to
         // the pool when the reply retires the context.
-        let mut by_granule = std::mem::take(&mut self.group_buf);
+        let mut by_granule = std::mem::take(self.group_buf);
         for &(l, a, _) in survivors {
             let g = geom.granule_of(a);
             match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
@@ -395,7 +400,7 @@ impl Engine {
                 }
                 slot.warp.outstanding += 1;
             }
-            let token = self.pending.insert(Pending::Access {
+            let token = self.insert_pending(Pending::Access {
                 core: c,
                 warp: w,
                 lanes,
@@ -404,8 +409,7 @@ impl Engine {
                 issued: now,
                 versions: Vec::new(),
             });
-            self.up.send(
-                now,
+            self.send_up(
                 part,
                 getm::msg::ACCESS_REQUEST_BYTES,
                 UpMsg::GetmAccess(AccessRequest {
@@ -421,9 +425,10 @@ impl Engine {
                     token,
                 }),
                 "tm-access",
+                TokenPatch::Pending,
             );
         }
-        self.group_buf = by_granule;
+        *self.group_buf = by_granule;
     }
 
     /// WarpTM / EL: loads fetch values (and TCD stamps) from the LLC.
@@ -432,7 +437,7 @@ impl Engine {
             return;
         }
         let geom = self.geom;
-        let mut by_granule = std::mem::take(&mut self.group_buf);
+        let mut by_granule = std::mem::take(self.group_buf);
         for &(l, a, _) in survivors {
             let g = geom.granule_of(a);
             match by_granule.iter_mut().find(|(gg, _)| *gg == g) {
@@ -455,7 +460,7 @@ impl Engine {
                 }
                 slot.warp.outstanding += 1;
             }
-            let token = self.pending.insert(Pending::Access {
+            let token = self.insert_pending(Pending::Access {
                 core: c,
                 warp: w,
                 lanes,
@@ -464,16 +469,21 @@ impl Engine {
                 issued: now,
                 versions: Vec::new(),
             });
-            self.up
-                .send(now, part, 16, UpMsg::TxLoadWtm { addr, token }, "tm-access");
+            self.send_up(
+                part,
+                16,
+                UpMsg::TxLoadWtm { addr, token },
+                "tm-access",
+                TokenPatch::Pending,
+            );
         }
-        self.group_buf = by_granule;
+        *self.group_buf = by_granule;
     }
 
     fn issue_plain_load(&mut self, c: usize, w: usize, group: &[u32]) -> Result<(), SimError> {
         let geom = self.geom;
         let use_l1 = self.system.is_tm();
-        let mut by_granule = std::mem::take(&mut self.group_buf);
+        let mut by_granule = std::mem::take(self.group_buf);
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in group {
@@ -505,16 +515,31 @@ impl Engine {
                     .access(line, gpu_mem::AccessKind::Read)
                     .is_hit()
             {
-                // L1 hit: values available next cycle.
-                let slot = self.cores[c].warps[w].as_mut().expect("warp");
-                for &(l, a) in &lanes {
-                    let v = self.mem.get(a.0);
-                    let t = &mut slot.warp.threads[l as usize];
-                    t.pending_result = OpResult::Value(v);
+                // L1 hit: values available next cycle. The fill reads the
+                // committed image; a deferred sink replays it at the cycle
+                // barrier in core order, which reproduces serial ordering
+                // against same-cycle stores from lower-numbered cores.
+                {
+                    let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                    slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1);
                 }
-                slot.warp.sleep_until = slot.warp.sleep_until.max(now + 1);
-                lanes.clear();
-                self.lane_pool.push(lanes);
+                match &mut self.sink {
+                    FxSink::Direct { mem, .. } => {
+                        let slot = self.cores[c].warps[w].as_mut().expect("warp");
+                        for &(l, a) in &lanes {
+                            let v = mem.get(a.0);
+                            let t = &mut slot.warp.threads[l as usize];
+                            t.pending_result = OpResult::Value(v);
+                        }
+                        lanes.clear();
+                        self.lane_pool.push(lanes);
+                    }
+                    FxSink::Deferred { ops } => ops.push(FxOp::Fill {
+                        core: c,
+                        warp: w,
+                        lanes,
+                    }),
+                }
                 continue;
             }
             let part = geom.partition_of_granule(g) as usize;
@@ -526,7 +551,7 @@ impl Engine {
                 }
                 slot.warp.outstanding += 1;
             }
-            let token = self.pending.insert(Pending::Access {
+            let token = self.insert_pending(Pending::Access {
                 core: c,
                 warp: w,
                 lanes,
@@ -535,10 +560,15 @@ impl Engine {
                 issued: now,
                 versions: Vec::new(),
             });
-            self.up
-                .send(now, part, 16, UpMsg::PlainLoad { addr, token }, "load");
+            self.send_up(
+                part,
+                16,
+                UpMsg::PlainLoad { addr, token },
+                "load",
+                TokenPatch::Pending,
+            );
         }
-        self.group_buf = by_granule;
+        *self.group_buf = by_granule;
         Ok(())
     }
 
@@ -567,17 +597,17 @@ impl Engine {
             slot.gwid.0
         };
         for (part, a, v, l) in sends {
-            self.mem.set(a.0, v);
+            self.store_word(a.0, v);
             self.hist.singleton_write(c, gwid, l, a.0, v, now.raw());
             if self.system.is_tm() {
                 self.cores[c].l1.invalidate(geom.line_of(a));
             }
-            self.up.send(
-                now,
+            self.send_up(
                 part,
                 16,
                 UpMsg::PlainStore { addr: a, value: v },
                 "store",
+                TokenPatch::None,
             );
         }
         Ok(())
@@ -585,7 +615,6 @@ impl Engine {
 
     fn issue_atomic(&mut self, c: usize, w: usize, group: &[u32]) -> Result<(), SimError> {
         let geom = self.geom;
-        let now = self.now;
         for &l in group {
             let op = {
                 let slot = self.cores[c].warps[w].as_mut().expect("warp");
@@ -607,14 +636,19 @@ impl Engine {
                     }
                 }
             };
-            let token = self.pending.insert(Pending::AtomicOp {
+            let token = self.insert_pending(Pending::AtomicOp {
                 core: c,
                 warp: w,
                 lane: l,
             });
             let part = geom.partition_of(op.addr()) as usize;
-            self.up
-                .send(now, part, 16, UpMsg::Atomic { op, token }, "atomic");
+            self.send_up(
+                part,
+                16,
+                UpMsg::Atomic { op, token },
+                "atomic",
+                TokenPatch::Pending,
+            );
         }
         Ok(())
     }
@@ -660,7 +694,7 @@ impl Engine {
             if self.cfg.sabotage == crate::config::Sabotage::GetmIgnoreLoadAborts
                 && matches!(reply.kind, ReplyKind::Abort { .. })
                 && matches!(
-                    self.pending.get(reply.token),
+                    self.pending_direct().get(reply.token),
                     Some(Pending::Access {
                         is_store: false,
                         ..
@@ -679,7 +713,7 @@ impl Engine {
             issued,
             versions,
             ..
-        }) = self.pending.remove(reply.token)
+        }) = self.pending_direct().remove(reply.token)
         else {
             return Err(SimError::ProtocolViolation {
                 what: "GETM access reply routed to unknown token",
@@ -806,7 +840,7 @@ impl Engine {
             issued,
             versions,
             ..
-        }) = self.pending.remove(token)
+        }) = self.pending_direct().remove(token)
         else {
             return Err(SimError::ProtocolViolation {
                 what: "load reply routed to unknown token",
@@ -895,7 +929,8 @@ impl Engine {
     }
 
     fn on_atomic_reply(&mut self, token: u64, old: u64) -> Result<(), SimError> {
-        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending.remove(token) else {
+        let Some(Pending::AtomicOp { core, warp, lane }) = self.pending_direct().remove(token)
+        else {
             return Err(SimError::ProtocolViolation {
                 what: "atomic reply routed to unknown token",
                 token,
@@ -924,7 +959,12 @@ impl Engine {
     fn el_validate_lanes(&mut self, c: usize, w: usize, lanes: &[u32]) {
         let mut aborted = 0u32;
         let gwid = {
-            let mem = &self.mem;
+            // EL validation reads committed memory mid-issue; EL runs are
+            // always serial (see `Engine::can_shard`), so the sink is
+            // direct by construction.
+            let FxSink::Direct { mem, .. } = &self.sink else {
+                unreachable!("WarpTM-EL runs serial with a direct sink")
+            };
             let slot = self.cores[c].warps[w].as_mut().expect("warp alive");
             for &l in lanes {
                 let t = &slot.warp.threads[l as usize];
@@ -1063,7 +1103,7 @@ impl Engine {
             .map(|_| self.attempt_pool.pop().unwrap_or_default())
             .collect();
         let recording = self.hist.is_on();
-        let mut word_buf = std::mem::take(&mut self.word_buf);
+        let mut word_buf = std::mem::take(self.word_buf);
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             let commit_mask = slot.warp.tx_stack.commit_mask();
@@ -1134,8 +1174,7 @@ impl Engine {
                 }
             }
         }
-        self.word_buf = word_buf;
-        let now = self.now;
+        *self.word_buf = word_buf;
         for (p, entries) in per_part.into_iter().enumerate() {
             if entries.is_empty() {
                 self.entry_pool.push(entries);
@@ -1143,8 +1182,13 @@ impl Engine {
             }
             let bytes = CommitEntry::batch_bytes(&entries);
             let ids = std::mem::take(&mut per_part_ids[p]);
-            self.up
-                .send(now, p, bytes, UpMsg::GetmLog(entries, ids), "commit");
+            self.send_up(
+                p,
+                bytes,
+                UpMsg::GetmLog(entries, ids),
+                "commit",
+                TokenPatch::None,
+            );
         }
         for ids in per_part_ids {
             if ids.capacity() > 0 && ids.is_empty() {
@@ -1196,7 +1240,7 @@ impl Engine {
                 ..ValidationJob::default()
             })
             .collect();
-        let mut word_buf = std::mem::take(&mut self.word_buf);
+        let mut word_buf = std::mem::take(self.word_buf);
         {
             let slot = self.cores[c].warps[w].as_ref().expect("warp");
             for &l in &validate_lanes {
@@ -1238,7 +1282,7 @@ impl Engine {
                 }
             }
         }
-        self.word_buf = word_buf;
+        *self.word_buf = word_buf;
         {
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for &l in &validate_lanes {
@@ -1267,23 +1311,30 @@ impl Engine {
             self.finish_round(c, w, true);
             return;
         }
-        let token = self.commits_in_flight.insert(CommitCtx {
-            core: c,
-            warp: w,
-            lanes: validate_lanes,
-            pending_verdicts: involved.len() as u32,
-            pending_acks: 0,
-            failed_lanes: 0,
-            parts: involved.clone(),
-        });
-        self.cores[c].warps[w].as_mut().expect("warp").committing = Some(token);
-        let now = self.now;
+        let token = self.insert_commit(
+            c,
+            w,
+            CommitCtx {
+                core: c,
+                warp: w,
+                lanes: validate_lanes,
+                pending_verdicts: involved.len() as u32,
+                pending_acks: 0,
+                failed_lanes: 0,
+                parts: involved.clone(),
+            },
+        );
         for p in involved {
             let mut job = std::mem::take(&mut jobs[p]);
             job.token = token;
             let bytes = job.entries() as u64 * gpu_simt::log::LOG_ENTRY_BYTES;
-            self.up
-                .send(now, p, bytes.max(8), UpMsg::Validate(job), "validation");
+            self.send_up(
+                p,
+                bytes.max(8),
+                UpMsg::Validate(job),
+                "validation",
+                TokenPatch::Commit,
+            );
         }
     }
 
@@ -1297,7 +1348,9 @@ impl Engine {
         };
         let mut failed_mask = 0u64;
         {
-            let mem = &self.mem;
+            let FxSink::Direct { mem, .. } = &self.sink else {
+                unreachable!("WarpTM-EL runs serial with a direct sink")
+            };
             let slot = self.cores[c].warps[w].as_mut().expect("warp");
             for l in 0..slot.warp.threads.len() {
                 if commit_mask & (1 << l) == 0 {
@@ -1345,7 +1398,7 @@ impl Engine {
         let parts = self.cfg.partitions as usize;
         let mut per_part: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); parts];
         let mut committed_lanes: Vec<u32> = Vec::new();
-        let mut word_buf = std::mem::take(&mut self.word_buf);
+        let mut word_buf = std::mem::take(self.word_buf);
         {
             let slot = self.cores[c].warps[w].as_ref().expect("warp");
             let gwid = slot.gwid.0;
@@ -1380,10 +1433,10 @@ impl Engine {
                 }
             }
         }
-        self.word_buf = word_buf;
+        *self.word_buf = word_buf;
         for writes in &per_part {
             for &(a, v) in writes {
-                self.mem.set(a.0, v);
+                self.store_word(a.0, v);
             }
         }
         {
@@ -1411,28 +1464,35 @@ impl Engine {
             self.finish_round(c, w, true);
             return;
         }
-        let token = self.commits_in_flight.insert(CommitCtx {
-            core: c,
-            warp: w,
-            lanes: committed_lanes,
-            pending_verdicts: 0,
-            pending_acks: involved.len() as u32,
-            failed_lanes: 0,
-            parts: involved.clone(),
-        });
-        self.cores[c].warps[w].as_mut().expect("warp").committing = Some(token);
-        let now = self.now;
+        let token = self.insert_commit(
+            c,
+            w,
+            CommitCtx {
+                core: c,
+                warp: w,
+                lanes: committed_lanes,
+                pending_verdicts: 0,
+                pending_acks: involved.len() as u32,
+                failed_lanes: 0,
+                parts: involved.clone(),
+            },
+        );
         for p in involved {
             let writes = std::mem::take(&mut per_part[p]);
             let bytes = (writes.len() as u64 * gpu_simt::log::LOG_ENTRY_BYTES).max(8);
-            self.up
-                .send(now, p, bytes, UpMsg::ElWriteLog { token, writes }, "commit");
+            self.send_up(
+                p,
+                bytes,
+                UpMsg::ElWriteLog { token, writes },
+                "commit",
+                TokenPatch::Commit,
+            );
         }
     }
 
     fn on_verdict(&mut self, token: u64, failed_lanes: u64) -> Result<(), SimError> {
         let (core, warp, lanes, failed, parts) = {
-            let Some(ctx) = self.commits_in_flight.get_mut(token) else {
+            let Some(ctx) = self.commits_direct().get_mut(token) else {
                 return Err(SimError::ProtocolViolation {
                     what: "validation verdict for unknown commit",
                     token,
@@ -1501,8 +1561,7 @@ impl Engine {
             // Whole warp transaction failed: abort at every partition and
             // restart without waiting for acknowledgements.
             for &p in &parts {
-                self.up.send(
-                    now,
+                self.send_up(
                     p,
                     8,
                     UpMsg::CommitCmd {
@@ -1511,9 +1570,10 @@ impl Engine {
                         failed_lanes: failed,
                     },
                     "commit",
+                    TokenPatch::None,
                 );
             }
-            self.commits_in_flight.remove(token);
+            self.commits_direct().remove(token);
             let Some(slot) = self.cores[core].warps[warp].as_mut() else {
                 return Err(SimError::ProtocolViolation {
                     what: "failed commit verdict for a retired warp",
@@ -1525,8 +1585,7 @@ impl Engine {
             self.finish_round(core, warp, false);
         } else {
             for &p in &parts {
-                self.up.send(
-                    now,
+                self.send_up(
                     p,
                     8,
                     UpMsg::CommitCmd {
@@ -1535,9 +1594,10 @@ impl Engine {
                         failed_lanes: failed,
                     },
                     "commit",
+                    TokenPatch::None,
                 );
             }
-            let Some(ctx) = self.commits_in_flight.get_mut(token) else {
+            let Some(ctx) = self.commits_direct().get_mut(token) else {
                 return Err(SimError::ProtocolViolation {
                     what: "commit context vanished while issuing commit commands",
                     token,
@@ -1552,7 +1612,7 @@ impl Engine {
 
     fn on_commit_ack(&mut self, token: u64) -> Result<(), SimError> {
         let done = {
-            let Some(ctx) = self.commits_in_flight.get_mut(token) else {
+            let Some(ctx) = self.commits_direct().get_mut(token) else {
                 return Err(SimError::ProtocolViolation {
                     what: "commit acknowledgement for unknown commit",
                     token,
@@ -1565,7 +1625,7 @@ impl Engine {
         if !done {
             return Ok(());
         }
-        let Some(ctx) = self.commits_in_flight.remove(token) else {
+        let Some(ctx) = self.commits_direct().remove(token) else {
             return Err(SimError::ProtocolViolation {
                 what: "commit context vanished between acknowledgements",
                 token,
@@ -1615,6 +1675,7 @@ impl Engine {
                 let cause = slot.warp.abort_cause_ts;
                 let skip = 1 + (slot.gwid.0 as u64 & 7);
                 slot.warp.warpts = slot.warp.warpts.max(cause + skip);
+                self.ts_high_water = self.ts_high_water.max(slot.warp.warpts);
                 slot.warp.abort_cause_ts = 0;
                 if slot.warp.warpts >= self.cfg.ts_limit {
                     self.rollover_pending = true;
@@ -1661,6 +1722,7 @@ impl Engine {
             }
             if is_getm && committed {
                 slot.warp.warpts = slot.warp.warpts.max(slot.obs_max_ts) + 1;
+                self.ts_high_water = self.ts_high_water.max(slot.warp.warpts);
             }
             if is_getm && slot.warp.warpts >= self.cfg.ts_limit {
                 self.rollover_pending = true;

@@ -10,13 +10,14 @@
 //! Load values are captured *here*, at partition processing time, so a
 //! reply in flight can never observe logically later writes.
 
-use super::{DownMsg, Engine, Pending, UpMsg};
+use super::ctx::{DownSend, DownSink, PartCtx};
+use super::{DownMsg, Pending, UpMsg};
 use fglock::AtomicOp;
 use gpu_mem::{AccessKind, Addr, CacheResult, Granule, LineAddr};
 use sim_core::trace::{SimEvent, Stamp};
 use sim_core::{Cycle, SimError};
 
-impl Engine {
+impl PartCtx<'_> {
     /// Handles one up-crossbar delivery at partition `p`.
     pub(crate) fn handle_up(&mut self, p: usize, msg: UpMsg) -> Result<(), SimError> {
         match msg {
@@ -86,23 +87,43 @@ impl Engine {
     /// can attribute the read once the reply is delivered and no path can
     /// leak the capture.
     fn capture_values(&mut self, token: u64) -> Result<(usize, Vec<u64>), SimError> {
-        let hist_on = self.hist.is_on();
-        match self.pending.get_mut(token) {
-            Some(Pending::Access {
-                core,
-                lanes,
-                is_store,
-                is_tx,
-                versions,
-                ..
-            }) => {
+        if self.hist.is_on() {
+            // History recording runs serial, so the pending tap is the
+            // mutable one and the version capture can write into the
+            // context.
+            return match self.pending.get_mut(token) {
+                Some(Pending::Access {
+                    core,
+                    lanes,
+                    is_store,
+                    is_tx,
+                    versions,
+                    ..
+                }) => {
+                    let mut values = self.value_pool.pop().unwrap_or_default();
+                    values.clear();
+                    values.extend(lanes.iter().map(|&(_, a)| self.mem.get(a.0)));
+                    if *is_tx && !*is_store {
+                        versions.clear();
+                        versions.extend(lanes.iter().map(|&(_, a)| self.hist.version_of(a.0)));
+                    }
+                    Ok((*core, values))
+                }
+                Some(Pending::AtomicOp { core, .. }) => Ok((*core, Vec::new())),
+                None => Err(SimError::ProtocolViolation {
+                    what: "memory reply for unknown token",
+                    token,
+                    cycle: self.now.raw(),
+                }),
+            };
+        }
+        // Recording off (every sharded phase, most serial runs): the
+        // pending slab is only read, so a shared tap suffices.
+        match self.pending.get(token) {
+            Some(Pending::Access { core, lanes, .. }) => {
                 let mut values = self.value_pool.pop().unwrap_or_default();
                 values.clear();
                 values.extend(lanes.iter().map(|&(_, a)| self.mem.get(a.0)));
-                if hist_on && *is_tx && !*is_store {
-                    versions.clear();
-                    versions.extend(lanes.iter().map(|&(_, a)| self.hist.version_of(a.0)));
-                }
                 Ok((*core, values))
             }
             Some(Pending::AtomicOp { core, .. }) => Ok((*core, Vec::new())),
@@ -213,7 +234,7 @@ impl Engine {
         }
         // Merge per-granule write counts (ascending granule order) into the
         // scratch buffer, then release each, waking stalled requests.
-        let mut merged = std::mem::take(&mut self.word_buf);
+        let mut merged = std::mem::take(self.word_buf);
         merged.clear();
         merged.extend(regions.iter().map(|r| (r.granule, r.writes as u64)));
         merged.sort_unstable_by_key(|&(g, _)| g);
@@ -272,7 +293,7 @@ impl Engine {
                 );
             }
         }
-        self.word_buf = merged;
+        *self.word_buf = merged;
         Ok(())
     }
 
@@ -315,7 +336,7 @@ impl Engine {
         // Value-based validation reads the *current* value of every logged
         // line from the LLC: charge the (pipelined) LLC latency once plus
         // a DRAM access per missing line.
-        let mut lines = std::mem::take(&mut self.line_buf);
+        let mut lines = std::mem::take(self.line_buf);
         lines.clear();
         lines.extend(job.reads.iter().map(|e| self.geom.line_of(e.addr)));
         lines.sort_unstable();
@@ -335,7 +356,7 @@ impl Engine {
                 extra += self.cfg.dram.latency;
             }
         }
-        self.line_buf = lines;
+        *self.line_buf = lines;
         let verdict = {
             let mem = &self.mem;
             self.parts[p].wtm.validate(job, |a| mem.get(a.0))
@@ -372,11 +393,17 @@ impl Engine {
         // Committed-write attribution: surviving lane entries carry their
         // lane id, and the in-flight commit context names the warp, so the
         // history can chain each applied word to its transaction attempt.
-        let gwid = self
-            .commits_in_flight
-            .get(token)
-            .and_then(|ctx| self.cores[ctx.core].warps[ctx.warp].as_ref())
-            .map(|slot| slot.gwid.0);
+        // The core-state lookup only exists while recording (which forces
+        // the serial loop, where the context carries the core slice).
+        let gwid = if self.hist.is_on() {
+            let cores = self.cores.expect("history recording runs serial");
+            self.commits_in_flight
+                .get(token)
+                .and_then(|ctx| cores[ctx.core].warps[ctx.warp].as_ref())
+                .map(|slot| slot.gwid.0)
+        } else {
+            None
+        };
         let apply_cycle = self.now.raw();
         let mut granules: Vec<Granule> = Vec::new();
         for e in writes {
@@ -396,8 +423,8 @@ impl Engine {
         self.send_down(done, core, 8, DownMsg::CommitAck { token }, "commit-ack");
         // EAPG: broadcast the committed write set to every core.
         if self.system == crate::config::TmSystem::Eapg && !granules.is_empty() {
-            self.stats.eapg_broadcasts += self.cores.len() as u64;
-            for c in 0..self.cores.len() {
+            self.stats.eapg_broadcasts += self.n_cores as u64;
+            for c in 0..self.n_cores {
                 self.send_down(
                     done,
                     c,
@@ -486,8 +513,10 @@ impl Engine {
         if self.hist.is_on() {
             // An atomic is a committed singleton transaction: it observes
             // `old` and (for mutating ops) installs a new version in the
-            // same indivisible step.
-            let gwid = self.cores[core].warps[warp]
+            // same indivisible step. (Recording forces the serial loop, so
+            // the core slice is present.)
+            let cores = self.cores.expect("history recording runs serial");
+            let gwid = cores[core].warps[warp]
                 .as_ref()
                 .map(|s| s.gwid.0)
                 .unwrap_or(u32::MAX);
@@ -513,7 +542,11 @@ impl Engine {
 
     // ----- Helpers ---------------------------------------------------------
 
-    /// Injects a reply onto the down crossbar.
+    /// Injects a reply onto the down crossbar — directly in serial
+    /// execution, or into the shard's ordered buffer during a parallel
+    /// partition phase (the lead thread replays buffered sends sorted by
+    /// `(delivery index, send ordinal)`, reconstructing the exact serial
+    /// injection sequence).
     pub(crate) fn send_down(
         &mut self,
         at: Cycle,
@@ -522,7 +555,23 @@ impl Engine {
         msg: DownMsg,
         category: &'static str,
     ) {
-        self.down.send(at, core, bytes, msg, category);
+        match &mut self.down {
+            DownSink::Direct(down) => {
+                down.send(at, core, bytes, msg, category);
+            }
+            DownSink::Buffer { buf, idx, k } => {
+                buf.push(DownSend {
+                    idx: *idx,
+                    k: *k,
+                    at,
+                    dst: core,
+                    bytes,
+                    msg,
+                    cat: category,
+                });
+                *k += 1;
+            }
+        }
     }
 
     /// The destination core of an in-flight commit token.

@@ -1,0 +1,228 @@
+//! A tiny scoped worker pool for the sharded engine loop.
+//!
+//! `std::thread::scope` would spawn and join OS threads every cycle —
+//! microseconds of overhead against a cycle that takes nanoseconds. This
+//! pool keeps `threads - 1` workers parked on a condvar for the lifetime
+//! of a run and hands them one closure per phase; the lead thread always
+//! executes job 0 itself, so a `threads = N` pool really uses N host
+//! threads. `run` blocks until every job finished, which is what makes the
+//! (internal) lifetime transmute sound: no job outlives the call that
+//! borrowed its environment.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    state: Mutex<Vec<Job>>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    done_lock: Mutex<()>,
+    /// Jobs not yet finished in the current batch.
+    remaining: AtomicUsize,
+    /// A job panicked; the lead re-raises after the batch drains.
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// A fixed pool of parked worker threads plus the calling (lead) thread.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool that executes batches on `threads` host threads total
+    /// (`threads - 1` spawned workers; the caller is the last thread).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gputm-shard-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Runs every job to completion, executing the first job on the
+    /// calling thread. Panics from jobs are re-raised here (once, after
+    /// all jobs drained).
+    ///
+    /// Jobs may borrow from `'env`: the function blocks until the batch is
+    /// complete, so no job can outlive the borrowed environment.
+    pub fn run<'env>(&self, mut jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        // The lead runs job 0 inline; only the rest go to workers.
+        let lead_job = jobs.remove(0);
+        let n_queued = jobs.len();
+        if n_queued > 0 {
+            self.shared.remaining.store(n_queued, Ordering::Release);
+            {
+                let mut q = self.shared.state.lock().expect("pool lock");
+                // SAFETY: `run` does not return until `remaining` hits
+                // zero, i.e. until every queued job has finished executing;
+                // the 'env borrows inside the jobs therefore never escape
+                // this call, making the lifetime erasure sound.
+                let erased: Vec<Job> = jobs
+                    .into_iter()
+                    .map(|j| unsafe {
+                        std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(j)
+                    })
+                    .collect();
+                *q = erased;
+            }
+            self.shared.work_cv.notify_all();
+        }
+        run_one(&self.shared, lead_job);
+        if n_queued > 0 {
+            // Help drain the queue, then wait for stragglers. Every popped
+            // job counts against `remaining` exactly like a worker's.
+            while let Some(job) = pop_job(&self.shared) {
+                run_one(&self.shared, job);
+                finish_one(&self.shared);
+            }
+            let mut spins = 0u32;
+            while self.shared.remaining.load(Ordering::Acquire) != 0 {
+                spins += 1;
+                if spins < 10_000 {
+                    std::hint::spin_loop();
+                } else {
+                    let guard = self.shared.done_lock.lock().expect("pool lock");
+                    let _guard = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(guard, std::time::Duration::from_millis(1))
+                        .expect("pool wait");
+                }
+            }
+        }
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a shard worker panicked (see stderr for the original panic)");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn pop_job(shared: &Shared) -> Option<Job> {
+    let mut q = shared.state.lock().expect("pool lock");
+    q.pop()
+}
+
+fn run_one(shared: &Shared, job: impl FnOnce()) {
+    if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+        shared.panicked.store(true, Ordering::Release);
+    }
+}
+
+/// Marks one queued job finished, waking the lead if it was the last.
+fn finish_one(shared: &Shared) {
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Lock-then-notify so the lead cannot check `remaining` and sleep
+        // between our decrement and the notification.
+        let _guard = shared.done_lock.lock().expect("pool lock");
+        shared.done_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.state.lock().expect("pool lock");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = q.pop() {
+                    break job;
+                }
+                q = shared.work_cv.wait(q).expect("pool wait");
+            }
+        };
+        run_one(shared, job);
+        finish_one(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_job_with_borrowed_environment() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        for round in 0..50u64 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..7u64)
+                .map(|i| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(round * 100 + i, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        let expect: u64 = (0..50u64).map(|r| 7 * r * 100 + 21).sum();
+        assert_eq!(counter.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let mut hit = false;
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {}), Box::new(|| {})];
+            pool.run(jobs);
+        }
+        let flag = &mut hit;
+        pool.run(vec![Box::new(move || *flag = true)]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_lead() {
+        let pool = WorkerPool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }));
+        assert!(res.is_err(), "pool must re-raise worker panics");
+        // The pool stays usable after a panic.
+        pool.run(vec![Box::new(|| {}), Box::new(|| {})]);
+    }
+}

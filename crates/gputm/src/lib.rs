@@ -27,11 +27,13 @@
 //!   [`config::TmSystem`] selector.
 //! * [`engine`] — the cycle-level engine that moves messages between cores
 //!   and memory partitions and drives each TM protocol.
+//! * [`exec`] — the host-thread execution mode ([`exec::ExecMode`]):
+//!   serial, or sharded across host threads with bit-identical results.
 //! * [`metrics`] — everything measured during a run.
-//! * [`runner`] — the [`runner::Sim`] builder (`run`, `run_traced`,
-//!   `run_verified`) with invariant checking.
-//! * [`verify`] — the serializability/opacity oracle behind
-//!   [`runner::Sim::run_verified`].
+//! * [`runner`] — the [`runner::Sim`] builder and the unified
+//!   [`runner::RunOptions`] execution API (tracing, verification,
+//!   cancellation, execution mode) with invariant checking.
+//! * [`verify`] — the serializability/opacity oracle behind verified runs.
 //! * [`sweep`] — parallel grid execution with deterministic result caching.
 //! * [`silicon`] — the analytical SRAM area/power model behind Table V.
 
@@ -39,6 +41,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod metrics;
 pub mod runner;
 pub mod silicon;
@@ -46,15 +49,17 @@ pub mod sweep;
 pub mod verify;
 
 pub use config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
+pub use exec::ExecMode;
 pub use metrics::Metrics;
-pub use runner::Sim;
+pub use runner::{RunOptions, RunOutcome, Sim};
 pub use verify::{Verdict, VerifiedRun};
 
 /// Common imports for examples and benchmarks.
 pub mod prelude {
     pub use crate::config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
+    pub use crate::exec::ExecMode;
     pub use crate::metrics::Metrics;
-    pub use crate::runner::Sim;
+    pub use crate::runner::{RunOptions, RunOutcome, Sim};
     pub use crate::sweep::{
         run_sweep, run_sweep_report, CellFailure, CellSpec, ExperimentSpec, FailureKind,
         FailurePolicy, ResultCache, SweepOptions, SweepOutcome, SweepReport,

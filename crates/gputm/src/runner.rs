@@ -1,13 +1,103 @@
-//! Workload execution: the [`Sim`] builder.
+//! Workload execution: the [`Sim`] builder and the [`RunOptions`]
+//! execution API.
 
-use crate::config::{GpuConfig, TmSystem};
+use crate::config::{GpuConfig, TmSystem, WatchdogConfig};
 use crate::engine::Engine;
+use crate::exec::ExecMode;
 use crate::metrics::Metrics;
-use crate::verify::{self, VerifiedRun};
+use crate::verify::{self, Verdict, VerifiedRun};
 use sim_core::history::HistoryRecorder;
-use sim_core::SimError;
+use sim_core::{CancelToken, Recorder, SimError};
 use std::collections::HashMap;
 use workloads::Workload;
+
+/// Everything that can be composed onto a single run: the host-thread
+/// execution mode, an optional event-trace recorder, history verification,
+/// cooperative cancellation, and a watchdog override. The zero-cost default
+/// (`RunOptions::default()`) is a plain serial, untraced, unverified run.
+///
+/// Execution mode never changes results — `ExecMode::Sharded` produces
+/// bit-identical metrics, traces, and verdicts to `ExecMode::Serial` (modes
+/// that require serial observation order, like tracing and verification,
+/// transparently run the serial loop).
+///
+/// ```no_run
+/// use gputm::prelude::*;
+///
+/// let cfg = GpuConfig::fermi_15core();
+/// let w = Benchmark::Atm.build(Scale::Fast);
+/// let opts = RunOptions::default().exec(ExecMode::Sharded { threads: 4 });
+/// let out = Sim::new(&cfg).run_with(w.as_ref(), &opts).unwrap();
+/// println!("cycles = {}", out.metrics.unwrap().cycles);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Host-thread execution mode (observationally irrelevant).
+    pub exec: ExecMode,
+    /// Event-trace recorder to attach, if any. The caller keeps a clone
+    /// and reads the bus afterwards (see [`sim_core::Recorder::bus`]).
+    pub trace: Option<Recorder>,
+    /// Record a transaction history and run the serializability/opacity
+    /// checker over it, filling [`RunOutcome::verdict`].
+    pub verify: bool,
+    /// Cooperative cancellation token, polled every few thousand simulated
+    /// cycles.
+    pub cancel: Option<CancelToken>,
+    /// Overrides the config's forward-progress watchdog for this run.
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl RunOptions {
+    /// Sets the host-thread execution mode.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Attaches an event-trace recorder.
+    #[must_use]
+    pub fn trace(mut self, rec: Recorder) -> Self {
+        self.trace = Some(rec);
+        self
+    }
+
+    /// Enables history recording plus the serializability/opacity checker.
+    #[must_use]
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Overrides the forward-progress watchdog configuration.
+    #[must_use]
+    pub fn watchdog(mut self, wd: WatchdogConfig) -> Self {
+        self.watchdog = Some(wd);
+        self
+    }
+}
+
+/// What a [`Sim::run_with`] call produced.
+///
+/// `metrics` is `Some` for every completed run except a verified run that
+/// tripped an engine-detected protocol violation (reported through the
+/// verdict instead of an error, so harnesses show it beside checker
+/// findings). `verdict` is `Some` exactly when [`RunOptions::verify`] was
+/// set.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Run metrics, with the workload invariant check applied.
+    pub metrics: Option<Metrics>,
+    /// The checker's verdict, when verification was requested.
+    pub verdict: Option<Verdict>,
+}
 
 /// Builder-style entry point for running workloads on the simulated GPU.
 ///
@@ -46,7 +136,7 @@ impl<'a> Sim<'a> {
         self
     }
 
-    /// Overrides the opacity policy used by [`Sim::run_verified`].
+    /// Overrides the opacity policy used by verified runs.
     ///
     /// By default a torn snapshot in an *aborted* attempt is a violation
     /// only for systems that promise opaque aborts
@@ -68,84 +158,51 @@ impl<'a> Sim<'a> {
         self.system
     }
 
-    /// Runs `workload` to completion, returning the metrics with the
-    /// workload's invariant check already applied.
+    /// Runs `workload` to completion under `opts` — the one execution
+    /// entry point every other runner method is sugar over.
     ///
     /// # Errors
     ///
-    /// Configuration errors and [`SimError::CycleLimitExceeded`] (protocol
-    /// livelock) are returned; invariant violations are reported in
-    /// [`Metrics::check`] rather than as an error, so harnesses can decide
-    /// how loudly to fail.
-    pub fn run(&self, workload: &dyn Workload) -> Result<Metrics, SimError> {
-        let mut engine = Engine::new(workload, self.system, self.cfg)?;
-        let mut metrics = engine.run()?;
-        metrics.check = Some(workload.check(&engine.memory_reader()));
-        Ok(metrics)
-    }
-
-    /// Like [`Sim::run`], but with a cooperative [`sim_core::CancelToken`]
-    /// attached: the engine polls the token every few thousand simulated
-    /// cycles and bails with [`SimError::Interrupted`] once it is
-    /// cancelled. The sweep executor's wall-clock watchdog cancels through
-    /// this hook; an uncancelled token changes nothing about the run.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Interrupted`] on cancellation, plus everything
-    /// [`Sim::run`] can return.
-    pub fn run_cancellable(
+    /// Configuration errors, [`SimError::CycleLimitExceeded`],
+    /// [`SimError::Livelock`], and — with a cancel token attached —
+    /// [`SimError::Interrupted`]. With `verify` set, an engine-detected
+    /// [`SimError::ProtocolViolation`] is converted into a failing verdict
+    /// (with `metrics: None`) instead of an error; without it, the
+    /// violation is returned as the error it is. Workload invariant
+    /// violations are reported in [`Metrics::check`] rather than as an
+    /// error, so harnesses can decide how loudly to fail.
+    pub fn run_with(
         &self,
         workload: &dyn Workload,
-        token: sim_core::CancelToken,
-    ) -> Result<Metrics, SimError> {
-        let mut engine = Engine::new(workload, self.system, self.cfg)?;
-        engine.attach_cancel(token);
-        let mut metrics = engine.run()?;
-        metrics.check = Some(workload.check(&engine.memory_reader()));
-        Ok(metrics)
-    }
-
-    /// Like [`Sim::run`], but with `recorder` attached to the engine so
-    /// every [`sim_core::SimEvent`] of the run lands in the recorder's
-    /// event bus. The caller keeps a clone of the recorder and reads the
-    /// bus afterwards (see [`sim_core::Recorder::bus`]).
-    ///
-    /// Tracing is observational only: for a given workload, system, and
-    /// config the returned metrics are identical to an untraced
-    /// [`Sim::run`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Sim::run`].
-    pub fn run_traced(
-        &self,
-        workload: &dyn Workload,
-        recorder: sim_core::Recorder,
-    ) -> Result<Metrics, SimError> {
-        let mut engine = Engine::new(workload, self.system, self.cfg)?;
-        engine.attach_recorder(recorder);
-        let mut metrics = engine.run()?;
-        metrics.check = Some(workload.check(&engine.memory_reader()));
-        Ok(metrics)
-    }
-
-    /// Like [`Sim::run`], but with a transaction-history recorder attached
-    /// and the serializability/opacity checker run over the completed
-    /// history (see [`crate::verify`]). Recording is observational: the
-    /// returned metrics are identical to an unverified [`Sim::run`].
-    ///
-    /// Engine-detected protocol violations ([`SimError::ProtocolViolation`])
-    /// are converted into a failing [`verify::Verdict`] (with no metrics)
-    /// rather than an error, so harnesses report them alongside checker
-    /// findings.
-    ///
-    /// # Errors
-    ///
-    /// Configuration errors and [`SimError::CycleLimitExceeded`], as for
-    /// [`Sim::run`].
-    pub fn run_verified(&self, workload: &dyn Workload) -> Result<VerifiedRun, SimError> {
-        let mut engine = Engine::new(workload, self.system, self.cfg)?;
+        opts: &RunOptions,
+    ) -> Result<RunOutcome, SimError> {
+        let cfg_override;
+        let cfg = match &opts.watchdog {
+            Some(wd) => {
+                cfg_override = GpuConfig {
+                    watchdog: wd.clone(),
+                    ..self.cfg.clone()
+                };
+                &cfg_override
+            }
+            None => self.cfg,
+        };
+        let mut engine = Engine::new(workload, self.system, cfg)?;
+        engine.set_exec(opts.exec);
+        if let Some(rec) = &opts.trace {
+            engine.attach_recorder(rec.clone());
+        }
+        if let Some(tok) = &opts.cancel {
+            engine.attach_cancel(tok.clone());
+        }
+        if !opts.verify {
+            let mut metrics = engine.run()?;
+            metrics.check = Some(workload.check(&engine.memory_reader()));
+            return Ok(RunOutcome {
+                metrics: Some(metrics),
+                verdict: None,
+            });
+        }
         engine.attach_history(HistoryRecorder::recording());
         let initial: HashMap<u64, u64> = workload
             .initial_memory()
@@ -162,13 +219,13 @@ impl<'a> Sim<'a> {
                 let verdict = verify::check_history(
                     &hist,
                     &initial,
-                    engine.memory_image(),
+                    &engine.memory_image(),
                     self.require_opacity
                         .unwrap_or_else(|| self.system.guarantees_opacity()),
                 );
-                Ok(VerifiedRun {
+                Ok(RunOutcome {
                     metrics: Some(metrics),
-                    verdict,
+                    verdict: Some(verdict),
                 })
             }
             Err(SimError::ProtocolViolation { what, token, cycle }) => {
@@ -177,13 +234,83 @@ impl<'a> Sim<'a> {
                     .take()
                     .map(|h| h.stats())
                     .unwrap_or_default();
-                Ok(VerifiedRun {
+                Ok(RunOutcome {
                     metrics: None,
-                    verdict: verify::protocol_verdict(what, token, cycle, stats),
+                    verdict: Some(verify::protocol_verdict(what, token, cycle, stats)),
                 })
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Runs `workload` to completion, returning the metrics with the
+    /// workload's invariant check already applied.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors and [`SimError::CycleLimitExceeded`] (protocol
+    /// livelock) are returned; invariant violations are reported in
+    /// [`Metrics::check`] rather than as an error, so harnesses can decide
+    /// how loudly to fail.
+    pub fn run(&self, workload: &dyn Workload) -> Result<Metrics, SimError> {
+        let out = self.run_with(workload, &RunOptions::default())?;
+        Ok(out.metrics.expect("unverified runs always carry metrics"))
+    }
+
+    /// Like [`Sim::run`], but with a cooperative [`sim_core::CancelToken`]
+    /// attached: the engine polls the token every few thousand simulated
+    /// cycles and bails with [`SimError::Interrupted`] once it is
+    /// cancelled.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Interrupted`] on cancellation, plus everything
+    /// [`Sim::run`] can return.
+    #[deprecated(note = "use `Sim::run_with` with `RunOptions::default().cancel(token)`")]
+    pub fn run_cancellable(
+        &self,
+        workload: &dyn Workload,
+        token: CancelToken,
+    ) -> Result<Metrics, SimError> {
+        let out = self.run_with(workload, &RunOptions::default().cancel(token))?;
+        Ok(out.metrics.expect("unverified runs always carry metrics"))
+    }
+
+    /// Like [`Sim::run`], but with `recorder` attached to the engine so
+    /// every [`sim_core::SimEvent`] of the run lands in the recorder's
+    /// event bus. Tracing is observational only: for a given workload,
+    /// system, and config the returned metrics are identical to an
+    /// untraced [`Sim::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::run`].
+    #[deprecated(note = "use `Sim::run_with` with `RunOptions::default().trace(recorder)`")]
+    pub fn run_traced(
+        &self,
+        workload: &dyn Workload,
+        recorder: Recorder,
+    ) -> Result<Metrics, SimError> {
+        let out = self.run_with(workload, &RunOptions::default().trace(recorder))?;
+        Ok(out.metrics.expect("unverified runs always carry metrics"))
+    }
+
+    /// Like [`Sim::run`], but with a transaction-history recorder attached
+    /// and the serializability/opacity checker run over the completed
+    /// history (see [`crate::verify`]). Recording is observational: the
+    /// returned metrics are identical to an unverified [`Sim::run`].
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors and [`SimError::CycleLimitExceeded`], as for
+    /// [`Sim::run`].
+    #[deprecated(note = "use `Sim::run_with` with `RunOptions::default().verify(true)`")]
+    pub fn run_verified(&self, workload: &dyn Workload) -> Result<VerifiedRun, SimError> {
+        let out = self.run_with(workload, &RunOptions::default().verify(true))?;
+        Ok(VerifiedRun {
+            metrics: out.metrics,
+            verdict: out.verdict.expect("verified runs always carry a verdict"),
+        })
     }
 }
 
@@ -207,8 +334,12 @@ mod tests {
         let w = Benchmark::Atm.build(Scale::Fast);
         let sim = Sim::new(&cfg);
         let plain = sim.run(w.as_ref()).expect("untraced run");
-        let rec = sim_core::Recorder::recording(1 << 16);
-        let traced = sim.run_traced(w.as_ref(), rec.clone()).expect("traced run");
+        let rec = Recorder::recording(1 << 16);
+        let traced = sim
+            .run_with(w.as_ref(), &RunOptions::default().trace(rec.clone()))
+            .expect("traced run")
+            .metrics
+            .expect("traced run yields metrics");
         assert_eq!(plain, traced, "tracing must not perturb the simulation");
         let bus = rec.bus().expect("recording recorder has a bus");
         assert!(!bus.borrow().is_empty(), "the run must emit events");
@@ -222,14 +353,53 @@ mod tests {
         for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
             let sim = Sim::new(&cfg).system(system);
             let plain = sim.run(w.as_ref()).expect("unverified run");
-            let verified = sim.run_verified(w.as_ref()).expect("verified run");
+            let out = sim
+                .run_with(w.as_ref(), &RunOptions::default().verify(true))
+                .expect("verified run");
             assert_eq!(
                 Some(&plain),
-                verified.metrics.as_ref(),
+                out.metrics.as_ref(),
                 "history recording must not perturb the simulation ({system})"
             );
-            verified.verdict.assert_ok();
-            assert!(verified.verdict.stats.committed > 0);
+            let verdict = out.verdict.expect("verified run yields a verdict");
+            verdict.assert_ok();
+            assert!(verdict.stats.committed > 0);
         }
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_run_with() {
+        use workloads::suite::{Benchmark, Scale};
+        let cfg = GpuConfig::tiny_test();
+        let w = Benchmark::Atm.build(Scale::Fast);
+        let sim = Sim::new(&cfg);
+        let via_options = sim
+            .run_with(w.as_ref(), &RunOptions::default())
+            .expect("run_with")
+            .metrics
+            .expect("metrics");
+        #[allow(deprecated)]
+        let via_wrapper = sim
+            .run_cancellable(w.as_ref(), CancelToken::new())
+            .expect("wrapper run");
+        assert_eq!(via_options, via_wrapper);
+    }
+
+    #[test]
+    fn sharded_option_is_observational() {
+        use workloads::suite::{Benchmark, Scale};
+        let cfg = GpuConfig::tiny_test();
+        let w = Benchmark::Atm.build(Scale::Fast);
+        let sim = Sim::new(&cfg);
+        let serial = sim.run(w.as_ref()).expect("serial run");
+        let sharded = sim
+            .run_with(
+                w.as_ref(),
+                &RunOptions::default().exec(ExecMode::Sharded { threads: 2 }),
+            )
+            .expect("sharded run")
+            .metrics
+            .expect("metrics");
+        assert_eq!(serial, sharded, "sharding must not perturb the simulation");
     }
 }

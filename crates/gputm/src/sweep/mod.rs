@@ -173,6 +173,11 @@ pub struct SweepOptions {
     /// if attached, still serves whatever it holds). Journaling itself is
     /// automatic whenever a cache is attached.
     pub resume: bool,
+    /// Overrides every cell's intra-cell execution mode (`None` respects
+    /// each [`CellSpec`]'s own setting). Execution mode is observational —
+    /// sharded cells produce bit-identical metrics and share cache
+    /// entries with serial ones — so this is purely a wall-clock knob.
+    pub cell_exec: Option<crate::exec::ExecMode>,
     /// Test-only override of how a cell is executed (fault injection).
     pub(crate) runner: Option<exec::CellRunner>,
 }
@@ -223,6 +228,14 @@ impl SweepOptions {
     #[must_use]
     pub fn resume(mut self, on: bool) -> Self {
         self.resume = on;
+        self
+    }
+
+    /// Overrides every cell's intra-cell execution mode (see
+    /// [`SweepOptions::cell_exec`]).
+    #[must_use]
+    pub fn cell_exec(mut self, exec: crate::exec::ExecMode) -> Self {
+        self.cell_exec = Some(exec);
         self
     }
 

@@ -1,8 +1,9 @@
 //! Experiment descriptions: one cell, and grids of cells.
 
 use crate::config::{GpuConfig, TmSystem};
+use crate::exec::ExecMode;
 use crate::metrics::Metrics;
-use crate::runner::Sim;
+use crate::runner::{RunOptions, Sim};
 use sim_core::hash::StableHasher;
 use sim_core::SimError;
 use workloads::suite::{Benchmark, Scale};
@@ -20,17 +21,30 @@ pub struct CellSpec {
     pub system: TmSystem,
     /// On which machine.
     pub cfg: GpuConfig,
+    /// How the cell's engine uses host threads. Deliberately **excluded**
+    /// from [`CellSpec::cache_key`]: execution mode never changes results
+    /// (the sharded loop is bit-identical to serial), so a cell computed
+    /// sharded and one computed serially share a cache entry.
+    pub exec: ExecMode,
 }
 
 impl CellSpec {
-    /// A fully specified cell.
+    /// A fully specified cell (serial execution; see [`CellSpec::with_exec`]).
     pub fn new(benchmark: Benchmark, scale: Scale, system: TmSystem, cfg: GpuConfig) -> Self {
         CellSpec {
             benchmark,
             scale,
             system,
             cfg,
+            exec: ExecMode::Serial,
         }
+    }
+
+    /// Selects the host-thread execution mode for this cell.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// A short human label for progress lines: `HT-H/GETM/c=4`.
@@ -62,61 +76,68 @@ impl CellSpec {
         h.finish_hex()
     }
 
-    /// Builds the workload and runs the cell to completion.
+    /// Builds the workload and runs the cell to completion under the
+    /// cell's execution mode.
     ///
     /// # Errors
     ///
-    /// See [`Sim::run`].
+    /// See [`Sim::run_with`].
     pub fn run(&self) -> Result<Metrics, SimError> {
-        let workload = self.benchmark.build(self.scale);
-        Sim::new(&self.cfg)
-            .system(self.system)
-            .run(workload.as_ref())
+        self.run_opts(RunOptions::default())
     }
 
     /// Like [`CellSpec::run`], but polling `token` so a watchdog thread can
-    /// interrupt a runaway cell (see [`Sim::run_cancellable`]). The sweep
-    /// executor uses this when a per-cell timeout is configured; an
-    /// uncancelled token changes nothing about the run.
+    /// interrupt a runaway cell. The sweep executor uses this when a
+    /// per-cell timeout is configured; an uncancelled token changes nothing
+    /// about the run.
     ///
     /// # Errors
     ///
     /// [`SimError::Interrupted`] on cancellation, plus everything
     /// [`CellSpec::run`] can return.
     pub fn run_cancellable(&self, token: sim_core::CancelToken) -> Result<Metrics, SimError> {
-        let workload = self.benchmark.build(self.scale);
-        Sim::new(&self.cfg)
-            .system(self.system)
-            .run_cancellable(workload.as_ref(), token)
+        self.run_opts(RunOptions::default().cancel(token))
     }
 
     /// Like [`CellSpec::run`], but with `recorder` capturing the cell's
-    /// event stream (see [`Sim::run_traced`]). Cache lookups never serve
-    /// traced runs — call this directly when a trace is wanted.
+    /// event stream. Cache lookups never serve traced runs — call this
+    /// directly when a trace is wanted.
     ///
     /// # Errors
     ///
-    /// See [`Sim::run`].
+    /// See [`CellSpec::run`].
     pub fn run_traced(&self, recorder: sim_core::Recorder) -> Result<Metrics, SimError> {
-        let workload = self.benchmark.build(self.scale);
-        Sim::new(&self.cfg)
-            .system(self.system)
-            .run_traced(workload.as_ref(), recorder)
+        self.run_opts(RunOptions::default().trace(recorder))
     }
 
     /// Like [`CellSpec::run`], but with history recording on and the
-    /// serializability/opacity checker applied (see [`Sim::run_verified`]).
+    /// serializability/opacity checker applied (see [`crate::verify`]).
     /// Cache lookups never serve verified runs — call this directly when a
     /// certificate is wanted.
     ///
     /// # Errors
     ///
-    /// See [`Sim::run_verified`].
+    /// See [`CellSpec::run`].
     pub fn run_verified(&self) -> Result<crate::verify::VerifiedRun, SimError> {
         let workload = self.benchmark.build(self.scale);
-        Sim::new(&self.cfg)
+        let out = Sim::new(&self.cfg).system(self.system).run_with(
+            workload.as_ref(),
+            &RunOptions::default().exec(self.exec).verify(true),
+        )?;
+        Ok(crate::verify::VerifiedRun {
+            metrics: out.metrics,
+            verdict: out.verdict.expect("verified runs always carry a verdict"),
+        })
+    }
+
+    /// Runs the cell under `opts`, with the cell's execution mode applied
+    /// on top (the common plumbing behind the `run*` helpers).
+    fn run_opts(&self, opts: RunOptions) -> Result<Metrics, SimError> {
+        let workload = self.benchmark.build(self.scale);
+        let out = Sim::new(&self.cfg)
             .system(self.system)
-            .run_verified(workload.as_ref())
+            .run_with(workload.as_ref(), &opts.exec(self.exec))?;
+        Ok(out.metrics.expect("unverified runs always carry metrics"))
     }
 }
 

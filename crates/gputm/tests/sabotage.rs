@@ -8,7 +8,7 @@
 #![cfg(feature = "sabotage")]
 
 use gputm::config::{GpuConfig, Sabotage, TmSystem};
-use gputm::runner::Sim;
+use gputm::runner::{RunOptions, Sim};
 use gputm::verify::export_counterexample;
 use workloads::fuzz::{Fuzz, FuzzShape};
 
@@ -36,14 +36,15 @@ fn assert_caught(system: TmSystem, sabotage: Sabotage, w: &Fuzz) {
     let run = Sim::new(&cfg)
         .system(system)
         .require_opacity(true)
-        .run_verified(w)
+        .run_with(w, &RunOptions::default().verify(true))
         .expect("sabotaged run still completes");
+    let verdict = run.verdict.as_ref().expect("verified run");
     assert!(
-        !run.verdict.ok(),
+        !verdict.ok(),
         "{system} with {sabotage:?} must fail certification, got: {}",
-        run.verdict.summary()
+        verdict.summary()
     );
-    let v = &run.verdict.violations[0];
+    let v = &verdict.violations[0];
     assert!(
         !v.counterexample.is_empty(),
         "violation must carry a minimized counterexample: {v:?}"
@@ -64,12 +65,13 @@ fn assert_clean(system: TmSystem, w: &Fuzz) {
     let run = Sim::new(&cfg)
         .system(system)
         .require_opacity(true)
-        .run_verified(w)
+        .run_with(w, &RunOptions::default().verify(true))
         .expect("clean run completes");
+    let verdict = run.verdict.as_ref().expect("verified run");
     assert!(
-        run.verdict.ok(),
+        verdict.ok(),
         "{system} un-sabotaged must certify: {}",
-        run.verdict.summary()
+        verdict.summary()
     );
 }
 

@@ -1,0 +1,164 @@
+//! Property-based stress for the sharded execution engine: random machine
+//! shapes, shard counts, and adversarial workloads must always produce
+//! metrics bit-identical to serial execution. This is the fuzzer for the
+//! barrier/mailbox machinery — uneven shard splits, empty shards (more
+//! threads than cores), the up-crossbar parallelism threshold straddled in
+//! both directions, and idle skip-ahead windows with all shards inert.
+//!
+//! Case counts are small by default (every case runs full simulations
+//! twice); `PROPTEST_CASES` scales them up for soak runs.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::exec::ExecMode;
+use gputm::runner::{RunOptions, Sim};
+use proptest::prelude::*;
+use workloads::fuzz::{Fuzz, FuzzShape};
+
+fn machine(cores: u32, parts: u32) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny_test();
+    cfg.cores = cores;
+    cfg.warps_per_core = 4;
+    cfg.warp_width = 8;
+    cfg.partitions = parts;
+    cfg
+}
+
+fn shape_strategy() -> impl Strategy<Value = FuzzShape> {
+    prop_oneof![
+        Just(FuzzShape::SingleCell),
+        Just(FuzzShape::LockSteal),
+        Just(FuzzShape::MixedAliasing),
+        Just(FuzzShape::Scatter),
+    ]
+}
+
+fn system_strategy() -> impl Strategy<Value = TmSystem> {
+    prop_oneof![
+        Just(TmSystem::Getm),
+        Just(TmSystem::WarpTmLL),
+        Just(TmSystem::Eapg),
+        Just(TmSystem::FgLock),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// The core property: for any machine shape, shard count, and
+    /// workload, `Sharded { threads }` is observationally identical to
+    /// `Serial`. Thread counts run past the core count on purpose so some
+    /// shards own zero cores and zero partitions.
+    #[test]
+    fn sharded_always_matches_serial(
+        shape in shape_strategy(),
+        system in system_strategy(),
+        threads in 8usize..48,
+        txns in 1usize..4,
+        seed in 0u64..10_000,
+        cores in 1u32..6,
+        parts in 1u32..5,
+        shard_threads in 2usize..10,
+    ) {
+        let w = Fuzz::new(shape, threads, txns, seed);
+        let cfg = machine(cores, parts);
+        let serial = Sim::new(&cfg)
+            .system(system)
+            .run(&w)
+            .unwrap_or_else(|e| panic!("{shape} under {system} (serial): {e}"));
+        let sharded = Sim::new(&cfg)
+            .system(system)
+            .run_with(
+                &w,
+                &RunOptions::default().exec(ExecMode::Sharded { threads: shard_threads }),
+            )
+            .unwrap_or_else(|e| panic!("{shape} under {system} ({shard_threads} shards): {e}"))
+            .metrics
+            .expect("unverified runs always carry metrics");
+        prop_assert_eq!(
+            serial, sharded,
+            "{} under {} diverged at {} shard threads on a {}x{} machine",
+            shape, system, shard_threads, cores, parts
+        );
+    }
+
+    /// Sparse workloads leave long idle stretches where every shard is
+    /// inert and the engine takes its skip-ahead path; the sharded loop
+    /// must cross those windows without disturbing the cycle count.
+    #[test]
+    fn idle_skip_ahead_is_shard_invariant(
+        seed in 0u64..10_000,
+        shard_threads in 2usize..9,
+    ) {
+        // One warp's worth of threads on a 4-core machine: three cores
+        // never issue, and between that warp's memory round trips the
+        // whole machine is idle.
+        let w = Fuzz::new(FuzzShape::Scatter, 8, 2, seed);
+        let cfg = machine(4, 2);
+        let serial = Sim::new(&cfg).system(TmSystem::Getm).run(&w).expect("serial");
+        let sharded = Sim::new(&cfg)
+            .system(TmSystem::Getm)
+            .run_with(
+                &w,
+                &RunOptions::default().exec(ExecMode::Sharded { threads: shard_threads }),
+            )
+            .expect("sharded")
+            .metrics
+            .expect("metrics");
+        prop_assert_eq!(serial, sharded);
+    }
+
+    /// The sequential-consistency sanity floor: whatever the shard count,
+    /// the workload's own final-state arithmetic must still pass (this
+    /// would catch a bug that broke serial and sharded *identically*,
+    /// which the equality property above cannot).
+    #[test]
+    fn sharded_runs_pass_workload_arithmetic(
+        shape in shape_strategy(),
+        seed in 0u64..10_000,
+        shard_threads in 2usize..8,
+    ) {
+        let w = Fuzz::new(shape, 24, 3, seed);
+        let m = Sim::new(&machine(3, 3))
+            .system(TmSystem::Getm)
+            .run_with(
+                &w,
+                &RunOptions::default().exec(ExecMode::Sharded { threads: shard_threads }),
+            )
+            .expect("run")
+            .metrics
+            .expect("metrics");
+        prop_assert!(
+            matches!(m.check, Some(Ok(()))),
+            "{} failed its arithmetic sharded: {:?}",
+            shape,
+            m.check
+        );
+    }
+}
+
+/// A single core and a single partition still shard (into one populated
+/// shard plus empties) — the degenerate split must not wedge the barriers.
+#[test]
+fn single_core_machine_survives_many_shards() {
+    let w = Fuzz::new(FuzzShape::SingleCell, 16, 3, 0x1C0);
+    let cfg = machine(1, 1);
+    let serial = Sim::new(&cfg)
+        .system(TmSystem::Getm)
+        .run(&w)
+        .expect("serial");
+    for threads in [2, 5, 8] {
+        let sharded = Sim::new(&cfg)
+            .system(TmSystem::Getm)
+            .run_with(
+                &w,
+                &RunOptions::default().exec(ExecMode::Sharded { threads }),
+            )
+            .expect("sharded")
+            .metrics
+            .expect("metrics");
+        assert_eq!(serial, sharded, "degenerate split diverged at {threads}");
+    }
+}

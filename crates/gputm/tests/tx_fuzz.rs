@@ -8,9 +8,13 @@
 //! soak runs.
 
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::runner::Sim;
+use gputm::runner::{RunOptions, Sim};
 use proptest::prelude::*;
 use workloads::fuzz::{Fuzz, FuzzShape};
+
+fn verified() -> RunOptions {
+    RunOptions::default().verify(true)
+}
 
 fn machine(cores: u32, parts: u32) -> GpuConfig {
     let mut cfg = GpuConfig::tiny_test();
@@ -51,12 +55,13 @@ proptest! {
         for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
             let run = Sim::new(&cfg)
                 .system(system)
-                .run_verified(&w)
+                .run_with(&w, &verified())
                 .unwrap_or_else(|e| panic!("{shape} under {system}: {e}"));
+            let verdict = run.verdict.as_ref().expect("verified run");
             let m = run.metrics.as_ref().unwrap_or_else(|| {
                 panic!(
                     "{shape} under {system} died on a protocol violation: {}",
-                    run.verdict.summary()
+                    verdict.summary()
                 )
             });
             prop_assert!(
@@ -65,11 +70,11 @@ proptest! {
                 m.check
             );
             prop_assert!(
-                run.verdict.ok(),
+                verdict.ok(),
                 "{shape} under {system} failed certification: {}",
-                run.verdict.summary()
+                verdict.summary()
             );
-            prop_assert!(run.verdict.stats.committed > 0);
+            prop_assert!(verdict.stats.committed > 0);
         }
     }
 
@@ -85,12 +90,13 @@ proptest! {
         let w = Fuzz::new(hot, threads, 2, seed);
         let run = Sim::new(&machine(2, 2))
             .system(TmSystem::WarpTmEL)
-            .run_verified(&w)
+            .run_with(&w, &verified())
             .expect("run");
+        let verdict = run.verdict.as_ref().expect("verified run");
         prop_assert!(
-            run.verdict.ok(),
+            verdict.ok(),
             "{hot} under WarpTM-EL failed certification: {}",
-            run.verdict.summary()
+            verdict.summary()
         );
     }
 }
@@ -105,12 +111,13 @@ fn fixed_seed_cases_certify() {
         for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
             let run = Sim::new(&cfg)
                 .system(system)
-                .run_verified(&w)
+                .run_with(&w, &verified())
                 .unwrap_or_else(|e| panic!("{shape} under {system}: {e}"));
+            let verdict = run.verdict.as_ref().expect("verified run");
             assert!(
-                run.verdict.ok(),
+                verdict.ok(),
                 "{shape} under {system}: {}",
-                run.verdict.summary()
+                verdict.summary()
             );
         }
     }

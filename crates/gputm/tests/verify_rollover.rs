@@ -5,9 +5,13 @@
 //! *timestamps*, never the committed order's effects.
 
 use gputm::config::{GpuConfig, TmSystem};
-use gputm::runner::Sim;
+use gputm::runner::{RunOptions, Sim};
 use workloads::atm::Atm;
 use workloads::fuzz::{Fuzz, FuzzShape};
+
+fn verified() -> RunOptions {
+    RunOptions::default().verify(true)
+}
 
 fn tiny_limit_cfg(limit: u64) -> GpuConfig {
     let mut cfg = GpuConfig::tiny_test();
@@ -26,9 +30,10 @@ fn rollover_straddling_atm_certifies_on_all_systems() {
     for system in [TmSystem::Getm, TmSystem::WarpTmLL, TmSystem::Eapg] {
         let run = Sim::new(&cfg)
             .system(system)
-            .run_verified(&w)
+            .run_with(&w, &verified())
             .unwrap_or_else(|e| panic!("{system}: {e}"));
         let m = run.metrics.as_ref().expect("no protocol violation");
+        let verdict = run.verdict.as_ref().expect("verified run");
         if system == TmSystem::Getm {
             assert!(
                 m.rollovers > 0,
@@ -36,13 +41,13 @@ fn rollover_straddling_atm_certifies_on_all_systems() {
             );
         }
         assert!(
-            run.verdict.ok(),
+            verdict.ok(),
             "{system} across rollovers: {}",
-            run.verdict.summary()
+            verdict.summary()
         );
         // The opacity scan always runs (torn snapshots are waived, not
         // ignored, for systems without the guarantee).
-        assert!(run.verdict.opacity_checked > 0 || m.aborts == 0);
+        assert!(verdict.opacity_checked > 0 || m.aborts == 0);
     }
 }
 
@@ -54,12 +59,13 @@ fn rollover_straddling_contended_fuzz_certifies() {
     let cfg = tiny_limit_cfg(96);
     let run = Sim::new(&cfg)
         .system(TmSystem::Getm)
-        .run_verified(&w)
+        .run_with(&w, &verified())
         .expect("run");
     let m = run.metrics.as_ref().expect("no protocol violation");
+    let verdict = run.verdict.as_ref().expect("verified run");
     assert!(m.rollovers > 0, "hot fuzz must roll the clocks over");
     assert!(matches!(m.check, Some(Ok(()))), "{:?}", m.check);
-    assert!(run.verdict.ok(), "{}", run.verdict.summary());
+    assert!(verdict.ok(), "{}", verdict.summary());
 }
 
 #[test]
@@ -68,13 +74,14 @@ fn repeated_rollover_verification_is_deterministic() {
     let cfg = tiny_limit_cfg(80);
     let a = Sim::new(&cfg)
         .system(TmSystem::Getm)
-        .run_verified(&w)
+        .run_with(&w, &verified())
         .expect("first");
     let b = Sim::new(&cfg)
         .system(TmSystem::Getm)
-        .run_verified(&w)
+        .run_with(&w, &verified())
         .expect("second");
     assert_eq!(a.metrics, b.metrics);
-    assert_eq!(a.verdict.stats, b.verdict.stats);
-    assert_eq!(a.verdict.witness_len, b.verdict.witness_len);
+    let (va, vb) = (a.verdict.expect("verdict"), b.verdict.expect("verdict"));
+    assert_eq!(va.stats, vb.stats);
+    assert_eq!(va.witness_len, vb.witness_len);
 }

@@ -3,7 +3,7 @@
 //! disabled, and strict no-op behaviour on healthy runs.
 
 use gputm::config::{GpuConfig, TmSystem, WatchdogConfig};
-use gputm::runner::Sim;
+use gputm::runner::{RunOptions, Sim};
 use sim_core::{CancelToken, SimError};
 use workloads::fuzz::{Fuzz, FuzzShape};
 use workloads::suite::{Benchmark, Scale};
@@ -101,13 +101,14 @@ fn degraded_run_still_certifies() {
     };
     let verified = Sim::new(&cfg)
         .system(TmSystem::Getm)
-        .run_verified(&crossfire())
+        .run_with(&crossfire(), &RunOptions::default().verify(true))
         .expect("verified run");
     let m = verified.metrics.as_ref().expect("run completed");
+    let verdict = verified.verdict.as_ref().expect("verified run");
     assert!(m.degraded);
     m.assert_correct();
-    verified.verdict.assert_ok();
-    assert!(verified.verdict.stats.committed > 0);
+    verdict.assert_ok();
+    assert!(verdict.stats.committed > 0);
 }
 
 #[test]
@@ -164,7 +165,7 @@ fn cancelled_token_interrupts_the_run() {
     token.cancel();
     let err = Sim::new(&tiny())
         .system(TmSystem::Getm)
-        .run_cancellable(&crossfire(), token)
+        .run_with(&crossfire(), &RunOptions::default().cancel(token))
         .expect_err("a pre-cancelled token must interrupt");
     assert!(matches!(err, SimError::Interrupted { .. }), "got {err:?}");
 }
@@ -175,7 +176,9 @@ fn uncancelled_token_is_observational() {
     let plain = Sim::new(&tiny()).system(TmSystem::Getm).run(&w).unwrap();
     let cancellable = Sim::new(&tiny())
         .system(TmSystem::Getm)
-        .run_cancellable(&w, CancelToken::new())
-        .unwrap();
+        .run_with(&w, &RunOptions::default().cancel(CancelToken::new()))
+        .unwrap()
+        .metrics
+        .expect("unverified runs always carry metrics");
     assert_eq!(plain, cancellable);
 }
