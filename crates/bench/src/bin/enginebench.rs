@@ -9,6 +9,10 @@
 //!   sharded across N host threads (`ExecMode::Sharded`), assert the
 //!   metrics are bit-identical, and report the parallel speedup.
 //!
+//! After the rows, each shard workload runs once more with the host
+//! profiler on and prints per-shard work / barrier-wait / merge
+//! attribution (observational — never part of the gate).
+//!
 //! The committed baseline (`crates/bench/BENCH_engine.json`) stores the
 //! speedups this machine class is expected to reach. Loop-path rows gate
 //! on *ratios* against the recorded baseline (stable across host
@@ -58,6 +62,28 @@ fn time_path(
         metrics = Some(m);
     }
     (metrics.expect("at least one rep"), best)
+}
+
+/// One profiled sharded run: prints where each host shard's wall-time
+/// went (work vs. barrier-wait vs. merge). This is the measurement
+/// ROADMAP item 1 asked for — if barrier fractions dominate as thread
+/// count grows, the per-cycle lockstep barrier is what caps scaling, not
+/// the partition work itself. Profiling is observational (metrics stay
+/// bit-identical), so the run is separate from the timed rows above: the
+/// committed baseline keeps gating on unprofiled wall-clock.
+fn profile_shard(name: &str, w: &dyn Workload, cfg: &GpuConfig, threads: usize) {
+    let mut e = Engine::new(w, TmSystem::Getm, cfg).expect("engine builds");
+    e.set_idle_skip(true);
+    e.set_exec(ExecMode::Sharded { threads });
+    e.set_host_profiling(true);
+    let m = e.run().expect("run completes");
+    println!(
+        "{name} host attribution ({} barrier windows):",
+        m.host_profile.windows
+    );
+    for line in m.host_profile.render().lines() {
+        println!("  {line}");
+    }
 }
 
 struct Row {
@@ -180,6 +206,8 @@ fn main() {
             r.name, r.walk_ms, r.skip_ms, r.speedup
         );
     }
+    profile_shard("shard-atm-x4", atm.as_ref(), &cfg, 4);
+    profile_shard("shard-large56-x8", atm_big.as_ref(), &big, 8);
 
     match args.first().map(String::as_str) {
         Some("--write") => {

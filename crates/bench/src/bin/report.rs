@@ -1,0 +1,352 @@
+//! Cross-run regression differ.
+//!
+//! Compares two runs of the same experiment campaign and renders a
+//! pass/fail table, so "did anything drift since the last known-good
+//! run" is one command instead of eyeballing JSON:
+//!
+//! ```text
+//! cargo run -p bench --release --bin report -- OLD NEW
+//! ```
+//!
+//! The mode is auto-detected from the arguments:
+//!
+//! * **Two directories** — sweep-cache compare. Every `<key>.metrics`
+//!   entry in OLD must exist in NEW and parse to identical deterministic
+//!   metrics, with **zero tolerance**: the simulator is deterministic, so
+//!   any drift in a simulated quantity is a real behavior change, not
+//!   noise. Host-profile attribution lines are excluded (wall-clock is
+//!   observational). Entries only in NEW are informational; OLD entries
+//!   in a stale cache format are skipped with a note (they cannot be
+//!   compared, but are not evidence of regression).
+//! * **Two files** — `enginebench` snapshot compare
+//!   (`BENCH_engine.json`). Rows are matched by name; a row regresses
+//!   when its speedup drops below 80% of the old one — the same slack
+//!   the `enginebench --check` gate applies, absorbing scheduler noise
+//!   on shared hosts. Rows missing from NEW fail; extra rows in NEW are
+//!   informational.
+//!
+//! Exit status: 0 when nothing regressed, 1 on any regression or missing
+//! entry, 2 on usage or I/O errors.
+
+use gputm::sweep::{parse_metrics, serialize_metrics};
+use gputm::Metrics;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old, new) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) if args.len() == 2 => (Path::new(a), Path::new(b)),
+        _ => {
+            eprintln!("usage: report OLD NEW  (two cache dirs or two BENCH_engine.json files)");
+            std::process::exit(2);
+        }
+    };
+    let mut out = String::new();
+    let verdict = if old.is_dir() && new.is_dir() {
+        compare_caches(old, new, &mut out)
+    } else {
+        match (std::fs::read_to_string(old), std::fs::read_to_string(new)) {
+            (Ok(o), Ok(n)) => Ok(compare_snapshots(&o, &n, &mut out)),
+            (Err(e), _) => Err(format!("cannot read {}: {e}", old.display())),
+            (_, Err(e)) => Err(format!("cannot read {}: {e}", new.display())),
+        }
+    };
+    print!("{out}");
+    match verdict {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!("report: regression detected");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("report: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `"name"` → `"speedup"` rows of an `enginebench` snapshot. The
+/// snapshot is only ever written by `enginebench --write`, so a
+/// two-marker scan is all the parsing it needs (same contract as the
+/// `--check` gate's reader).
+fn snapshot_rows(json: &str) -> Vec<(String, f64)> {
+    json.split('{')
+        .filter_map(|chunk| {
+            let name = chunk.split("\"name\": \"").nth(1)?.split('"').next()?;
+            let speedup = chunk
+                .split("\"speedup\":")
+                .nth(1)?
+                .trim()
+                .split([',', '}'])
+                .next()?
+                .trim()
+                .parse()
+                .ok()?;
+            Some((name.to_string(), speedup))
+        })
+        .collect()
+}
+
+/// Diffs two `enginebench` snapshots; `true` means nothing regressed.
+fn compare_snapshots(old_json: &str, new_json: &str, out: &mut String) -> bool {
+    let old = snapshot_rows(old_json);
+    let new: BTreeMap<String, f64> = snapshot_rows(new_json).into_iter().collect();
+    let mut ok = true;
+    out.push_str(&format!(
+        "{:<20} {:>9} {:>9} {:>9}  verdict\n",
+        "row", "old", "new", "floor"
+    ));
+    for (name, old_speedup) in &old {
+        let floor = old_speedup * 0.8;
+        match new.get(name) {
+            None => {
+                ok = false;
+                out.push_str(&format!(
+                    "{name:<20} {old_speedup:>8.2}x {:>9} {floor:>8.2}x  MISSING\n",
+                    "-"
+                ));
+            }
+            Some(&new_speedup) => {
+                let pass = new_speedup >= floor;
+                ok &= pass;
+                out.push_str(&format!(
+                    "{name:<20} {old_speedup:>8.2}x {new_speedup:>8.2}x {floor:>8.2}x  {}\n",
+                    if pass { "ok" } else { "REGRESSED" }
+                ));
+            }
+        }
+    }
+    for name in new.keys() {
+        if !old.iter().any(|(n, _)| n == name) {
+            out.push_str(&format!("{name:<20} (only in NEW — informational)\n"));
+        }
+    }
+    ok
+}
+
+/// The deterministic `key=value` lines of a serialized metrics entry:
+/// everything except the format header and the host-profile attribution
+/// (host wall-clock is observational, never a regression).
+fn deterministic_lines(m: &Metrics) -> BTreeMap<String, String> {
+    serialize_metrics(m)
+        .lines()
+        .filter_map(|l| l.split_once('='))
+        .filter(|(k, _)| !k.starts_with("host_profile/"))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Diffs two sweep-cache directories; `Ok(true)` means no drift.
+///
+/// # Errors
+///
+/// Unreadable directories (not unreadable entries — a stale-format OLD
+/// entry is a skip, a corrupt NEW entry is a regression).
+fn compare_caches(old_dir: &Path, new_dir: &Path, out: &mut String) -> Result<bool, String> {
+    let keys = |dir: &Path| -> Result<Vec<String>, String> {
+        let rd =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let mut keys: Vec<String> = rd
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let p = e.path();
+                (p.extension()? == "metrics").then(|| p.file_stem()?.to_str().map(String::from))?
+            })
+            .collect();
+        keys.sort();
+        Ok(keys)
+    };
+    let old_keys = keys(old_dir)?;
+    let new_keys = keys(new_dir)?;
+    let mut ok = true;
+    let (mut matched, mut skipped) = (0usize, 0usize);
+    for key in &old_keys {
+        let old_text = std::fs::read_to_string(old_dir.join(format!("{key}.metrics")))
+            .map_err(|e| format!("cannot read OLD entry {key}: {e}"))?;
+        let Some(old_m) = parse_metrics(&old_text) else {
+            skipped += 1;
+            out.push_str(&format!("{key}  skipped (OLD entry in a stale format)\n"));
+            continue;
+        };
+        let new_path = new_dir.join(format!("{key}.metrics"));
+        let Ok(new_text) = std::fs::read_to_string(&new_path) else {
+            ok = false;
+            out.push_str(&format!("{key}  MISSING in NEW\n"));
+            continue;
+        };
+        let Some(new_m) = parse_metrics(&new_text) else {
+            ok = false;
+            out.push_str(&format!("{key}  UNPARSEABLE in NEW (corrupt entry)\n"));
+            continue;
+        };
+        let old_lines = deterministic_lines(&old_m);
+        let new_lines = deterministic_lines(&new_m);
+        if old_lines == new_lines {
+            matched += 1;
+            continue;
+        }
+        ok = false;
+        out.push_str(&format!("{key}  DRIFTED:\n"));
+        for (k, ov) in &old_lines {
+            match new_lines.get(k) {
+                Some(nv) if nv == ov => {}
+                Some(nv) => out.push_str(&format!("  {k}: {ov} -> {nv}\n")),
+                None => out.push_str(&format!("  {k}: {ov} -> (absent)\n")),
+            }
+        }
+        for (k, nv) in &new_lines {
+            if !old_lines.contains_key(k) {
+                out.push_str(&format!("  {k}: (absent) -> {nv}\n"));
+            }
+        }
+    }
+    let only_new = new_keys.iter().filter(|k| !old_keys.contains(k)).count();
+    out.push_str(&format!(
+        "{matched} identical, {skipped} skipped, {} compared, {only_new} only in NEW\n",
+        old_keys.len() - skipped
+    ));
+    Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputm::sweep::ResultCache;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("getm-report-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const OLD_SNAPSHOT: &str = r#"{
+  "rows": [
+    {"name": "atm-contended", "walk_ms": 10.0, "skip_ms": 5.0, "speedup": 2.000},
+    {"name": "idle-sparse", "walk_ms": 9.0, "skip_ms": 3.0, "speedup": 3.000}
+  ]
+}
+"#;
+
+    #[test]
+    fn snapshot_self_compare_passes() {
+        let mut out = String::new();
+        assert!(compare_snapshots(OLD_SNAPSHOT, OLD_SNAPSHOT, &mut out));
+        assert!(out.contains("atm-contended"));
+        assert!(!out.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn snapshot_seeded_regression_fails() {
+        // idle-sparse collapses from 3.0x to 1.0x: far below the 80% floor.
+        let new = OLD_SNAPSHOT.replace("\"speedup\": 3.000", "\"speedup\": 1.000");
+        let mut out = String::new();
+        assert!(!compare_snapshots(OLD_SNAPSHOT, &new, &mut out));
+        assert!(out.contains("REGRESSED"));
+        // Noise within the slack passes: 2.0x -> 1.9x is not a regression.
+        let noisy = OLD_SNAPSHOT.replace("\"speedup\": 2.000", "\"speedup\": 1.900");
+        let mut out = String::new();
+        assert!(compare_snapshots(OLD_SNAPSHOT, &noisy, &mut out));
+    }
+
+    #[test]
+    fn snapshot_missing_row_fails_and_extra_rows_inform() {
+        let new = r#"{"rows": [
+            {"name": "atm-contended", "speedup": 2.000},
+            {"name": "brand-new-row", "speedup": 1.000}
+        ]}"#;
+        let mut out = String::new();
+        assert!(!compare_snapshots(OLD_SNAPSHOT, new, &mut out));
+        assert!(out.contains("MISSING"));
+        assert!(out.contains("only in NEW"));
+    }
+
+    #[test]
+    fn cache_self_compare_passes_and_drift_fails() {
+        let old_dir = temp_dir("cache-old");
+        let new_dir = temp_dir("cache-new");
+        let old = ResultCache::new(&old_dir);
+        let new = ResultCache::new(&new_dir);
+        let m = Metrics {
+            cycles: 1000,
+            commits: 64,
+            check: Some(Ok(())),
+            ..Metrics::default()
+        };
+        old.store("aaaa", &m).unwrap();
+        new.store("aaaa", &m).unwrap();
+
+        let mut out = String::new();
+        assert_eq!(compare_caches(&old_dir, &new_dir, &mut out), Ok(true));
+        assert!(out.contains("1 identical"));
+
+        // Zero tolerance: a single deterministic field off by one fails.
+        let drifted = Metrics {
+            commits: 65,
+            ..m.clone()
+        };
+        new.store("aaaa", &drifted).unwrap();
+        let mut out = String::new();
+        assert_eq!(compare_caches(&old_dir, &new_dir, &mut out), Ok(false));
+        assert!(out.contains("DRIFTED"), "{out}");
+        assert!(out.contains("commits: 64 -> 65"), "{out}");
+
+        std::fs::remove_dir_all(&old_dir).ok();
+        std::fs::remove_dir_all(&new_dir).ok();
+    }
+
+    #[test]
+    fn cache_host_profile_drift_is_not_a_regression() {
+        use gputm::{HostProfile, ShardProfile};
+        let old_dir = temp_dir("prof-old");
+        let new_dir = temp_dir("prof-new");
+        let m = Metrics {
+            cycles: 7,
+            check: Some(Ok(())),
+            ..Metrics::default()
+        };
+        let profiled = Metrics {
+            host_profile: HostProfile {
+                shards: vec![ShardProfile {
+                    work_ns: 9,
+                    barrier_ns: 9,
+                    merge_ns: 9,
+                }],
+                windows: 3,
+            },
+            ..m.clone()
+        };
+        // OLD unprofiled, NEW profiled: wall-clock attribution differs,
+        // deterministic metrics do not.
+        ResultCache::new(&old_dir).store("bbbb", &m).unwrap();
+        ResultCache::new(&new_dir).store("bbbb", &profiled).unwrap();
+        let mut out = String::new();
+        assert_eq!(compare_caches(&old_dir, &new_dir, &mut out), Ok(true));
+        std::fs::remove_dir_all(&old_dir).ok();
+        std::fs::remove_dir_all(&new_dir).ok();
+    }
+
+    #[test]
+    fn cache_missing_entry_fails_and_stale_format_skips() {
+        let old_dir = temp_dir("miss-old");
+        let new_dir = temp_dir("miss-new");
+        let m = Metrics {
+            check: Some(Ok(())),
+            ..Metrics::default()
+        };
+        let old = ResultCache::new(&old_dir);
+        old.store("gone", &m).unwrap();
+        // A stale-format OLD entry is skipped, not failed.
+        let stale = serialize_metrics(&m).replacen("v4", "v3", 1);
+        std::fs::write(old_dir.join("stale.metrics"), stale).unwrap();
+        std::fs::create_dir_all(&new_dir).unwrap();
+
+        let mut out = String::new();
+        assert_eq!(compare_caches(&old_dir, &new_dir, &mut out), Ok(false));
+        assert!(out.contains("gone  MISSING in NEW"), "{out}");
+        assert!(out.contains("stale format"), "{out}");
+
+        std::fs::remove_dir_all(&old_dir).ok();
+        std::fs::remove_dir_all(&new_dir).ok();
+    }
+}

@@ -25,12 +25,17 @@
 //! --probe METRIC     with tracing, print the windowed time series of one
 //!                    probe gauge (vu-backlog, cu-backlog,
 //!                    stall-occupancy, up-xbar-backlog)
+//! --telemetry PATH   stream campaign telemetry as JSON Lines to PATH and
+//!                    keep a Prometheus-style snapshot at PATH.prom
+//! --live             render a live in-place campaign dashboard on stderr
+//!                    (implies --quiet: both share the terminal)
 //! ```
 //!
 //! Remaining non-flag arguments are collected as positionals (the `diag`
 //! binary takes a benchmark name).
 
 use gputm::sweep::{FailurePolicy, ResultCache, SweepOptions};
+use gputm::telemetry::{DashboardSink, JsonlSink, PromSink, Telemetry, TelemetrySink};
 use std::path::PathBuf;
 use std::time::Duration;
 use workloads::suite::Scale;
@@ -61,6 +66,11 @@ pub struct Args {
     /// Print the windowed time series of this probe gauge (implies a
     /// traced re-run, like [`Args::trace`]).
     pub probe: Option<String>,
+    /// Stream campaign telemetry as JSON Lines to this file (plus a
+    /// Prometheus-style snapshot next to it).
+    pub telemetry: Option<PathBuf>,
+    /// Render the live in-place campaign dashboard on stderr.
+    pub live: bool,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -79,6 +89,8 @@ impl Default for Args {
             cell_timeout: None,
             trace: None,
             probe: None,
+            telemetry: None,
+            live: false,
             positional: Vec::new(),
         }
     }
@@ -150,6 +162,11 @@ impl Args {
                     let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
                     out.probe = Some(v);
                 }
+                "--telemetry" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                    out.telemetry = Some(PathBuf::from(v));
+                }
+                "--live" => out.live = true,
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag {flag:?}"));
                 }
@@ -162,13 +179,48 @@ impl Args {
         Ok(out)
     }
 
+    /// The telemetry hub these arguments describe: a JSONL stream plus a
+    /// Prometheus snapshot for `--telemetry PATH`, the live dashboard for
+    /// `--live`, off when neither flag was given.
+    ///
+    /// # Errors
+    ///
+    /// Describes a `--telemetry` file that could not be created.
+    pub fn telemetry(&self) -> Result<Telemetry, String> {
+        let mut sinks: Vec<Box<dyn TelemetrySink>> = Vec::new();
+        if let Some(path) = &self.telemetry {
+            let jsonl = JsonlSink::create(path)
+                .map_err(|e| format!("--telemetry: cannot create {}: {e}", path.display()))?;
+            sinks.push(Box::new(jsonl));
+            let mut prom = path.clone().into_os_string();
+            prom.push(".prom");
+            sinks.push(Box::new(PromSink::at(PathBuf::from(prom))));
+        }
+        if self.live {
+            sinks.push(Box::new(DashboardSink::to_stderr()));
+        }
+        Ok(if sinks.is_empty() {
+            Telemetry::off()
+        } else {
+            Telemetry::to_sinks(sinks)
+        })
+    }
+
     /// The sweep options these arguments describe.
+    ///
+    /// # Panics
+    ///
+    /// Exits with a message when the `--telemetry` file cannot be
+    /// created: telemetry silently lost is worse than no run at all.
     pub fn sweep_options(&self) -> SweepOptions {
         let mut opts = SweepOptions::new()
             .threads(self.jobs)
-            .progress(self.progress)
+            // The dashboard repaints stderr in place; per-cell progress
+            // lines would shred it, so --live wins over the default.
+            .progress(self.progress && !self.live)
             .failure_policy(self.failures)
-            .resume(self.resume);
+            .resume(self.resume)
+            .telemetry(self.telemetry().unwrap_or_else(|e| panic!("{e}")));
         if self.cell_threads > 1 {
             opts = opts.cell_exec(gputm::ExecMode::from_threads(self.cell_threads));
         }
@@ -223,7 +275,11 @@ common flags (all figure binaries):
                      representative cell (open in Perfetto)
   --probe METRIC     print the windowed time series of one probe gauge
                      (vu-backlog, cu-backlog, stall-occupancy,
-                     up-xbar-backlog)";
+                     up-xbar-backlog)
+  --telemetry PATH   stream campaign telemetry as JSON Lines to PATH and
+                     keep a Prometheus-style snapshot at PATH.prom
+  --live             render a live in-place campaign dashboard on stderr
+                     (implies --quiet: both share the terminal)";
 
 #[cfg(test)]
 mod tests {
@@ -337,6 +393,42 @@ mod tests {
         assert!(parse(&["--resume", "--no-cache"])
             .unwrap_err()
             .contains("--resume needs the result cache"));
+    }
+
+    #[test]
+    fn telemetry_and_live_parse() {
+        let dir = std::env::temp_dir().join(format!("getm-cli-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let a = parse(&["--telemetry", path.to_str().unwrap(), "--live"]).unwrap();
+        assert_eq!(a.telemetry.as_deref(), Some(path.as_path()));
+        assert!(a.live);
+        assert!(a.telemetry().unwrap().is_on());
+        // The dashboard owns stderr: per-cell progress lines are forced off.
+        let opts = a.sweep_options();
+        assert!(!opts.progress);
+        assert!(opts.telemetry.is_on());
+        assert!(parse(&["--telemetry"])
+            .unwrap_err()
+            .contains("needs a value"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_off_by_default_and_unwritable_path_is_an_error() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.telemetry().unwrap().is_on());
+        assert!(!a.sweep_options().telemetry.is_on());
+        let bad = parse(&["--telemetry", "/nonexistent-dir/zzz/out.jsonl"]).unwrap();
+        assert!(bad.telemetry().unwrap_err().contains("cannot create"));
+    }
+
+    #[test]
+    fn live_alone_builds_a_dashboard_hub() {
+        let a = parse(&["--live"]).unwrap();
+        assert!(a.live);
+        assert!(a.telemetry.is_none());
+        assert!(a.telemetry().unwrap().is_on());
     }
 
     #[test]

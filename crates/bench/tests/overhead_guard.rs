@@ -13,6 +13,7 @@
 
 use gputm::config::{GpuConfig, TmSystem};
 use gputm::sweep::{run_sweep_report, CellSpec, ExperimentSpec, SweepOptions};
+use gputm::telemetry::{CampaignEvent, MemorySink, Telemetry};
 use sim_core::{AbortCause, Recorder, SimEvent, Stamp};
 use std::hint::black_box;
 use std::sync::{Mutex, MutexGuard};
@@ -92,6 +93,89 @@ fn disabled_tracing_costs_less_than_two_percent_of_a_run() {
         emit_time < budget,
         "disabled tracing overhead {emit_time:?} exceeds 2% of a run \
          ({run_time:?} for {events} events; budget {budget:?})"
+    );
+}
+
+/// The same bound for campaign telemetry: with no sink attached (the
+/// production default), every emission site in the sweep executor is a
+/// branch on a `None` and the event-constructing closure never runs.
+/// Same parts-based method as the tracing guard: (a) one sweep with
+/// telemetry off, (b) the event count a telemetry-on sweep of the same
+/// spec produces (every emit site fires at most once per event), (c) that
+/// many disabled `emit` calls with a realistic capturing closure.
+#[test]
+fn disabled_telemetry_costs_less_than_two_percent_of_a_sweep() {
+    let _serial = timing_lock();
+    let cell = cell();
+    let spec = ExperimentSpec::from_cells(vec![cell.clone()]);
+
+    // (a) One sweep with telemetry off.
+    let run_time = min_time(3, || {
+        let report = run_sweep_report(&spec, &SweepOptions::new().threads(1));
+        assert!(report.is_complete());
+        black_box(&report.outcomes);
+    });
+
+    // (b) The emit-gate count of that sweep.
+    let (sink, captured) = MemorySink::new();
+    let opts = SweepOptions::new()
+        .threads(1)
+        .telemetry(Telemetry::to_sinks(vec![Box::new(sink)]));
+    assert!(run_sweep_report(&spec, &opts).is_complete());
+    let events = captured.lock().unwrap().len() as u64;
+    assert!(events > 0, "a telemetry-on sweep must emit events");
+
+    // (c) That many disabled emits. The closure mirrors a real site — it
+    // captures locals and allocates a label — but must never run.
+    let off = Telemetry::off();
+    let emit_time = min_time(3, || {
+        for i in 0..events {
+            off.emit(|| CampaignEvent::CellQueued {
+                idx: black_box(i as usize),
+                label: format!("cell {i}"),
+            });
+        }
+    });
+
+    let budget = run_time.mul_f64(0.02);
+    assert!(
+        emit_time < budget,
+        "disabled telemetry overhead {emit_time:?} exceeds 2% of a sweep \
+         ({run_time:?} for {events} events; budget {budget:?})"
+    );
+}
+
+/// And for the host-shard profiler: disabled (the default), the sharded
+/// loop pays one boolean branch per would-be timestamp and zero `Instant`
+/// reads. The loop hits at most ~4 such gates per simulated cycle (two
+/// parallel-phase windows, each with a per-shard work stamp and a window
+/// stamp), so the guard times `cycles * 4` disabled gates — the exact
+/// `flag.then(Instant::now)` shape the engine uses — against 2% of an
+/// unprofiled run.
+#[test]
+fn disabled_profiler_costs_less_than_two_percent_of_a_run() {
+    let _serial = timing_lock();
+    let cell = cell();
+
+    let mut cycles = 0;
+    let run_time = min_time(3, || {
+        cycles = black_box(cell.run().expect("run")).cycles;
+    });
+    let gates = cycles.saturating_mul(4);
+
+    let gate_time = min_time(3, || {
+        for i in 0..gates {
+            let on = black_box(false);
+            black_box(on.then(Instant::now));
+            black_box(i);
+        }
+    });
+
+    let budget = run_time.mul_f64(0.02);
+    assert!(
+        gate_time < budget,
+        "disabled profiler overhead {gate_time:?} exceeds 2% of a run \
+         ({run_time:?} for {gates} gates; budget {budget:?})"
     );
 }
 

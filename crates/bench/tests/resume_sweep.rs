@@ -107,3 +107,114 @@ fn killed_sweep_resumes_byte_identically() {
     std::fs::remove_dir_all(&ref_dir).ok();
     std::fs::remove_dir_all(&crash_dir).ok();
 }
+
+/// The `ev` field of a telemetry JSONL line.
+fn ev_of(line: &str) -> Option<&str> {
+    line.split("\"ev\":\"").nth(1)?.split('"').next()
+}
+
+/// The `idx` field of a telemetry JSONL line.
+fn idx_of(line: &str) -> Option<usize> {
+    line.split("\"idx\":")
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Telemetry across a crash: the victim's JSONL is a valid prefix (only
+/// the final line may be torn by the SIGKILL), and the `--resume` rerun
+/// emits a coherent stream — exactly one terminal event per cell, with
+/// the cells the crash completed recalled as cache hits.
+#[test]
+fn killed_campaign_telemetry_resumes_coherently() {
+    let crash_dir = tmp_dir("tel-crash");
+    std::fs::create_dir_all(&crash_dir).expect("mkdir");
+    let crash_tel = crash_dir.join("crash.telemetry.jsonl");
+    let resume_tel = crash_dir.join("resume.telemetry.jsonl");
+
+    let mut child = sweep_cmd(&crash_dir, &["--telemetry", crash_tel.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sweep");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if metrics_entries(&crash_dir) >= 1 {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().ok();
+    let killed = !child.wait().expect("wait").success();
+    let recalled = metrics_entries(&crash_dir);
+
+    // The JSONL sink flushes per event, so the kill can tear at most the
+    // final line: every line before it must be a complete JSON object.
+    let crashed_text = std::fs::read_to_string(&crash_tel).expect("crash telemetry exists");
+    let complete_lines = crashed_text.lines().count().saturating_sub(1);
+    for line in crashed_text.lines().take(complete_lines) {
+        assert!(
+            line.starts_with("{\"t_ms\":") && line.ends_with('}'),
+            "non-final line torn: {line}"
+        );
+        assert!(ev_of(line).is_some(), "line without ev: {line}");
+    }
+
+    // Resume with a fresh telemetry stream.
+    let resumed = sweep_cmd(
+        &crash_dir,
+        &["--resume", "--telemetry", resume_tel.to_str().unwrap()],
+    )
+    .output()
+    .expect("resume sweep");
+    assert!(
+        resumed.status.success(),
+        "resumed sweep failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    let text = std::fs::read_to_string(&resume_tel).expect("resume telemetry exists");
+    let lines: Vec<&str> = text.lines().collect();
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"t_ms\":") && line.ends_with('}'),
+            "resumed stream must be fully valid: {line}"
+        );
+    }
+    assert_eq!(ev_of(lines[0]), Some("campaign_started"));
+    assert_eq!(ev_of(lines[lines.len() - 1]), Some("campaign_finished"));
+
+    // Exactly one terminal event per cell, no failures.
+    let mut terminals = vec![0usize; BENCHES.len()];
+    let mut hits = 0usize;
+    for line in &lines {
+        match ev_of(line) {
+            Some("cell_cache_hit") => {
+                hits += 1;
+                terminals[idx_of(line).expect("idx")] += 1;
+            }
+            Some("cell_finished") => terminals[idx_of(line).expect("idx")] += 1,
+            Some("cell_failed") => panic!("no cell may fail in this campaign: {line}"),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        terminals,
+        vec![1; BENCHES.len()],
+        "one terminal event per cell"
+    );
+    // Every cell the crash got onto disk comes back as a cache hit.
+    if killed {
+        assert!(
+            hits >= recalled.min(BENCHES.len()),
+            "expected >= {recalled} cache-hit events, saw {hits}"
+        );
+    }
+
+    std::fs::remove_dir_all(&crash_dir).ok();
+}

@@ -23,6 +23,7 @@ mod core_side;
 mod ctx;
 mod partition_side;
 mod pool;
+mod profiler;
 mod sharded;
 mod watchdog;
 
@@ -324,6 +325,11 @@ pub struct Engine {
     /// test suite pins this). The `legacy-loop` cargo feature flips the
     /// default for pre-change comparison runs.
     pub(crate) idle_skip: bool,
+    /// When set, sharded runs attribute host wall-time per shard (work vs.
+    /// barrier-wait vs. merge) into `Metrics::host_profile`. Off by
+    /// default: the off path costs one branch per parallel phase, and the
+    /// attribution never affects simulated results.
+    pub(crate) host_profiling: bool,
     // --- reusable scratch, hoisted out of the per-cycle hot loop ---
     /// Drain buffer for up-crossbar deliveries.
     pub(crate) up_buf: Vec<Delivery<UpMsg>>,
@@ -459,6 +465,7 @@ impl Engine {
             exec: ExecMode::Serial,
             ts_high_water: cfg.cores as u64 * cfg.warps_per_core as u64,
             idle_skip: !cfg!(feature = "legacy-loop"),
+            host_profiling: false,
             up_buf: Vec::new(),
             down_buf: Vec::new(),
             ready_buf: Vec::new(),
@@ -488,6 +495,14 @@ impl Engine {
     /// the engine benchmark can run both paths in one binary.
     pub fn set_idle_skip(&mut self, on: bool) {
         self.idle_skip = on;
+    }
+
+    /// Enables host-side wall-time profiling of sharded runs (see
+    /// [`crate::metrics::HostProfile`]). Purely observational: simulated
+    /// results are bit-identical with it on or off, and serial runs
+    /// ignore it (there are no barriers to attribute).
+    pub fn set_host_profiling(&mut self, on: bool) {
+        self.host_profiling = on;
     }
 
     /// Number of in-flight request contexts the engine is tracking

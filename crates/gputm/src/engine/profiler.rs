@@ -1,0 +1,160 @@
+//! Host-side wall-time attribution for the sharded execution loop.
+//!
+//! ROADMAP item 1 left an open measurement question: on wide machines, do
+//! the per-cycle lockstep barriers cap scaling? Answering it needs to know
+//! where each host thread's wall-time goes, which is exactly what this
+//! profiler records — per *shard* (the unit of scheduling), per parallel
+//! phase window:
+//!
+//! * **work** — time the shard's job spent advancing its cores/partitions,
+//!   measured inside the job closure itself;
+//! * **barrier** — the remainder of the phase window: the shard was done
+//!   (or never had work) while siblings were still running, plus the time
+//!   every non-lead shard sits parked while the lead performs merges;
+//! * **merge** — the lead's canonical replay of buffered cross-shard
+//!   effects after the barrier, attributed to shard 0 (the lead performs
+//!   every merge).
+//!
+//! The profiler is strictly observational and follows the PR-2 zero-cost
+//! discipline: disabled (the default) it is one branch per parallel phase
+//! and zero `Instant` reads; the simulated results are bit-identical
+//! either way, and [`crate::metrics::HostProfile`]'s always-true
+//! `PartialEq` keeps the attribution out of the determinism contract.
+
+use crate::metrics::{HostProfile, ShardProfile};
+
+/// Accumulates per-shard wall-time attribution across the parallel-phase
+/// windows of one sharded run.
+pub(crate) struct HostProfiler {
+    shards: Vec<ShardProfile>,
+    windows: u64,
+    on: bool,
+}
+
+impl HostProfiler {
+    /// A profiler for `threads` shards; inert unless `on`.
+    pub(crate) fn new(threads: usize, on: bool) -> HostProfiler {
+        HostProfiler {
+            shards: if on {
+                vec![ShardProfile::default(); threads]
+            } else {
+                Vec::new()
+            },
+            windows: 0,
+            on,
+        }
+    }
+
+    /// Whether windows should be timed at all — the single branch the
+    /// disabled path costs.
+    #[inline]
+    pub(crate) fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Records one parallel-phase window: `work_per_shard` yields each
+    /// shard's self-measured work nanoseconds (in shard order),
+    /// `window_ns` is the lead's measurement of the whole fork/join span,
+    /// and `merge_ns` the canonical replay that followed it.
+    ///
+    /// A shard's barrier share is `window - work` (idle waiting for
+    /// siblings) plus, for non-lead shards, the merge span (parked while
+    /// the lead replays). Clamped at zero: a shard's own clock can read
+    /// slightly past the lead's window end on a busy host.
+    pub(crate) fn record_window<I>(&mut self, work_per_shard: I, window_ns: u64, merge_ns: u64)
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        if !self.on {
+            return;
+        }
+        self.windows += 1;
+        for (i, work_ns) in work_per_shard.into_iter().enumerate() {
+            let Some(p) = self.shards.get_mut(i) else {
+                break;
+            };
+            let work_ns = work_ns.min(window_ns);
+            p.work_ns += work_ns;
+            p.barrier_ns += window_ns - work_ns;
+            if i == 0 {
+                p.merge_ns += merge_ns;
+            } else {
+                p.barrier_ns += merge_ns;
+            }
+        }
+    }
+
+    /// The accumulated profile (empty when the profiler was off).
+    pub(crate) fn into_profile(self) -> HostProfile {
+        HostProfile {
+            shards: self.shards,
+            windows: self.windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_yields_an_empty_profile() {
+        let mut p = HostProfiler::new(4, false);
+        assert!(!p.is_on());
+        p.record_window([100, 100, 100, 100], 120, 30);
+        let profile = p.into_profile();
+        assert!(profile.is_empty());
+        assert_eq!(profile.windows, 0);
+    }
+
+    #[test]
+    fn window_attribution_splits_work_barrier_and_merge() {
+        let mut p = HostProfiler::new(3, true);
+        assert!(p.is_on());
+        // Window of 100ns: shard 0 worked 90, shard 1 worked 40, shard 2
+        // had nothing. Merge took 20ns on the lead.
+        p.record_window([90, 40, 0], 100, 20);
+        let profile = p.into_profile();
+        assert_eq!(profile.windows, 1);
+        assert_eq!(
+            profile.shards[0],
+            ShardProfile {
+                work_ns: 90,
+                barrier_ns: 10,
+                merge_ns: 20
+            }
+        );
+        // Non-lead shards sit parked through the merge: barrier-wait.
+        assert_eq!(
+            profile.shards[1],
+            ShardProfile {
+                work_ns: 40,
+                barrier_ns: 60 + 20,
+                merge_ns: 0
+            }
+        );
+        assert_eq!(
+            profile.shards[2],
+            ShardProfile {
+                work_ns: 0,
+                barrier_ns: 100 + 20,
+                merge_ns: 0
+            }
+        );
+    }
+
+    #[test]
+    fn windows_accumulate_and_overshoot_clamps() {
+        let mut p = HostProfiler::new(1, true);
+        p.record_window([50], 100, 0);
+        // A shard clock reading past the lead's window end clamps to the
+        // window instead of underflowing the barrier share.
+        p.record_window([130], 100, 5);
+        let profile = p.into_profile();
+        assert_eq!(profile.windows, 2);
+        assert_eq!(profile.shards[0].work_ns, 50 + 100);
+        assert_eq!(profile.shards[0].barrier_ns, 50);
+        assert_eq!(profile.shards[0].merge_ns, 5);
+        assert_eq!(profile.barrier_fraction(0), Some(50.0 / 205.0));
+    }
+}

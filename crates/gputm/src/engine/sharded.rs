@@ -40,6 +40,7 @@ use super::ctx::{
     WdView,
 };
 use super::pool::WorkerPool;
+use super::profiler::HostProfiler;
 use super::{Engine, EngineStats, UpMsg};
 use crate::metrics::Metrics;
 use getm::CommitEntry;
@@ -127,6 +128,9 @@ struct ShardState {
     err: Option<(u32, SimError)>,
     /// Issue-phase scalar outcome, merged at the barrier.
     out: Option<CtxOut>,
+    /// Work nanoseconds this shard's job measured in the current parallel
+    /// phase window (profiling only; taken by the lead at the barrier).
+    win_work_ns: u64,
     // Context scratch (mirrors the engine-level reservoir fields).
     ready_buf: Vec<bool>,
     survivors_buf: Vec<(u32, Addr, u64)>,
@@ -175,6 +179,7 @@ impl Engine {
         let pool = WorkerPool::new(threads);
         let mut shards: Vec<ShardState> = (0..threads).map(|_| ShardState::default()).collect();
         let mut merge_buf: Vec<DownSend> = Vec::new();
+        let mut prof = HostProfiler::new(threads, self.host_profiling);
         while !self.drained() {
             let now = self.now.raw();
             if now >= self.cfg.max_cycles {
@@ -198,11 +203,13 @@ impl Engine {
             if self.try_idle_skip() {
                 continue;
             }
-            self.step_sharded(&pool, &plan, &mut shards, &mut merge_buf)?;
+            self.step_sharded(&pool, &plan, &mut shards, &mut merge_buf, &mut prof)?;
         }
         self.fold_shard_stats(&mut shards);
         self.wd.finalize(self.stats.commits);
-        Ok(self.collect_metrics())
+        let mut metrics = self.collect_metrics();
+        metrics.host_profile = prof.into_profile();
+        Ok(metrics)
     }
 
     fn fold_shard_stats(&mut self, shards: &mut [ShardState]) {
@@ -227,7 +234,9 @@ impl Engine {
         plan: &ShardPlan,
         shards: &mut [ShardState],
         merge_buf: &mut Vec<DownSend>,
+        prof: &mut HostProfiler,
     ) -> Result<(), SimError> {
+        let prof_on = prof.is_on();
         if self.rollover_pending {
             self.try_complete_rollover();
         }
@@ -263,6 +272,7 @@ impl Engine {
                 shards[s].up_deliv.push((i as u32, d));
             }
             self.up_buf = up_buf;
+            let t_window;
             {
                 let part_views = SliceView::split(&mut self.parts, &plan.part_bounds);
                 let bank_views = SliceView::split(self.mem.banks_mut(), &plan.part_bounds);
@@ -281,6 +291,7 @@ impl Engine {
                         continue;
                     }
                     jobs.push(Box::new(move || {
+                        let t_work = prof_on.then(std::time::Instant::now);
                         let mut ctx = PartCtx {
                             cfg,
                             system,
@@ -313,10 +324,16 @@ impl Engine {
                                 break;
                             }
                         }
+                        drop(ctx);
+                        if let Some(t) = t_work {
+                            shard.win_work_ns = t.elapsed().as_nanos() as u64;
+                        }
                     }));
                 }
+                t_window = prof_on.then(std::time::Instant::now);
                 pool.run(jobs);
             }
+            let window_ns = t_window.map(|t| t.elapsed().as_nanos() as u64);
             if let Some(e) = take_first_err(shards) {
                 return Err(e);
             }
@@ -327,6 +344,16 @@ impl Engine {
             merge_buf.sort_unstable_by_key(|s| (s.idx, s.k));
             for s in merge_buf.drain(..) {
                 self.down.send(s.at, s.dst, s.bytes, s.msg, s.cat);
+            }
+            if let (Some(t0), Some(window_ns)) = (t_window, window_ns) {
+                let merge_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(window_ns);
+                prof.record_window(
+                    shards
+                        .iter_mut()
+                        .map(|s| std::mem::take(&mut s.win_work_ns)),
+                    window_ns,
+                    merge_ns,
+                );
             }
         } else {
             {
@@ -360,6 +387,7 @@ impl Engine {
 
         // ---- Phase 3: issue (parallel by core). ----
         if !serial_issue {
+            let t_window;
             {
                 let core_views = SliceView::split(&mut self.cores, &plan.core_bounds);
                 let cfg = &self.cfg;
@@ -379,6 +407,7 @@ impl Engine {
                         continue;
                     }
                     jobs.push(Box::new(move || {
+                        let t_work = prof_on.then(std::time::Instant::now);
                         let mut ctx = CoreCtx {
                             cfg,
                             system,
@@ -415,10 +444,15 @@ impl Engine {
                             }
                         }
                         shard.out = Some(ctx.out());
+                        if let Some(t) = t_work {
+                            shard.win_work_ns = t.elapsed().as_nanos() as u64;
+                        }
                     }));
                 }
+                t_window = prof_on.then(std::time::Instant::now);
                 pool.run(jobs);
             }
+            let window_ns = t_window.map(|t| t.elapsed().as_nanos() as u64);
             if let Some(e) = take_first_err(shards) {
                 return Err(e);
             }
@@ -434,6 +468,16 @@ impl Engine {
                     self.wd.note_abort_addr(a);
                 }
                 self.replay_fx(&mut shard.fx);
+            }
+            if let (Some(t0), Some(window_ns)) = (t_window, window_ns) {
+                let merge_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(window_ns);
+                prof.record_window(
+                    shards
+                        .iter_mut()
+                        .map(|s| std::mem::take(&mut s.win_work_ns)),
+                    window_ns,
+                    merge_ns,
+                );
             }
         }
 

@@ -35,6 +35,8 @@
 //!   cancellation, execution mode) with invariant checking.
 //! * [`verify`] — the serializability/opacity oracle behind verified runs.
 //! * [`sweep`] — parallel grid execution with deterministic result caching.
+//! * [`telemetry`] — the host-level campaign event stream (JSONL, live
+//!   dashboard, Prometheus snapshot) emitted by the sweep executor.
 //! * [`silicon`] — the analytical SRAM area/power model behind Table V.
 
 #![warn(missing_docs)]
@@ -46,11 +48,12 @@ pub mod metrics;
 pub mod runner;
 pub mod silicon;
 pub mod sweep;
+pub mod telemetry;
 pub mod verify;
 
 pub use config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
 pub use exec::ExecMode;
-pub use metrics::Metrics;
+pub use metrics::{HostProfile, Metrics, ShardProfile};
 pub use runner::{RunOptions, RunOutcome, Sim};
 pub use verify::{Verdict, VerifiedRun};
 
@@ -58,12 +61,13 @@ pub use verify::{Verdict, VerifiedRun};
 pub mod prelude {
     pub use crate::config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
     pub use crate::exec::ExecMode;
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{HostProfile, Metrics, ShardProfile};
     pub use crate::runner::{RunOptions, RunOutcome, Sim};
     pub use crate::sweep::{
         run_sweep, run_sweep_report, CellFailure, CellSpec, ExperimentSpec, FailureKind,
         FailurePolicy, ResultCache, SweepOptions, SweepOutcome, SweepReport,
     };
+    pub use crate::telemetry::{CampaignEvent, Telemetry, TelemetrySink};
     pub use crate::verify::{Verdict, VerifiedRun, Violation, ViolationKind};
     pub use sim_core::SimError;
     pub use workloads::suite::{Benchmark, Scale};

@@ -5,7 +5,7 @@ use crate::config::{GpuConfig, TmSystem, WatchdogConfig};
 use crate::engine::Engine;
 use crate::exec::ExecMode;
 use crate::metrics::Metrics;
-use crate::verify::{self, Verdict, VerifiedRun};
+use crate::verify::{self, Verdict};
 use sim_core::history::HistoryRecorder;
 use sim_core::{CancelToken, Recorder, SimError};
 use std::collections::HashMap;
@@ -45,6 +45,11 @@ pub struct RunOptions {
     pub cancel: Option<CancelToken>,
     /// Overrides the config's forward-progress watchdog for this run.
     pub watchdog: Option<WatchdogConfig>,
+    /// Attribute host wall-time per shard (work vs. barrier-wait vs.
+    /// merge) into [`Metrics::host_profile`] on sharded runs. Purely
+    /// observational — simulated results are bit-identical either way —
+    /// and ignored by serial runs (nothing to attribute).
+    pub profile: bool,
 }
 
 impl RunOptions {
@@ -80,6 +85,13 @@ impl RunOptions {
     #[must_use]
     pub fn watchdog(mut self, wd: WatchdogConfig) -> Self {
         self.watchdog = Some(wd);
+        self
+    }
+
+    /// Enables host-side shard profiling (see [`RunOptions::profile`]).
+    #[must_use]
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 }
@@ -189,6 +201,7 @@ impl<'a> Sim<'a> {
         };
         let mut engine = Engine::new(workload, self.system, cfg)?;
         engine.set_exec(opts.exec);
+        engine.set_host_profiling(opts.profile);
         if let Some(rec) = &opts.trace {
             engine.attach_recorder(rec.clone());
         }
@@ -256,62 +269,6 @@ impl<'a> Sim<'a> {
         let out = self.run_with(workload, &RunOptions::default())?;
         Ok(out.metrics.expect("unverified runs always carry metrics"))
     }
-
-    /// Like [`Sim::run`], but with a cooperative [`sim_core::CancelToken`]
-    /// attached: the engine polls the token every few thousand simulated
-    /// cycles and bails with [`SimError::Interrupted`] once it is
-    /// cancelled.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Interrupted`] on cancellation, plus everything
-    /// [`Sim::run`] can return.
-    #[deprecated(note = "use `Sim::run_with` with `RunOptions::default().cancel(token)`")]
-    pub fn run_cancellable(
-        &self,
-        workload: &dyn Workload,
-        token: CancelToken,
-    ) -> Result<Metrics, SimError> {
-        let out = self.run_with(workload, &RunOptions::default().cancel(token))?;
-        Ok(out.metrics.expect("unverified runs always carry metrics"))
-    }
-
-    /// Like [`Sim::run`], but with `recorder` attached to the engine so
-    /// every [`sim_core::SimEvent`] of the run lands in the recorder's
-    /// event bus. Tracing is observational only: for a given workload,
-    /// system, and config the returned metrics are identical to an
-    /// untraced [`Sim::run`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Sim::run`].
-    #[deprecated(note = "use `Sim::run_with` with `RunOptions::default().trace(recorder)`")]
-    pub fn run_traced(
-        &self,
-        workload: &dyn Workload,
-        recorder: Recorder,
-    ) -> Result<Metrics, SimError> {
-        let out = self.run_with(workload, &RunOptions::default().trace(recorder))?;
-        Ok(out.metrics.expect("unverified runs always carry metrics"))
-    }
-
-    /// Like [`Sim::run`], but with a transaction-history recorder attached
-    /// and the serializability/opacity checker run over the completed
-    /// history (see [`crate::verify`]). Recording is observational: the
-    /// returned metrics are identical to an unverified [`Sim::run`].
-    ///
-    /// # Errors
-    ///
-    /// Configuration errors and [`SimError::CycleLimitExceeded`], as for
-    /// [`Sim::run`].
-    #[deprecated(note = "use `Sim::run_with` with `RunOptions::default().verify(true)`")]
-    pub fn run_verified(&self, workload: &dyn Workload) -> Result<VerifiedRun, SimError> {
-        let out = self.run_with(workload, &RunOptions::default().verify(true))?;
-        Ok(VerifiedRun {
-            metrics: out.metrics,
-            verdict: out.verdict.expect("verified runs always carry a verdict"),
-        })
-    }
 }
 
 #[cfg(test)]
@@ -368,21 +325,61 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_match_run_with() {
+    fn cancel_option_is_observational_when_never_cancelled() {
         use workloads::suite::{Benchmark, Scale};
         let cfg = GpuConfig::tiny_test();
         let w = Benchmark::Atm.build(Scale::Fast);
         let sim = Sim::new(&cfg);
-        let via_options = sim
-            .run_with(w.as_ref(), &RunOptions::default())
-            .expect("run_with")
+        let plain = sim.run(w.as_ref()).expect("plain run");
+        let with_token = sim
+            .run_with(
+                w.as_ref(),
+                &RunOptions::default().cancel(CancelToken::new()),
+            )
+            .expect("cancellable run")
             .metrics
             .expect("metrics");
-        #[allow(deprecated)]
-        let via_wrapper = sim
-            .run_cancellable(w.as_ref(), CancelToken::new())
-            .expect("wrapper run");
-        assert_eq!(via_options, via_wrapper);
+        assert_eq!(plain, with_token);
+    }
+
+    #[test]
+    fn profiled_sharded_run_is_observational_and_attributes_time() {
+        use workloads::suite::{Benchmark, Scale};
+        let cfg = GpuConfig::tiny_test();
+        let w = Benchmark::Atm.build(Scale::Fast);
+        let sim = Sim::new(&cfg);
+        let serial = sim.run(w.as_ref()).expect("serial run");
+        let profiled = sim
+            .run_with(
+                w.as_ref(),
+                &RunOptions::default()
+                    .exec(ExecMode::Sharded { threads: 2 })
+                    .profile(true),
+            )
+            .expect("profiled sharded run")
+            .metrics
+            .expect("metrics");
+        // Simulated results are bit-identical; the profile rides along
+        // outside the determinism contract.
+        assert_eq!(serial, profiled);
+        assert!(serial.host_profile.is_empty(), "serial runs never profile");
+        let p = &profiled.host_profile;
+        assert_eq!(p.shards.len(), 2, "one attribution block per shard");
+        assert!(p.windows > 0, "parallel phases must have been sampled");
+        assert!(
+            p.shards.iter().any(|s| s.total_ns() > 0),
+            "sampled windows must attribute some time"
+        );
+        // An unprofiled sharded run stays empty: the off path is inert.
+        let unprofiled = sim
+            .run_with(
+                w.as_ref(),
+                &RunOptions::default().exec(ExecMode::Sharded { threads: 2 }),
+            )
+            .expect("unprofiled sharded run")
+            .metrics
+            .expect("metrics");
+        assert!(unprofiled.host_profile.is_empty());
     }
 
     #[test]

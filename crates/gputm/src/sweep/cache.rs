@@ -20,8 +20,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v2 added optional means (`none` markers), the metadata-latency
 /// histogram, and the intra-warp/validation abort tallies. v3 added the
 /// watchdog fields (`degraded`, `watchdog_escalations`,
-/// `serialized_commits`).
-const FORMAT: &str = "getm-metrics-v3";
+/// `serialized_commits`). v4 added the host-profile attribution lines
+/// (`host_profile/*`, present only for profiled sharded runs).
+const FORMAT: &str = "getm-metrics-v4";
 
 /// An on-disk cache mapping [`super::CellSpec::cache_key`] to [`Metrics`].
 #[derive(Debug, Clone)]
@@ -230,6 +231,23 @@ pub fn serialize_metrics(m: &Metrics) -> String {
     for (cat, bytes) in &m.xbar_by_category {
         s.push_str(&format!("xbar_by_category/{cat}={bytes}\n"));
     }
+    // Host profile (profiled sharded runs only): one work:barrier:merge
+    // triple per shard. Host wall-clock is outside the determinism
+    // contract, but a recalled cell should still answer "where did the
+    // host threads spend their time" without a re-run.
+    if !m.host_profile.is_empty() {
+        let shards: Vec<String> = m
+            .host_profile
+            .shards
+            .iter()
+            .map(|s| format!("{}:{}:{}", s.work_ns, s.barrier_ns, s.merge_ns))
+            .collect();
+        s.push_str(&format!("host_profile/shards={}\n", shards.join(",")));
+        s.push_str(&format!(
+            "host_profile/windows={}\n",
+            m.host_profile.windows
+        ));
+    }
     // `check` is always last: the parser treats it as an end-of-entry
     // marker, so truncation at any earlier line boundary is detected.
     match &m.check {
@@ -275,6 +293,25 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             }
             "metadata_latency/max" => {
                 hist_max = value.parse().ok()?;
+                continue;
+            }
+            "host_profile/shards" => {
+                m.host_profile.shards = value
+                    .split(',')
+                    .map(|triple| {
+                        let mut parts = triple.split(':');
+                        let mut next = || parts.next()?.parse().ok();
+                        Some(crate::metrics::ShardProfile {
+                            work_ns: next()?,
+                            barrier_ns: next()?,
+                            merge_ns: next()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                continue;
+            }
+            "host_profile/windows" => {
+                m.host_profile.windows = value.parse().ok()?;
                 continue;
             }
             _ => {}
@@ -419,15 +456,15 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_miss() {
         let mut text = serialize_metrics(&Metrics::default());
-        text = text.replacen("v3", "v0", 1);
+        text = text.replacen("v4", "v0", 1);
         assert!(parse_metrics(&text).is_none());
     }
 
     #[test]
     fn garbage_is_a_miss() {
         assert!(parse_metrics("").is_none());
-        assert!(parse_metrics("getm-metrics-v3\ncycles=abc\n").is_none());
-        assert!(parse_metrics("getm-metrics-v3\nnot a line\n").is_none());
+        assert!(parse_metrics("getm-metrics-v4\ncycles=abc\n").is_none());
+        assert!(parse_metrics("getm-metrics-v4\nnot a line\n").is_none());
     }
 
     #[test]
@@ -473,6 +510,47 @@ mod tests {
     }
 
     #[test]
+    fn host_profile_round_trips_by_value() {
+        use crate::metrics::{HostProfile, ShardProfile};
+        let m = Metrics {
+            host_profile: HostProfile {
+                shards: vec![
+                    ShardProfile {
+                        work_ns: 12_345,
+                        barrier_ns: 678,
+                        merge_ns: 90,
+                    },
+                    ShardProfile {
+                        work_ns: 11_111,
+                        barrier_ns: 2_222,
+                        merge_ns: 0,
+                    },
+                ],
+                windows: 4096,
+            },
+            check: Some(Ok(())),
+            ..Metrics::default()
+        };
+        let text = serialize_metrics(&m);
+        assert!(text.contains("host_profile/shards=12345:678:90,11111:2222:0"));
+        assert!(text.contains("host_profile/windows=4096"));
+        // HostProfile's PartialEq is always-true by design, so assert the
+        // recovered *values* directly rather than via Metrics equality.
+        let parsed = parse_metrics(&text).expect("parse");
+        assert_eq!(parsed.host_profile.shards, m.host_profile.shards);
+        assert_eq!(parsed.host_profile.windows, 4096);
+
+        // An unprofiled run writes no host_profile lines at all.
+        let plain = serialize_metrics(&Metrics::default());
+        assert!(!plain.contains("host_profile/"));
+        assert!(parse_metrics(&plain).unwrap().host_profile.is_empty());
+
+        // A malformed triple is corruption: the whole entry is a miss.
+        let bad = text.replace("12345:678:90", "12345:678");
+        assert!(parse_metrics(&bad).is_none());
+    }
+
+    #[test]
     fn none_means_round_trip() {
         let m = Metrics::default();
         assert_eq!(m.mean_metadata_access_cycles, None);
@@ -493,8 +571,8 @@ mod tests {
         ));
         let cache = ResultCache::new(&dir);
         let m = sample_metrics();
-        // Write a v2-era file directly under the key's path.
-        let old = serialize_metrics(&m).replacen("v3", "v2", 1);
+        // Write a v3-era file directly under the key's path.
+        let old = serialize_metrics(&m).replacen("v4", "v3", 1);
         std::fs::create_dir_all(cache.dir()).unwrap();
         std::fs::write(cache.dir().join("cafef00d.metrics"), old).unwrap();
         assert_eq!(cache.entry_count(), 1);

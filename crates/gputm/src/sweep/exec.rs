@@ -21,6 +21,7 @@ use super::{
     CellFailure, CellSpec, FailureKind, FailurePolicy, SweepOptions, SweepOutcome, SweepReport,
 };
 use crate::metrics::Metrics;
+use crate::telemetry::CampaignEvent;
 use sim_core::{CancelToken, SimError};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,8 +86,23 @@ pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport
             );
         }
     }
+    let resumed = journal.as_ref().map_or(0, SweepJournal::completed);
 
     let workers = opts.resolved_threads().min(total).max(1);
+    let tel = &opts.telemetry;
+    tel.emit(|| CampaignEvent::CampaignStarted {
+        total,
+        workers,
+        resumed,
+    });
+    if tel.is_on() {
+        for (idx, cell) in cells.iter().enumerate() {
+            tel.emit(|| CampaignEvent::CellQueued {
+                idx,
+                label: cell.label(),
+            });
+        }
+    }
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..total).step_by(workers).collect()))
         .collect();
@@ -107,7 +123,7 @@ pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport
                     if stop.load(Ordering::Relaxed) {
                         break; // fail-fast: leave the rest unclaimed
                     }
-                    let result = run_cell(&cells[idx], opts).map_err(|f| *f);
+                    let result = run_cell(idx, &cells[idx], opts).map_err(|f| *f);
                     if result.is_err() && fail_fast {
                         stop.store(true, Ordering::Relaxed);
                     }
@@ -120,11 +136,35 @@ pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport
         drop(tx);
 
         let mut done = 0usize;
+        let (mut cache_hits, mut failed) = (0usize, 0usize);
         for (idx, result) in rx {
             done += 1;
             if opts.progress {
                 report(done, total, &result, started);
             }
+            match &result {
+                Ok(o) if o.cached => cache_hits += 1,
+                Err(_) => failed += 1,
+                _ => {}
+            }
+            emit_terminal(tel, idx, &result);
+            tel.emit(|| {
+                let secs = started.elapsed().as_secs_f64();
+                let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+                let eta_ms = if rate > 0.0 && total > done {
+                    ((total - done) as f64 / rate * 1000.0) as u64
+                } else {
+                    0
+                };
+                CampaignEvent::Throughput {
+                    done,
+                    total,
+                    cache_hits,
+                    failures: failed,
+                    cells_per_sec: rate,
+                    eta_ms,
+                }
+            });
             if result.is_ok() {
                 if let Some(j) = journal.as_mut() {
                     let key = cells[idx].cache_key();
@@ -156,7 +196,59 @@ pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport
             j.finish().ok();
         }
     }
+    tel.emit(|| CampaignEvent::CampaignFinished {
+        done: out.outcomes.len(),
+        failed: out.failures.len(),
+        skipped: out.skipped,
+        elapsed_ms: started.elapsed().as_millis() as u64,
+    });
+    tel.flush();
     out
+}
+
+/// Emits the cell's single terminal telemetry event (cache-hit, finished
+/// — plus a degraded annotation when the watchdog intervened — or failed).
+fn emit_terminal(
+    tel: &crate::telemetry::Telemetry,
+    idx: usize,
+    result: &Result<SweepOutcome, CellFailure>,
+) {
+    match result {
+        Ok(o) if o.cached => tel.emit(|| CampaignEvent::CellCacheHit {
+            idx,
+            label: o.cell.label(),
+            cycles: o.metrics.cycles,
+        }),
+        Ok(o) => {
+            tel.emit(|| CampaignEvent::CellFinished {
+                idx,
+                label: o.cell.label(),
+                cycles: o.metrics.cycles,
+                commits: o.metrics.commits,
+                aborts: o.metrics.aborts,
+                elapsed_ms: o.elapsed.as_millis() as u64,
+            });
+            if o.metrics.degraded {
+                tel.emit(|| CampaignEvent::CellDegraded {
+                    idx,
+                    label: o.cell.label(),
+                    escalations: o.metrics.watchdog_escalations,
+                    serialized_commits: o.metrics.serialized_commits,
+                });
+            }
+        }
+        Err(f) => tel.emit(|| CampaignEvent::CellFailed {
+            idx,
+            label: f.cell.label(),
+            kind: match f.error {
+                FailureKind::Sim(_) => "sim",
+                FailureKind::Panic(_) => "panic",
+                FailureKind::TimedOut { .. } => "timeout",
+            },
+            error: f.error.to_string(),
+            attempts: f.attempts,
+        }),
+    }
 }
 
 /// Opens the campaign journal next to the result cache. Journaling is
@@ -189,7 +281,11 @@ fn claim(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
 /// Runs one cell to a verdict: cache, then up to the policy's attempt
 /// count of fault-isolated executions. The failure is boxed to keep the
 /// happy path's return slot small.
-fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, Box<CellFailure>> {
+fn run_cell(
+    idx: usize,
+    cell: &CellSpec,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, Box<CellFailure>> {
     let start = Instant::now();
     let key = opts.result_cache.as_ref().map(|c| (c, cell.cache_key()));
     if let Some((cache, key)) = &key {
@@ -211,6 +307,11 @@ fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, Box<Ce
         if attempt > 1 {
             std::thread::sleep(retry_backoff(attempt));
         }
+        opts.telemetry.emit(|| CampaignEvent::CellStarted {
+            idx,
+            label: cell.label(),
+            attempt,
+        });
         match run_attempt(cell, opts) {
             Ok(metrics) => {
                 if let Some((cache, key)) = &key {
@@ -226,7 +327,17 @@ fn run_cell(cell: &CellSpec, opts: &SweepOptions) -> Result<SweepOutcome, Box<Ce
                     elapsed: start.elapsed(),
                 });
             }
-            Err(kind) => last = Some(kind),
+            Err(kind) => {
+                if attempt < attempts {
+                    opts.telemetry.emit(|| CampaignEvent::CellRetried {
+                        idx,
+                        label: cell.label(),
+                        attempt,
+                        error: kind.to_string(),
+                    });
+                }
+                last = Some(kind);
+            }
         }
     }
     Err(Box::new(CellFailure {

@@ -45,11 +45,12 @@ mod exec;
 mod journal;
 mod spec;
 
-pub use cache::ResultCache;
+pub use cache::{parse_metrics, serialize_metrics, ResultCache};
 pub use journal::{sweep_digest, SweepJournal};
 pub use spec::{CellSpec, ExperimentSpec, GridBuilder};
 
 use crate::metrics::Metrics;
+use crate::telemetry::Telemetry;
 use sim_core::SimError;
 use std::time::Duration;
 
@@ -178,6 +179,11 @@ pub struct SweepOptions {
     /// sharded cells produce bit-identical metrics and share cache
     /// entries with serial ones — so this is purely a wall-clock knob.
     pub cell_exec: Option<crate::exec::ExecMode>,
+    /// Campaign telemetry: cell-lifecycle and throughput events fanned out
+    /// to the attached sinks (JSONL, live dashboard, Prometheus snapshot).
+    /// Defaults to [`Telemetry::off`] — disabled emission is a branch on a
+    /// `None`, inside the PR-2 <2% overhead guard.
+    pub telemetry: Telemetry,
     /// Test-only override of how a cell is executed (fault injection).
     pub(crate) runner: Option<exec::CellRunner>,
 }
@@ -236,6 +242,13 @@ impl SweepOptions {
     #[must_use]
     pub fn cell_exec(mut self, exec: crate::exec::ExecMode) -> Self {
         self.cell_exec = Some(exec);
+        self
+    }
+
+    /// Attaches campaign telemetry (see [`SweepOptions::telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

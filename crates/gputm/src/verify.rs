@@ -1,7 +1,7 @@
 //! Offline serializability and opacity checking over recorded histories.
 //!
 //! [`check_history`] takes the [`History`] a verified run recorded (see
-//! [`crate::Sim::run_verified`]), the workload's initial memory image, and
+//! [`crate::RunOptions::verify`]), the workload's initial memory image, and
 //! the engine's final committed memory, and judges the run:
 //!
 //! 1. **Conflict-serializability of committed transactions.** The checker

@@ -12,7 +12,7 @@
 //! [`Workload::check`] verifies final-state arithmetic (delta sums on
 //! read-modify-write cells, membership on blind-store cells, last-writer
 //! on private cells), and the full history can be certified for
-//! serializability and opacity via `gputm`'s `run_verified`.
+//! serializability and opacity via `gputm`'s verified runs (`RunOptions::verify`).
 //!
 //! Mixed tx/non-tx aliasing is deliberately one-sided: transactions that
 //! read atomically-updated cells are read-only observers. The modeled
