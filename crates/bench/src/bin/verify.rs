@@ -24,13 +24,7 @@ use std::process::ExitCode;
 use workloads::fuzz::{Fuzz, FuzzShape};
 
 fn parse_system(name: &str) -> TmSystem {
-    TmSystem::ALL
-        .into_iter()
-        .find(|s| s.label().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| {
-            let known: Vec<&str> = TmSystem::ALL.iter().map(|s| s.label()).collect();
-            panic!("unknown system {name:?} (known: {})", known.join(", "))
-        })
+    name.parse().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One workload to certify: either a suite benchmark (run through

@@ -89,6 +89,38 @@ impl std::fmt::Display for TmSystem {
     }
 }
 
+/// Error returned when parsing an unknown TM-system name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTmSystem(pub String);
+
+impl std::fmt::Display for UnknownTmSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = TmSystem::ALL.iter().map(|s| s.label()).collect();
+        write!(
+            f,
+            "unknown TM system {:?} (expected one of {})",
+            self.0,
+            names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownTmSystem {}
+
+impl std::str::FromStr for TmSystem {
+    type Err = UnknownTmSystem;
+
+    /// Case-insensitive parse of the harness labels ("GETM", "WarpTM",
+    /// "WarpTM-EL", "EAPG", "FGLock"), so CLI surfaces round-trip
+    /// [`TmSystem::label`] without their own lookup tables.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TmSystem::ALL
+            .into_iter()
+            .find(|sys| sys.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| UnknownTmSystem(s.to_owned()))
+    }
+}
+
 /// Deliberate protocol faults for exercising the verification oracle.
 ///
 /// Every variant other than [`Sabotage::None`] is inert unless the crate is
@@ -366,6 +398,20 @@ mod tests {
         GpuConfig::fermi_15core().validate().unwrap();
         GpuConfig::large_56core().validate().unwrap();
         GpuConfig::tiny_test().validate().unwrap();
+    }
+
+    #[test]
+    fn tm_system_names_round_trip_through_fromstr() {
+        for sys in TmSystem::ALL {
+            assert_eq!(sys.label().parse::<TmSystem>(), Ok(sys));
+            assert_eq!(sys.to_string(), sys.label());
+        }
+        assert_eq!("getm".parse::<TmSystem>(), Ok(TmSystem::Getm));
+        assert_eq!("warptm-el".parse::<TmSystem>(), Ok(TmSystem::WarpTmEL));
+        let err = "htm".parse::<TmSystem>().unwrap_err();
+        assert!(err.to_string().contains("htm"));
+        assert!(err.to_string().contains("GETM"), "error lists valid names");
+        assert!(err.to_string().contains("FGLock"));
     }
 
     #[test]

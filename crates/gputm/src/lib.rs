@@ -23,6 +23,9 @@
 //!
 //! Modules:
 //!
+//! * [`backend`] — the backend-agnostic execution API
+//!   ([`backend::TmBackend`]): the simulator and the host-threaded TL2
+//!   STM running the same [`workloads::TxProgram`] definitions.
 //! * [`config`] — machine configuration (Table II presets) and the
 //!   [`config::TmSystem`] selector.
 //! * [`engine`] — the cycle-level engine that moves messages between cores
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -51,14 +55,20 @@ pub mod sweep;
 pub mod telemetry;
 pub mod verify;
 
+pub use backend::{
+    BackendError, BackendOptions, BackendOutcome, SimBackend, Tl2Backend, TmBackend,
+};
 pub use config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
 pub use exec::ExecMode;
 pub use metrics::{HostProfile, Metrics, ShardProfile};
 pub use runner::{RunOptions, RunOutcome, Sim};
-pub use verify::{Verdict, VerifiedRun};
+pub use verify::{Checker, Verdict, VerifiedRun};
 
 /// Common imports for examples and benchmarks.
 pub mod prelude {
+    pub use crate::backend::{
+        BackendError, BackendOptions, BackendOutcome, SimBackend, Tl2Backend, TmBackend,
+    };
     pub use crate::config::{GpuConfig, Sabotage, TmSystem, WatchdogConfig};
     pub use crate::exec::ExecMode;
     pub use crate::metrics::{HostProfile, Metrics, ShardProfile};
@@ -68,8 +78,9 @@ pub mod prelude {
         FailurePolicy, ResultCache, SweepOptions, SweepOutcome, SweepReport,
     };
     pub use crate::telemetry::{CampaignEvent, Telemetry, TelemetrySink};
-    pub use crate::verify::{Verdict, VerifiedRun, Violation, ViolationKind};
+    pub use crate::verify::{Checker, Verdict, VerifiedRun, Violation, ViolationKind};
     pub use sim_core::SimError;
+    pub use tl2::{Tl2Counters, Tl2Error, Tl2Options, Tl2Run, Tl2Sabotage};
     pub use workloads::suite::{Benchmark, Scale};
-    pub use workloads::{SyncMode, Workload};
+    pub use workloads::{MemSpan, SyncMode, TxProgram, Workload};
 }

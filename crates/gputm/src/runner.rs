@@ -6,7 +6,8 @@ use crate::engine::Engine;
 use crate::exec::ExecMode;
 use crate::metrics::Metrics;
 use crate::verify::{self, Verdict};
-use sim_core::history::HistoryRecorder;
+use gpu_mem::MemImage;
+use sim_core::history::{History, HistoryRecorder};
 use sim_core::{CancelToken, Recorder, SimError};
 use std::collections::HashMap;
 use workloads::Workload;
@@ -40,6 +41,11 @@ pub struct RunOptions {
     /// Record a transaction history and run the serializability/opacity
     /// checker over it, filling [`RunOutcome::verdict`].
     pub verify: bool,
+    /// Record a transaction history (and the final memory image) into
+    /// [`RunOutcome::history`]/[`RunOutcome::final_mem`] without judging
+    /// it, for callers that run the checker themselves (the backend API)
+    /// or post-process histories. Implied by `verify`.
+    pub record_history: bool,
     /// Cooperative cancellation token, polled every few thousand simulated
     /// cycles.
     pub cancel: Option<CancelToken>,
@@ -71,6 +77,14 @@ impl RunOptions {
     #[must_use]
     pub fn verify(mut self, on: bool) -> Self {
         self.verify = on;
+        self
+    }
+
+    /// Enables history recording without the checker (see
+    /// [`RunOptions::record_history`]).
+    #[must_use]
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
         self
     }
 
@@ -109,6 +123,14 @@ pub struct RunOutcome {
     pub metrics: Option<Metrics>,
     /// The checker's verdict, when verification was requested.
     pub verdict: Option<Verdict>,
+    /// The recorded history, when [`RunOptions::verify`] or
+    /// [`RunOptions::record_history`] was set (absent after an
+    /// engine-detected protocol violation: the record stops where the
+    /// engine did and is not a faithful account of the run).
+    pub history: Option<History>,
+    /// The final committed memory image; `Some` for every completed run
+    /// (absent only after an engine-detected protocol violation).
+    pub final_mem: Option<MemImage>,
 }
 
 /// Builder-style entry point for running workloads on the simulated GPU.
@@ -208,12 +230,15 @@ impl<'a> Sim<'a> {
         if let Some(tok) = &opts.cancel {
             engine.attach_cancel(tok.clone());
         }
-        if !opts.verify {
+        let record = opts.verify || opts.record_history;
+        if !record {
             let mut metrics = engine.run()?;
             metrics.check = Some(workload.check(&engine.memory_reader()));
             return Ok(RunOutcome {
                 metrics: Some(metrics),
                 verdict: None,
+                history: None,
+                final_mem: Some(engine.memory_image()),
             });
         }
         engine.attach_history(HistoryRecorder::recording());
@@ -229,16 +254,20 @@ impl<'a> Sim<'a> {
                     .detach_history()
                     .take()
                     .expect("engine held the sole history handle");
-                let verdict = verify::check_history(
-                    &hist,
-                    &initial,
-                    &engine.memory_image(),
-                    self.require_opacity
-                        .unwrap_or_else(|| self.system.guarantees_opacity()),
-                );
+                let final_mem = engine.memory_image();
+                let verdict = opts.verify.then(|| {
+                    verify::Checker::for_run(&initial, &final_mem)
+                        .strict(
+                            self.require_opacity
+                                .unwrap_or_else(|| self.system.guarantees_opacity()),
+                        )
+                        .check(&hist)
+                });
                 Ok(RunOutcome {
                     metrics: Some(metrics),
-                    verdict: Some(verdict),
+                    verdict,
+                    history: Some(hist),
+                    final_mem: Some(final_mem),
                 })
             }
             Err(SimError::ProtocolViolation { what, token, cycle }) => {
@@ -250,6 +279,8 @@ impl<'a> Sim<'a> {
                 Ok(RunOutcome {
                     metrics: None,
                     verdict: Some(verify::protocol_verdict(what, token, cycle, stats)),
+                    history: None,
+                    final_mem: None,
                 })
             }
             Err(e) => Err(e),

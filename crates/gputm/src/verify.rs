@@ -303,16 +303,101 @@ pub fn protocol_verdict(what: &str, token: u64, cycle: u64, stats: HistoryStats)
     }
 }
 
+/// The unified verification entry point: one builder for every history
+/// source (simulator runs, the TL2 backend, hand-built histories in tests),
+/// with strictness and counterexample export as orthogonal knobs.
+///
+/// The two mandatory inputs — the run's initial memory and its final
+/// committed memory — are what distinguish *checking a history* from
+/// merely parsing one: the oracle replays the serial witness from the
+/// initial image and requires it to reproduce the final image exactly.
+///
+/// ```no_run
+/// use gputm::verify::Checker;
+/// # let history = sim_core::history::History::new();
+/// # let initial = std::collections::HashMap::new();
+/// # let final_mem = gpu_mem::MemImage::new();
+/// let verdict = Checker::for_run(&initial, &final_mem)
+///     .strict(true) // torn aborted snapshots are violations (opacity)
+///     .export("counterexample.json")
+///     .check(&history);
+/// assert!(verdict.ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checker<'a> {
+    initial: &'a HashMap<u64, u64>,
+    final_mem: &'a MemImage,
+    strict: bool,
+    export: Option<std::path::PathBuf>,
+}
+
+impl<'a> Checker<'a> {
+    /// A checker for a run that started from `initial` memory (unlisted
+    /// words are zero) and committed `final_mem`.
+    pub fn for_run(initial: &'a HashMap<u64, u64>, final_mem: &'a MemImage) -> Self {
+        Checker {
+            initial,
+            final_mem,
+            strict: false,
+            export: None,
+        }
+    }
+
+    /// Strict mode: aborted/open attempts with torn snapshots are hard
+    /// violations instead of waived findings. Use for systems that promise
+    /// opacity (TL2, [`crate::config::TmSystem::guarantees_opacity`]).
+    #[must_use]
+    pub fn strict(mut self, on: bool) -> Self {
+        self.strict = on;
+        self
+    }
+
+    /// On a failing verdict, export the first violation's counterexample
+    /// as a Chrome/Perfetto trace to `path` (best-effort: an I/O failure
+    /// is reported to stderr, never masks the verdict).
+    #[must_use]
+    pub fn export(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.export = Some(path.into());
+        self
+    }
+
+    /// Judges one recorded history. Serializability of committed
+    /// transactions is always checked; [`Checker::strict`] controls the
+    /// opacity of doomed attempts.
+    pub fn check(&self, h: &History) -> Verdict {
+        let verdict = run_check(h, self.initial, self.final_mem, self.strict);
+        if let (Some(path), Some(v)) = (&self.export, verdict.violations.first()) {
+            let result =
+                std::fs::File::create(path).and_then(|mut f| export_counterexample(v, &mut f));
+            if let Err(e) = result {
+                eprintln!(
+                    "warning: counterexample export to {} failed: {e}",
+                    path.display()
+                );
+            }
+        }
+        verdict
+    }
+}
+
 /// Checks one recorded history against the sequential oracle.
 ///
-/// `initial_mem` is the workload's initial image (unlisted words are zero);
-/// `final_mem` is the engine's committed memory after the run.
-///
-/// `require_opacity` selects whether aborted/open attempts must have
-/// observed consistent snapshots (see
-/// [`crate::config::TmSystem::guarantees_opacity`]); serializability of the
-/// committed transactions is always checked.
+/// Thin wrapper over [`Checker`] for the common no-export case:
+/// `initial_mem` is the workload's initial image (unlisted words are
+/// zero), `final_mem` is the engine's committed memory after the run, and
+/// `require_opacity` maps to [`Checker::strict`].
 pub fn check_history(
+    h: &History,
+    initial_mem: &HashMap<u64, u64>,
+    final_mem: &MemImage,
+    require_opacity: bool,
+) -> Verdict {
+    Checker::for_run(initial_mem, final_mem)
+        .strict(require_opacity)
+        .check(h)
+}
+
+fn run_check(
     h: &History,
     initial_mem: &HashMap<u64, u64>,
     final_mem: &MemImage,

@@ -1,0 +1,120 @@
+//! Shared helpers for the backend/TL2 integration tests.
+
+use gpu_mem::Addr;
+use gpu_simt::{BoxedProgram, Op, OpResult, ThreadProgram};
+use workloads::{MemSpan, Region, SyncMode, TxProgram, Workload};
+
+/// A deliberately contended workload: `threads` logical threads each
+/// increment one shared counter `rounds` times inside a transaction, with
+/// a [`Op::Compute`] pad between the read and the write stretching the
+/// race window so concurrent attempts genuinely overlap on host threads.
+///
+/// Correct TM of any flavor must serialize the increments: the counter
+/// ends at exactly `threads * rounds`. A TM that loses an update (the TL2
+/// sabotage mutation skips commit-time read revalidation) fails both the
+/// invariant check and the oracle.
+#[derive(Debug, Clone)]
+pub struct CounterStress {
+    pub threads: usize,
+    pub rounds: usize,
+    /// Compute pad (spin iterations) between the transactional read and
+    /// write.
+    pub pad: u32,
+}
+
+const CELL: Region = Region::new(0x9000_0000, 8);
+
+impl CounterStress {
+    pub fn new(threads: usize, rounds: usize, pad: u32) -> Self {
+        CounterStress {
+            threads,
+            rounds,
+            pad,
+        }
+    }
+
+    pub fn tx_program(&self) -> TxProgram {
+        TxProgram::new(Box::new(self.clone()), vec![MemSpan::of_region(CELL, 1)])
+    }
+}
+
+impl Workload for CounterStress {
+    fn name(&self) -> &str {
+        "counter-stress"
+    }
+
+    fn initial_memory(&self) -> Vec<(Addr, u64)> {
+        Vec::new()
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    fn program(&self, _tid: usize, _mode: SyncMode) -> BoxedProgram {
+        Box::new(CounterThread {
+            rounds: self.rounds,
+            pad: self.pad,
+            done: 0,
+            step: 0,
+            seen: 0,
+        })
+    }
+
+    fn check(&self, mem: &dyn Fn(Addr) -> u64) -> Result<(), String> {
+        let want = (self.threads * self.rounds) as u64;
+        let got = mem(CELL.at(0));
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "counter: expected {want} ({} threads x {} rounds), found {got}",
+                self.threads, self.rounds
+            ))
+        }
+    }
+}
+
+struct CounterThread {
+    rounds: usize,
+    pad: u32,
+    /// Completed increments.
+    done: usize,
+    /// Position inside the current transaction (0 = before begin).
+    step: u8,
+    /// Value loaded by the current attempt.
+    seen: u64,
+}
+
+impl ThreadProgram for CounterThread {
+    fn next(&mut self, prev: OpResult) -> Op {
+        // Reaching step 5 means the previous TxCommit succeeded (on
+        // failure the runtime calls rollback instead, which rewinds to
+        // step 1) — only now is the increment durable.
+        if self.step == 5 {
+            self.step = 0;
+            self.done += 1;
+        }
+        if self.done == self.rounds {
+            return Op::Done;
+        }
+        self.step += 1;
+        match self.step {
+            1 => Op::TxBegin,
+            2 => Op::TxLoad(CELL.at(0)),
+            3 => {
+                self.seen = prev.value();
+                Op::Compute(self.pad)
+            }
+            4 => Op::TxStore(CELL.at(0), self.seen + 1),
+            5 => Op::TxCommit,
+            _ => unreachable!("counter thread has five steps"),
+        }
+    }
+
+    fn rollback(&mut self) {
+        // Back to the first op inside the transaction; the runtime
+        // re-issues TxBegin implicitly, so the next op is the load.
+        self.step = 1;
+    }
+}

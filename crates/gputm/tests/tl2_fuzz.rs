@@ -1,0 +1,88 @@
+//! Property-based cross-validation of the TL2 backend: randomized tiny
+//! transactional programs run on real OS threads, and every recorded
+//! history — genuinely nondeterministic interleavings, not simulator
+//! schedules — must be certified serializable *and opaque* by the oracle,
+//! with the workload's own invariants intact.
+//!
+//! `PROPTEST_CASES` scales the randomized sweep; the volume test below
+//! additionally pins the ISSUE acceptance floor of ten thousand
+//! oracle-certified transactional attempts at eight worker threads.
+
+mod common;
+
+use common::CounterStress;
+use gputm::prelude::*;
+use proptest::prelude::*;
+use workloads::fuzz::{Fuzz, FuzzShape};
+use workloads::hashtable::HashTable;
+
+/// Runs one program on TL2, asserts invariants + strict (opaque) oracle
+/// verdict, and returns the number of transactional attempts certified.
+fn certify_on_tl2(prog: &TxProgram, threads: usize, seed: u64) -> u64 {
+    let opts = BackendOptions::default()
+        .record_history(true)
+        .threads(threads)
+        .seed(seed);
+    let out = Tl2Backend::new()
+        .execute(prog, &opts)
+        .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", prog.name()));
+    out.check(prog)
+        .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", prog.name()));
+    let history = out.history.as_ref().expect("recording run carries history");
+    let attempts = history.stats().attempts;
+    let verdict = out.verdict(prog, true).expect("history recorded");
+    assert!(
+        verdict.ok(),
+        "{} at {threads} threads seed {seed:#x}: {}",
+        prog.name(),
+        verdict.summary()
+    );
+    attempts
+}
+
+/// A tiny randomized TxProgram: one of the adversarial fuzz shapes, a
+/// small hashtable, or the contended counter.
+fn tiny_program() -> impl Strategy<Value = TxProgram> {
+    let fuzz = (0..FuzzShape::ALL.len(), 8usize..24, 0u64..1_000_000)
+        .prop_map(|(i, threads, seed)| Fuzz::new(FuzzShape::ALL[i], threads, 2, seed).tx_program());
+    let ht = (32u64..256, 16usize..128, 0u64..1_000_000).prop_map(|(buckets, inserts, seed)| {
+        HashTable::new("HT-fuzz", buckets, inserts, seed).tx_program()
+    });
+    let counter = (2usize..12, 2usize..20, 0u32..128)
+        .prop_map(|(threads, rounds, pad)| CounterStress::new(threads, rounds, pad).tx_program());
+    prop_oneof![fuzz, ht, counter]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fuzzed_programs_are_opaque_on_tl2(
+        prog in tiny_program(),
+        threads in prop_oneof![Just(2usize), Just(4), Just(8)],
+        seed in 0u64..1_000_000,
+    ) {
+        certify_on_tl2(&prog, threads, seed);
+    }
+}
+
+/// ISSUE acceptance floor: at eight worker threads, at least ten thousand
+/// transactional attempts pass through the oracle with every single run
+/// certified opaque. The contended counter supplies the abort-heavy
+/// attempts; the hashtable supplies breadth.
+#[test]
+fn ten_thousand_attempts_certified_at_eight_threads() {
+    let mut attempts = 0u64;
+    let mut seed = 0x10_000u64;
+    while attempts < 10_000 {
+        let stress = CounterStress::new(32, 40, 96);
+        attempts += certify_on_tl2(&stress.tx_program(), 8, seed);
+        let ht = HashTable::new("HT-vol", 512, 512, seed);
+        attempts += certify_on_tl2(&ht.tx_program(), 8, seed);
+        seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    }
+    assert!(attempts >= 10_000, "only {attempts} attempts accumulated");
+}

@@ -178,6 +178,89 @@ impl History {
         History::default()
     }
 
+    /// Assembles a history from externally recorded parts: a complete
+    /// transaction list (indexed by the ids `versions[..].writer` and
+    /// `TxnRecord::reads[..].version` refer to) and the versions in global
+    /// apply order.
+    ///
+    /// This is the entry point for executors that run outside the simulated
+    /// engine (host-threaded STM backends record per-thread attempt logs
+    /// and merge them after the run) but want their executions certified by
+    /// the same offline checker. The private bookkeeping (`current`,
+    /// `next_seq`) is derived here; no attempt may still be open per
+    /// `open`-map semantics — callers seal every attempt before merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency: a
+    /// version whose writer id is out of range, a version not listed in its
+    /// writer's `writes` (or with mismatched value), a read referencing a
+    /// nonexistent version id, or duplicate commit sequence numbers.
+    pub fn from_parts(txns: Vec<TxnRecord>, versions: Vec<VersionRec>) -> Result<Self, String> {
+        let mut current: HashMap<u64, u32> = HashMap::new();
+        for (vi, v) in versions.iter().enumerate() {
+            let Some(writer) = txns.get(v.writer as usize) else {
+                return Err(format!(
+                    "version {vi} names writer {} of {} txns",
+                    v.writer,
+                    txns.len()
+                ));
+            };
+            let listed = writer
+                .writes
+                .iter()
+                .any(|w| w.version == vi as u32 && w.addr == v.addr && w.value == v.value);
+            if !listed {
+                return Err(format!(
+                    "version {vi} ({:#x}={}) missing from writer {}'s writes",
+                    v.addr, v.value, v.writer
+                ));
+            }
+            current.insert(v.addr, vi as u32);
+        }
+        let mut seqs: Vec<u64> = Vec::new();
+        for (ti, t) in txns.iter().enumerate() {
+            if matches!(t.outcome, TxnOutcome::Open) && !t.writes.is_empty() {
+                return Err(format!("txn {ti} is still open but has applied writes"));
+            }
+            if let Some(seq) = t.commit_seq() {
+                seqs.push(seq);
+            }
+            for (ri, r) in t.reads.iter().enumerate() {
+                if r.version != INITIAL_VERSION && r.version as usize >= versions.len() {
+                    return Err(format!(
+                        "txn {ti} read {ri} names version {} of {}",
+                        r.version,
+                        versions.len()
+                    ));
+                }
+            }
+            for w in &t.writes {
+                let ok = versions
+                    .get(w.version as usize)
+                    .is_some_and(|v| v.writer == ti as u32);
+                if !ok {
+                    return Err(format!(
+                        "txn {ti} claims version {} it did not install",
+                        w.version
+                    ));
+                }
+            }
+        }
+        let next_seq = seqs.iter().max().map_or(0, |&m| m + 1);
+        seqs.sort_unstable();
+        if seqs.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate commit sequence numbers".to_string());
+        }
+        Ok(History {
+            txns,
+            versions,
+            current,
+            open: HashMap::new(),
+            next_seq,
+        })
+    }
+
     /// The current version id of `addr`, or [`INITIAL_VERSION`] if the run
     /// has not written it yet.
     pub fn version_of(&self, addr: u64) -> u32 {
@@ -536,6 +619,65 @@ mod tests {
         // Commit-decision sequence numbers are dense and ordered.
         let seqs: Vec<u64> = h.txns.iter().filter_map(TxnRecord::commit_seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_recorded_history() {
+        let r = HistoryRecorder::recording();
+        r.begin(0, 1, 0, 5);
+        let w = r.current_txn(1, 0);
+        r.commit(1, 0, 9);
+        r.write_applied(w, 64, 111, 12);
+        r.begin(0, 2, 3, 10);
+        r.read_observed(2, 3, 64, 111, 0);
+        r.abort(2, 3, 15);
+        r.singleton_rmw(1, 9, 2, 64, 111, Some(112), 21);
+        let h = r.take().expect("sole handle");
+        let rebuilt = History::from_parts(h.txns.clone(), h.versions.clone()).expect("valid parts");
+        assert_eq!(rebuilt.stats(), h.stats());
+        assert_eq!(rebuilt.version_of(64), h.version_of(64));
+        // Appending through the mutation API keeps working (next_seq is
+        // derived, not reset).
+        let mut rebuilt = rebuilt;
+        rebuilt.singleton_write(0, 3, 0, 128, 9, 30);
+        let seqs: Vec<u64> = rebuilt
+            .txns
+            .iter()
+            .filter_map(TxnRecord::commit_seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        // A version whose writer never listed it.
+        let txns = vec![TxnRecord {
+            kind: TxnKind::Tx,
+            core: 0,
+            gwid: 0,
+            lane: 0,
+            begin_cycle: 0,
+            outcome: TxnOutcome::Committed { seq: 0, cycle: 1 },
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }];
+        let versions = vec![VersionRec {
+            addr: 64,
+            value: 1,
+            writer: 0,
+            prev: INITIAL_VERSION,
+            cycle: 1,
+        }];
+        assert!(History::from_parts(txns.clone(), versions).is_err());
+        // An out-of-range writer id.
+        let versions = vec![VersionRec {
+            addr: 64,
+            value: 1,
+            writer: 7,
+            prev: INITIAL_VERSION,
+            cycle: 1,
+        }];
+        assert!(History::from_parts(txns, versions).is_err());
     }
 
     #[test]

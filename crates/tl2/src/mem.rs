@@ -1,0 +1,79 @@
+//! Dense word addressing over a [`TxProgram`]'s declared footprint.
+//!
+//! TL2 keeps one value word, one history-version word, and (per stripe) one
+//! versioned lock word per footprint word. The footprint spans are sparse
+//! in the flat 64-bit address space, so this module maps byte addresses to
+//! dense word indices and back.
+
+use workloads::MemSpan;
+
+/// Maps footprint byte addresses to dense word indices.
+#[derive(Debug)]
+pub(crate) struct AddrMap {
+    /// `(base byte address, words, cumulative word offset)` per span,
+    /// sorted by base.
+    spans: Vec<(u64, u64, u64)>,
+    total_words: u64,
+}
+
+impl AddrMap {
+    /// Builds the map from a sorted, non-overlapping span list (the
+    /// invariant `TxProgram::new` establishes).
+    pub(crate) fn new(footprint: &[MemSpan]) -> Self {
+        let mut spans = Vec::with_capacity(footprint.len());
+        let mut cum = 0u64;
+        for s in footprint {
+            spans.push((s.base, s.words, cum));
+            cum += s.words;
+        }
+        AddrMap {
+            spans,
+            total_words: cum,
+        }
+    }
+
+    /// Total footprint size in words.
+    pub(crate) fn total_words(&self) -> usize {
+        self.total_words as usize
+    }
+
+    /// Dense word index of byte address `addr`, or `None` if the address
+    /// is misaligned or outside every declared span.
+    pub(crate) fn index_of(&self, addr: u64) -> Option<usize> {
+        if !addr.is_multiple_of(8) {
+            return None;
+        }
+        let i = self.spans.partition_point(|&(base, _, _)| base <= addr);
+        let &(base, words, cum) = self.spans.get(i.checked_sub(1)?)?;
+        let off = (addr - base) / 8;
+        (off < words).then_some((cum + off) as usize)
+    }
+
+    /// All word byte-addresses in dense index order.
+    pub(crate) fn addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.spans
+            .iter()
+            .flat_map(|&(base, words, _)| (0..words).map(move |w| base + w * 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_addresses_densely_and_rejects_strays() {
+        let m = AddrMap::new(&[MemSpan::new(0x100, 2), MemSpan::new(0x1000, 3)]);
+        assert_eq!(m.total_words(), 5);
+        assert_eq!(m.index_of(0x100), Some(0));
+        assert_eq!(m.index_of(0x108), Some(1));
+        assert_eq!(m.index_of(0x110), None);
+        assert_eq!(m.index_of(0x1000), Some(2));
+        assert_eq!(m.index_of(0x1010), Some(4));
+        assert_eq!(m.index_of(0x1018), None);
+        assert_eq!(m.index_of(0x104), None, "misaligned");
+        assert_eq!(m.index_of(0x0), None);
+        let addrs: Vec<u64> = m.addrs().collect();
+        assert_eq!(addrs, vec![0x100, 0x108, 0x1000, 0x1008, 0x1010]);
+    }
+}

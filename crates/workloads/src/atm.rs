@@ -9,6 +9,7 @@
 //! Checker: the total balance across all accounts is conserved and no
 //! balance exceeds the total (sanity against lost/duplicated updates).
 
+use crate::txprog::{MemSpan, TxProgram};
 use crate::{Region, SyncMode, Workload};
 use fglock::{LockAcquirer, LockPhase};
 use gpu_mem::Addr;
@@ -61,6 +62,15 @@ impl Atm {
         }
         let amount = 1 + rng.below(10);
         (src, dst, amount)
+    }
+
+    /// This benchmark as a backend-neutral [`TxProgram`]. The TM variant
+    /// touches only the account balances (locks belong to FGLock).
+    pub fn tx_program(&self) -> TxProgram {
+        TxProgram::new(
+            Box::new(self.clone()),
+            vec![MemSpan::of_region(ACCOUNTS, self.accounts)],
+        )
     }
 }
 

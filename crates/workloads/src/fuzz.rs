@@ -20,6 +20,7 @@
 //! to transactional working sets unordered, so a plan mixing them would be
 //! genuinely — and uninterestingly — non-serializable.
 
+use crate::txprog::{MemSpan, TxProgram};
 use crate::{Region, SyncMode, Workload};
 use fglock::{LockAcquirer, LockPhase};
 use gpu_mem::Addr;
@@ -180,6 +181,20 @@ impl Fuzz {
     /// The shape this plan was drawn from.
     pub fn shape(&self) -> FuzzShape {
         self.shape
+    }
+
+    /// This plan as a backend-neutral [`TxProgram`]: the RMW/atomic/store
+    /// regions the shape uses plus one private cell per thread.
+    pub fn tx_program(&self) -> TxProgram {
+        let mut spans = vec![MemSpan::of_region(RMW, self.rmw_cells())];
+        if self.atomic_cells() > 0 {
+            spans.push(MemSpan::of_region(ATOMIC, self.atomic_cells()));
+        }
+        if self.store_cells() > 0 {
+            spans.push(MemSpan::of_region(STORE, self.store_cells()));
+        }
+        spans.push(MemSpan::of_region(PRIV, self.threads as u64));
+        TxProgram::new(Box::new(self.clone()), spans)
     }
 
     fn rmw_cells(&self) -> u64 {

@@ -16,6 +16,7 @@
 //! Checker: every key is reachable exactly once, chains are cycle-free, and
 //! the total node count equals the thread count.
 
+use crate::txprog::{MemSpan, TxProgram};
 use crate::{Region, SyncMode, Workload};
 use fglock::{LockAcquirer, LockPhase};
 use gpu_mem::Addr;
@@ -78,6 +79,19 @@ impl HashTable {
     fn bucket_of(&self, key: u64) -> u64 {
         // Multiplicative hash.
         (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) % self.buckets
+    }
+
+    /// This benchmark as a backend-neutral [`TxProgram`]. The TM variant
+    /// touches only the bucket heads and the node pool (the lock words
+    /// exist solely for the FGLock variant).
+    pub fn tx_program(&self) -> TxProgram {
+        TxProgram::new(
+            Box::new(self.clone()),
+            vec![
+                MemSpan::of_region(BUCKETS, self.buckets),
+                MemSpan::of_region(NODES, self.inserts as u64),
+            ],
+        )
     }
 }
 

@@ -33,6 +33,9 @@ pub mod fuzz;
 pub mod hashtable;
 pub mod suite;
 pub mod testutil;
+pub mod txprog;
+
+pub use txprog::{MemSpan, TxProgram};
 
 use gpu_mem::Addr;
 use gpu_simt::BoxedProgram;

@@ -90,8 +90,14 @@ impl Benchmark {
         }
     }
 
-    /// Builds this benchmark's workload at the given scale.
-    pub fn build(self, scale: Scale) -> Box<dyn Workload> {
+    /// Builds this benchmark as a backend-neutral
+    /// [`TxProgram`](crate::txprog::TxProgram), for executors beyond the
+    /// cycle-level simulator (the host-threaded TL2 STM backend).
+    ///
+    /// `None` for benchmarks not yet expressed in the IR — the first wave
+    /// covers the hashtable family and ATM (fuzz shapes construct their
+    /// programs via [`crate::fuzz::Fuzz::tx_program`] directly).
+    pub fn tx_program(self, scale: Scale) -> Option<crate::txprog::TxProgram> {
         let seed = 0xBEEF;
         match (self, scale) {
             // HT-*: the paper populates 8000/80000/800000-entry tables with
@@ -101,18 +107,47 @@ impl Benchmark {
             // enough warps to amortize memory latency (the GPU's whole modus
             // operandi); shrinking the thread count further would starve the
             // latency-hiding that both TM designs assume.
-            (Benchmark::HtH, Scale::Fast) => Box::new(HashTable::new("HT-H", 7_680, 7_680, seed)),
-            (Benchmark::HtH, Scale::Paper) => Box::new(HashTable::new("HT-H", 8_000, 8_192, seed)),
-            (Benchmark::HtM, Scale::Fast) => Box::new(HashTable::new("HT-M", 76_800, 7_680, seed)),
-            (Benchmark::HtM, Scale::Paper) => Box::new(HashTable::new("HT-M", 80_000, 8_192, seed)),
-            (Benchmark::HtL, Scale::Fast) => Box::new(HashTable::new("HT-L", 768_000, 7_680, seed)),
+            (Benchmark::HtH, Scale::Fast) => {
+                Some(HashTable::new("HT-H", 7_680, 7_680, seed).tx_program())
+            }
+            (Benchmark::HtH, Scale::Paper) => {
+                Some(HashTable::new("HT-H", 8_000, 8_192, seed).tx_program())
+            }
+            (Benchmark::HtM, Scale::Fast) => {
+                Some(HashTable::new("HT-M", 76_800, 7_680, seed).tx_program())
+            }
+            (Benchmark::HtM, Scale::Paper) => {
+                Some(HashTable::new("HT-M", 80_000, 8_192, seed).tx_program())
+            }
+            (Benchmark::HtL, Scale::Fast) => {
+                Some(HashTable::new("HT-L", 768_000, 7_680, seed).tx_program())
+            }
             (Benchmark::HtL, Scale::Paper) => {
-                Box::new(HashTable::new("HT-L", 800_000, 8_192, seed))
+                Some(HashTable::new("HT-L", 800_000, 8_192, seed).tx_program())
             }
             // ATM: 1M accounts in the paper; keep accounts >> concurrent
             // transfers so pairwise conflicts stay rare.
-            (Benchmark::Atm, Scale::Fast) => Box::new(Atm::new(500_000, 7_680, 2, seed)),
-            (Benchmark::Atm, Scale::Paper) => Box::new(Atm::new(1_000_000, 15_360, 4, seed)),
+            (Benchmark::Atm, Scale::Fast) => Some(Atm::new(500_000, 7_680, 2, seed).tx_program()),
+            (Benchmark::Atm, Scale::Paper) => {
+                Some(Atm::new(1_000_000, 15_360, 4, seed).tx_program())
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds this benchmark's workload at the given scale.
+    pub fn build(self, scale: Scale) -> Box<dyn Workload> {
+        // First-wave benchmarks are defined once as backend-neutral
+        // transactional programs; the SIMT view is derived from that one
+        // definition.
+        if let Some(p) = self.tx_program(scale) {
+            return p.into_workload();
+        }
+        let seed = 0xBEEF;
+        match (self, scale) {
+            (Benchmark::HtH | Benchmark::HtM | Benchmark::HtL | Benchmark::Atm, _) => {
+                unreachable!("first-wave benchmarks build through tx_program")
+            }
             // CL / CLto: 60K edges in the paper (a ~175x175 grid). The grid
             // must dwarf the concurrent-edge count or every pair of in-flight
             // edges is adjacent.

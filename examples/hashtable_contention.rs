@@ -6,6 +6,10 @@
 //! grow, and the cost of each retry — two validation round trips for
 //! WarpTM versus cheap eager aborts for GETM — dominates.
 //!
+//! The sweep drives both systems through the backend-agnostic
+//! [`TmBackend`] API: each hashtable is defined once as a [`TxProgram`]
+//! and handed to each backend unmodified.
+//!
 //! ```text
 //! cargo run --release --example hashtable_contention
 //! ```
@@ -22,13 +26,14 @@ fn main() {
         "buckets", "load", "WarpTM cyc", "ab/1Kc", "GETM cyc", "ab/1Kc", "speedup"
     );
 
-    let warptm = Sim::new(&cfg).system(TmSystem::WarpTmLL);
-    let getm_sim = Sim::new(&cfg).system(TmSystem::Getm);
+    let warptm = SimBackend::new(cfg.clone(), TmSystem::WarpTmLL);
+    let getm_sim = SimBackend::new(cfg, TmSystem::Getm);
+    let opts = BackendOptions::default();
     for buckets in [256u64, 1024, 4096, 16384, 65536] {
-        let w = HashTable::new("HT", buckets, inserts, 42);
-        let wtm = warptm.run(&w).expect("WarpTM");
+        let prog = HashTable::new("HT", buckets, inserts, 42).tx_program();
+        let wtm = warptm.execute(&prog, &opts).expect("WarpTM").metrics;
         wtm.assert_correct();
-        let getm = getm_sim.run(&w).expect("GETM");
+        let getm = getm_sim.execute(&prog, &opts).expect("GETM").metrics;
         getm.assert_correct();
         println!(
             "{:<10} {:>8.2} | {:>10} {:>8.0} | {:>10} {:>8.0} | {:>6.2}x",
