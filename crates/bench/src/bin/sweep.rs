@@ -20,102 +20,24 @@
 //! ```
 //!
 //! Rows go to stdout in spec order; progress and failures go to stderr.
-//! Exit status is nonzero if any cell failed or was skipped.
+//! Exit status is nonzero if any cell failed or was skipped. The same
+//! grid distributed across worker processes is the `campaign` binary —
+//! its stdout is byte-identical to this one's for the same grid.
 
-use gputm::prelude::*;
+use bench::grid::{render_report, GridArgs, GRID_USAGE};
+use gputm::sweep::run_sweep_report;
 use std::process::ExitCode;
 
-fn parse_system(name: &str) -> TmSystem {
-    TmSystem::ALL
-        .into_iter()
-        .find(|s| s.label().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| {
-            let known: Vec<&str> = TmSystem::ALL.iter().map(|s| s.label()).collect();
-            panic!("unknown system {name:?} (known: {})", known.join(", "))
-        })
-}
-
 fn main() -> ExitCode {
-    // Strip the sweep-specific flags, hand the rest to the shared parser.
-    let mut tiny = false;
-    let mut all_systems = false;
-    let mut systems: Vec<TmSystem> = Vec::new();
-    let mut rest: Vec<String> = Vec::new();
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--tiny" => tiny = true,
-            "--all-systems" => all_systems = true,
-            "--system" => {
-                let v = it
-                    .next()
-                    .unwrap_or_else(|| panic!("--system needs a value"));
-                systems.push(parse_system(&v));
-            }
-            other => rest.push(other.to_string()),
-        }
-    }
+    // Strip the grid flags, hand the rest to the shared parser.
+    let (grid, rest) = GridArgs::strip_from(std::env::args().skip(1))
+        .unwrap_or_else(|e| panic!("{e}\n\n{GRID_USAGE}"));
     let args = bench::cli::Args::parse_from(rest)
         .unwrap_or_else(|e| panic!("{e}\n\n{}", bench::cli::USAGE));
+    let spec = grid
+        .build_spec(&args)
+        .unwrap_or_else(|e| panic!("{e}\n\n{GRID_USAGE}"));
 
-    if all_systems {
-        systems = TmSystem::ALL.to_vec();
-    } else if systems.is_empty() {
-        systems = vec![TmSystem::Getm];
-    }
-    let benchmarks: Vec<Benchmark> = if args.positional.is_empty() {
-        Benchmark::ALL.to_vec()
-    } else {
-        args.positional
-            .iter()
-            .map(|name| name.parse().unwrap_or_else(|e| panic!("{e}")))
-            .collect()
-    };
-    let base = if tiny {
-        GpuConfig::tiny_test()
-    } else {
-        GpuConfig::fermi_15core()
-    };
-
-    let spec = ExperimentSpec::grid()
-        .benchmarks(benchmarks)
-        .systems(systems)
-        .scale(args.scale)
-        .base(base)
-        .build();
     let report = run_sweep_report(&spec, &args.sweep_options());
-
-    println!(
-        "{:<18} {:>12} {:>9} {:>9} {:>9}",
-        "cell", "cycles", "commits", "aborts", "degraded"
-    );
-    for o in &report.outcomes {
-        println!(
-            "{:<18} {:>12} {:>9} {:>9} {:>9}",
-            o.cell.label(),
-            o.metrics.cycles,
-            o.metrics.commits,
-            o.metrics.aborts,
-            o.metrics.degraded
-        );
-    }
-    for f in &report.failures {
-        eprintln!("sweep: FAILED {f}");
-    }
-    if report.skipped > 0 {
-        eprintln!(
-            "sweep: {} cell(s) skipped after the first failure",
-            report.skipped
-        );
-    }
-    if report.is_complete() {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "sweep: {} of {} cell(s) did not complete",
-            report.failures.len() + report.skipped,
-            spec.len()
-        );
-        ExitCode::FAILURE
-    }
+    render_report(&report, spec.len(), "sweep")
 }

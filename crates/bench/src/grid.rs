@@ -1,0 +1,200 @@
+//! Grid selection and report rendering shared by the `sweep` and
+//! `campaign` binaries.
+//!
+//! Both binaries accept the same grid vocabulary — positional benchmark
+//! names, `--system NAME` (repeatable), `--all-systems`, `--tiny` — and
+//! must print byte-identical stdout for the same grid: the distributed
+//! campaign's acceptance test is literally `diff` against a
+//! single-process sweep. Keeping selection and rendering in one place is
+//! what makes that equivalence structural instead of coincidental.
+
+use gputm::config::{GpuConfig, TmSystem};
+use gputm::sweep::{ExperimentSpec, SweepReport};
+use std::process::ExitCode;
+use workloads::suite::Benchmark;
+
+/// Grid-selection flags: which benchmarks, systems, and base machine.
+#[derive(Debug, Clone, Default)]
+pub struct GridArgs {
+    /// Sweep the small test machine instead of the 15-core Fermi.
+    pub tiny: bool,
+    /// Run every TM system (overrides `systems`).
+    pub all_systems: bool,
+    /// Explicitly selected systems (default: GETM alone).
+    pub systems: Vec<TmSystem>,
+}
+
+impl GridArgs {
+    /// Strips the grid flags out of `args`, returning the parsed
+    /// selection and the remaining arguments (for [`crate::cli::Args`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes an unknown `--system` value or a missing flag value.
+    pub fn strip_from(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(Self, Vec<String>), String> {
+        let mut out = GridArgs::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--tiny" => out.tiny = true,
+                "--all-systems" => out.all_systems = true,
+                "--system" => {
+                    let v = it.next().ok_or("--system needs a value")?;
+                    out.systems.push(parse_system(&v)?);
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        Ok((out, rest))
+    }
+
+    /// Builds the experiment grid these flags plus the shared CLI
+    /// arguments describe. Both `sweep` and `campaign` route through
+    /// here, so a coordinator and its workers (and the reference sweep a
+    /// chaos test diffs against) always agree on cell identity and order.
+    ///
+    /// # Errors
+    ///
+    /// Describes an unknown positional benchmark name.
+    pub fn build_spec(&self, args: &crate::cli::Args) -> Result<ExperimentSpec, String> {
+        let systems = if self.all_systems {
+            TmSystem::ALL.to_vec()
+        } else if self.systems.is_empty() {
+            vec![TmSystem::Getm]
+        } else {
+            self.systems.clone()
+        };
+        let benchmarks: Vec<Benchmark> = if args.positional.is_empty() {
+            Benchmark::ALL.to_vec()
+        } else {
+            args.positional
+                .iter()
+                .map(|name| name.parse().map_err(|e| format!("{e}")))
+                .collect::<Result<_, _>>()?
+        };
+        let base = if self.tiny {
+            GpuConfig::tiny_test()
+        } else {
+            GpuConfig::fermi_15core()
+        };
+        Ok(ExperimentSpec::grid()
+            .benchmarks(benchmarks)
+            .systems(systems)
+            .scale(args.scale)
+            .base(base)
+            .build())
+    }
+}
+
+fn parse_system(name: &str) -> Result<TmSystem, String> {
+    TmSystem::ALL
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = TmSystem::ALL.iter().map(|s| s.label()).collect();
+            format!("unknown system {name:?} (known: {})", known.join(", "))
+        })
+}
+
+/// Renders a sweep/campaign report: the deterministic stdout table (one
+/// row per completed cell, spec order), failure/skip lines on stderr,
+/// and the process exit code. `tag` prefixes the stderr lines (`sweep`
+/// or `campaign`) — stdout is identical either way.
+pub fn render_report(report: &SweepReport, total: usize, tag: &str) -> ExitCode {
+    println!(
+        "{:<18} {:>12} {:>9} {:>9} {:>9}",
+        "cell", "cycles", "commits", "aborts", "degraded"
+    );
+    for o in &report.outcomes {
+        println!(
+            "{:<18} {:>12} {:>9} {:>9} {:>9}",
+            o.cell.label(),
+            o.metrics.cycles,
+            o.metrics.commits,
+            o.metrics.aborts,
+            o.metrics.degraded
+        );
+    }
+    for f in &report.failures {
+        eprintln!("{tag}: FAILED {f}");
+    }
+    if report.skipped > 0 {
+        eprintln!(
+            "{tag}: {} cell(s) skipped after the first failure",
+            report.skipped
+        );
+    }
+    if report.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{tag}: {} of {} cell(s) did not complete",
+            report.failures.len() + report.skipped,
+            total
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The grid-selection usage text shared by `sweep` and `campaign`.
+pub const GRID_USAGE: &str = "\
+grid selection (sweep and campaign):
+  [BENCH ...]        benchmark names (default: the whole suite)
+  --system NAME      a TM system to run (repeatable; default: GETM)
+  --all-systems      run every TM system
+  --tiny             sweep the small test machine, not the 15-core Fermi";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn grid_flags_are_stripped_and_rest_passes_through() {
+        let (g, rest) =
+            GridArgs::strip_from(strs(&["--tiny", "HT-H", "--system", "getm", "--quiet"])).unwrap();
+        assert!(g.tiny);
+        assert_eq!(g.systems, vec![TmSystem::Getm]);
+        assert_eq!(rest, strs(&["HT-H", "--quiet"]));
+    }
+
+    #[test]
+    fn unknown_system_is_an_error() {
+        assert!(GridArgs::strip_from(strs(&["--system", "zzz"]))
+            .unwrap_err()
+            .contains("unknown system"));
+        assert!(GridArgs::strip_from(strs(&["--system"]))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn spec_defaults_to_whole_suite_under_getm() {
+        let (g, rest) = GridArgs::strip_from(strs(&["--tiny"])).unwrap();
+        let args = crate::cli::Args::parse_from(rest).unwrap();
+        let spec = g.build_spec(&args).unwrap();
+        assert_eq!(spec.len(), Benchmark::ALL.len());
+        assert!(spec.cells().iter().all(|c| c.system == TmSystem::Getm));
+    }
+
+    #[test]
+    fn same_flags_build_identical_grids() {
+        let build = || {
+            let (g, rest) =
+                GridArgs::strip_from(strs(&["--tiny", "ATM", "--system", "getm"])).unwrap();
+            let args = crate::cli::Args::parse_from(rest).unwrap();
+            g.build_spec(&args).unwrap()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(
+            gputm::sweep::sweep_digest(a.cells()),
+            gputm::sweep::sweep_digest(b.cells())
+        );
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod figures;
+pub mod grid;
 pub mod idle;
 pub mod traceview;
 

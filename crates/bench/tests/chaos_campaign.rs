@@ -1,0 +1,219 @@
+//! Chaos tests for the distributed campaign: SIGKILL workers mid-cell,
+//! SIGKILL the coordinator mid-campaign, and require the final report
+//! byte-identical to a single-process `sweep` of the same grid.
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BENCHES: [&str; 3] = ["HT-H", "ATM", "CC"];
+
+/// Grid/common flags shared by the reference sweep, the coordinator, and
+/// the workers — all three must describe the identical grid.
+fn grid_args(cache: &Path) -> Vec<String> {
+    let mut v: Vec<String> = ["--tiny", "--serial", "--quiet", "--cache-dir"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    v.push(cache.display().to_string());
+    v.extend(BENCHES.iter().map(|s| s.to_string()));
+    v
+}
+
+fn sweep_reference(cache: &Path) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(grid_args(cache))
+        .output()
+        .expect("run reference sweep");
+    assert!(
+        out.status.success(),
+        "reference sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn campaign_cmd(sub: &str, cache: &Path, socket: &Path, extra: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    c.arg(sub)
+        .args(grid_args(cache))
+        .args(["--socket"])
+        .arg(socket)
+        .args(extra);
+    c
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("getm-chaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn metrics_entries(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "metrics"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Polls until the cache holds at least `n` results, the watched process
+/// exits, or the deadline passes.
+fn await_metrics(dir: &Path, n: usize, watched: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if metrics_entries(dir) >= n
+            || watched.try_wait().expect("try_wait").is_some()
+            || Instant::now() > deadline
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The `ev` field of a telemetry JSONL line.
+fn ev_of(line: &str) -> Option<&str> {
+    line.split("\"ev\":\"").nth(1)?.split('"').next()
+}
+
+/// The `idx` field of a telemetry JSONL line.
+fn idx_of(line: &str) -> Option<usize> {
+    line.split("\"idx\":")
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// A coordinator plus two test-owned workers, one SIGKILLed as soon as
+/// the first result lands: the survivor absorbs the reassigned cells and
+/// the final stdout is byte-identical to a single-process sweep. The
+/// telemetry stream must still carry exactly one terminal event per
+/// cell, reassignments and all.
+#[test]
+fn killed_worker_campaign_matches_sweep_byte_identically() {
+    let ref_dir = tmp_dir("worker-ref");
+    let reference = sweep_reference(&ref_dir);
+
+    let dir = tmp_dir("worker-kill");
+    let socket = dir.join("campaign.sock");
+    let tel = dir.join("telemetry.jsonl");
+    let mut coordinator = campaign_cmd(
+        "coordinate",
+        &dir,
+        &socket,
+        &[
+            "--heartbeat-ms",
+            "300",
+            "--telemetry",
+            tel.to_str().unwrap(),
+        ],
+    )
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null())
+    .spawn()
+    .expect("spawn coordinator");
+
+    // The test owns the worker processes so it can SIGKILL one precisely.
+    let mut victim = campaign_cmd("work", &dir, &socket, &[])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim worker");
+    let mut survivor = campaign_cmd("work", &dir, &socket, &[])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn survivor worker");
+
+    // Kill the victim once the campaign is demonstrably mid-flight. If
+    // the fleet finishes first the kill is a no-op and the test still
+    // validates the equivalence.
+    await_metrics(&dir, 1, &mut coordinator);
+    victim.kill().ok();
+    victim.wait().expect("reap victim");
+
+    let out = coordinator.wait_with_output().expect("coordinator output");
+    assert!(out.status.success(), "campaign with a killed worker failed");
+    assert_eq!(
+        String::from_utf8_lossy(&reference),
+        String::from_utf8_lossy(&out.stdout),
+        "campaign stdout must be byte-identical to the serial sweep"
+    );
+    survivor.wait().expect("reap survivor");
+
+    // Telemetry coherence: exactly one terminal event per cell, however
+    // many workers touched it; the stream opens and closes properly.
+    let text = std::fs::read_to_string(&tel).expect("telemetry exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(ev_of(lines[0]), Some("campaign_started"));
+    assert_eq!(ev_of(lines[lines.len() - 1]), Some("campaign_finished"));
+    let mut terminals = vec![0usize; BENCHES.len()];
+    for line in &lines {
+        if let Some(ev) = ev_of(line) {
+            if matches!(ev, "cell_finished" | "cell_cache_hit" | "cell_failed") {
+                terminals[idx_of(line).expect("idx")] += 1;
+            }
+            assert_ne!(ev, "cell_failed", "no cell may fail: {line}");
+        }
+    }
+    assert_eq!(terminals, vec![1; BENCHES.len()], "one terminal per cell");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL the *coordinator* mid-campaign, then restart it with
+/// `--resume`: the journal (behind its stale, dead-pid lock) recalls the
+/// completed cells and the rerun's stdout is byte-identical to the
+/// uninterrupted single-process sweep.
+#[test]
+fn killed_coordinator_resumes_byte_identically() {
+    let ref_dir = tmp_dir("coord-ref");
+    let reference = sweep_reference(&ref_dir);
+
+    let dir = tmp_dir("coord-kill");
+    let socket = dir.join("campaign.sock");
+    let mut coordinator = campaign_cmd("coordinate", &dir, &socket, &["--spawn", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+
+    await_metrics(&dir, 1, &mut coordinator);
+    coordinator.kill().ok();
+    let killed = !coordinator.wait().expect("reap coordinator").success();
+    if killed {
+        // The kill leaves the journal (and its pid-stamped lock) behind;
+        // the resume below must take both over from the dead owner.
+        let journals = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "journal"))
+                    .count()
+            })
+            .unwrap_or(0);
+        assert_eq!(journals, 1, "a killed coordinator must leave its journal");
+    }
+
+    let resumed = campaign_cmd("coordinate", &dir, &socket, &["--spawn", "2", "--resume"])
+        .output()
+        .expect("resumed coordinator");
+    assert!(
+        resumed.status.success(),
+        "resumed campaign failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&reference),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed campaign must reproduce the uninterrupted output exactly"
+    );
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -38,6 +38,9 @@
 //!   cancellation, execution mode) with invariant checking.
 //! * [`verify`] — the serializability/opacity oracle behind verified runs.
 //! * [`sweep`] — parallel grid execution with deterministic result caching.
+//! * [`campaign`] — distributed sweeps (Unix only): a coordinator process
+//!   leasing cells to disposable worker processes over a local socket,
+//!   with heartbeat/deadline failure detection and crash-resumable state.
 //! * [`telemetry`] — the host-level campaign event stream (JSONL, live
 //!   dashboard, Prometheus snapshot) emitted by the sweep executor.
 //! * [`silicon`] — the analytical SRAM area/power model behind Table V.
@@ -45,6 +48,8 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+#[cfg(unix)]
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod exec;

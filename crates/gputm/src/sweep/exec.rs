@@ -60,6 +60,9 @@ pub(super) fn run(cells: &[CellSpec], opts: &SweepOptions) -> Result<Vec<SweepOu
             FailureKind::Sim(e) => e,
             FailureKind::Panic(msg) => std::panic::resume_unwind(Box::new(msg)),
             FailureKind::TimedOut { cycle, .. } => SimError::Interrupted { cycle },
+            FailureKind::Remote { .. } => {
+                unreachable!("remote failures only arise in distributed campaigns")
+            }
         });
     }
     Ok(report.outcomes)
@@ -120,8 +123,9 @@ pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport
             let (queues, stop) = (&queues, &stop);
             scope.spawn(move || {
                 while let Some(idx) = claim(queues, me) {
-                    if stop.load(Ordering::Relaxed) {
-                        break; // fail-fast: leave the rest unclaimed
+                    let revoked = opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+                    if stop.load(Ordering::Relaxed) || revoked {
+                        break; // fail-fast or external cancel: leave the rest unclaimed
                     }
                     let result = run_cell(idx, &cells[idx], opts).map_err(|f| *f);
                     if result.is_err() && fail_fast {
@@ -208,7 +212,11 @@ pub(super) fn run_report(cells: &[CellSpec], opts: &SweepOptions) -> SweepReport
 
 /// Emits the cell's single terminal telemetry event (cache-hit, finished
 /// — plus a degraded annotation when the watchdog intervened — or failed).
-fn emit_terminal(
+/// Shared with the distributed campaign coordinator, which owns terminal
+/// emission for its whole fleet (workers stream only non-terminal events)
+/// so every cell gets exactly one terminal no matter how often a lease
+/// was reassigned.
+pub(crate) fn emit_terminal(
     tel: &crate::telemetry::Telemetry,
     idx: usize,
     result: &Result<SweepOutcome, CellFailure>,
@@ -244,6 +252,7 @@ fn emit_terminal(
                 FailureKind::Sim(_) => "sim",
                 FailureKind::Panic(_) => "panic",
                 FailureKind::TimedOut { .. } => "timeout",
+                FailureKind::Remote { kind, .. } => kind,
             },
             error: f.error.to_string(),
             attempts: f.attempts,
@@ -280,8 +289,9 @@ fn claim(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
 
 /// Runs one cell to a verdict: cache, then up to the policy's attempt
 /// count of fault-isolated executions. The failure is boxed to keep the
-/// happy path's return slot small.
-fn run_cell(
+/// happy path's return slot small. (Also the distributed campaign
+/// worker's per-cell engine — `idx` is the cell's global spec index.)
+pub(crate) fn run_cell(
     idx: usize,
     cell: &CellSpec,
     opts: &SweepOptions,
@@ -349,29 +359,61 @@ fn run_cell(
 }
 
 /// Doubling backoff before retry `attempt` (the second try waits 50ms),
-/// capped at one second.
-fn retry_backoff(attempt: u32) -> Duration {
+/// capped at one second. The distributed coordinator applies the same
+/// curve when re-queueing a worker-reported failure under a retry policy.
+pub(crate) fn retry_backoff(attempt: u32) -> Duration {
     Duration::from_millis((50u64 << (attempt.saturating_sub(2)).min(10)).min(1000))
 }
 
 /// One fault-isolated execution: `catch_unwind` around the run, with a
 /// detached wall-clock watchdog cancelling the engine's [`CancelToken`]
 /// when a per-cell timeout is configured.
+///
+/// The engine polls a single token, raised by either the timeout monitor
+/// or the sweep's external [`SweepOptions::cancel`] — the monitor records
+/// that *it* fired, so a timeout and an external revoke produce distinct
+/// [`FailureKind`]s ([`FailureKind::TimedOut`] vs
+/// [`FailureKind::Sim`]/`Interrupted`).
 fn run_attempt(cell: &CellSpec, opts: &SweepOptions) -> Result<Metrics, FailureKind> {
+    // The engine polls a single token. With no timeout it is the external
+    // token itself (a revoke reaches the engine with zero relay latency);
+    // with a timeout armed it is a private inner token, and the monitor
+    // thread raises it for *either* source — never the reverse: a cell
+    // timeout must not cancel the caller's shared sweep/lease token.
+    let token = match (&opts.cancel, opts.cell_timeout) {
+        (None, None) => None,
+        (Some(external), None) => Some(external.clone()),
+        (_, Some(_)) => Some(CancelToken::new()),
+    };
+    let monitor_fired = Arc::new(AtomicBool::new(false));
     let armed = opts.cell_timeout.map(|limit| {
-        let token = CancelToken::new();
+        let inner = token.clone().expect("timeout always arms a token");
+        let external = opts.cancel.clone();
+        let fired = monitor_fired.clone();
         let (disarm, expiry) = mpsc::channel::<()>();
-        let watch = token.clone();
-        let monitor = std::thread::spawn(move || {
-            // A disarm message (or a dropped sender) ends the wait; only
-            // a true timeout raises the token.
-            if expiry.recv_timeout(limit) == Err(mpsc::RecvTimeoutError::Timeout) {
-                watch.cancel();
+        let deadline = Instant::now() + limit;
+        let monitor = std::thread::spawn(move || loop {
+            // A disarm message (or a dropped sender) ends the wait; a true
+            // timeout records that it fired before raising the token, so
+            // the caller can tell a timeout from an external revoke.
+            if external.as_ref().is_some_and(CancelToken::is_cancelled) {
+                inner.cancel();
+                return;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                fired.store(true, Ordering::SeqCst);
+                inner.cancel();
+                return;
+            }
+            // Wake at least every 10ms to relay an external revoke.
+            let wait = left.min(Duration::from_millis(10));
+            if expiry.recv_timeout(wait) != Err(mpsc::RecvTimeoutError::Timeout) {
+                return; // disarmed: the attempt finished on its own
             }
         });
-        (token, disarm, monitor, limit)
+        (disarm, monitor, limit)
     });
-    let token = armed.as_ref().map(|(t, ..)| t.clone());
     // The sweep-wide execution override replaces the cell's own mode;
     // either way the metrics (and the cache key) are unaffected.
     let overridden;
@@ -383,17 +425,17 @@ fn run_attempt(cell: &CellSpec, opts: &SweepOptions) -> Result<Metrics, FailureK
         None => cell,
     };
     let result = catch_unwind(AssertUnwindSafe(|| match &opts.runner {
-        Some(r) => (r.0)(cell, token),
+        Some(r) => (r.0)(cell, token.clone()),
         None => match token {
             Some(t) => cell.run_cancellable(t),
             None => cell.run(),
         },
     }));
-    let timed_out = armed.is_some_and(|(token, disarm, monitor, _)| {
+    if let Some((disarm, monitor, _)) = armed {
         drop(disarm);
         monitor.join().ok();
-        token.is_cancelled()
-    });
+    }
+    let timed_out = monitor_fired.load(Ordering::SeqCst);
     let limit = opts.cell_timeout.unwrap_or_default();
     match result {
         Ok(Ok(metrics)) => Ok(metrics),
@@ -416,8 +458,14 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// One progress line per finished cell, on stderr.
-fn report(done: usize, total: usize, result: &Result<SweepOutcome, CellFailure>, started: Instant) {
+/// One progress line per finished cell, on stderr. Shared with the
+/// campaign coordinator so both front ends narrate identically.
+pub(crate) fn report(
+    done: usize,
+    total: usize,
+    result: &Result<SweepOutcome, CellFailure>,
+    started: Instant,
+) {
     let t = started.elapsed();
     match result {
         Ok(o) if o.cached => eprintln!(

@@ -19,6 +19,7 @@
 //! invalid lines are dropped and the file is compacted before appending
 //! resumes, so a torn tail can never corrupt later appends.
 
+use super::lock::LockFile;
 use super::CellSpec;
 use sim_core::hash::StableHasher;
 use std::collections::HashSet;
@@ -41,11 +42,20 @@ pub fn sweep_digest(cells: &[CellSpec]) -> String {
 }
 
 /// The append-only completed-cell journal of one sweep campaign.
+///
+/// Opening a journal takes exclusive cross-process ownership of its
+/// digest via a pid-stamped [`LockFile`] next to it — two concurrent
+/// campaigns over the same cell list would interleave their appends and
+/// corrupt both records. The lock is released when the journal is
+/// dropped (or [`SweepJournal::finish`]ed); a SIGKILLed owner leaves a
+/// stale lock that the next opener detects (dead pid) and takes over.
 #[derive(Debug)]
 pub struct SweepJournal {
     path: PathBuf,
     file: File,
     completed: HashSet<String>,
+    /// Held for the journal's lifetime; dropping it releases ownership.
+    _lock: LockFile,
 }
 
 impl SweepJournal {
@@ -59,12 +69,15 @@ impl SweepJournal {
     ///
     /// # Errors
     ///
-    /// Filesystem errors creating the directory or the file. Callers may
-    /// treat a failed open as "no journal": the sweep itself is
-    /// unaffected, only crash accounting is lost.
+    /// Filesystem errors creating the directory or the file, and
+    /// [`std::io::ErrorKind::WouldBlock`] when another live process holds
+    /// this digest's journal lock (a concurrent campaign over the same
+    /// cells). Callers may treat a failed open as "no journal": the sweep
+    /// itself is unaffected, only crash accounting is lost.
     pub fn open(dir: &Path, digest: &str, resume: bool) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("sweep-{digest}.journal"));
+        let lock = LockFile::acquire(&dir.join(format!("sweep-{digest}.journal.lock")))?;
         let completed = if resume {
             read_completed(&path, digest)
         } else {
@@ -91,6 +104,7 @@ impl SweepJournal {
             path,
             file,
             completed,
+            _lock: lock,
         })
     }
 
@@ -196,6 +210,7 @@ mod tests {
         assert_eq!(j.completed(), 1);
         assert!(j.is_completed(&keys[0]));
         assert!(!j.is_completed(&keys[1]));
+        drop(j); // release the journal lock before reopening the digest
 
         // Without resume, the same file starts the campaign over.
         let j = SweepJournal::open(&dir, &digest, false).unwrap();
@@ -228,6 +243,55 @@ mod tests {
         drop(j);
         let j = SweepJournal::open(&dir, &digest, true).unwrap();
         assert_eq!(j.completed(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_open_of_one_digest_is_refused_then_allowed() {
+        let dir = tmp_dir("lock");
+        let c = cells();
+        let digest = sweep_digest(&c);
+
+        let held = SweepJournal::open(&dir, &digest, false).unwrap();
+        // A second campaign over the same digest (same live pid counts):
+        // refused with WouldBlock, which the executor logs and survives.
+        let err = SweepJournal::open(&dir, &digest, true)
+            .expect_err("live-held journal must refuse a second owner");
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        // A different digest is a different campaign: unaffected.
+        let other = sweep_digest(&c[..1]);
+        let _coexists = SweepJournal::open(&dir, &other, false).unwrap();
+        drop(held);
+        // Ownership released: the digest reopens cleanly.
+        let reopened = SweepJournal::open(&dir, &digest, true).unwrap();
+        assert_eq!(reopened.completed(), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sigkilled_owner_leaves_a_stale_lock_that_is_taken_over() {
+        let dir = tmp_dir("stale-lock");
+        let c = cells();
+        let digest = sweep_digest(&c);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crashed campaign: journal present, lock stamped with a pid
+        // that no longer exists.
+        std::fs::write(
+            dir.join(format!("sweep-{digest}.journal.lock")),
+            format!("{}\n", u32::MAX),
+        )
+        .unwrap();
+        let keys: Vec<String> = c.iter().map(CellSpec::cache_key).collect();
+        std::fs::write(
+            dir.join(format!("sweep-{digest}.journal")),
+            format!("{HEADER} {digest}\n{}\n", keys[0]),
+        )
+        .unwrap();
+
+        let j = SweepJournal::open(&dir, &digest, true).expect("stale lock must not wedge");
+        assert_eq!(j.completed(), 1, "the dead owner's record survives");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -41,17 +41,19 @@
 //! ```
 
 mod cache;
-mod exec;
+pub(crate) mod exec;
 mod journal;
+mod lock;
 mod spec;
 
 pub use cache::{parse_metrics, serialize_metrics, ResultCache};
 pub use journal::{sweep_digest, SweepJournal};
+pub use lock::LockFile;
 pub use spec::{CellSpec, ExperimentSpec, GridBuilder};
 
 use crate::metrics::Metrics;
 use crate::telemetry::Telemetry;
-use sim_core::SimError;
+use sim_core::{CancelToken, SimError};
 use std::time::Duration;
 
 /// What the executor does with cells that fail (simulation error, panic,
@@ -95,6 +97,17 @@ pub enum FailureKind {
         /// Simulated cycle at which the engine observed the cancellation.
         cycle: u64,
     },
+    /// A distributed campaign failure observed across the wire: either a
+    /// worker-reported cell failure (the original taxonomy tag and
+    /// rendered error survive the hop) or a coordinator-detected worker
+    /// loss (`kind` = `worker`: process exit, missed heartbeats, or an
+    /// expired lease deadline, past the reassignment cap).
+    Remote {
+        /// The taxonomy tag: `sim`, `panic`, `timeout`, or `worker`.
+        kind: &'static str,
+        /// The rendered error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FailureKind {
@@ -105,6 +118,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::TimedOut { limit, cycle } => {
                 write!(f, "timed out after {limit:?} (cancelled at cycle {cycle})")
             }
+            FailureKind::Remote { detail, .. } => write!(f, "{detail}"),
         }
     }
 }
@@ -184,6 +198,15 @@ pub struct SweepOptions {
     /// Defaults to [`Telemetry::off`] — disabled emission is a branch on a
     /// `None`, inside the PR-2 <2% overhead guard.
     pub telemetry: Telemetry,
+    /// External sweep-wide cancellation. When raised, workers stop
+    /// claiming new cells and the cell currently in flight is interrupted
+    /// cooperatively (the engine polls the token); the interrupted cell
+    /// surfaces as [`FailureKind::Sim`] with
+    /// [`SimError::Interrupted`] — distinct from a per-cell
+    /// [`FailureKind::TimedOut`]. The distributed campaign worker threads
+    /// a lease-revocation token through here so a coordinator-issued
+    /// revoke stops a running cell promptly instead of orphaning it.
+    pub cancel: Option<CancelToken>,
     /// Test-only override of how a cell is executed (fault injection).
     pub(crate) runner: Option<exec::CellRunner>,
 }
@@ -249,6 +272,14 @@ impl SweepOptions {
     #[must_use]
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches an external sweep-wide cancellation token (see
+    /// [`SweepOptions::cancel`]).
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
