@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin stm -- [BENCH|SHAPE ...] \
-//!     [--threads N] [--fuzz] [--seed N] [--tiny] \
+//!     [--threads N] [--fuzz] [--seed N] [--tiny] [--gpu fermi|volta] \
 //!     [--system NAME] [--all-systems]
 //! ```
 //!
@@ -16,7 +16,8 @@
 //! CI's stm-smoke uses). `--threads` sets the TL2 worker count (and the
 //! simulator's shard count — observationally transparent there).
 //! `--system` picks the simulated system(s) to compare against (default
-//! GETM). Exit status is nonzero if any row fails certification or its
+//! GETM) and `--gpu volta` swaps the simulated machine for the
+//! Volta-class memory tier (sectored L1, hashed banked LLC, HBM timing). Exit status is nonzero if any row fails certification or its
 //! workload invariant check.
 //!
 //! Apples-to-apples caveat: the simulator's throughput column is
@@ -113,6 +114,7 @@ fn main() -> ExitCode {
     let mut seed = 0x57_11u64;
     let mut systems: Vec<TmSystem> = Vec::new();
     let mut all_systems = false;
+    let mut volta = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -140,6 +142,14 @@ fn main() -> ExitCode {
                 systems.push(v.parse().unwrap_or_else(|e| panic!("{e}")));
             }
             "--all-systems" => all_systems = true,
+            "--gpu" => {
+                let v = it.next().unwrap_or_else(|| panic!("--gpu needs a value"));
+                volta = match v.to_ascii_lowercase().as_str() {
+                    "fermi" => false,
+                    "volta" => true,
+                    other => panic!("unknown gpu {other:?} (known: fermi, volta)"),
+                };
+            }
             other if other.starts_with("--") => panic!("unknown flag {other:?}"),
             other => positional.push(other.to_string()),
         }
@@ -172,10 +182,11 @@ fn main() -> ExitCode {
         );
     }
 
-    let cfg = if tiny {
-        GpuConfig::tiny_test()
-    } else {
-        GpuConfig::fermi_15core()
+    let cfg = match (tiny, volta) {
+        (true, false) => GpuConfig::tiny_test(),
+        (true, true) => GpuConfig::tiny_volta(),
+        (false, false) => GpuConfig::fermi_15core(),
+        (false, true) => GpuConfig::volta_80core(),
     };
     let mut backends: Vec<Box<dyn TmBackend>> = systems
         .iter()

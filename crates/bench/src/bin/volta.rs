@@ -1,0 +1,10 @@
+//! Reproduces one figure/table; see `bench::figures` for the experiment
+//! definition and `bench::cli` for the shared flags.
+//!
+//! ```text
+//! cargo run -p bench --release --bin volta [--paper-scale] [--jobs N] ...
+//! ```
+
+fn main() {
+    bench::figures::run_standalone("volta");
+}

@@ -13,6 +13,18 @@ use gputm::sweep::{ExperimentSpec, SweepReport};
 use std::process::ExitCode;
 use workloads::suite::Benchmark;
 
+/// Which machine generation the base config models (`--gpu`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GpuModel {
+    /// Paper-faithful Table II machine: unsectored caches, modulo
+    /// interleave, fixed-latency GDDR5 (the default).
+    #[default]
+    Fermi,
+    /// Volta-class memory tier: sectored streaming L1, xor-hashed banked
+    /// LLC, HBM pseudo-channel timing (DESIGN.md §16).
+    Volta,
+}
+
 /// Grid-selection flags: which benchmarks, systems, and base machine.
 #[derive(Debug, Clone, Default)]
 pub struct GridArgs {
@@ -22,6 +34,8 @@ pub struct GridArgs {
     pub all_systems: bool,
     /// Explicitly selected systems (default: GETM alone).
     pub systems: Vec<TmSystem>,
+    /// Machine generation for the base config (`--gpu fermi|volta`).
+    pub gpu: GpuModel,
 }
 
 impl GridArgs {
@@ -44,6 +58,16 @@ impl GridArgs {
                 "--system" => {
                     let v = it.next().ok_or("--system needs a value")?;
                     out.systems.push(parse_system(&v)?);
+                }
+                "--gpu" => {
+                    let v = it.next().ok_or("--gpu needs a value")?;
+                    out.gpu = match v.to_ascii_lowercase().as_str() {
+                        "fermi" => GpuModel::Fermi,
+                        "volta" => GpuModel::Volta,
+                        other => {
+                            return Err(format!("unknown gpu {other:?} (known: fermi, volta)"))
+                        }
+                    };
                 }
                 other => rest.push(other.to_string()),
             }
@@ -75,10 +99,11 @@ impl GridArgs {
                 .map(|name| name.parse().map_err(|e| format!("{e}")))
                 .collect::<Result<_, _>>()?
         };
-        let base = if self.tiny {
-            GpuConfig::tiny_test()
-        } else {
-            GpuConfig::fermi_15core()
+        let base = match (self.tiny, self.gpu) {
+            (true, GpuModel::Fermi) => GpuConfig::tiny_test(),
+            (true, GpuModel::Volta) => GpuConfig::tiny_volta(),
+            (false, GpuModel::Fermi) => GpuConfig::fermi_15core(),
+            (false, GpuModel::Volta) => GpuConfig::volta_80core(),
         };
         Ok(ExperimentSpec::grid()
             .benchmarks(benchmarks)
@@ -145,7 +170,9 @@ grid selection (sweep and campaign):
   [BENCH ...]        benchmark names (default: the whole suite)
   --system NAME      a TM system to run (repeatable; default: GETM)
   --all-systems      run every TM system
-  --tiny             sweep the small test machine, not the 15-core Fermi";
+  --tiny             sweep the small test machine, not the 15-core Fermi
+  --gpu NAME         machine generation: fermi (default) or volta
+                     (sectored L1 + hashed banked LLC + HBM timing)";
 
 #[cfg(test)]
 mod tests {
@@ -181,6 +208,52 @@ mod tests {
         let spec = g.build_spec(&args).unwrap();
         assert_eq!(spec.len(), Benchmark::ALL.len());
         assert!(spec.cells().iter().all(|c| c.system == TmSystem::Getm));
+    }
+
+    #[test]
+    fn gpu_flag_selects_the_volta_presets() {
+        let (g, rest) = GridArgs::strip_from(strs(&["--gpu", "volta", "ATM"])).unwrap();
+        assert_eq!(g.gpu, GpuModel::Volta);
+        assert_eq!(rest, strs(&["ATM"]));
+        let args = crate::cli::Args::parse_from(rest).unwrap();
+        let spec = g.build_spec(&args).unwrap();
+        assert_eq!(
+            format!("{:?}", spec.cells()[0].cfg),
+            format!("{:?}", GpuConfig::volta_80core())
+        );
+
+        // --tiny composes: the tiny volta machine, not the tiny fermi one.
+        let (g, rest) = GridArgs::strip_from(strs(&["--tiny", "--gpu", "volta", "ATM"])).unwrap();
+        let args = crate::cli::Args::parse_from(rest).unwrap();
+        let spec = g.build_spec(&args).unwrap();
+        assert_eq!(
+            format!("{:?}", spec.cells()[0].cfg),
+            format!("{:?}", GpuConfig::tiny_volta())
+        );
+
+        assert!(GridArgs::strip_from(strs(&["--gpu", "pascal"]))
+            .unwrap_err()
+            .contains("unknown gpu"));
+        assert!(GridArgs::strip_from(strs(&["--gpu"]))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn fermi_and_volta_grids_have_distinct_cache_identities() {
+        // The sweep cache keys hash the full config debug rendering, so
+        // the two machine generations must never collide on disk.
+        let build = |gpu: &str| {
+            let (g, rest) = GridArgs::strip_from(strs(&["--tiny", "--gpu", gpu, "ATM"])).unwrap();
+            let args = crate::cli::Args::parse_from(rest).unwrap();
+            g.build_spec(&args).unwrap()
+        };
+        let (fermi, volta) = (build("fermi"), build("volta"));
+        assert_ne!(
+            gputm::sweep::sweep_digest(fermi.cells()),
+            gputm::sweep::sweep_digest(volta.cells())
+        );
+        assert_ne!(fermi.cells()[0].cache_key(), volta.cells()[0].cache_key());
     }
 
     #[test]

@@ -53,12 +53,31 @@ impl fmt::Display for Granule {
     }
 }
 
+/// How line addresses spread across memory partitions.
+///
+/// Fermi-class GPUs interleave lines round-robin (`line % partitions`),
+/// which is perfect for unit strides but camps every power-of-two stride
+/// that is a multiple of the partition count onto one partition. Modern
+/// GPUs hash upper address bits into the partition index (Khairy et al.,
+/// "Exploring Modern GPU Memory System Design Challenges") so strided
+/// sweeps still spread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interleave {
+    /// Round-robin `line % partitions` — the Fermi-era default.
+    #[default]
+    Modulo,
+    /// XOR-fold the upper line bits into the index before the modulo, so
+    /// power-of-two strides stop aliasing to one partition.
+    XorHash,
+}
+
 /// Address-space geometry shared by all components of one simulated GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Geometry {
     line_shift: u32,
     granule_shift: u32,
     partitions: u32,
+    interleave: Interleave,
 }
 
 impl Geometry {
@@ -87,7 +106,19 @@ impl Geometry {
             line_shift: line_bytes.trailing_zeros(),
             granule_shift: granule_bytes.trailing_zeros(),
             partitions,
+            interleave: Interleave::Modulo,
         }
+    }
+
+    /// The same geometry with a different partition [`Interleave`].
+    pub fn with_interleave(mut self, interleave: Interleave) -> Self {
+        self.interleave = interleave;
+        self
+    }
+
+    /// The partition interleave in effect.
+    pub fn interleave(&self) -> Interleave {
+        self.interleave
     }
 
     /// The paper's default: 128-byte lines, 32-byte granules, 6 partitions.
@@ -137,7 +168,22 @@ impl Geometry {
     /// The partition that owns a line (line-interleaved).
     #[inline]
     pub fn partition_of_line(&self, line: LineAddr) -> u32 {
-        (line.0 % self.partitions as u64) as u32
+        let key = match self.interleave {
+            Interleave::Modulo => line.0,
+            // Fold the upper bits down in 6-bit chunks before the
+            // modulo, so every address bit influences the partition
+            // selector — the xor-of-bit-groups channel hash of Khairy
+            // et al., widened until no power-of-two stride can alias.
+            Interleave::XorHash => {
+                let mut x = line.0;
+                x ^= x >> 6;
+                x ^= x >> 12;
+                x ^= x >> 24;
+                x ^= x >> 48;
+                x
+            }
+        };
+        (key % self.partitions as u64) as u32
     }
 
     /// The partition that owns the granule (derived from its line, so a
@@ -152,6 +198,25 @@ impl Geometry {
     pub fn partition_of(&self, addr: Addr) -> u32 {
         self.partition_of_line(self.line_of(addr))
     }
+}
+
+/// Max/min imbalance across per-partition access counts — the "partition
+/// camping" gauge. `None` when fewer than two partitions saw traffic or
+/// the total is too small to call camping (under 1000 accesses).
+///
+/// A run where every partition gets equal traffic scores 1.0; a
+/// power-of-two-strided workload camping on one [`Interleave::Modulo`]
+/// partition scores near `total / per_partition_share`, unbounded —
+/// which is why the gauge uses max/min rather than max/mean (the latter
+/// can never exceed the partition count).
+pub fn partition_imbalance(counts: &[u64]) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if counts.len() < 2 || total < 1000 {
+        return None;
+    }
+    let max = *counts.iter().max().expect("nonempty");
+    let min = *counts.iter().min().expect("nonempty");
+    Some(max as f64 / min.max(1) as f64)
 }
 
 #[cfg(test)]
@@ -220,5 +285,64 @@ mod tests {
     fn display_impls() {
         assert_eq!(Addr(255).to_string(), "0xff");
         assert_eq!(Granule(16).to_string(), "g0x10");
+    }
+
+    /// Per-partition counts for `n` lines at `stride` under `il`.
+    fn spread(il: Interleave, partitions: u32, stride: u64, n: u64) -> Vec<u64> {
+        let g = Geometry::new(128, 32, partitions).with_interleave(il);
+        let mut counts = vec![0u64; partitions as usize];
+        for i in 0..n {
+            counts[g.partition_of_line(LineAddr(i * stride)) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn modulo_camps_on_power_of_two_strides() {
+        // Stride 1024 lines with 8 partitions: every access lands on
+        // partition 0 — the pathology the xor hash exists to break.
+        let counts = spread(Interleave::Modulo, 8, 1024, 4096);
+        assert_eq!(counts[0], 4096);
+        assert!(partition_imbalance(&counts).expect("enough traffic") > 10.0);
+    }
+
+    #[test]
+    fn xor_hash_spreads_power_of_two_strides() {
+        for partitions in [6u32, 8, 24] {
+            for stride in [64u64, 256, 1024, 4096] {
+                let counts = spread(Interleave::XorHash, partitions, stride, 4096);
+                let imb = partition_imbalance(&counts).expect("enough traffic");
+                assert!(
+                    imb < 3.0,
+                    "stride {stride} x {partitions} partitions: imbalance {imb:.1} ({counts:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_hash_still_covers_unit_stride() {
+        let counts = spread(Interleave::XorHash, 6, 1, 6000);
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn default_interleave_is_modulo() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.interleave(), Interleave::Modulo);
+        for line in 0..100u64 {
+            assert_eq!(g.partition_of_line(LineAddr(line)), (line % 6) as u32);
+        }
+    }
+
+    #[test]
+    fn imbalance_gauge_edge_cases() {
+        assert_eq!(partition_imbalance(&[]), None, "no partitions");
+        assert_eq!(partition_imbalance(&[5000]), None, "one partition");
+        assert_eq!(partition_imbalance(&[400, 400]), None, "too little traffic");
+        assert_eq!(partition_imbalance(&[1000, 1000]), Some(1.0));
+        // A camped partition with zero-traffic siblings must not divide
+        // by zero.
+        assert_eq!(partition_imbalance(&[2000, 0]), Some(2000.0));
     }
 }

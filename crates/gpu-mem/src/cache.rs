@@ -4,11 +4,31 @@
 //! per-partition LLC banks (128 KB, 128 B lines, 8-way). The simulator only
 //! needs hit/miss timing, so the model is a tag array with LRU replacement;
 //! data values live in the architectural memory image, not here.
+//!
+//! Two policy knobs model post-Fermi hierarchies (Khairy et al.,
+//! "Exploring Modern GPU Memory System Design Challenges"):
+//!
+//! - **Sectored lines** ([`CacheConfig::sector_bytes`]): tags cover the
+//!   whole line but fills happen a sector at a time, tracked by a
+//!   per-line valid mask. An access to a resident line whose sector has
+//!   not been filled is a [`CacheResult::SectorMiss`] — the line stays
+//!   put, only the 32 B sector travels — which is what makes modern L1s
+//!   cheap to miss in.
+//! - **Streaming / no-allocate** ([`CacheConfig::streaming`]): write
+//!   misses bypass the cache entirely instead of allocating, matching the
+//!   Volta L1's streaming policy where stores go straight through to the
+//!   L2 without disturbing the tag array.
+//!
+//! Both knobs default off, and with them off the model is byte-identical
+//! to the Fermi-era write-back write-allocate array every published
+//! figure was measured on.
 
 use crate::addr::LineAddr;
+use sim_core::SimError;
 
 /// Whether an access reads or writes (writes allocate too; the model is
-/// write-back, write-allocate, which matches GPGPU-Sim's LLC defaults).
+/// write-back, write-allocate, which matches GPGPU-Sim's LLC defaults —
+/// unless [`CacheConfig::streaming`] turns write-allocate off).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// A read access.
@@ -20,14 +40,19 @@ pub enum AccessKind {
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheResult {
-    /// The line was present.
+    /// The line was present (and, if sectored, so was the sector).
     Hit,
-    /// The line was absent; it has been allocated. Carries the evicted
-    /// dirty line, if the victim needed a writeback.
+    /// The line was absent. On an allocating miss the line is now
+    /// resident; carries the evicted dirty line, if the victim needed a
+    /// writeback. On a streaming write miss nothing was allocated.
     Miss {
         /// A dirty victim that must be written back downstream, if any.
         writeback: Option<LineAddr>,
     },
+    /// Sectored caches only: the line's tag was present but the accessed
+    /// sector has not been filled yet. The sector is now valid; no
+    /// eviction happened, so only a sector-sized fill travels downstream.
+    SectorMiss,
 }
 
 impl CacheResult {
@@ -37,7 +62,7 @@ impl CacheResult {
     }
 }
 
-/// Cache geometry.
+/// Cache geometry and fill policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
@@ -46,30 +71,123 @@ pub struct CacheConfig {
     pub line_bytes: u64,
     /// Associativity.
     pub ways: usize,
+    /// Sector size in bytes; `None` models an unsectored array that
+    /// fills whole lines (the Fermi-era default).
+    pub sector_bytes: Option<u64>,
+    /// Streaming/no-allocate policy: write misses bypass allocation.
+    pub streaming: bool,
 }
 
 impl CacheConfig {
+    /// An unsectored, allocate-on-write geometry — the Fermi-era model.
+    pub fn unsectored(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            line_bytes,
+            ways,
+            sector_bytes: None,
+            streaming: false,
+        }
+    }
+
     /// The paper's L1D: 48 KB, 128-byte lines, 6-way.
     pub fn paper_l1d() -> Self {
-        CacheConfig {
-            capacity_bytes: 48 * 1024,
-            line_bytes: 128,
-            ways: 6,
-        }
+        CacheConfig::unsectored(48 * 1024, 128, 6)
     }
 
     /// The paper's LLC bank: 128 KB per partition, 128-byte lines, 8-way.
     pub fn paper_llc_bank() -> Self {
+        CacheConfig::unsectored(128 * 1024, 128, 8)
+    }
+
+    /// A Volta-class L1D: 128 KB unified, 128-byte lines in 32-byte
+    /// sectors, 4-way, streaming (no-allocate on store misses).
+    pub fn volta_l1d() -> Self {
         CacheConfig {
             capacity_bytes: 128 * 1024,
             line_bytes: 128,
-            ways: 8,
+            ways: 4,
+            sector_bytes: Some(32),
+            streaming: true,
         }
     }
 
-    /// Number of sets implied by the geometry.
+    /// A Volta-class LLC bank: 256 KB per partition, 128-byte lines in
+    /// 32-byte sectors, 16-way, allocate-on-write.
+    pub fn volta_llc_bank() -> Self {
+        CacheConfig {
+            capacity_bytes: 256 * 1024,
+            line_bytes: 128,
+            ways: 16,
+            sector_bytes: Some(32),
+            streaming: false,
+        }
+    }
+
+    /// Number of sets implied by the geometry. Meaningful only for
+    /// geometries [`CacheConfig::validate`] accepts; a non-dividing
+    /// geometry truncates here, which is exactly what `validate` rejects.
     pub fn sets(&self) -> usize {
         (self.capacity_bytes / self.line_bytes) as usize / self.ways
+    }
+
+    /// Sectors per line (1 when unsectored).
+    pub fn sectors_per_line(&self) -> u32 {
+        match self.sector_bytes {
+            Some(s) => (self.line_bytes / s) as u32,
+            None => 1,
+        }
+    }
+
+    /// Checks the geometry is one [`SetAssocCache::new`] can build,
+    /// returning a typed error instead of panicking deep in an engine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero-sized dimensions, a capacity that does not divide
+    /// into an integral number of lines and sets (the silent-truncation
+    /// trap in [`CacheConfig::sets`]), and sector sizes that do not
+    /// evenly split a line or exceed the 64-sector valid-mask width.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err = |detail: String| SimError::InvalidConfig {
+            what: "cache geometry",
+            detail,
+        };
+        if self.line_bytes == 0 {
+            return Err(err("line_bytes must be nonzero".into()));
+        }
+        if self.ways == 0 {
+            return Err(err("associativity must be nonzero".into()));
+        }
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(self.line_bytes) {
+            return Err(err(format!(
+                "capacity {} B is not a whole number of {} B lines",
+                self.capacity_bytes, self.line_bytes
+            )));
+        }
+        let lines = self.capacity_bytes / self.line_bytes;
+        if !(lines as usize).is_multiple_of(self.ways) {
+            return Err(err(format!(
+                "{lines} lines do not divide into {}-way sets \
+                 (CacheConfig::sets would truncate)",
+                self.ways
+            )));
+        }
+        if let Some(sector) = self.sector_bytes {
+            if sector == 0 || !self.line_bytes.is_multiple_of(sector) {
+                return Err(err(format!(
+                    "sector size {sector} B does not evenly split a {} B line",
+                    self.line_bytes
+                )));
+            }
+            if self.line_bytes / sector > 64 {
+                return Err(err(format!(
+                    "{} sectors per line exceeds the 64-bit valid mask",
+                    self.line_bytes / sector
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -77,6 +195,8 @@ impl CacheConfig {
 struct TagEntry {
     tag: u64,
     dirty: bool,
+    /// Per-sector valid bits; always all-ones for unsectored configs.
+    valid: u64,
     /// Monotonic use stamp for LRU.
     lru: u64,
 }
@@ -97,6 +217,9 @@ pub struct SetAssocCache {
     stamp: u64,
     hits: u64,
     misses: u64,
+    sector_misses: u64,
+    /// All-ones mask covering every sector of a line.
+    full_mask: u64,
 }
 
 impl SetAssocCache {
@@ -104,13 +227,19 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry does not divide evenly into sets.
+    /// Panics if [`CacheConfig::validate`] rejects the geometry. Engine
+    /// code validates configurations up front (`GpuConfig::validate`), so
+    /// reaching this panic means a caller skipped validation.
     pub fn new(cfg: CacheConfig) -> Self {
-        let lines = cfg.capacity_bytes / cfg.line_bytes;
-        assert!(
-            (lines as usize).is_multiple_of(cfg.ways) && lines > 0,
-            "capacity must divide into an integral number of sets"
-        );
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
+        let sectors = cfg.sectors_per_line();
+        let full_mask = if sectors >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << sectors) - 1
+        };
         let sets = cfg.sets();
         SetAssocCache {
             cfg,
@@ -118,6 +247,8 @@ impl SetAssocCache {
             stamp: 0,
             hits: 0,
             misses: 0,
+            sector_misses: 0,
+            full_mask,
         }
     }
 
@@ -126,10 +257,21 @@ impl SetAssocCache {
         ((line.0 % sets) as usize, line.0 / sets)
     }
 
-    /// Accesses `line`, allocating it on a miss.
-    pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> CacheResult {
+    /// The sector valid bit an access at `sector` needs. Unsectored
+    /// configs need the whole line, which a fill always provides.
+    fn sector_bit(&self, sector: u32) -> u64 {
+        if self.cfg.sector_bytes.is_none() {
+            return self.full_mask;
+        }
+        1u64 << (sector as u64 % self.cfg.sectors_per_line() as u64)
+    }
+
+    /// Accesses sector `sector` of `line`, allocating on a miss (subject
+    /// to the streaming policy). Unsectored caches ignore `sector`.
+    pub fn access_at(&mut self, line: LineAddr, sector: u32, kind: AccessKind) -> CacheResult {
         self.stamp += 1;
         let stamp = self.stamp;
+        let need = self.sector_bit(sector);
         let (set_idx, tag) = self.set_and_tag(line);
         let set = &mut self.sets[set_idx];
 
@@ -138,19 +280,34 @@ impl SetAssocCache {
             if kind == AccessKind::Write {
                 entry.dirty = true;
             }
-            self.hits += 1;
-            return CacheResult::Hit;
+            if entry.valid & need == need {
+                self.hits += 1;
+                return CacheResult::Hit;
+            }
+            // Tag present, sector not yet filled: fill just the sector.
+            entry.valid |= need;
+            self.sector_misses += 1;
+            return CacheResult::SectorMiss;
         }
 
         self.misses += 1;
+        if self.cfg.streaming && kind == AccessKind::Write {
+            // No-allocate: the store goes downstream without touching
+            // the array, so there is never a victim.
+            return CacheResult::Miss { writeback: None };
+        }
         let dirty = kind == AccessKind::Write;
+        // A fill brings in only the accessed sector (the whole line when
+        // unsectored, where `need` covers every bit).
+        let fresh = TagEntry {
+            tag,
+            dirty,
+            valid: need,
+            lru: stamp,
+        };
         // Prefer an empty way; otherwise evict the LRU entry.
         if let Some(slot) = set.iter_mut().find(|e| e.is_none()) {
-            *slot = Some(TagEntry {
-                tag,
-                dirty,
-                lru: stamp,
-            });
+            *slot = Some(fresh);
             return CacheResult::Miss { writeback: None };
         }
         let victim_way = set
@@ -159,11 +316,7 @@ impl SetAssocCache {
             .min_by_key(|(_, e)| e.as_ref().expect("set is full").lru)
             .map(|(i, _)| i)
             .expect("nonzero associativity");
-        let victim = set[victim_way].replace(TagEntry {
-            tag,
-            dirty,
-            lru: stamp,
-        });
+        let victim = set[victim_way].replace(fresh);
         let victim = victim.expect("victim way was full");
         let sets = self.sets.len() as u64;
         let writeback = victim
@@ -172,10 +325,29 @@ impl SetAssocCache {
         CacheResult::Miss { writeback }
     }
 
+    /// Accesses `line`, allocating it on a miss. Equivalent to
+    /// [`SetAssocCache::access_at`] with sector 0 — exact for unsectored
+    /// caches; sectored callers should pass the real sector index.
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind) -> CacheResult {
+        self.access_at(line, 0, kind)
+    }
+
     /// Whether `line` is currently resident (no LRU update, no allocation).
+    /// For sectored caches this is tag residency, not sector validity —
+    /// see [`SetAssocCache::probe_sector`].
     pub fn probe(&self, line: LineAddr) -> bool {
         let (set_idx, tag) = self.set_and_tag(line);
         self.sets[set_idx].iter().flatten().any(|e| e.tag == tag)
+    }
+
+    /// Whether sector `sector` of `line` is resident and valid.
+    pub fn probe_sector(&self, line: LineAddr, sector: u32) -> bool {
+        let need = self.sector_bit(sector);
+        let (set_idx, tag) = self.set_and_tag(line);
+        self.sets[set_idx]
+            .iter()
+            .flatten()
+            .any(|e| e.tag == tag && e.valid & need == need)
     }
 
     /// Invalidates `line` if present, returning whether it was dirty.
@@ -194,14 +366,23 @@ impl SetAssocCache {
         self.hits
     }
 
-    /// Lifetime miss count.
+    /// Lifetime line-miss count (tag misses, including streaming
+    /// bypasses; sector misses are counted separately).
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
+    /// Lifetime sector-miss count: accesses that found the tag but had
+    /// to fill a sector. Always zero for unsectored configs.
+    pub fn sector_misses(&self) -> u64 {
+        self.sector_misses
+    }
+
     /// Hit rate over the cache's lifetime (0.0 if never accessed).
+    /// Sector misses count against it: the request still waited on a
+    /// downstream fill.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.misses + self.sector_misses;
         if total == 0 {
             0.0
         } else {
@@ -221,10 +402,17 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways x 128B lines = 1 KiB
+        SetAssocCache::new(CacheConfig::unsectored(1024, 128, 2))
+    }
+
+    /// Same geometry as [`tiny`], 32 B sectors (4 per line).
+    fn tiny_sectored(streaming: bool) -> SetAssocCache {
         SetAssocCache::new(CacheConfig {
             capacity_bytes: 1024,
             line_bytes: 128,
             ways: 2,
+            sector_bytes: Some(32),
+            streaming,
         })
     }
 
@@ -258,7 +446,7 @@ mod tests {
         c.access(LineAddr(4), AccessKind::Read);
         match c.access(LineAddr(8), AccessKind::Read) {
             CacheResult::Miss { writeback } => assert_eq!(writeback, Some(LineAddr(0))),
-            CacheResult::Hit => panic!("expected a miss"),
+            other => panic!("expected a miss, got {other:?}"),
         }
     }
 
@@ -269,7 +457,7 @@ mod tests {
         c.access(LineAddr(4), AccessKind::Read);
         match c.access(LineAddr(8), AccessKind::Read) {
             CacheResult::Miss { writeback } => assert_eq!(writeback, None),
-            CacheResult::Hit => panic!("expected a miss"),
+            other => panic!("expected a miss, got {other:?}"),
         }
     }
 
@@ -281,7 +469,7 @@ mod tests {
         c.access(LineAddr(4), AccessKind::Read);
         match c.access(LineAddr(8), AccessKind::Read) {
             CacheResult::Miss { writeback } => assert_eq!(writeback, Some(LineAddr(0))),
-            CacheResult::Hit => panic!("expected a miss"),
+            other => panic!("expected a miss, got {other:?}"),
         }
     }
 
@@ -303,6 +491,15 @@ mod tests {
     }
 
     #[test]
+    fn volta_geometries_validate() {
+        for cfg in [CacheConfig::volta_l1d(), CacheConfig::volta_llc_bank()] {
+            cfg.validate().expect("preset validates");
+            assert_eq!(cfg.sectors_per_line(), 4);
+            SetAssocCache::new(cfg);
+        }
+    }
+
+    #[test]
     fn distinct_sets_do_not_interfere() {
         let mut c = tiny();
         for line in 0..4u64 {
@@ -311,5 +508,113 @@ mod tests {
         for line in 0..4u64 {
             assert!(c.access(LineAddr(line), AccessKind::Read).is_hit());
         }
+    }
+
+    // ---- sectored + streaming policy ----
+
+    #[test]
+    fn sector_miss_accounting() {
+        let mut c = tiny_sectored(false);
+        // Cold line: a tag miss fills ONLY sector 1.
+        assert_eq!(
+            c.access_at(LineAddr(0), 1, AccessKind::Read),
+            CacheResult::Miss { writeback: None }
+        );
+        // Same sector again: hit.
+        assert!(c.access_at(LineAddr(0), 1, AccessKind::Read).is_hit());
+        // A different sector of the resident line: sector miss, no
+        // eviction, and the sector becomes valid.
+        assert_eq!(
+            c.access_at(LineAddr(0), 3, AccessKind::Read),
+            CacheResult::SectorMiss
+        );
+        assert!(c.access_at(LineAddr(0), 3, AccessKind::Read).is_hit());
+        assert!(c.probe_sector(LineAddr(0), 1));
+        assert!(c.probe_sector(LineAddr(0), 3));
+        assert!(!c.probe_sector(LineAddr(0), 0));
+        assert_eq!((c.hits(), c.misses(), c.sector_misses()), (2, 1, 1));
+        // 2 hits / 4 demand accesses: sector misses count against the rate.
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn unsectored_access_never_sector_misses() {
+        let mut c = tiny();
+        c.access_at(LineAddr(0), 0, AccessKind::Read);
+        // Any sector index hits once the line is resident.
+        assert!(c.access_at(LineAddr(0), 3, AccessKind::Read).is_hit());
+        assert_eq!(c.sector_misses(), 0);
+    }
+
+    #[test]
+    fn streaming_write_miss_does_not_allocate() {
+        let mut c = tiny_sectored(true);
+        assert_eq!(
+            c.access_at(LineAddr(0), 0, AccessKind::Write),
+            CacheResult::Miss { writeback: None }
+        );
+        assert!(
+            !c.probe(LineAddr(0)),
+            "no-allocate must leave the set empty"
+        );
+        assert_eq!(c.misses(), 1);
+        // Reads still allocate...
+        assert!(!c.access_at(LineAddr(0), 0, AccessKind::Read).is_hit());
+        assert!(c.probe(LineAddr(0)));
+        // ...and writes to a resident line dirty it in place.
+        assert!(c.access_at(LineAddr(0), 0, AccessKind::Write).is_hit());
+        c.access_at(LineAddr(4), 0, AccessKind::Read);
+        match c.access_at(LineAddr(8), 0, AccessKind::Read) {
+            CacheResult::Miss { writeback } => assert_eq!(writeback, Some(LineAddr(0))),
+            other => panic!("expected a miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_never_evicts_on_store() {
+        let mut c = tiny_sectored(true);
+        c.access_at(LineAddr(0), 0, AccessKind::Read);
+        c.access_at(LineAddr(4), 0, AccessKind::Read); // set 0 now full
+        c.access_at(LineAddr(8), 0, AccessKind::Write); // bypasses
+        assert!(c.probe(LineAddr(0)));
+        assert!(c.probe(LineAddr(4)));
+        assert!(!c.probe(LineAddr(8)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let bad = |cfg: CacheConfig, needle: &str| {
+            let err = cfg.validate().expect_err("must reject").to_string();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        // 1024 B / 128 B = 8 lines, 3 ways: sets() would truncate 8/3 = 2.
+        bad(CacheConfig::unsectored(1024, 128, 3), "truncate");
+        bad(CacheConfig::unsectored(1000, 128, 2), "whole number");
+        bad(CacheConfig::unsectored(1024, 0, 2), "line_bytes");
+        bad(CacheConfig::unsectored(1024, 128, 0), "associativity");
+        bad(CacheConfig::unsectored(0, 128, 2), "whole number");
+        bad(
+            CacheConfig {
+                sector_bytes: Some(48),
+                ..CacheConfig::unsectored(1024, 128, 2)
+            },
+            "evenly split",
+        );
+        bad(
+            CacheConfig {
+                sector_bytes: Some(1),
+                ..CacheConfig::unsectored(1024, 128, 2)
+            },
+            "valid mask",
+        );
+        CacheConfig::unsectored(1024, 128, 2)
+            .validate()
+            .expect("good geometry passes");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn new_panics_on_unvalidated_geometry() {
+        SetAssocCache::new(CacheConfig::unsectored(1024, 128, 3));
     }
 }

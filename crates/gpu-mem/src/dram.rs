@@ -7,6 +7,12 @@
 //! FR-FCFS reordering are abstracted away: for the TM protocol comparison,
 //! what matters is that misses cost hundreds of cycles and that channels
 //! back up under load, both of which this model captures.
+//!
+//! HBM stacks ([`DramConfig::hbm`]) differ from GDDR in three ways the
+//! model keeps: much higher per-partition bandwidth, shorter access
+//! latency, and **pseudo-channels** — each physical channel splits into
+//! independent halves that serve requests concurrently, which is why HBM
+//! sustains more outstanding traffic at the same queue depth.
 
 use sim_core::{Counter, Cycle, EventWheel};
 
@@ -15,10 +21,13 @@ use sim_core::{Counter, Cycle, EventWheel};
 pub struct DramConfig {
     /// Fixed access latency (core cycles).
     pub latency: u64,
-    /// Bytes per core cycle of channel bandwidth.
+    /// Bytes per core cycle of channel bandwidth (per pseudo-channel).
     pub bytes_per_cycle: u64,
     /// Maximum queued requests before the channel back-pressures.
     pub queue_capacity: usize,
+    /// Independent pseudo-channels sharing the queue (HBM2 splits each
+    /// channel in two; GDDR-era parts have one).
+    pub pseudo_channels: u32,
 }
 
 impl Default for DramConfig {
@@ -28,6 +37,21 @@ impl Default for DramConfig {
             latency: 200,
             bytes_per_cycle: 21,
             queue_capacity: 32,
+            pseudo_channels: 1,
+        }
+    }
+}
+
+impl DramConfig {
+    /// An HBM2-class stack slice: ~900 GB/s over 24 partitions at
+    /// 1.4 GHz ~= 27 B/cyc per pseudo-channel, two pseudo-channels per
+    /// partition, shorter access latency, deeper queue.
+    pub fn hbm() -> Self {
+        DramConfig {
+            latency: 120,
+            bytes_per_cycle: 27,
+            queue_capacity: 64,
+            pseudo_channels: 2,
         }
     }
 }
@@ -46,38 +70,64 @@ impl Default for DramConfig {
 #[derive(Debug)]
 pub struct DramChannel<T> {
     cfg: DramConfig,
-    busy_until: Cycle,
+    /// Per-pseudo-channel busy horizon; requests pick the earliest.
+    busy_until: Vec<Cycle>,
     wheel: EventWheel<T>,
     accesses: Counter,
     bytes: Counter,
-    rejected: Counter,
+    rejected_requests: Counter,
+    stall_cycles: Counter,
+    /// Whether the *current* logical request has already been counted
+    /// rejected (a caller retries the same request every cycle until it
+    /// is admitted, and one admission ends the episode).
+    blocked: bool,
 }
 
 impl<T> DramChannel<T> {
     /// Creates an idle channel.
     pub fn new(cfg: DramConfig) -> Self {
         assert!(cfg.bytes_per_cycle > 0);
+        assert!(cfg.pseudo_channels > 0);
         DramChannel {
             cfg,
-            busy_until: Cycle::ZERO,
+            busy_until: vec![Cycle::ZERO; cfg.pseudo_channels as usize],
             wheel: EventWheel::new(),
             accesses: Counter::new(),
             bytes: Counter::new(),
-            rejected: Counter::new(),
+            rejected_requests: Counter::new(),
+            stall_cycles: Counter::new(),
+            blocked: false,
         }
     }
 
     /// Enqueues a `bytes`-byte access, returning its completion time, or
     /// `None` if the queue is full (the caller retries next cycle).
+    ///
+    /// The request lands on whichever pseudo-channel frees up first.
     pub fn request(&mut self, now: Cycle, bytes: u64, tag: T) -> Option<Cycle> {
         if self.wheel.len() >= self.cfg.queue_capacity {
-            self.rejected.inc();
+            // Count the logical request once, on the first back-pressured
+            // attempt; every attempt is one stall cycle. (The old model
+            // bumped `rejected` per retry, conflating the two.)
+            if !self.blocked {
+                self.blocked = true;
+                self.rejected_requests.inc();
+            }
+            self.stall_cycles.inc();
             return None;
         }
+        self.blocked = false;
         let service = bytes.max(1).div_ceil(self.cfg.bytes_per_cycle);
-        let start = self.busy_until.max(now);
-        self.busy_until = start + service;
-        let done = self.busy_until + self.cfg.latency;
+        let pc = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .expect("at least one pseudo-channel");
+        let start = self.busy_until[pc].max(now);
+        self.busy_until[pc] = start + service;
+        let done = self.busy_until[pc] + self.cfg.latency;
         self.wheel.schedule(done, tag);
         self.accesses.inc();
         self.bytes.add(bytes);
@@ -108,9 +158,16 @@ impl<T> DramChannel<T> {
         self.bytes.get()
     }
 
-    /// Requests rejected due to a full queue.
-    pub fn rejected(&self) -> u64 {
-        self.rejected.get()
+    /// Logical requests that were ever rejected by a full queue — each
+    /// request counts once no matter how many cycles it retried.
+    pub fn rejected_requests(&self) -> u64 {
+        self.rejected_requests.get()
+    }
+
+    /// Total cycles callers spent blocked on a full queue (one per
+    /// rejected attempt). Always >= [`DramChannel::rejected_requests`].
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles.get()
     }
 }
 
@@ -123,6 +180,7 @@ mod tests {
             latency: 200,
             bytes_per_cycle: 21,
             queue_capacity: 4,
+            pseudo_channels: 1,
         })
     }
 
@@ -151,10 +209,37 @@ mod tests {
             assert!(d.request(Cycle(0), 128, i).is_some());
         }
         assert!(d.request(Cycle(0), 128, 9).is_none());
-        assert_eq!(d.rejected(), 1);
+        assert_eq!(d.rejected_requests(), 1);
         // After completions drain, requests flow again.
         let _ = d.complete(Cycle(10_000));
         assert!(d.request(Cycle(10_000), 128, 9).is_some());
+    }
+
+    /// The regression the bugfix pins: a single logical request retrying
+    /// against a full queue for N cycles is ONE rejected request and N
+    /// stall cycles — the old code reported N rejected requests.
+    #[test]
+    fn retry_cycles_do_not_inflate_rejected_requests() {
+        let mut d = chan();
+        for i in 0..4 {
+            d.request(Cycle(0), 128, i);
+        }
+        // One logical request retries for 5 consecutive cycles.
+        for c in 0..5 {
+            assert!(d.request(Cycle(c), 128, 9).is_none());
+        }
+        assert_eq!(d.rejected_requests(), 1, "one request, one rejection");
+        assert_eq!(d.stall_cycles(), 5, "but five blocked cycles");
+        // Admission ends the episode; the next full-queue request is a
+        // fresh rejection.
+        let _ = d.complete(Cycle(10_000));
+        assert!(d.request(Cycle(10_000), 128, 9).is_some());
+        for i in 0..3 {
+            d.request(Cycle(10_000), 128, 20 + i);
+        }
+        assert!(d.request(Cycle(10_000), 128, 30).is_none());
+        assert_eq!(d.rejected_requests(), 2);
+        assert_eq!(d.stall_cycles(), 6);
     }
 
     #[test]
@@ -173,5 +258,53 @@ mod tests {
         d.request(Cycle(0), 21, 1);
         let done = d.request(Cycle(1000), 21, 2).unwrap();
         assert_eq!(done, Cycle(1201));
+    }
+
+    // ---- HBM pseudo-channels ----
+
+    #[test]
+    fn hbm_preset_is_faster_and_wider() {
+        let hbm = DramConfig::hbm();
+        let gddr = DramConfig::default();
+        assert!(hbm.latency < gddr.latency);
+        assert!(hbm.bytes_per_cycle * hbm.pseudo_channels as u64 > gddr.bytes_per_cycle);
+        assert!(hbm.queue_capacity > gddr.queue_capacity);
+        assert_eq!(hbm.pseudo_channels, 2);
+    }
+
+    #[test]
+    fn pseudo_channels_serve_concurrently() {
+        let mut two: DramChannel<u32> = DramChannel::new(DramConfig {
+            pseudo_channels: 2,
+            ..DramConfig::hbm()
+        });
+        // Two same-size requests at the same cycle: each takes its own
+        // pseudo-channel, so both complete at the single-request time.
+        let a = two.request(Cycle(0), 128, 1).unwrap();
+        let b = two.request(Cycle(0), 128, 2).unwrap();
+        assert_eq!(a, b, "pseudo-channels serve in parallel");
+        // A third serializes behind whichever finishes first.
+        let c = two.request(Cycle(0), 128, 3).unwrap();
+        assert!(c > a);
+    }
+
+    #[test]
+    fn hbm_queue_backpressure_with_pseudo_channels() {
+        let cfg = DramConfig {
+            queue_capacity: 4,
+            ..DramConfig::hbm()
+        };
+        let mut d: DramChannel<u32> = DramChannel::new(cfg);
+        for i in 0..4 {
+            assert!(d.request(Cycle(0), 256, i).is_some());
+        }
+        for c in 0..3 {
+            assert!(d.request(Cycle(c), 256, 9).is_none());
+        }
+        assert_eq!(d.rejected_requests(), 1);
+        assert_eq!(d.stall_cycles(), 3);
+        let _ = d.complete(Cycle(100_000));
+        assert!(d.request(Cycle(100_000), 256, 9).is_some());
+        assert_eq!(d.in_flight(), 1);
     }
 }

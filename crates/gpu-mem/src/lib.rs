@@ -19,7 +19,7 @@ pub mod dram;
 pub mod image;
 pub mod xbar;
 
-pub use addr::{Addr, Geometry, Granule, LineAddr};
+pub use addr::{partition_imbalance, Addr, Geometry, Granule, Interleave, LineAddr};
 pub use bank::{BankSlice, BankedMem};
 pub use cache::{AccessKind, CacheConfig, CacheResult, SetAssocCache};
 pub use dram::{DramChannel, DramConfig};

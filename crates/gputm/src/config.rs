@@ -8,9 +8,27 @@
 //! and scales the LLC to 4 MB in eight banks.
 
 use getm::vu::GetmConfig;
-use gpu_mem::{CacheConfig, DramConfig, XbarConfig};
+use gpu_mem::{CacheConfig, DramConfig, Interleave, XbarConfig};
 use sim_core::SimError;
 use tm_structs::{CuckooConfig, StallConfig};
+
+/// How the engine times LLC-miss traffic (DESIGN.md §16).
+///
+/// The two models are *additive behind config*: every pre-existing
+/// preset uses [`MemModel::FermiFixed`] and is bit-identical to the tree
+/// that predates [`MemModel::Hbm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemModel {
+    /// The paper's Fermi-class model: every LLC miss costs exactly
+    /// `llc_service + dram.latency` cycles, with no occupancy tracking.
+    #[default]
+    FermiFixed,
+    /// Modern-GPU model (Khairy et al.): per-partition HBM pseudo-channels
+    /// with bandwidth occupancy and bounded outstanding-request queues,
+    /// plus a banked-LLC service model ([`GpuConfig::llc_banks`]) where
+    /// concurrent accesses to one bank queue behind each other.
+    Hbm,
+}
 
 /// Which synchronization system executes the workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -231,6 +249,15 @@ pub struct GpuConfig {
     pub llc_bank: CacheConfig,
     /// LLC service latency in cycles (tag + data access, pipelined).
     pub llc_service: u64,
+    /// Independent LLC sub-banks per partition. With 1 the LLC is the
+    /// paper's single pipelined bank; more banks only matter under
+    /// [`MemModel::Hbm`], where same-bank accesses queue behind each
+    /// other and different banks proceed in parallel.
+    pub llc_banks: u32,
+    /// How line addresses interleave across partitions.
+    pub interleave: Interleave,
+    /// LLC-miss timing model (fixed Fermi latency vs occupied HBM).
+    pub mem_model: MemModel,
     /// DRAM channel timing (per partition).
     pub dram: DramConfig,
     /// GETM validation-unit configuration (per partition).
@@ -264,6 +291,9 @@ impl GpuConfig {
             l1: CacheConfig::paper_l1d(),
             llc_bank: CacheConfig::paper_llc_bank(),
             llc_service: 90,
+            llc_banks: 1,
+            interleave: Interleave::Modulo,
+            mem_model: MemModel::FermiFixed,
             dram: DramConfig::default(),
             getm: GetmConfig::paper_default_per_partition(6),
             tcd_entries: 1024,
@@ -281,11 +311,7 @@ impl GpuConfig {
         let mut cfg = GpuConfig::fermi_15core();
         cfg.cores = 56;
         cfg.partitions = 8;
-        cfg.llc_bank = CacheConfig {
-            capacity_bytes: 4 * 1024 * 1024 / 8,
-            line_bytes: 128,
-            ways: 8,
-        };
+        cfg.llc_bank = CacheConfig::unsectored(4 * 1024 * 1024 / 8, 128, 8);
         // GETM: double only the precise table; WarpTM doubles its recency
         // filter, which the engine scales via tcd_entries.
         cfg.getm = GetmConfig {
@@ -299,6 +325,56 @@ impl GpuConfig {
             ..GetmConfig::default()
         };
         cfg.tcd_entries = 2048;
+        cfg
+    }
+
+    /// A Volta-class GPU (GV100-like), the modern memory-model tier of
+    /// DESIGN.md §16: 80 SIMT cores of 64 warps, 24 memory partitions
+    /// behind a hashed interleave, a 128 KB sectored streaming L1, 6 MB
+    /// of sectored banked LLC, and HBM2 timing with dual pseudo-channels
+    /// per partition. Metadata structures scale with the partition count
+    /// the same way the paper's do, so the protocol comparison stays
+    /// apples-to-apples with [`GpuConfig::fermi_15core`] — only the
+    /// memory system moves.
+    pub fn volta_80core() -> Self {
+        let mut cfg = GpuConfig::fermi_15core();
+        cfg.cores = 80;
+        cfg.warps_per_core = 64;
+        cfg.partitions = 24;
+        cfg.l1 = CacheConfig::volta_l1d();
+        cfg.llc_bank = CacheConfig::volta_llc_bank();
+        cfg.llc_banks = 4;
+        cfg.interleave = Interleave::XorHash;
+        cfg.mem_model = MemModel::Hbm;
+        cfg.dram = DramConfig::hbm();
+        // ~2 TB/s of NVLink-era crossbar across 24 ports.
+        cfg.xbar = XbarConfig {
+            latency: 5,
+            port_bytes_per_cycle: 64,
+        };
+        cfg.getm = GetmConfig::paper_default_per_partition(24);
+        cfg.tcd_entries = 4096;
+        cfg
+    }
+
+    /// A tiny Volta-tier machine for unit tests and CI smoke: the
+    /// [`GpuConfig::tiny_test`] core/warp scale with every modern
+    /// memory-model knob on (sectored streaming L1, hashed interleave,
+    /// banked LLC, HBM timing).
+    pub fn tiny_volta() -> Self {
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.l1 = CacheConfig {
+            capacity_bytes: 8 * 1024,
+            ..CacheConfig::volta_l1d()
+        };
+        cfg.llc_bank = CacheConfig {
+            capacity_bytes: 32 * 1024,
+            ..CacheConfig::volta_llc_bank()
+        };
+        cfg.llc_banks = 2;
+        cfg.interleave = Interleave::XorHash;
+        cfg.mem_model = MemModel::Hbm;
+        cfg.dram = DramConfig::hbm();
         cfg
     }
 
@@ -359,6 +435,31 @@ impl GpuConfig {
                 "granule and line must be powers of two with granule <= line",
             ));
         }
+        // Cache geometry errors surface here as typed failures instead
+        // of panicking inside SetAssocCache::new mid-sweep.
+        for (what, cache) in [("l1 cache", &self.l1), ("llc bank", &self.llc_bank)] {
+            if let Err(e) = cache.validate() {
+                return Err(SimError::invalid_config(what, format!("{e}")));
+            }
+            if cache.line_bytes != self.line_bytes {
+                return Err(SimError::invalid_config(
+                    what,
+                    format!(
+                        "line size {} B disagrees with the machine's {} B lines",
+                        cache.line_bytes, self.line_bytes
+                    ),
+                ));
+            }
+        }
+        if self.llc_banks == 0 {
+            return Err(SimError::invalid_config("llc_banks", "must be nonzero"));
+        }
+        if self.dram.pseudo_channels == 0 || self.dram.bytes_per_cycle == 0 {
+            return Err(SimError::invalid_config(
+                "dram",
+                "pseudo_channels and bytes_per_cycle must be nonzero",
+            ));
+        }
         if self.tx_concurrency == Some(0) {
             return Err(SimError::invalid_config(
                 "tx_concurrency",
@@ -398,6 +499,53 @@ mod tests {
         GpuConfig::fermi_15core().validate().unwrap();
         GpuConfig::large_56core().validate().unwrap();
         GpuConfig::tiny_test().validate().unwrap();
+        GpuConfig::volta_80core().validate().unwrap();
+        GpuConfig::tiny_volta().validate().unwrap();
+    }
+
+    #[test]
+    fn volta_preset_turns_every_modern_knob_on() {
+        let v = GpuConfig::volta_80core();
+        assert_eq!(v.cores, 80);
+        assert_eq!(v.partitions, 24);
+        assert_eq!(v.l1.sector_bytes, Some(32));
+        assert!(v.l1.streaming, "Volta L1 is streaming/no-allocate");
+        assert_eq!(v.llc_bank.sector_bytes, Some(32));
+        assert_eq!(v.interleave, Interleave::XorHash);
+        assert_eq!(v.mem_model, MemModel::Hbm);
+        assert_eq!(v.dram.pseudo_channels, 2);
+        assert!(v.llc_banks > 1);
+        // 6 MB of LLC total, vs the paper's 768 KB.
+        assert_eq!(v.llc_bank.capacity_bytes * v.partitions as u64, 6 << 20);
+        // The Fermi preset keeps every knob off.
+        let f = GpuConfig::fermi_15core();
+        assert_eq!(f.l1.sector_bytes, None);
+        assert!(!f.l1.streaming);
+        assert_eq!(f.interleave, Interleave::Modulo);
+        assert_eq!(f.mem_model, MemModel::FermiFixed);
+        assert_eq!((f.llc_banks, f.dram.pseudo_channels), (1, 1));
+    }
+
+    #[test]
+    fn bad_cache_geometry_is_a_typed_validate_error_not_a_panic() {
+        // 8 lines / 3 ways: CacheConfig::sets() would silently truncate
+        // and SetAssocCache::new would panic; validate() must catch it.
+        let mut c = GpuConfig::tiny_test();
+        c.llc_bank.ways = 3;
+        let err = c.validate().expect_err("must reject");
+        assert!(err.to_string().contains("llc bank"), "{err}");
+        let mut c = GpuConfig::tiny_test();
+        c.l1.capacity_bytes = 1000;
+        assert!(c.validate().unwrap_err().to_string().contains("l1"));
+        let mut c = GpuConfig::tiny_test();
+        c.l1.line_bytes = 64; // disagrees with the machine's 128 B lines
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.llc_banks = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.dram.pseudo_channels = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

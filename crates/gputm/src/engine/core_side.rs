@@ -509,10 +509,16 @@ impl CoreCtx<'_> {
         let now = self.now;
         for (g, mut lanes) in by_granule.drain(..) {
             let line = geom.line_of_granule(g);
+            // On a sectored (Volta-class) L1, a tag hit with the sector
+            // absent is a sector miss and still goes to the partition.
+            let sector = match self.cfg.l1.sector_bytes {
+                Some(s) => ((lanes[0].1 .0 % self.cfg.line_bytes) / s) as u32,
+                None => 0,
+            };
             if use_l1
                 && self.cores[c]
                     .l1
-                    .access(line, gpu_mem::AccessKind::Read)
+                    .access_at(line, sector, gpu_mem::AccessKind::Read)
                     .is_hit()
             {
                 // L1 hit: values available next cycle. The fill reads the

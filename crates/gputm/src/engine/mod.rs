@@ -224,6 +224,17 @@ pub(crate) struct Partition {
     pub cu_free: Cycle,
     /// DRAM accesses performed (LLC misses).
     pub dram_accesses: u64,
+    /// Per-LLC-sub-bank busy horizon ([`crate::config::MemModel::Hbm`]
+    /// only; a single entry that never advances under `FermiFixed`).
+    pub bank_free: Vec<Cycle>,
+    /// Per-HBM-pseudo-channel busy horizon (`Hbm` only).
+    pub chan_free: Vec<Cycle>,
+    /// Completion times of DRAM requests still outstanding (`Hbm` only;
+    /// bounded by `dram.queue_capacity`, modelling queue back-pressure
+    /// as admission delay).
+    pub hbm_inflight: Vec<Cycle>,
+    /// DRAM requests that had to wait for an outstanding-queue slot.
+    pub hbm_queue_stalls: u64,
 }
 
 /// Aggregated engine statistics (folded into [`Metrics`] at the end).
@@ -373,7 +384,8 @@ impl Engine {
         cfg: &GpuConfig,
     ) -> Result<Engine, SimError> {
         cfg.validate()?;
-        let geom = Geometry::new(cfg.line_bytes, cfg.granule_bytes, cfg.partitions);
+        let geom = Geometry::new(cfg.line_bytes, cfg.granule_bytes, cfg.partitions)
+            .with_interleave(cfg.interleave);
         let root_rng = DetRng::seeded(cfg.seed);
 
         let mem = BankedMem::from_pairs(
@@ -439,6 +451,10 @@ impl Engine {
                     vu_free: Cycle::ZERO,
                     cu_free: Cycle::ZERO,
                     dram_accesses: 0,
+                    bank_free: vec![Cycle::ZERO; cfg.llc_banks as usize],
+                    chan_free: vec![Cycle::ZERO; cfg.dram.pseudo_channels as usize],
+                    hbm_inflight: Vec::new(),
+                    hbm_queue_stalls: 0,
                 }
             })
             .collect();
@@ -1159,15 +1175,46 @@ impl Engine {
         for c in &self.cores {
             l1h += c.l1.hits();
             l1m += c.l1.misses();
+            m.l1_sector_misses += c.l1.sector_misses();
             m.eapg_early_aborts += c.eapg.early_aborts();
         }
+        let mut part_accesses = Vec::with_capacity(self.parts.len());
         for p in &self.parts {
             llch += p.llc.hits();
             llcm += p.llc.misses();
+            m.llc_sector_misses += p.llc.sector_misses();
+            m.dram_accesses += p.dram_accesses;
+            m.dram_queue_stalls += p.hbm_queue_stalls;
+            part_accesses.push(p.llc.hits() + p.llc.misses() + p.llc.sector_misses());
         }
-        m.l1_hit_rate = ratio(l1h, l1m);
-        m.llc_hit_rate = ratio(llch, llcm);
+        // Sector misses waited on a downstream fill, so they count
+        // against both hit rates (zero for unsectored configs, keeping
+        // the Fermi numbers bit-identical).
+        m.l1_hit_rate = ratio(l1h, l1m + m.l1_sector_misses);
+        m.llc_hit_rate = ratio(llch, llcm + m.llc_sector_misses);
+        m.partition_imbalance = gpu_mem::partition_imbalance(&part_accesses);
+        self.warn_on_partition_camping(m.partition_imbalance);
         m
+    }
+
+    /// One-time warning when the modulo interleave is camping: a run
+    /// whose per-partition LLC traffic is more than 10x imbalanced is
+    /// almost certainly striding across partitions (DESIGN.md §16), and
+    /// `Interleave::XorHash` would spread it. Logged once per process so
+    /// a sweep with hundreds of camped cells stays readable.
+    fn warn_on_partition_camping(&self, imbalance: Option<f64>) {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        let Some(imb) = imbalance else { return };
+        if self.geom.interleave() != gpu_mem::Interleave::Modulo || imb <= 10.0 {
+            return;
+        }
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: per-partition access imbalance {imb:.0}x under the modulo \
+                 interleave (likely power-of-two stride camping; consider \
+                 Interleave::XorHash). Further occurrences are not reported."
+            );
+        });
     }
 }
 

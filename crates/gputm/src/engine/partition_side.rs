@@ -12,10 +12,27 @@
 
 use super::ctx::{DownSend, DownSink, PartCtx};
 use super::{DownMsg, Pending, UpMsg};
+use crate::config::MemModel;
 use fglock::AtomicOp;
 use gpu_mem::{AccessKind, Addr, CacheResult, Granule, LineAddr};
 use sim_core::trace::{SimEvent, Stamp};
 use sim_core::{Cycle, SimError};
+
+/// Cycles an LLC sub-bank's tag+data pipeline is held per access under
+/// the HBM tier (Khairy et al. model banked L2 slices with a small fixed
+/// occupancy; contention, not raw latency, is the modelled effect).
+const LLC_BANK_OCCUPANCY: u64 = 2;
+
+/// Index of the smallest element (first on ties, deterministic).
+fn min_index(v: &[Cycle]) -> usize {
+    let mut best = 0;
+    for (i, &c) in v.iter().enumerate().skip(1) {
+        if c < v[best] {
+            best = i;
+        }
+    }
+    best
+}
 
 impl PartCtx<'_> {
     /// Handles one up-crossbar delivery at partition `p`.
@@ -40,11 +57,20 @@ impl PartCtx<'_> {
         }
     }
 
-    /// Charges an LLC (and possibly DRAM) access for data at `line`,
+    /// Charges an LLC (and possibly DRAM) access for data at `addr`,
     /// returning the extra service cycles.
-    fn data_cycles(&mut self, p: usize, line: LineAddr, kind: AccessKind) -> u64 {
+    ///
+    /// Under [`MemModel::FermiFixed`] every miss costs exactly
+    /// `llc_service + dram.latency`; under [`MemModel::Hbm`] the request
+    /// also queues behind its LLC sub-bank and rides a pseudo-channel
+    /// whose occupancy and bounded outstanding queue it shares with
+    /// every other miss in the partition (DESIGN.md §16).
+    fn data_cycles(&mut self, p: usize, addr: Addr, kind: AccessKind) -> u64 {
+        let line = self.geom.line_of(addr);
+        let sector = self.llc_sector_of(addr);
         let part = &mut self.parts[p];
-        let dram = matches!(part.llc.access(line, kind), CacheResult::Miss { .. });
+        let res = part.llc.access_at(line, sector, kind);
+        let dram = !res.is_hit();
         if dram {
             part.dram_accesses += 1;
         }
@@ -55,11 +81,100 @@ impl PartCtx<'_> {
                 SimEvent::MemAccess { dram },
             )
         });
-        if dram {
-            self.cfg.llc_service + self.cfg.dram.latency
-        } else {
-            self.cfg.llc_service
+        match self.cfg.mem_model {
+            MemModel::FermiFixed => {
+                if dram {
+                    self.cfg.llc_service + self.cfg.dram.latency
+                } else {
+                    self.cfg.llc_service
+                }
+            }
+            MemModel::Hbm => {
+                let mut extra = self.cfg.llc_service + self.llc_bank_delay(p, line);
+                if dram {
+                    // Sectored arrays fill just the sector; unsectored
+                    // ones pull the whole line.
+                    let bytes = self
+                        .cfg
+                        .llc_bank
+                        .sector_bytes
+                        .unwrap_or(self.cfg.line_bytes);
+                    extra += self.hbm_dram_cycles(p, bytes);
+                }
+                if let CacheResult::Miss { writeback: Some(_) } = res {
+                    // The victim writeback occupies a pseudo-channel but
+                    // is off the reply's critical path.
+                    self.hbm_occupy(p, self.cfg.line_bytes);
+                }
+                extra
+            }
         }
+    }
+
+    /// The LLC sector index `addr` falls in (0 when the LLC is
+    /// unsectored, where the cache ignores it anyway).
+    fn llc_sector_of(&self, addr: Addr) -> u32 {
+        match self.cfg.llc_bank.sector_bytes {
+            Some(s) => ((addr.0 % self.cfg.line_bytes) / s) as u32,
+            None => 0,
+        }
+    }
+
+    /// Queueing delay at `line`'s LLC sub-bank, advancing the bank's
+    /// busy horizon (each access holds the bank's tag+data pipeline for
+    /// [`LLC_BANK_OCCUPANCY`] cycles; different banks proceed in
+    /// parallel). Zero with a single bank and nothing queued.
+    fn llc_bank_delay(&mut self, p: usize, line: LineAddr) -> u64 {
+        let part = &mut self.parts[p];
+        let banks = part.bank_free.len() as u64;
+        // Partition selection consumed the low line bits; use the next
+        // bits up so one partition's stream still spreads over banks.
+        let bank = ((line.0 / self.cfg.partitions as u64) % banks) as usize;
+        let start = part.bank_free[bank].max(self.now);
+        part.bank_free[bank] = start + LLC_BANK_OCCUPANCY;
+        start - self.now
+    }
+
+    /// Charges a `bytes`-byte DRAM access to partition `p`'s HBM stack,
+    /// returning cycles until the data is back: admission delay if the
+    /// bounded outstanding queue is full, service on the least-loaded
+    /// pseudo-channel, then the access latency.
+    fn hbm_dram_cycles(&mut self, p: usize, bytes: u64) -> u64 {
+        let part = &mut self.parts[p];
+        let now = self.now;
+        part.hbm_inflight.retain(|&c| c > now);
+        let mut admit = now;
+        if part.hbm_inflight.len() >= self.cfg.dram.queue_capacity {
+            // Queue full: the request waits until the earliest in-flight
+            // access completes and frees a slot.
+            let (i, &earliest) = part
+                .hbm_inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| **c)
+                .expect("full queue is nonempty");
+            part.hbm_inflight.swap_remove(i);
+            admit = earliest;
+            part.hbm_queue_stalls += 1;
+        }
+        let service = bytes.max(1).div_ceil(self.cfg.dram.bytes_per_cycle);
+        let pc = min_index(&part.chan_free);
+        let start = part.chan_free[pc].max(admit);
+        part.chan_free[pc] = start + service;
+        let done = part.chan_free[pc] + self.cfg.dram.latency;
+        part.hbm_inflight.push(done);
+        done - now
+    }
+
+    /// Occupies a pseudo-channel with `bytes` of off-critical-path
+    /// traffic (victim writebacks): later requests queue behind it, but
+    /// nothing waits on its completion.
+    fn hbm_occupy(&mut self, p: usize, bytes: u64) {
+        let part = &mut self.parts[p];
+        let service = bytes.max(1).div_ceil(self.cfg.dram.bytes_per_cycle);
+        let pc = min_index(&part.chan_free);
+        let start = part.chan_free[pc].max(self.now);
+        part.chan_free[pc] = start + service;
     }
 
     /// Reserves the validation unit starting no earlier than `now`,
@@ -162,7 +277,7 @@ impl PartCtx<'_> {
                 let extra = if reply.kind == getm::ReplyKind::Success
                     && req.kind == getm::AccessKind::Load
                 {
-                    self.data_cycles(p, self.geom.line_of(req.addr), AccessKind::Read)
+                    self.data_cycles(p, req.addr, AccessKind::Read)
                 } else {
                     0
                 };
@@ -219,7 +334,7 @@ impl PartCtx<'_> {
                 if let Some(&attempt) = attempts.get(i) {
                     self.hist.write_applied(attempt, e.addr.0, v, apply_cycle);
                 }
-                self.data_cycles(p, self.geom.line_of(e.addr), AccessKind::Write);
+                self.data_cycles(p, e.addr, AccessKind::Write);
             }
         }
         // The log batch has been applied: return its buffers to the core
@@ -280,8 +395,7 @@ impl PartCtx<'_> {
                 let now = self.now.raw();
                 self.rec
                     .emit(|| (Stamp::partition(now, p as u32), SimEvent::StallWake));
-                let extra =
-                    self.data_cycles(p, self.geom.line_of(wk.request.addr), AccessKind::Read);
+                let extra = self.data_cycles(p, wk.request.addr, AccessKind::Read);
                 let (core, values) = self.capture_values(wk.reply.token)?;
                 let at = vu_done.max(cu_done) + wk.cycles as u64 + extra;
                 self.send_down(
@@ -302,7 +416,7 @@ impl PartCtx<'_> {
     fn wtm_tx_load(&mut self, p: usize, addr: Addr, token: u64) -> Result<(), SimError> {
         let g = self.geom.granule_of(addr);
         let last_write = self.parts[p].tcd.last_write(g);
-        let extra = self.data_cycles(p, self.geom.line_of(addr), AccessKind::Read);
+        let extra = self.data_cycles(p, addr, AccessKind::Read);
         let done = self.vu_slot(p, 1) + extra;
         let (core, values) = self.capture_values(token)?;
         self.send_down(
@@ -353,7 +467,12 @@ impl PartCtx<'_> {
             );
             if !hit {
                 self.parts[p].dram_accesses += 1;
-                extra += self.cfg.dram.latency;
+                extra += match self.cfg.mem_model {
+                    MemModel::FermiFixed => self.cfg.dram.latency,
+                    // Validation re-reads whole logged lines, so the
+                    // refill is line-sized regardless of sectoring.
+                    MemModel::Hbm => self.hbm_dram_cycles(p, self.cfg.line_bytes),
+                };
             }
         }
         *self.line_buf = lines;
@@ -413,7 +532,7 @@ impl PartCtx<'_> {
                 self.hist
                     .write_applied(attempt, e.addr.0, e.value, apply_cycle);
             }
-            self.data_cycles(p, self.geom.line_of(e.addr), AccessKind::Write);
+            self.data_cycles(p, e.addr, AccessKind::Write);
             let g = self.geom.granule_of(e.addr);
             self.parts[p].tcd.note_write(g, done);
             if !granules.contains(&g) {
@@ -450,7 +569,7 @@ impl PartCtx<'_> {
         // bandwidth and acknowledge.
         let done = self.cu_slot(p, writes.len().max(1) as u64);
         for (a, _) in &writes {
-            self.data_cycles(p, self.geom.line_of(*a), AccessKind::Write);
+            self.data_cycles(p, *a, AccessKind::Write);
         }
         let core = self.commit_core(token)?;
         self.send_down(done, core, 8, DownMsg::CommitAck { token }, "commit-ack");
@@ -460,7 +579,7 @@ impl PartCtx<'_> {
     // ----- Plain memory and atomics ---------------------------------------
 
     fn plain_load(&mut self, p: usize, addr: Addr, token: u64) -> Result<(), SimError> {
-        let extra = self.data_cycles(p, self.geom.line_of(addr), AccessKind::Read);
+        let extra = self.data_cycles(p, addr, AccessKind::Read);
         let done = self.now + 1 + extra;
         let (core, values) = self.capture_values(token)?;
         self.send_down(
@@ -480,11 +599,11 @@ impl PartCtx<'_> {
     /// Plain stores were applied at issue (GPU store-buffer semantics);
     /// the partition only charges LLC bandwidth.
     fn plain_store(&mut self, p: usize, addr: Addr) {
-        self.data_cycles(p, self.geom.line_of(addr), AccessKind::Write);
+        self.data_cycles(p, addr, AccessKind::Write);
     }
 
     fn atomic(&mut self, p: usize, op: AtomicOp, token: u64) -> Result<(), SimError> {
-        let extra = self.data_cycles(p, self.geom.line_of(op.addr()), AccessKind::Write);
+        let extra = self.data_cycles(p, op.addr(), AccessKind::Write);
         // Atomics serialize at the partition (one per cycle, like the VU).
         let done = self.vu_slot(p, 1) + extra;
         let (old, new_value) = {

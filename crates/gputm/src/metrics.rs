@@ -156,10 +156,25 @@ pub struct Metrics {
     pub eapg_early_aborts: u64,
     /// EAPG broadcast messages delivered.
     pub eapg_broadcasts: u64,
-    /// L1 data cache hit rate across cores.
+    /// L1 data cache hit rate across cores. Sector misses count against
+    /// it (they wait on a downstream fill like any miss).
     pub l1_hit_rate: f64,
-    /// LLC hit rate across partitions.
+    /// LLC hit rate across partitions (sector misses count against it).
     pub llc_hit_rate: f64,
+    /// L1 sector misses across cores: tag present, sector not yet
+    /// filled. Zero for unsectored (Fermi-tier) configurations.
+    pub l1_sector_misses: u64,
+    /// LLC sector misses across partitions (zero when unsectored).
+    pub llc_sector_misses: u64,
+    /// DRAM accesses across partitions (LLC line and sector fills).
+    pub dram_accesses: u64,
+    /// DRAM requests that waited for an outstanding-queue slot
+    /// ([`crate::config::MemModel::Hbm`] only; the fixed-latency Fermi
+    /// model has no queue to stall in).
+    pub dram_queue_stalls: u64,
+    /// Max/min per-partition LLC traffic imbalance — the partition
+    /// camping gauge. `None` when too little traffic to judge.
+    pub partition_imbalance: Option<f64>,
     /// Atomic operations executed (FGLock mode).
     pub atomics: u64,
     /// CAS operations that failed (lock contention indicator).

@@ -21,8 +21,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// histogram, and the intra-warp/validation abort tallies. v3 added the
 /// watchdog fields (`degraded`, `watchdog_escalations`,
 /// `serialized_commits`). v4 added the host-profile attribution lines
-/// (`host_profile/*`, present only for profiled sharded runs).
-const FORMAT: &str = "getm-metrics-v4";
+/// (`host_profile/*`, present only for profiled sharded runs). v5 added
+/// the memory-tier fields (`l1_sector_misses`, `llc_sector_misses`,
+/// `dram_accesses`, `dram_queue_stalls`, `partition_imbalance`).
+const FORMAT: &str = "getm-metrics-v5";
 
 /// An on-disk cache mapping [`super::CellSpec::cache_key`] to [`Metrics`].
 #[derive(Debug, Clone)]
@@ -184,6 +186,10 @@ pub fn serialize_metrics(m: &Metrics) -> String {
         ("rollovers", m.rollovers),
         ("watchdog_escalations", m.watchdog_escalations),
         ("serialized_commits", m.serialized_commits),
+        ("l1_sector_misses", m.l1_sector_misses),
+        ("llc_sector_misses", m.llc_sector_misses),
+        ("dram_accesses", m.dram_accesses),
+        ("dram_queue_stalls", m.dram_queue_stalls),
     ] {
         s.push_str(&format!("{k}={v}\n"));
     }
@@ -192,6 +198,7 @@ pub fn serialize_metrics(m: &Metrics) -> String {
     for (k, v) in [
         ("mean_metadata_access_cycles", m.mean_metadata_access_cycles),
         ("mean_stall_waiters_per_addr", m.mean_stall_waiters_per_addr),
+        ("partition_imbalance", m.partition_imbalance),
     ] {
         match v {
             Some(x) => s.push_str(&format!("{k}={x:?}\n")),
@@ -341,9 +348,14 @@ pub fn parse_metrics(text: &str) -> Option<Metrics> {
             "rollovers" => m.rollovers = value.parse().ok()?,
             "watchdog_escalations" => m.watchdog_escalations = value.parse().ok()?,
             "serialized_commits" => m.serialized_commits = value.parse().ok()?,
+            "l1_sector_misses" => m.l1_sector_misses = value.parse().ok()?,
+            "llc_sector_misses" => m.llc_sector_misses = value.parse().ok()?,
+            "dram_accesses" => m.dram_accesses = value.parse().ok()?,
+            "dram_queue_stalls" => m.dram_queue_stalls = value.parse().ok()?,
             "degraded" => m.degraded = value.parse().ok()?,
             "mean_metadata_access_cycles" => m.mean_metadata_access_cycles = parse_opt_f64(value)?,
             "mean_stall_waiters_per_addr" => m.mean_stall_waiters_per_addr = parse_opt_f64(value)?,
+            "partition_imbalance" => m.partition_imbalance = parse_opt_f64(value)?,
             "l1_hit_rate" => m.l1_hit_rate = value.parse().ok()?,
             "llc_hit_rate" => m.llc_hit_rate = value.parse().ok()?,
             "mean_access_rt" => m.mean_access_rt = value.parse().ok()?,
@@ -456,15 +468,15 @@ mod tests {
     #[test]
     fn version_mismatch_is_a_miss() {
         let mut text = serialize_metrics(&Metrics::default());
-        text = text.replacen("v4", "v0", 1);
+        text = text.replacen("v5", "v0", 1);
         assert!(parse_metrics(&text).is_none());
     }
 
     #[test]
     fn garbage_is_a_miss() {
         assert!(parse_metrics("").is_none());
-        assert!(parse_metrics("getm-metrics-v4\ncycles=abc\n").is_none());
-        assert!(parse_metrics("getm-metrics-v4\nnot a line\n").is_none());
+        assert!(parse_metrics("getm-metrics-v5\ncycles=abc\n").is_none());
+        assert!(parse_metrics("getm-metrics-v5\nnot a line\n").is_none());
     }
 
     #[test]
@@ -571,8 +583,8 @@ mod tests {
         ));
         let cache = ResultCache::new(&dir);
         let m = sample_metrics();
-        // Write a v3-era file directly under the key's path.
-        let old = serialize_metrics(&m).replacen("v4", "v3", 1);
+        // Write a v4-era file directly under the key's path.
+        let old = serialize_metrics(&m).replacen("v5", "v4", 1);
         std::fs::create_dir_all(cache.dir()).unwrap();
         std::fs::write(cache.dir().join("cafef00d.metrics"), old).unwrap();
         assert_eq!(cache.entry_count(), 1);

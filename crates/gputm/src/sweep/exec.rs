@@ -656,6 +656,30 @@ mod tests {
     }
 
     #[test]
+    fn invalid_cache_geometry_fails_the_cell_as_sim_not_panic() {
+        // No injected runner: the cell really constructs an Engine, whose
+        // config validation must turn bad cache geometry into a typed
+        // SimError::InvalidConfig — surfaced as FailureKind::Sim — rather
+        // than tripping the tag array's internal assertions.
+        let mut cfg = GpuConfig::tiny_test();
+        cfg.l1.line_bytes = 48; // not a power of two
+        let cell = CellSpec::new(Benchmark::HtH, Scale::Fast, TmSystem::Getm, cfg);
+        let opts = SweepOptions::new()
+            .threads(1)
+            .failure_policy(FailurePolicy::CollectAll);
+        let report = run_report(&[cell], &opts);
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            matches!(
+                &report.failures[0].error,
+                FailureKind::Sim(SimError::InvalidConfig { what, .. }) if what.contains("l1")
+            ),
+            "{:?}",
+            report.failures[0].error
+        );
+    }
+
+    #[test]
     fn a_fast_cell_never_sees_its_timeout() {
         let mut opts = injected(FailurePolicy::CollectAll, |_, _| Ok(Metrics::default()));
         opts.cell_timeout = Some(Duration::from_secs(3600));
